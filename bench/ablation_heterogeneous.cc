@@ -1,0 +1,69 @@
+// Ablation: heterogeneous per-connection bandwidth.
+//
+// §5 assumes every DR-connection requests identical bandwidth; the
+// managers generalize the spare-sizing rule to bandwidth-weighted demand
+// (max_j demand[j]). This harness compares a uniform 1 Mbps workload with
+// mixed workloads of the same *mean* offered load, checking that the
+// weighted rule keeps fault-tolerance while the spare cost tracks the
+// heavier tail.
+#include "bench_common.h"
+#include "drtp/dlsr.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("ablation_heterogeneous");
+  const auto opts = bench::HarnessOptions::Register(flags);
+  auto& lambda = flags.Double("lambda", 0.5, "arrival rate for the probe");
+  auto& degree = flags.Double("degree", 4.0, "average node degree");
+  flags.Parse(argc, argv);
+
+  const net::Topology topo = sim::MakePaperTopology(
+      degree, static_cast<std::uint64_t>(*opts.seed));
+  const Time duration =
+      *opts.fast ? sim::kPaperDuration / 4 : sim::kPaperDuration;
+
+  std::printf("Ablation — heterogeneous connection bandwidth (E = %.0f,"
+              " lambda = %.2f, UT, D-LSR)\n\n", degree, lambda);
+  TextTable t({"workload", "P_bk", "avg active", "avg spare Mbps",
+               "overbooked hops"});
+  struct Mix {
+    const char* label;
+    Bandwidth bw;
+    Bandwidth bw_max;  // 0 = constant
+  };
+  // Mean bandwidth is 1 Mbps in every row, so offered load matches.
+  const Mix mixes[] = {{"uniform 1 Mbps", Mbps(1), 0},
+                       {"mixed 0.5-1.5 Mbps", Kbps(500), Kbps(1500)},
+                       {"mixed 0.25-1.75 Mbps", Kbps(250), Kbps(1750)}};
+  for (const Mix& mix : mixes) {
+    sim::TrafficConfig tc = sim::MakePaperTraffic(
+        sim::TrafficPattern::kUniform, lambda,
+        static_cast<std::uint64_t>(*opts.seed) + 1);
+    tc.duration = duration;
+    tc.bw = mix.bw;
+    tc.bw_max = mix.bw_max;
+    if (*opts.fast) {
+      const double shrink = duration / sim::kPaperDuration;
+      tc.lifetime_min *= shrink;
+      tc.lifetime_max *= shrink;
+      tc.lambda = lambda / shrink;
+    }
+    const sim::Scenario sc = sim::Scenario::Generate(topo, tc);
+    sim::ExperimentConfig ec = sim::MakePaperExperiment();
+    ec.warmup = duration * 0.4;
+    ec.sample_interval = duration / 50.0;
+    core::Dlsr dlsr;
+    const sim::RunMetrics m = sim::RunScenario(topo, sc, dlsr, ec);
+    t.BeginRow();
+    t.Cell(mix.label);
+    t.Cell(m.pbk.value(), 4);
+    t.Cell(m.avg_active, 1);
+    t.Cell(m.spare_bw.mean() / 1000.0, 1);
+    t.Cell(m.overbooked_hops);
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf("\nReading: the weighted sizing rule holds P_bk at the"
+              " uniform level; wider bandwidth spreads raise the spare"
+              " reservation needed to cover the heavy-tailed activations.\n");
+  return 0;
+}

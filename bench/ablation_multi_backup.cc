@@ -1,0 +1,41 @@
+// Ablation: number of backup channels per DR-connection.
+//
+// §2 defines a DR-connection as "one primary and one or more backup
+// channels". This harness quantifies what each extra pre-established
+// backup buys (fault-tolerance) and costs (capacity), at a fixed load.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("ablation_multi_backup");
+  const auto opts = bench::HarnessOptions::Register(flags);
+  auto& lambda = flags.Double("lambda", 0.5, "arrival rate for the probe");
+  auto& degree = flags.Double("degree", 4.0, "average node degree");
+  flags.Parse(argc, argv);
+  bench::CellRunner runner(static_cast<std::uint64_t>(*opts.seed),
+                           *opts.duration, *opts.fast);
+
+  std::printf("Ablation — backups per connection (E = %.0f, lambda = %.2f,"
+              " UT, D-LSR)\n\n", degree, lambda);
+  const sim::RunMetrics base =
+      runner.Run(degree, sim::TrafficPattern::kUniform, lambda, "NoBackup");
+  TextTable t({"backups", "P_bk", "capacity ovhd%", "avg spare Mbps",
+               "avg backup hops"});
+  for (int k = 0; k <= 3; ++k) {
+    sim::ExperimentConfig ec = runner.Experiment();
+    ec.num_backups = k;
+    const sim::RunMetrics m =
+        runner.Run(degree, sim::TrafficPattern::kUniform, lambda, "D-LSR", ec);
+    t.BeginRow();
+    t.Cell(static_cast<std::int64_t>(k));
+    t.Cell(m.pbk.value(), 4);
+    t.Cell(sim::CapacityOverheadPercent(base, m), 2);
+    t.Cell(m.spare_bw.mean() / 1000.0, 1);
+    t.Cell(m.backup_hops.mean(), 2);
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf("\nReading: the first backup buys almost all the"
+              " fault-tolerance; further ones mostly add spare cost —\n"
+              "why the paper evaluates the single-backup configuration.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation X3: backup multiplexing on/off.
+//
+// Paper claim (§2): a dedicated disjoint backup per connection cuts
+// network capacity by >= 50%, which is what motivates backup multiplexing;
+// with multiplexing the measured overhead stays <= ~25%. This harness runs
+// the same scenario in both spare modes against the no-backup baseline.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("ablation_multiplexing");
+  const auto opts = bench::HarnessOptions::Register(flags);
+  auto& degree = flags.Double("degree", 3.0, "average node degree");
+  flags.Parse(argc, argv);
+  bench::CellRunner runner(static_cast<std::uint64_t>(*opts.seed),
+                           *opts.duration, *opts.fast);
+
+  std::printf("Ablation — backup multiplexing vs dedicated spares"
+              " (E = %.0f, UT, D-LSR)\n\n", degree);
+  TextTable t({"lambda", "base(avg act)", "mux ovhd%", "mux P_bk",
+               "dedicated ovhd%", "dedicated P_bk"});
+  for (const double lambda : runner.Lambdas()) {
+    const sim::RunMetrics base = runner.Run(
+        degree, sim::TrafficPattern::kUniform, lambda, "NoBackup");
+    sim::ExperimentConfig mux_cfg = runner.Experiment();
+    mux_cfg.spare_mode = core::SpareMode::kMultiplexed;
+    const sim::RunMetrics mux = runner.Run(
+        degree, sim::TrafficPattern::kUniform, lambda, "D-LSR", mux_cfg);
+    sim::ExperimentConfig ded_cfg = runner.Experiment();
+    ded_cfg.spare_mode = core::SpareMode::kDedicated;
+    const sim::RunMetrics ded = runner.Run(
+        degree, sim::TrafficPattern::kUniform, lambda, "D-LSR", ded_cfg);
+    t.BeginRow();
+    t.Cell(lambda, 2);
+    t.Cell(base.avg_active, 1);
+    t.Cell(sim::CapacityOverheadPercent(base, mux), 2);
+    t.Cell(mux.pbk.value(), 4);
+    t.Cell(sim::CapacityOverheadPercent(base, ded), 2);
+    t.Cell(ded.pbk.value(), 4);
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf("\nReading: past saturation, dedicated spares displace roughly"
+              " twice the primaries multiplexed spares do (the paper's"
+              " >=50%% vs <=25%% capacity argument).\n");
+  return 0;
+}

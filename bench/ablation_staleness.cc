@@ -1,0 +1,41 @@
+// Ablation: link-state advertisement staleness.
+//
+// §4 motivates bounded flooding with the cost of keeping the extended
+// link-state database fresh. Here we make that trade-off measurable: the
+// LSR schemes route on advertisements refreshed every R seconds (instead
+// of instantly), while BF — which floods on demand and reads true local
+// state — is immune by construction.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("ablation_staleness");
+  const auto opts = bench::HarnessOptions::Register(flags);
+  auto& lambda = flags.Double("lambda", 0.5, "arrival rate for the probe");
+  auto& degree = flags.Double("degree", 3.0, "average node degree");
+  flags.Parse(argc, argv);
+  bench::CellRunner runner(static_cast<std::uint64_t>(*opts.seed),
+                           *opts.duration, *opts.fast);
+
+  std::printf("Ablation — link-state refresh interval (E = %.0f,"
+              " lambda = %.2f, UT)\n\n", degree, lambda);
+  TextTable t({"refresh s", "D-LSR P_bk", "D-LSR blocked", "P-LSR P_bk",
+               "P-LSR blocked", "BF P_bk", "BF blocked"});
+  for (const double refresh : {0.0, 10.0, 30.0, 100.0, 300.0}) {
+    sim::ExperimentConfig ec = runner.Experiment();
+    ec.lsdb_refresh_interval = refresh;
+    t.BeginRow();
+    t.Cell(refresh, 0);
+    for (const char* label : {"D-LSR", "P-LSR", "BF"}) {
+      const sim::RunMetrics m = runner.Run(
+          degree, sim::TrafficPattern::kUniform, lambda, label, ec);
+      t.Cell(m.pbk.value(), 4);
+      t.Cell(m.blocked);
+    }
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf("\nReading: stale advertisements cost the LSR schemes blocked"
+              " admissions and conflict-blind backups; BF's on-demand"
+              " discovery does not degrade.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Generality appendix: the three routing schemes on hierarchical
+// transit-stub topologies (not in the paper, which is Waxman-only).
+//
+// Transit-stub networks stress the schemes asymmetrically: the core is
+// path-rich, stub uplinks are scarce, and single-homed stubs have *no*
+// disjoint escape — the fault-tolerance ceiling itself drops. The question
+// is whether the schemes' ordering (D-LSR >= P-LSR >= BF) and the value of
+// conflict information survive the change of terrain.
+#include "bench_common.h"
+#include "net/transit_stub.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("appendix_transit_stub");
+  const auto opts = bench::HarnessOptions::Register(flags);
+  auto& lambda = flags.Double("lambda", 0.5, "arrival rate for the probe");
+  flags.Parse(argc, argv);
+
+  std::printf("Appendix — schemes on transit-stub hierarchies"
+              " (lambda = %.2f, UT)\n\n", lambda);
+  TextTable t({"multihoming", "nodes", "links", "D-LSR", "P-LSR", "BF",
+               "SD-Backup"});
+  for (const double multihome : {0.0, 0.5, 1.0}) {
+    const net::Topology topo = net::MakeTransitStub(net::TransitStubConfig{
+        .transit_nodes = 8,
+        .transit_chords = 4,
+        .stubs_per_transit = 2,
+        .stub_size = 3,
+        .multihome_prob = multihome,
+        .transit_capacity_factor = 4,
+        .stub_capacity = Mbps(30),
+        .seed = static_cast<std::uint64_t>(*opts.seed)});
+    sim::TrafficConfig tc = sim::MakePaperTraffic(
+        sim::TrafficPattern::kUniform, lambda,
+        static_cast<std::uint64_t>(*opts.seed) + 1);
+    tc.duration = *opts.fast ? sim::kPaperDuration / 4 : sim::kPaperDuration;
+    if (*opts.fast) {
+      const double shrink = tc.duration / sim::kPaperDuration;
+      tc.lifetime_min *= shrink;
+      tc.lifetime_max *= shrink;
+      tc.lambda = lambda / shrink;
+    }
+    const sim::Scenario sc = sim::Scenario::Generate(topo, tc);
+    sim::ExperimentConfig ec = sim::MakePaperExperiment();
+    ec.warmup = tc.duration * 0.4;
+    ec.sample_interval = tc.duration / 50.0;
+
+    t.BeginRow();
+    char label[16];
+    std::snprintf(label, sizeof label, "%.0f%%", 100 * multihome);
+    t.Cell(std::string(label));
+    t.Cell(static_cast<std::int64_t>(topo.num_nodes()));
+    t.Cell(static_cast<std::int64_t>(topo.num_links()));
+    for (const char* scheme : {"D-LSR", "P-LSR", "BF", "SD-Backup"}) {
+      auto s = sim::MakeScheme(scheme, topo,
+                               static_cast<std::uint64_t>(*opts.seed) + 7);
+      const sim::RunMetrics m = sim::RunScenario(topo, sc, *s, ec);
+      t.Cell(m.pbk.value(), 4);
+    }
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf("\nReading: without multi-homing, stub uplinks cap every"
+              " scheme's fault-tolerance alike; as multi-homing grows the"
+              " conflict-aware schemes pull ahead again.\n");
+  return 0;
+}

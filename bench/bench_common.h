@@ -1,0 +1,118 @@
+// Shared plumbing for the figure/table bench harnesses.
+//
+// Every harness sweeps (topology degree, traffic pattern, λ, scheme) cells;
+// this header provides cell execution with scenario reuse — the same
+// scenario file is replayed against every scheme, the paper's methodology —
+// plus standard flags (--fast, --seed, --duration).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "sim/paper.h"
+
+namespace drtp::bench {
+
+/// Standard flags shared by all harnesses.
+struct HarnessOptions {
+  std::int64_t* seed;
+  bool* fast;
+  double* duration;
+
+  static HarnessOptions Register(FlagSet& flags) {
+    HarnessOptions o{};
+    o.seed = &flags.Int64("seed", 1, "experiment seed");
+    o.fast = &flags.Bool("fast", false,
+                         "shortened sweep (fewer lambdas, shorter horizon)");
+    o.duration =
+        &flags.Double("duration", sim::kPaperDuration,
+                      "scenario horizon in seconds (warmup scales with it)");
+    return o;
+  }
+};
+
+/// One evaluation cell: everything needed to replay one scheme on one
+/// (degree, pattern, λ) configuration.
+class CellRunner {
+ public:
+  CellRunner(std::uint64_t seed, double duration, bool fast)
+      : seed_(seed), duration_(fast ? duration / 4 : duration), fast_(fast) {}
+
+  /// λ grid of Fig. 4/5 (0.2 … 1.0), thinned under --fast.
+  std::vector<double> Lambdas() const {
+    if (fast_) return {0.2, 0.5, 0.8};
+    return {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  }
+
+  const net::Topology& Topology(double degree) {
+    auto it = topos_.find(degree);
+    if (it == topos_.end()) {
+      it = topos_
+               .emplace(degree, sim::MakePaperTopology(degree, seed_))
+               .first;
+    }
+    return it->second;
+  }
+
+  const sim::Scenario& Scenario(double degree, sim::TrafficPattern pattern,
+                                double lambda) {
+    const auto key = std::make_tuple(degree, pattern, lambda);
+    auto it = scenarios_.find(key);
+    if (it == scenarios_.end()) {
+      sim::TrafficConfig tc =
+          sim::MakePaperTraffic(pattern, lambda, seed_ + 1000);
+      tc.duration = duration_;
+      if (fast_) {
+        // Shrink lifetimes with the horizon but scale λ up by the same
+        // factor so the offered load λ·E[lifetime] matches the full run.
+        const double shrink = duration_ / sim::kPaperDuration;
+        tc.lifetime_min *= shrink;
+        tc.lifetime_max *= shrink;
+        tc.lambda = lambda / shrink;
+      }
+      it = scenarios_
+               .emplace(key, sim::Scenario::Generate(Topology(degree), tc))
+               .first;
+    }
+    return it->second;
+  }
+
+  sim::ExperimentConfig Experiment() const {
+    sim::ExperimentConfig ec = sim::MakePaperExperiment();
+    ec.warmup = duration_ * 0.4;
+    ec.sample_interval = duration_ / 50.0;
+    return ec;
+  }
+
+  /// Replays `scheme_label` on the cell; scheme objects are fresh per run.
+  sim::RunMetrics Run(double degree, sim::TrafficPattern pattern,
+                      double lambda, const std::string& scheme_label,
+                      sim::ExperimentConfig ec) {
+    auto scheme = sim::MakeScheme(scheme_label, Topology(degree), seed_ + 7);
+    return sim::RunScenario(Topology(degree), Scenario(degree, pattern, lambda),
+                            *scheme, ec);
+  }
+
+  sim::RunMetrics Run(double degree, sim::TrafficPattern pattern,
+                      double lambda, const std::string& scheme_label) {
+    return Run(degree, pattern, lambda, scheme_label, Experiment());
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  double duration() const { return duration_; }
+
+ private:
+  std::uint64_t seed_;
+  double duration_;
+  bool fast_;
+  std::map<double, net::Topology> topos_;
+  std::map<std::tuple<double, sim::TrafficPattern, double>, sim::Scenario>
+      scenarios_;
+};
+
+}  // namespace drtp::bench

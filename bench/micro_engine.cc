@@ -1,0 +1,160 @@
+// Google-benchmark microbenchmarks of the engine's hot paths: Dijkstra,
+// APLV maintenance, conflict-vector scoring, bounded flooding, failure
+// evaluation and full request handling.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "drtp/bounded_flood.h"
+#include "drtp/dlsr.h"
+#include "drtp/failure.h"
+#include "drtp/network.h"
+#include "drtp/plsr.h"
+#include "lsdb/aplv.h"
+#include "net/generators.h"
+#include "routing/dijkstra.h"
+#include "routing/distance_table.h"
+#include "sim/paper.h"
+
+namespace drtp {
+namespace {
+
+net::Topology PaperTopo(double degree) {
+  return sim::MakePaperTopology(degree, 1);
+}
+
+void BM_DijkstraMinHop(benchmark::State& state) {
+  const net::Topology topo = PaperTopo(static_cast<double>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    const NodeId src = static_cast<NodeId>(rng.Index(60));
+    NodeId dst = static_cast<NodeId>(rng.Index(60));
+    if (dst == src) dst = (dst + 1) % 60;
+    auto p = routing::MinHopPath(topo, src, dst, nullptr);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DijkstraMinHop)->Arg(3)->Arg(4);
+
+void BM_DistanceTableBuild(benchmark::State& state) {
+  const net::Topology topo = PaperTopo(3.0);
+  for (auto _ : state) {
+    auto dt = routing::DistanceTable::Build(topo);
+    benchmark::DoNotOptimize(dt);
+  }
+}
+BENCHMARK(BM_DistanceTableBuild);
+
+void BM_AplvUpdate(benchmark::State& state) {
+  lsdb::Aplv aplv(240);
+  const routing::LinkSet lset = routing::MakeLinkSet({3, 50, 100, 199, 230});
+  for (auto _ : state) {
+    aplv.AddPrimaryLset(lset);
+    aplv.RemovePrimaryLset(lset);
+    benchmark::DoNotOptimize(aplv);
+  }
+}
+BENCHMARK(BM_AplvUpdate);
+
+void BM_ConflictVectorScore(benchmark::State& state) {
+  lsdb::ConflictVector cv(240);
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i)
+    cv.Set(static_cast<LinkId>(rng.Index(240)), true);
+  const routing::LinkSet lset = routing::MakeLinkSet({3, 50, 100, 199, 230});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cv.CountIn(lset));
+  }
+}
+BENCHMARK(BM_ConflictVectorScore);
+
+/// One full request through a loaded network: selection + establishment +
+/// backup registration + release.
+template <typename Scheme>
+void RequestCycle(benchmark::State& state, Scheme& scheme,
+                  core::DrtpNetwork& net, lsdb::LinkStateDb& db) {
+  Rng rng(11);
+  ConnId next = 1 << 20;
+  for (auto _ : state) {
+    const NodeId src = static_cast<NodeId>(rng.Index(60));
+    NodeId dst = static_cast<NodeId>(rng.Index(60));
+    if (dst == src) dst = (dst + 1) % 60;
+    net.PublishTo(db, 0.0);
+    auto sel = scheme.SelectRoutes(net, db, src, dst, Mbps(1));
+    if (sel.primary &&
+        net.EstablishConnection(next, *sel.primary, Mbps(1), 0.0)) {
+      if (sel.backup) net.RegisterBackup(next, *sel.backup);
+      net.ReleaseConnection(next);
+      ++next;
+    }
+  }
+}
+
+/// Pre-loads ~300 connections so APLVs and spare pools are non-trivial.
+void Preload(core::DrtpNetwork& net, lsdb::LinkStateDb& db,
+             core::RoutingScheme& scheme) {
+  Rng rng(5);
+  for (ConnId id = 0; id < 300; ++id) {
+    const NodeId src = static_cast<NodeId>(rng.Index(60));
+    NodeId dst = static_cast<NodeId>(rng.Index(60));
+    if (dst == src) dst = (dst + 1) % 60;
+    net.PublishTo(db, 0.0);
+    auto sel = scheme.SelectRoutes(net, db, src, dst, Mbps(1));
+    if (sel.primary && net.EstablishConnection(id, *sel.primary, Mbps(1), 0)) {
+      if (sel.backup) net.RegisterBackup(id, *sel.backup);
+    }
+  }
+}
+
+void BM_RequestCycleDlsr(benchmark::State& state) {
+  core::DrtpNetwork net(PaperTopo(3.0));
+  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
+  core::Dlsr scheme;
+  Preload(net, db, scheme);
+  RequestCycle(state, scheme, net, db);
+}
+BENCHMARK(BM_RequestCycleDlsr);
+
+void BM_RequestCyclePlsr(benchmark::State& state) {
+  core::DrtpNetwork net(PaperTopo(3.0));
+  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
+  core::Plsr scheme;
+  Preload(net, db, scheme);
+  RequestCycle(state, scheme, net, db);
+}
+BENCHMARK(BM_RequestCyclePlsr);
+
+void BM_RequestCycleBoundedFlood(benchmark::State& state) {
+  core::DrtpNetwork net(PaperTopo(3.0));
+  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
+  core::BoundedFlooding scheme(net.topology());
+  core::Dlsr preload_scheme;
+  Preload(net, db, preload_scheme);
+  RequestCycle(state, scheme, net, db);
+}
+BENCHMARK(BM_RequestCycleBoundedFlood);
+
+void BM_EvaluateAllSingleLinkFailures(benchmark::State& state) {
+  core::DrtpNetwork net(PaperTopo(3.0));
+  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
+  core::Dlsr scheme;
+  Preload(net, db, scheme);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EvaluateAllSingleLinkFailures(net));
+  }
+}
+BENCHMARK(BM_EvaluateAllSingleLinkFailures);
+
+void BM_WaxmanGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto topo = net::MakeWaxman(net::WaxmanConfig{
+        .nodes = 60, .avg_degree = 3.0, .seed = seed++});
+    benchmark::DoNotOptimize(topo);
+  }
+}
+BENCHMARK(BM_WaxmanGeneration);
+
+}  // namespace
+}  // namespace drtp
+
+BENCHMARK_MAIN();

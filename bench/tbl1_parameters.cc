@@ -1,0 +1,56 @@
+// Prints Table 1 — the simulation parameters — as configured in this
+// reproduction. The archival scan of the paper lost the numeric column;
+// DESIGN.md documents how each value was reconstructed from constraints
+// stated in the text (saturation points, video/audio-scale bandwidth).
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "sim/paper.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("tbl1_parameters");
+  flags.Parse(argc, argv);
+
+  std::printf("Table 1 — simulation parameters (reconstructed)\n\n");
+  TextTable t({"parameter", "value", "source"});
+  const auto row = [&](const std::string& p, const std::string& v,
+                       const std::string& s) {
+    t.BeginRow();
+    t.Cell(p);
+    t.Cell(v);
+    t.Cell(s);
+  };
+  row("nodes", std::to_string(sim::kPaperNodes), "stated (60)");
+  row("average node degree E", "3 and 4", "stated");
+  row("link capacity C", "30 Mbps per direction",
+      "reconstructed from saturation points");
+  row("bw_req per DR-connection", "1 Mbps", "video/audio scale, constant");
+  row("lifetime t_req", "uniform 20-60 min", "stated");
+  row("arrival process", "Poisson, lambda in {0.2..1.0}/s", "stated");
+  row("traffic patterns", "UT uniform; NT 10 hot dests get 50%", "stated");
+  row("scenario horizon", "10000 s (warmup 4000 s)",
+      "several mean lifetimes");
+  row("BF flooding bound", "hc_limit = minhops + 2 (rho=1, sigma=2)",
+      "garbled in scan; see DESIGN.md");
+  row("BF valid-detour", "hc_curr <= min_dist + 2 (alpha=1, beta=2)",
+      "garbled in scan; see DESIGN.md");
+  std::fputs(t.Render().c_str(), stdout);
+
+  // Derived figures that justify the reconstruction.
+  const auto topo3 = sim::MakePaperTopology(3.0, 1);
+  const auto topo4 = sim::MakePaperTopology(4.0, 1);
+  std::printf("\nDerived: E=3 network has %d directed links (total %lld Mbps"
+              " capacity);\n         E=4 network has %d directed links"
+              " (total %lld Mbps capacity).\n",
+              topo3.num_links(),
+              static_cast<long long>(topo3.num_links()) * 30,
+              topo4.num_links(),
+              static_cast<long long>(topo4.num_links()) * 30);
+  std::printf("Offered primary load at lambda=0.5: 0.5/s x 2400 s x ~4 hops"
+              " x 1 Mbps = ~4800 Mbps -> E=3 saturates near lambda 0.5,\n"
+              "matching the paper's stated saturation points (0.5 at E=3,"
+              " 0.9 at E=4).\n");
+  return 0;
+}

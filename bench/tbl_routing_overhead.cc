@@ -1,0 +1,57 @@
+// Reproduces the §6 discussion of route-discovery overhead (X1 in
+// DESIGN.md): what each scheme pays in control traffic.
+//
+//   BF      — per-request channel-discovery packets (CDPs): count and
+//             bytes, measured from the replay.
+//   P-LSR   — periodic link-state advertisements carrying ||APLV||_1
+//             (8 B payload per link) + bandwidth.
+//   D-LSR   — periodic advertisements carrying the N-bit Conflict Vector
+//             (N/8 B payload per link) + bandwidth: the "larger packet
+//             size" §4 motivates BF with.
+// Plus the backup-path register/release packets all schemes share.
+#include "bench_common.h"
+#include "lsdb/link_state_db.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("tbl_routing_overhead");
+  const auto opts = bench::HarnessOptions::Register(flags);
+  auto& lambda = flags.Double("lambda", 0.5, "arrival rate for the probe");
+  flags.Parse(argc, argv);
+  bench::CellRunner runner(static_cast<std::uint64_t>(*opts.seed),
+                           *opts.duration, *opts.fast);
+
+  std::printf("Routing-overhead comparison (lambda = %.2f)\n\n", lambda);
+  for (const double degree : {3.0, 4.0}) {
+    const net::Topology& topo = runner.Topology(degree);
+    const lsdb::LinkStateDb db(topo.num_links(), topo.num_links());
+    std::printf("--- E = %.0f (%d directed links) ---\n", degree,
+                topo.num_links());
+    TextTable t({"scheme", "discovery msgs/req", "discovery B/req",
+                 "advert B/cycle", "P_bk"});
+    for (const auto pattern :
+         {sim::TrafficPattern::kUniform, sim::TrafficPattern::kHotspot}) {
+      for (const char* scheme : {"D-LSR", "P-LSR", "BF"}) {
+        const sim::RunMetrics m = runner.Run(degree, pattern, lambda, scheme);
+        t.BeginRow();
+        t.Cell(std::string(scheme) + "," +
+               sim::PatternName(pattern));
+        const double reqs = static_cast<double>(m.requests);
+        t.Cell(static_cast<double>(m.control_messages) / reqs, 1);
+        t.Cell(static_cast<double>(m.control_bytes) / reqs, 1);
+        if (std::string(scheme) == "BF") {
+          t.Cell(std::int64_t{0});  // no link-state database at all
+        } else {
+          t.Cell(db.AdvertBytesPerCycle(std::string(scheme) == "D-LSR"));
+        }
+        t.Cell(m.pbk.value(), 4);
+      }
+    }
+    std::fputs(t.Render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf("Reading: BF pays per-request flooding but needs no link-state"
+              " database;\nD-LSR's conflict vectors cost the most"
+              " advertisement bytes and buy the highest P_bk.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Business-critical network meeting (§1's "business video conferences"),
+// routed with bounded flooding.
+//
+// A meeting is a star of DR-connections between every participant and a
+// bridge node. BF needs no link-state database: each join request floods
+// channel-discovery packets inside a hop-bounded ellipse and the bridge
+// picks the routes. The example reports the flooding overhead per join and
+// compares two ellipse widths.
+//
+//   $ ./conference [--participants N] [--seed N]
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "drtp/drtp.h"
+#include "sim/paper.h"
+
+using namespace drtp;
+
+namespace {
+
+struct JoinResult {
+  int admitted = 0;
+  int protected_count = 0;
+  std::int64_t cdp_messages = 0;
+  std::int64_t cdp_bytes = 0;
+};
+
+JoinResult RunMeeting(core::DrtpNetwork& net, core::BoundedFlooding& bf,
+                      NodeId bridge, const std::vector<NodeId>& participants) {
+  lsdb::LinkStateDb unused(net.topology().num_links(),
+                           net.topology().num_links());
+  JoinResult result;
+  ConnId next_id = 1;
+  for (const NodeId p : participants) {
+    const auto sel = bf.SelectRoutes(net, unused, p, bridge, Mbps(1));
+    result.cdp_messages += sel.control_messages;
+    result.cdp_bytes += sel.control_bytes;
+    if (!sel.primary ||
+        !net.EstablishConnection(next_id, *sel.primary, Mbps(1), 0.0)) {
+      std::printf("  participant %d: blocked\n", p);
+      continue;
+    }
+    ++result.admitted;
+    if (sel.backup) {
+      net.RegisterBackup(next_id, *sel.backup);
+      ++result.protected_count;
+    }
+    ++next_id;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("conference");
+  auto& participants_n = flags.Int64("participants", 12, "meeting size");
+  auto& seed = flags.Int64("seed", 11, "topology seed");
+  flags.Parse(argc, argv);
+
+  const net::Topology topo =
+      sim::MakePaperTopology(3.0, static_cast<std::uint64_t>(seed));
+  Rng rng(static_cast<std::uint64_t>(seed) + 1);
+  const NodeId bridge = static_cast<NodeId>(rng.Index(
+      static_cast<std::size_t>(topo.num_nodes())));
+  std::vector<NodeId> participants;
+  while (participants.size() < static_cast<std::size_t>(participants_n)) {
+    const NodeId p = static_cast<NodeId>(rng.Index(
+        static_cast<std::size_t>(topo.num_nodes())));
+    if (p != bridge) participants.push_back(p);
+  }
+
+  std::printf("== conference: %zu participants joining bridge node %d via"
+              " bounded flooding ==\n\n",
+              participants.size(), bridge);
+
+  for (const int sigma : {1, 2, 3}) {
+    core::DrtpNetwork net(topo);
+    core::BoundedFlooding bf(
+        topo, core::FloodConfig{.rho = 1.0, .sigma = sigma, .alpha = 1.0,
+                                .beta = 2});
+    const JoinResult r = RunMeeting(net, bf, bridge, participants);
+    const Ratio pbk = core::EvaluateAllSingleLinkFailures(net);
+    std::printf("ellipse width sigma=%d: %d joined, %d protected, P_bk=%.3f,"
+                " %.0f CDPs (%.0f bytes) per join\n",
+                sigma, r.admitted, r.protected_count, pbk.value(),
+                static_cast<double>(r.cdp_messages) / r.admitted,
+                static_cast<double>(r.cdp_bytes) / r.admitted);
+  }
+
+  std::printf("\nwider ellipses find more protection at the price of more"
+              " flooding — the paper picks the knee of that curve. done.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Recovery-latency walkthrough with the timed protocol engine.
+//
+// Shows DRTP's end-to-end choreography on the clock: timed connection
+// setup (reserve -> confirm -> backup-register), a fiber cut, failure
+// detection after missed heartbeats, the failure report racing to the
+// source, the channel-switch packet activating the backup — and the same
+// failure handled reactively, with route re-discovery and backoff retries.
+//
+//   $ ./recovery_latency [--seed N]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "drtp/drtp.h"
+#include "proto/engine.h"
+#include "sim/event_queue.h"
+#include "sim/paper.h"
+
+using namespace drtp;
+
+namespace {
+
+void Narrate(const proto::ProtocolEngine& engine, const char* mode) {
+  for (const auto& r : engine.recoveries()) {
+    if (r.success) {
+      std::printf("  [%s] connection %lld: service restored after %.1f ms"
+                  " (%d retries)\n",
+                  mode, static_cast<long long>(r.conn), r.latency() * 1000.0,
+                  r.retries);
+    } else {
+      std::printf("  [%s] connection %lld: LOST (gave up %.1f ms after the"
+                  " failure, %d retries)\n",
+                  mode, static_cast<long long>(r.conn), r.latency() * 1000.0,
+                  r.retries);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("recovery_latency");
+  auto& seed = flags.Int64("seed", 21, "topology seed");
+  flags.Parse(argc, argv);
+
+  const net::Topology topo =
+      sim::MakePaperTopology(3.0, static_cast<std::uint64_t>(seed));
+
+  for (const auto mode :
+       {proto::RecoveryMode::kProactive, proto::RecoveryMode::kReactive}) {
+    const char* name =
+        mode == proto::RecoveryMode::kProactive ? "DRTP" : "reactive";
+    std::printf("== %s recovery ==\n", name);
+    core::DrtpNetwork net(topo);
+    sim::EventQueue queue;
+    lsdb::LinkStateDb db(topo.num_links(), topo.num_links());
+    core::Dlsr dlsr;
+    proto::ProtocolEngine engine(net, queue, proto::ProtocolConfig{}, &dlsr,
+                                 &db);
+
+    // Set up three connections out of node 0, timed.
+    net.PublishTo(db, 0.0);
+    for (ConnId id = 1; id <= 3; ++id) {
+      const NodeId dst = static_cast<NodeId>(10 * id);
+      const auto sel = dlsr.SelectRoutes(net, db, 0, dst, Mbps(1));
+      if (!sel.primary) continue;
+      engine.SetupConnection(
+          id, *sel.primary,
+          mode == proto::RecoveryMode::kProactive ? sel.backup : std::nullopt,
+          Mbps(1), [](ConnId cid, bool ok) {
+            std::printf("  connection %lld %s\n",
+                        static_cast<long long>(cid),
+                        ok ? "established" : "REJECTED");
+          });
+      queue.RunAll();
+      net.PublishTo(db, queue.now());
+    }
+
+    // Cut the first hop out of node 0 at t = 1 s.
+    const LinkId victim = net.topology().out_links(0)[0];
+    std::printf("  t=1.000s: fiber cut on link %d (%d -> %d)\n", victim,
+                net.topology().link(victim).src,
+                net.topology().link(victim).dst);
+    queue.Schedule(1.0, [&] { engine.InjectLinkFailure(victim, mode); });
+    queue.RunAll();
+    Narrate(engine, name);
+    const RunningStat lat = engine.SuccessLatencies();
+    if (lat.count() > 0) {
+      std::printf("  %s mean restoration: %.1f ms over %lld connections\n\n",
+                  name, lat.mean() * 1000.0,
+                  static_cast<long long>(lat.count()));
+    } else {
+      std::printf("  %s restored nothing\n\n", name);
+    }
+  }
+  std::printf("DRTP's pre-established backups turn recovery into one"
+              " message round; reactive recovery pays discovery + setup +"
+              " retries.\n");
+  return 0;
+}

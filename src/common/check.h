@@ -1,0 +1,57 @@
+// Invariant checking macros.
+//
+// DRTP_CHECK is always on and throws drtp::CheckError (derived from
+// std::logic_error) so tests can assert on violated invariants; DRTP_DCHECK
+// compiles away in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace drtp {
+
+/// Thrown when a DRTP_CHECK fails. A failed check is a programming error or
+/// a corrupted invariant, never a recoverable runtime condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace drtp
+
+#define DRTP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::drtp::detail::CheckFailed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define DRTP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg; /* NOLINT */                                        \
+      ::drtp::detail::CheckFailed(#expr, __FILE__, __LINE__,          \
+                                  os_.str());                         \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define DRTP_DCHECK(expr)      \
+  do {                         \
+    if (false) { (void)(expr); } \
+  } while (0)
+#else
+#define DRTP_DCHECK(expr) DRTP_CHECK(expr)
+#endif

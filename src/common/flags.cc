@@ -1,0 +1,143 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace drtp {
+
+std::int64_t& FlagSet::Int64(const std::string& name, std::int64_t def,
+                             const std::string& help) {
+  int_pool_.push_back(std::make_unique<std::int64_t>(def));
+  flags_.push_back({name, help, Type::kInt64, int_pool_.size() - 1});
+  return *int_pool_.back();
+}
+
+double& FlagSet::Double(const std::string& name, double def,
+                        const std::string& help) {
+  double_pool_.push_back(std::make_unique<double>(def));
+  flags_.push_back({name, help, Type::kDouble, double_pool_.size() - 1});
+  return *double_pool_.back();
+}
+
+std::string& FlagSet::String(const std::string& name, const std::string& def,
+                             const std::string& help) {
+  string_pool_.push_back(std::make_unique<std::string>(def));
+  flags_.push_back({name, help, Type::kString, string_pool_.size() - 1});
+  return *string_pool_.back();
+}
+
+bool& FlagSet::Bool(const std::string& name, bool def,
+                    const std::string& help) {
+  bool_pool_.push_back(std::make_unique<bool>(def));
+  flags_.push_back({name, help, Type::kBool, bool_pool_.size() - 1});
+  return *bool_pool_.back();
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagSet::SetValue(Flag& flag, const std::string& text) {
+  try {
+    switch (flag.type) {
+      case Type::kInt64:
+        *int_pool_[flag.index] = std::stoll(text);
+        return true;
+      case Type::kDouble:
+        *double_pool_[flag.index] = std::stod(text);
+        return true;
+      case Type::kString:
+        *string_pool_[flag.index] = text;
+        return true;
+      case Type::kBool:
+        if (text == "true" || text == "1") {
+          *bool_pool_[flag.index] = true;
+        } else if (text == "false" || text == "0") {
+          *bool_pool_[flag.index] = false;
+        } else {
+          return false;
+        }
+        return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+std::string FlagSet::TryParse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return "help";
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) return "unknown flag --" + name;
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        value = "true";  // bare --flag enables a boolean
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return "flag --" + name + " needs a value";
+      }
+    }
+    if (!SetValue(*flag, value)) {
+      return "bad value '" + value + "' for flag --" + name;
+    }
+  }
+  return "";
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  const std::string error = TryParse(argc, argv);
+  if (error.empty()) return;
+  if (error == "help") {
+    std::fputs(Usage().c_str(), stdout);
+    std::exit(0);
+  }
+  std::fprintf(stderr, "%s\n%s", error.c_str(), Usage().c_str());
+  std::exit(2);
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name;
+    switch (f.type) {
+      case Type::kInt64:
+        os << "=<int>   (default " << *int_pool_[f.index] << ")";
+        break;
+      case Type::kDouble:
+        os << "=<float> (default " << *double_pool_[f.index] << ")";
+        break;
+      case Type::kString:
+        os << "=<str>   (default '" << *string_pool_[f.index] << "')";
+        break;
+      case Type::kBool:
+        os << "[=<bool>] (default "
+           << (*bool_pool_[f.index] ? "true" : "false") << ")";
+        break;
+    }
+    os << "  " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace drtp

@@ -1,0 +1,69 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Usage:
+//   FlagSet flags("fig4_fault_tolerance");
+//   auto& seed = flags.Int64("seed", 1, "experiment seed");
+//   auto& fast = flags.Bool("fast", false, "shortened sweep");
+//   flags.Parse(argc, argv);   // exits with usage on error / --help
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace drtp {
+
+/// A small, dependency-free --name=value / --name value parser.
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program) : program_(std::move(program)) {}
+
+  std::int64_t& Int64(const std::string& name, std::int64_t def,
+                      const std::string& help);
+  double& Double(const std::string& name, double def, const std::string& help);
+  std::string& String(const std::string& name, const std::string& def,
+                      const std::string& help);
+  bool& Bool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv. On --help or an unknown/ill-formed flag, prints usage and
+  /// exits (benches are leaf binaries; there is nothing to unwind).
+  void Parse(int argc, char** argv);
+
+  /// Like Parse but reports problems instead of exiting: returns an empty
+  /// string on success, the error message otherwise ("help" when --help
+  /// was requested). Flags parsed before the error keep their new values.
+  std::string TryParse(int argc, char** argv);
+
+  /// Remaining positional arguments after parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage text (exposed for tests).
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+
+  struct Flag {
+    std::string name;
+    std::string help;
+    Type type;
+    // Owned storage; stable addresses because flags are held by unique index
+    // in deque-like vectors below.
+    std::size_t index;
+  };
+
+  Flag* Find(const std::string& name);
+  bool SetValue(Flag& flag, const std::string& text);
+
+  std::string program_;
+  std::vector<Flag> flags_;
+  // Separate stable pools so references handed to callers never dangle.
+  std::vector<std::unique_ptr<std::int64_t>> int_pool_;
+  std::vector<std::unique_ptr<double>> double_pool_;
+  std::vector<std::unique_ptr<std::string>> string_pool_;
+  std::vector<std::unique_ptr<bool>> bool_pool_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace drtp

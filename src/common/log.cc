@@ -1,0 +1,51 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace drtp {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level.load()), level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    os_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    os_ << '\n';
+    std::fputs(os_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace detail
+}  // namespace drtp

@@ -1,0 +1,50 @@
+// Leveled logging to stderr.
+//
+// Verbosity defaults to kWarn so library code stays quiet under tests and
+// benches; examples raise it to kInfo to narrate what they do.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace drtp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide verbosity threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+
+/// Stream collector that emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace drtp
+
+#define DRTP_LOG_DEBUG \
+  ::drtp::detail::LogLine(::drtp::LogLevel::kDebug, __FILE__, __LINE__)
+#define DRTP_LOG_INFO \
+  ::drtp::detail::LogLine(::drtp::LogLevel::kInfo, __FILE__, __LINE__)
+#define DRTP_LOG_WARN \
+  ::drtp::detail::LogLine(::drtp::LogLevel::kWarn, __FILE__, __LINE__)
+#define DRTP_LOG_ERROR \
+  ::drtp::detail::LogLine(::drtp::LogLevel::kError, __FILE__, __LINE__)

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace drtp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DRTP_CHECK(!header_.empty());
+}
+
+void TextTable::BeginRow() {
+  if (!rows_.empty()) {
+    DRTP_CHECK_MSG(rows_.back().size() == header_.size(),
+                   "previous row has " << rows_.back().size() << " cells, want "
+                                       << header_.size());
+  }
+  rows_.emplace_back();
+}
+
+void TextTable::Cell(const std::string& text) {
+  DRTP_CHECK(!rows_.empty());
+  DRTP_CHECK(rows_.back().size() < header_.size());
+  rows_.back().push_back(text);
+}
+
+void TextTable::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  Cell(std::string(buf));
+}
+
+void TextTable::Cell(std::int64_t value) { Cell(std::to_string(value)); }
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c > 0 ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace drtp

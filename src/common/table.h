@@ -1,0 +1,36 @@
+// Aligned plain-text table rendering for the bench harnesses.
+//
+// The figure/table benches print the same rows/series the paper reports;
+// TextTable keeps that output readable and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drtp {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Must be filled with exactly one Cell per column.
+  void BeginRow();
+  void Cell(const std::string& text);
+  void Cell(double value, int precision = 3);
+  void Cell(std::int64_t value);
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  std::string Render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace drtp

@@ -1,0 +1,44 @@
+// Core identifier and unit types shared by every DRTP subsystem.
+//
+// All bandwidth arithmetic is done in integral kbit/s so ledger invariants
+// (total == prime + spare + free) hold exactly; simulation time is in
+// seconds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace drtp {
+
+/// Identifies a network node (router/switch). Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Identifies a *directed* link. Dense, 0-based. A duplex connection
+/// between two nodes is represented by two LinkIds.
+using LinkId = std::int32_t;
+
+/// Identifies a DR-connection. Unique over a simulation run.
+using ConnId = std::int64_t;
+
+/// Bandwidth in kbit/s.
+using Bandwidth = std::int64_t;
+
+/// Simulation time in seconds.
+using Time = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+inline constexpr ConnId kInvalidConn = -1;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Convenience constructor: megabits per second -> kbit/s.
+constexpr Bandwidth Mbps(std::int64_t mbps) { return mbps * 1000; }
+
+/// Convenience constructor: kilobits per second (identity, for clarity).
+constexpr Bandwidth Kbps(std::int64_t kbps) { return kbps; }
+
+/// Minutes -> seconds.
+constexpr Time Minutes(double m) { return m * 60.0; }
+
+}  // namespace drtp

@@ -1,0 +1,68 @@
+#include "drtp/baselines.h"
+
+#include <vector>
+
+#include "routing/dijkstra.h"
+
+namespace drtp::core {
+
+RouteSelection NoBackup::SelectRoutes(const DrtpNetwork& net,
+                                      const lsdb::LinkStateDb& db, NodeId src,
+                                      NodeId dst, Bandwidth bw) {
+  RouteSelection sel;
+  sel.primary = SelectPrimaryMinHop(net.topology(), db, src, dst, bw);
+  return sel;
+}
+
+RouteSelection RandomBackup::SelectRoutes(const DrtpNetwork& net,
+                                          const lsdb::LinkStateDb& db,
+                                          NodeId src, NodeId dst,
+                                          Bandwidth bw) {
+  RouteSelection sel;
+  sel.primary = SelectPrimaryMinHop(net.topology(), db, src, dst, bw);
+  if (!sel.primary.has_value()) return sel;
+  const routing::LinkSet primary_lset = sel.primary->ToLinkSet();
+
+  // One random cost per link, drawn per request; the disqualifier penalty
+  // matches Eq. 4/5 so only the conflict knowledge differs.
+  std::vector<double> noise(
+      static_cast<std::size_t>(net.topology().num_links()));
+  for (auto& x : noise) x = rng_.UniformReal(0.0, 1.0);
+
+  sel.backup = routing::CheapestPath(
+      net.topology(), src, dst, [&](LinkId l) {
+        const lsdb::LinkRecord& rec = db.record(l);
+        if (!rec.up) return routing::kInfiniteCost;
+        double cost = noise[static_cast<std::size_t>(l)] + kEpsilon;
+        if (routing::SetContains(primary_lset, l) ||
+            rec.available_for_backup < bw) {
+          cost += kPenaltyQ;
+        }
+        return cost;
+      });
+  return sel;
+}
+
+RouteSelection ShortestDisjointBackup::SelectRoutes(
+    const DrtpNetwork& net, const lsdb::LinkStateDb& db, NodeId src,
+    NodeId dst, Bandwidth bw) {
+  RouteSelection sel;
+  sel.primary = SelectPrimaryMinHop(net.topology(), db, src, dst, bw);
+  if (!sel.primary.has_value()) return sel;
+  const routing::LinkSet primary_lset = sel.primary->ToLinkSet();
+
+  sel.backup = routing::CheapestPath(
+      net.topology(), src, dst, [&](LinkId l) {
+        const lsdb::LinkRecord& rec = db.record(l);
+        if (!rec.up) return routing::kInfiniteCost;
+        double cost = 1.0;
+        if (routing::SetContains(primary_lset, l) ||
+            rec.available_for_backup < bw) {
+          cost += kPenaltyQ;
+        }
+        return cost;
+      });
+  return sel;
+}
+
+}  // namespace drtp::core

@@ -1,0 +1,58 @@
+// Baseline schemes used by the evaluation harness.
+//
+// NoBackup measures raw network capacity (Fig. 5's reference: "the number
+// of D-connections without backups"); RandomBackup isolates how much of
+// D-LSR/P-LSR's fault-tolerance comes from conflict information versus
+// mere disjointness (ablation X4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "drtp/scheme.h"
+
+namespace drtp::core {
+
+/// Shortest-path primaries, no protection at all.
+class NoBackup : public RoutingScheme {
+ public:
+  std::string name() const override { return "NoBackup"; }
+  bool wants_backup() const override { return false; }
+
+  RouteSelection SelectRoutes(const DrtpNetwork& net,
+                              const lsdb::LinkStateDb& db, NodeId src,
+                              NodeId dst, Bandwidth bw) override;
+};
+
+/// Primary as in the LSR schemes; backup chosen with *no* conflict
+/// information: random link costs subject to the same disqualifiers
+/// (primary links and bandwidth-short links penalized). What random
+/// selection achieves is the paper's §6.2 remark that in highly-connected
+/// networks "even random selection can find a backup route with small
+/// conflicts".
+class RandomBackup : public RoutingScheme {
+ public:
+  explicit RandomBackup(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "RandomBackup"; }
+
+  RouteSelection SelectRoutes(const DrtpNetwork& net,
+                              const lsdb::LinkStateDb& db, NodeId src,
+                              NodeId dst, Bandwidth bw) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Shortest disjoint backup: ignores conflicts, maximally avoids the
+/// primary (classic 1+1 protection routing). Second ablation point.
+class ShortestDisjointBackup : public RoutingScheme {
+ public:
+  std::string name() const override { return "SD-Backup"; }
+
+  RouteSelection SelectRoutes(const DrtpNetwork& net,
+                              const lsdb::LinkStateDb& db, NodeId src,
+                              NodeId dst, Bandwidth bw) override;
+};
+
+}  // namespace drtp::core

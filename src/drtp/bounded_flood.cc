@@ -1,0 +1,223 @@
+#include "drtp/bounded_flood.h"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace drtp::core {
+namespace {
+
+/// A channel-discovery packet in flight (§4.1). `nodes` is the CDP's
+/// `list` plus the node currently holding it; hc_curr == nodes.size()-1.
+struct Cdp {
+  std::vector<NodeId> nodes;
+  bool primary_flag = true;
+};
+
+int HopCount(const Cdp& m) { return static_cast<int>(m.nodes.size()) - 1; }
+
+/// Wire size: fixed header (ids, hop fields, bw_req, flag) + node list.
+std::int64_t CdpBytes(const Cdp& m) {
+  return 24 + 4 * static_cast<std::int64_t>(m.nodes.size());
+}
+
+}  // namespace
+
+BoundedFlooding::BoundedFlooding(const net::Topology& topo,
+                                 FloodConfig config)
+    : config_(config), dt_(routing::DistanceTable::Build(topo)) {
+  DRTP_CHECK(config_.rho >= 1.0);
+  DRTP_CHECK(config_.sigma >= 0);
+  DRTP_CHECK(config_.alpha >= 1.0);
+  DRTP_CHECK(config_.beta >= 0);
+  DRTP_CHECK(config_.max_cdps > 0);
+}
+
+void BoundedFlooding::RebuildDistanceTable(const DrtpNetwork& net) {
+  // Down links are excluded by rebuilding on a pruned copy of the graph:
+  // distance tables are hop counts over *usable* links.
+  net::Topology pruned;
+  const net::Topology& topo = net.topology();
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const net::Node& node = topo.node(n);
+    pruned.AddNode(node.x, node.y);
+  }
+  // AddLink ids will not match the original; we only need distances, which
+  // depend on adjacency alone.
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (!net.IsLinkUp(l)) continue;
+    const net::Link& link = topo.link(l);
+    pruned.AddLink(link.src, link.dst, link.capacity);
+  }
+  dt_ = routing::DistanceTable::Build(pruned);
+}
+
+std::vector<BoundedFlooding::Candidate> BoundedFlooding::Flood(
+    const DrtpNetwork& net, NodeId src, NodeId dst, Bandwidth bw) {
+  const net::Topology& topo = net.topology();
+  const net::BandwidthLedger& ledger = net.ledger();
+  DRTP_CHECK(dt_.num_nodes() == topo.num_nodes());
+  stats_ = FloodStats{};
+  std::vector<Candidate> crt;
+  if (!dt_.Reachable(src, dst)) return crt;
+
+  const int hc_limit =
+      static_cast<int>(std::ceil(config_.rho * dt_.MinHops(src, dst))) +
+      config_.sigma;
+
+  // Bandwidth tests (§4.2/4.3). A candidate route must be able to carry
+  // the connection as a *backup*, i.e. within total - prime (the spare
+  // pool is shareable); primary_flag additionally demands free bandwidth.
+  const auto backup_ok = [&](LinkId l) {
+    return net.IsLinkUp(l) && bw <= ledger.total(l) - ledger.prime(l);
+  };
+  const auto primary_ok = [&](LinkId l) { return ledger.free(l) >= bw; };
+
+  // Pending connection table (min_dist per visited node).
+  std::unordered_map<NodeId, int> pct;
+  std::deque<Cdp> queue;
+  queue.push_back(Cdp{.nodes = {src}, .primary_flag = true});
+  pct.emplace(src, 0);
+
+  while (!queue.empty()) {
+    const Cdp m = std::move(queue.front());
+    queue.pop_front();
+    const NodeId here = m.nodes.back();
+
+    if (here == dst) {
+      // Destination: fill the candidate-route table (§4.4).
+      auto route = routing::Path::FromNodes(topo, m.nodes);
+      DRTP_CHECK(route.has_value());
+      crt.push_back(Candidate{std::move(*route), m.primary_flag});
+      continue;
+    }
+
+    // Valid-detour test (§4.3) against the PCT entry; the entry exists for
+    // every dequeued CDP (created at enqueue time), and FIFO order keeps
+    // min_dist equal to the first — shortest — arrival.
+    const int min_dist = pct.at(here);
+    if (HopCount(m) >
+        static_cast<int>(config_.alpha * min_dist) + config_.beta) {
+      continue;
+    }
+
+    for (LinkId l : topo.out_links(here)) {
+      const NodeId k = topo.link(l).dst;
+      // Distance test: hops after forwarding plus the remaining minimum
+      // distance must fit in the flooding bound.
+      if (HopCount(m) + 1 + dt_.MinHops(k, dst) > hc_limit) continue;
+      // Loop-freedom test.
+      bool looped = false;
+      for (NodeId n : m.nodes) {
+        if (n == k) {
+          looped = true;
+          break;
+        }
+      }
+      if (looped) continue;
+      // Bandwidth test.
+      if (!backup_ok(l)) continue;
+      // Valid-detour at the receiver, applied eagerly: a copy that would
+      // be dropped on dequeue is never transmitted. (Equivalent to the
+      // paper's receive-side test, but spares queue memory.)
+      const int hc_next = HopCount(m) + 1;
+      auto [it, first_copy] = pct.try_emplace(k, hc_next);
+      if (!first_copy && k != dst &&
+          hc_next >
+              static_cast<int>(config_.alpha * it->second) + config_.beta) {
+        continue;
+      }
+
+      if (stats_.cdp_forwards >= config_.max_cdps) {
+        stats_.budget_exhausted = true;
+        queue.clear();
+        break;
+      }
+      Cdp fwd;
+      fwd.nodes = m.nodes;
+      fwd.nodes.push_back(k);
+      fwd.primary_flag = m.primary_flag && primary_ok(l);
+      ++stats_.cdp_forwards;
+      stats_.cdp_bytes += CdpBytes(fwd);
+      queue.push_back(std::move(fwd));
+    }
+  }
+  stats_.candidates = static_cast<int>(crt.size());
+  return crt;
+}
+
+RouteSelection BoundedFlooding::SelectRoutes(const DrtpNetwork& net,
+                                             const lsdb::LinkStateDb&,
+                                             NodeId src, NodeId dst,
+                                             Bandwidth bw) {
+  RouteSelection sel;
+  const std::vector<Candidate> crt = Flood(net, src, dst, bw);
+  sel.control_messages = stats_.cdp_forwards;
+  sel.control_bytes = stats_.cdp_bytes;
+
+  // Primary: shortest candidate with primary_flag set (§4.4). FIFO flood
+  // order already yields nondecreasing hop counts, but do not rely on it.
+  const Candidate* best_primary = nullptr;
+  for (const Candidate& c : crt) {
+    if (!c.primary_flag) continue;
+    if (best_primary == nullptr ||
+        c.route.hops() < best_primary->route.hops()) {
+      best_primary = &c;
+    }
+  }
+  if (best_primary == nullptr) return sel;
+  sel.primary = best_primary->route;
+
+  // Backup: all remaining candidates are eligible; minimize overlap with
+  // the primary, then hop count.
+  const Candidate* best_backup = nullptr;
+  int best_overlap = 0;
+  for (const Candidate& c : crt) {
+    if (&c == best_primary) continue;
+    const int overlap = c.route.OverlapCount(*sel.primary);
+    if (best_backup == nullptr || overlap < best_overlap ||
+        (overlap == best_overlap &&
+         c.route.hops() < best_backup->route.hops())) {
+      best_backup = &c;
+      best_overlap = overlap;
+    }
+  }
+  if (best_backup != nullptr) sel.backup = best_backup->route;
+  return sel;
+}
+
+std::optional<routing::Path> BoundedFlooding::SelectBackupFor(
+    const DrtpNetwork& net, const lsdb::LinkStateDb&,
+    const routing::Path& primary, Bandwidth bw,
+    std::span<const routing::Path> avoid) {
+  const std::vector<Candidate> crt =
+      Flood(net, primary.src(), primary.dst(), bw);
+  // Overlap is scored against the primary plus every route to avoid
+  // (existing backups); hop count breaks ties.
+  const Candidate* best = nullptr;
+  int best_overlap = 0;
+  for (const Candidate& c : crt) {
+    if (c.route == primary) continue;
+    bool is_existing = false;
+    for (const routing::Path& a : avoid) {
+      if (c.route == a) {
+        is_existing = true;
+        break;
+      }
+    }
+    if (is_existing) continue;
+    int overlap = c.route.OverlapCount(primary);
+    for (const routing::Path& a : avoid) overlap += c.route.OverlapCount(a);
+    if (best == nullptr || overlap < best_overlap ||
+        (overlap == best_overlap && c.route.hops() < best->route.hops())) {
+      best = &c;
+      best_overlap = overlap;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->route;
+}
+
+}  // namespace drtp::core

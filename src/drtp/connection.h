@@ -1,0 +1,48 @@
+// DR-connection: one primary channel plus (at most) one backup channel.
+//
+// The paper's DRTP realizes each dependable real-time connection this way
+// (§2); the backup carries no traffic until a failure on the primary
+// promotes it.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "routing/path.h"
+
+namespace drtp::core {
+
+/// Established DR-connection state as kept by the (simulated) network.
+struct DrConnection {
+  ConnId id = kInvalidConn;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth bw = 0;
+
+  routing::Path primary;
+  /// LSET of the primary route, cached for APLV bookkeeping.
+  routing::LinkSet primary_lset;
+
+  /// Zero or more backup channels, in activation-preference order (§2:
+  /// "one primary and one or more backup channels"). Empty when the
+  /// connection runs unprotected — baseline mode, or a post-failover
+  /// connection whose backup was consumed and not yet re-established.
+  /// Backups of one connection are pairwise link-disjoint (enforced at
+  /// registration; an own-backup overlap would protect nothing).
+  std::vector<routing::Path> backups;
+
+  Time established_at = 0.0;
+
+  /// Incremented every time a failure promoted one of this connection's
+  /// backups (DRTP step 3).
+  int failovers = 0;
+
+  bool has_backup() const { return !backups.empty(); }
+
+  /// The preferred (first) backup, or nullptr when unprotected.
+  const routing::Path* first_backup() const {
+    return backups.empty() ? nullptr : &backups.front();
+  }
+};
+
+}  // namespace drtp::core

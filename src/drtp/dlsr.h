@@ -1,0 +1,39 @@
+// D-LSR: deterministic avoidance of backup conflicts (§3.2).
+//
+// Every link advertises its Conflict Vector CV_i (bit j set iff some
+// primary through L_j has a backup through L_i). After the primary P is
+// chosen, link L_i would create exactly Σ_{L_j ∈ LSET(P)} c_{i,j} conflicts,
+// so the backup is the Dijkstra minimum of
+//   C_i = Σ_{L_j ∈ LSET(P)} c_{i,j} + Q·[disqualified] + ε        (Eq. 5).
+#pragma once
+
+#include "drtp/scheme.h"
+
+namespace drtp::core {
+
+class Dlsr : public RoutingScheme {
+ public:
+  /// backup_hop_slack > 0 enforces a delay-style QoS bound on backups:
+  /// at most primary_hops + slack links (§2's remark that a backup longer
+  /// than the QoS allows cannot be used). 0 = unbounded.
+  explicit Dlsr(int backup_hop_slack = 0) : slack_(backup_hop_slack) {}
+
+  std::string name() const override { return "D-LSR"; }
+
+  RouteSelection SelectRoutes(const DrtpNetwork& net,
+                              const lsdb::LinkStateDb& db, NodeId src,
+                              NodeId dst, Bandwidth bw) override;
+
+  std::optional<routing::Path> SelectBackupFor(
+      const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+      const routing::Path& primary, Bandwidth bw,
+      std::span<const routing::Path> avoid = {}) override;
+
+ private:
+  int MaxHops(const routing::Path& primary) const {
+    return slack_ > 0 ? primary.hops() + slack_ : 0;
+  }
+  int slack_;
+};
+
+}  // namespace drtp::core

@@ -1,0 +1,31 @@
+// Umbrella header: the public API of the DRTP routing library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto topo = drtp::net::MakeWaxman({.nodes = 60, .avg_degree = 3});
+//   drtp::core::DrtpNetwork net(std::move(topo));
+//   drtp::lsdb::LinkStateDb db(net.topology().num_links(),
+//                              net.topology().num_links());
+//   drtp::core::Dlsr scheme;
+//   net.PublishTo(db, /*now=*/0.0);
+//   auto sel = scheme.SelectRoutes(net, db, src, dst, drtp::Mbps(1));
+//   if (sel.primary) {
+//     net.EstablishConnection(1, *sel.primary, drtp::Mbps(1), 0.0);
+//     if (sel.backup) net.RegisterBackup(1, *sel.backup);
+//   }
+//   auto pbk = drtp::core::EvaluateAllSingleLinkFailures(net).value();
+#pragma once
+
+#include "common/types.h"           // ids, units
+#include "drtp/baselines.h"         // NoBackup / RandomBackup / SD-Backup
+#include "drtp/bounded_flood.h"     // BF scheme (§4)
+#include "drtp/connection.h"        // DrConnection
+#include "drtp/dlsr.h"              // D-LSR scheme (§3.2)
+#include "drtp/failure.h"           // P_bk evaluation + switchover
+#include "drtp/manager.h"           // per-router managers (§2.2, §5)
+#include "drtp/network.h"           // DrtpNetwork facade
+#include "drtp/plsr.h"              // P-LSR scheme (§3.1)
+#include "drtp/scheme.h"            // RoutingScheme interface
+#include "lsdb/link_state_db.h"     // advertised link state
+#include "net/generators.h"         // Waxman / grid / ring / star
+#include "net/topology.h"           // graph substrate

@@ -1,0 +1,176 @@
+#include "drtp/failure.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace drtp::core {
+namespace {
+
+/// The set of links taken down by failing `l` (one, or both halves of the
+/// duplex pair under duplex_failures).
+std::vector<LinkId> FailedSet(const DrtpNetwork& net, LinkId l) {
+  std::vector<LinkId> failed{l};
+  if (net.config().duplex_failures) {
+    const LinkId rev = net.topology().link(l).reverse;
+    if (rev != kInvalidLink) failed.push_back(rev);
+  }
+  return failed;
+}
+
+bool UsesAny(const routing::Path& path, const std::vector<LinkId>& links) {
+  return std::any_of(links.begin(), links.end(),
+                     [&](LinkId l) { return path.Contains(l); });
+}
+
+}  // namespace
+
+FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed) {
+  const std::vector<LinkId> failed_set = FailedSet(net, failed);
+
+  // Affected connections in id order (std::map iteration is ordered); the
+  // paper leaves contention order unspecified, id order keeps it
+  // deterministic across schemes.
+  FailureImpact impact;
+  // Remaining bandwidth each link can devote to activations: the spare
+  // pool plus whatever is still free.
+  std::unordered_map<LinkId, Bandwidth> remaining;
+  const auto available = [&](LinkId l) -> Bandwidth& {
+    auto [it, fresh] = remaining.try_emplace(l, 0);
+    if (fresh) it->second = net.ledger().spare(l) + net.ledger().free(l);
+    return it->second;
+  };
+
+  for (const auto& [id, conn] : net.connections()) {
+    if (!UsesAny(conn.primary, failed_set)) continue;
+    ++impact.attempts;
+    // Try the backups in preference order; the first that avoids the
+    // failure and fits activates (and consumes its capacity).
+    for (const routing::Path& backup : conn.backups) {
+      if (UsesAny(backup, failed_set)) continue;
+      bool fits = true;
+      for (LinkId l : backup.links()) {
+        if (available(l) < conn.bw) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (LinkId l : backup.links()) available(l) -= conn.bw;
+      ++impact.activated;
+      break;
+    }
+  }
+  return impact;
+}
+
+Ratio EvaluateAllSingleLinkFailures(const DrtpNetwork& net) {
+  Ratio ratio;
+  const net::Topology& topo = net.topology();
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (!net.IsLinkUp(l)) continue;
+    // Under duplex failures, count each physical fiber once.
+    if (net.config().duplex_failures) {
+      const LinkId rev = topo.link(l).reverse;
+      if (rev != kInvalidLink && rev < l) continue;
+    }
+    const FailureImpact impact = EvaluateLinkFailure(net, l);
+    ratio.AddMany(impact.activated, impact.attempts);
+  }
+  return ratio;
+}
+
+SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
+                                  RoutingScheme* reroute,
+                                  lsdb::LinkStateDb* db) {
+  SwitchoverReport report;
+  const std::vector<LinkId> failed_set = FailedSet(net, failed);
+  net.SetLinkDown(failed);
+  // Topology-derived caches (BF distance tables) must reflect the failure
+  // before any step-4 reroute floods.
+  if (reroute != nullptr) reroute->OnTopologyChanged(net);
+
+  // Collect the affected ids first: mutations below invalidate iteration.
+  std::vector<ConnId> primary_hit;
+  std::vector<ConnId> backup_hit;
+  for (const auto& [id, conn] : net.connections()) {
+    if (UsesAny(conn.primary, failed_set)) {
+      primary_hit.push_back(id);
+    } else {
+      for (const routing::Path& backup : conn.backups) {
+        if (UsesAny(backup, failed_set)) {
+          backup_hit.push_back(id);
+          break;
+        }
+      }
+    }
+  }
+
+  // Broken backups are released first (their spare claims must not block
+  // activations), per the failure-reporting step. Surviving backups of the
+  // same connection stay registered.
+  for (ConnId id : backup_hit) {
+    const DrConnection* conn = net.Find(id);
+    DRTP_CHECK(conn != nullptr);
+    for (std::size_t i = conn->backups.size(); i-- > 0;) {
+      if (UsesAny(conn->backups[i], failed_set)) net.ReleaseBackupAt(id, i);
+    }
+    report.backups_lost.push_back(id);
+  }
+
+  // Channel switching in id order: promote the first surviving backup.
+  // "Surviving" means every link is up — the just-failed set plus any link
+  // still down from earlier failures (registered backups normally never
+  // traverse down links, but the activation must not rely on that).
+  const auto all_links_up = [&](const routing::Path& path) {
+    for (LinkId l : path.links()) {
+      if (!net.IsLinkUp(l)) return false;
+    }
+    return true;
+  };
+  for (ConnId id : primary_hit) {
+    const DrConnection* conn = net.Find(id);
+    DRTP_CHECK(conn != nullptr);
+    std::size_t usable = conn->backups.size();
+    for (std::size_t i = 0; i < conn->backups.size(); ++i) {
+      if (all_links_up(conn->backups[i])) {
+        usable = i;
+        break;
+      }
+    }
+    if (usable == conn->backups.size()) {
+      net.ReleaseConnection(id);
+      report.dropped.push_back(id);
+      continue;
+    }
+    if (net.ActivateBackup(id, usable, now)) {
+      report.recovered.push_back(id);
+    } else {
+      report.dropped.push_back(id);  // ActivateBackup already cleaned up
+    }
+  }
+
+  // Step 4, resource reconfiguration: re-protect every connection left
+  // without a backup.
+  if (reroute != nullptr && db != nullptr) {
+    std::vector<ConnId> unprotected;
+    for (ConnId id : report.recovered) unprotected.push_back(id);
+    for (ConnId id : report.backups_lost) unprotected.push_back(id);
+    std::sort(unprotected.begin(), unprotected.end());
+    for (ConnId id : unprotected) {
+      const DrConnection* conn = net.Find(id);
+      if (conn == nullptr || conn->has_backup()) continue;
+      net.PublishTo(*db, now);
+      auto backup =
+          reroute->SelectBackupFor(net, *db, conn->primary, conn->bw);
+      if (backup.has_value() && !UsesAny(*backup, net.DownLinks())) {
+        net.RegisterBackup(id, *backup);
+        report.rerouted.push_back(id);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace drtp::core

@@ -1,0 +1,61 @@
+// Single-link failure evaluation and channel switchover (DRTP steps 2–4).
+//
+// The paper's fault-tolerance metric P_bk is "the probability of activating
+// a backup channel when the corresponding primary channel is disabled by a
+// single link failure" (§6.2). EvaluateLinkFailure answers the what-if
+// question without touching state; ApplyLinkFailure actually performs
+// failure reporting, channel switching and resource reconfiguration.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "drtp/network.h"
+#include "drtp/scheme.h"
+
+namespace drtp::core {
+
+/// Outcome of hypothetically failing one link.
+struct FailureImpact {
+  /// Connections whose primary traverses the failed link.
+  int attempts = 0;
+  /// Of those, how many could activate their backup: the backup exists,
+  /// avoids the failed link, and every backup link seats the activation
+  /// within spare + free bandwidth under contention (conflicting
+  /// activations are admitted in connection-id order).
+  int activated = 0;
+};
+
+/// What-if analysis of failing `failed` (plus its reverse under
+/// duplex_failures). Non-mutating.
+FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed);
+
+/// Aggregates EvaluateLinkFailure over every link; links that disable no
+/// primary contribute nothing. The Ratio's value() is P_bk.
+Ratio EvaluateAllSingleLinkFailures(const DrtpNetwork& net);
+
+/// Result of actually failing a link.
+struct SwitchoverReport {
+  /// Connections whose backup was promoted to primary (step 3).
+  std::vector<ConnId> recovered;
+  /// Connections lost: primary hit and no activatable backup.
+  std::vector<ConnId> dropped;
+  /// Connections whose *backup* (not primary) traversed the failed link;
+  /// the broken backup was released.
+  std::vector<ConnId> backups_lost;
+  /// Connections for which step 4 established a fresh backup (recovered
+  /// or backup-lost ones; requires a reroute scheme).
+  std::vector<ConnId> rerouted;
+};
+
+/// Fails `failed` for real: marks it down, releases broken backups,
+/// switches affected primaries to their backups (dropping those that
+/// cannot activate), and — when `reroute` is non-null — re-establishes
+/// backups for every connection left unprotected, using routes from
+/// `reroute` against the refreshed advertisements in `db`.
+SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
+                                  RoutingScheme* reroute,
+                                  lsdb::LinkStateDb* db);
+
+}  // namespace drtp::core

@@ -1,0 +1,121 @@
+#include "drtp/manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace drtp::core {
+
+void DemandVector::Add(const routing::LinkSet& lset, Bandwidth bw) {
+  DRTP_CHECK(bw > 0);
+  for (LinkId j : lset) {
+    DRTP_CHECK(j >= 0 &&
+               j < static_cast<LinkId>(demand_.size()));
+    auto& d = demand_[static_cast<std::size_t>(j)];
+    d += bw;
+    if (d > max_) max_ = d;
+  }
+}
+
+void DemandVector::Remove(const routing::LinkSet& lset, Bandwidth bw) {
+  bool touched_max = false;
+  for (LinkId j : lset) {
+    DRTP_CHECK(j >= 0 &&
+               j < static_cast<LinkId>(demand_.size()));
+    auto& d = demand_[static_cast<std::size_t>(j)];
+    DRTP_CHECK_MSG(d >= bw, "removing more demand than present on " << j);
+    if (d == max_) touched_max = true;
+    d -= bw;
+  }
+  if (touched_max) {
+    max_ = 0;
+    for (Bandwidth d : demand_) max_ = std::max(max_, d);
+  }
+}
+
+DrConnectionManager::DrConnectionManager(NodeId node,
+                                         const net::Topology& topo,
+                                         net::BandwidthLedger& ledger,
+                                         SpareMode mode)
+    : node_(node), ledger_(ledger), mode_(mode) {
+  DRTP_CHECK(node >= 0 && node < topo.num_nodes());
+  for (LinkId l : topo.out_links(node)) {
+    links_.emplace(l, ManagedLink{lsdb::Aplv(topo.num_links()),
+                                  DemandVector(topo.num_links()), 0, {}});
+  }
+}
+
+const ManagedLink& DrConnectionManager::Owned(LinkId link) const {
+  auto it = links_.find(link);
+  DRTP_CHECK_MSG(it != links_.end(),
+                 "link " << link << " is not an out-link of node " << node_);
+  return it->second;
+}
+
+ManagedLink& DrConnectionManager::Owned(LinkId link) {
+  auto it = links_.find(link);
+  DRTP_CHECK_MSG(it != links_.end(),
+                 "link " << link << " is not an out-link of node " << node_);
+  return it->second;
+}
+
+Bandwidth DrConnectionManager::SpareTarget(LinkId link) const {
+  const ManagedLink& ml = Owned(link);
+  // kMultiplexed sizes for the worst single-link failure (the weighted
+  // generalization of §5's max(APLV) × bw rule); kDedicated reserves for
+  // every backup at once.
+  return mode_ == SpareMode::kMultiplexed ? ml.demand.Max()
+                                          : ml.total_backup_bw;
+}
+
+bool DrConnectionManager::RegisterBackupHop(LinkId link,
+                                            const BackupRegisterPacket& p) {
+  DRTP_CHECK(p.conn_id != kInvalidConn);
+  DRTP_CHECK(p.bw > 0);
+  DRTP_CHECK_MSG(!p.primary_lset.empty(),
+                 "backup registered with empty primary LSET");
+  ManagedLink& ml = Owned(link);
+  DRTP_CHECK_MSG(!ml.backups.contains(p.conn_id),
+                 "connection " << p.conn_id << " already has a backup on link "
+                               << link);
+  ml.backups.emplace(p.conn_id, std::make_pair(p.primary_lset, p.bw));
+  ml.aplv.AddPrimaryLset(p.primary_lset);
+  ml.demand.Add(p.primary_lset, p.bw);
+  ml.total_backup_bw += p.bw;
+  return ReconcileSpare(link);
+}
+
+void DrConnectionManager::ReleaseBackupHop(LinkId link,
+                                           const BackupReleasePacket& p) {
+  ManagedLink& ml = Owned(link);
+  auto it = ml.backups.find(p.conn_id);
+  DRTP_CHECK_MSG(it != ml.backups.end(),
+                 "releasing unknown backup " << p.conn_id << " on link "
+                                             << link);
+  DRTP_CHECK_MSG(it->second.first == p.primary_lset,
+                 "release LSET mismatch for connection " << p.conn_id);
+  DRTP_CHECK_MSG(it->second.second == p.bw,
+                 "release bandwidth mismatch for connection " << p.conn_id);
+  ml.aplv.RemovePrimaryLset(p.primary_lset);
+  ml.demand.Remove(p.primary_lset, p.bw);
+  ml.total_backup_bw -= p.bw;
+  ml.backups.erase(it);
+  ReconcileSpare(link);
+}
+
+bool DrConnectionManager::ReconcileSpare(LinkId link) {
+  const Bandwidth target = SpareTarget(link);
+  const Bandwidth current = ledger_.spare(link);
+  if (current < target) {
+    ledger_.GrowSpare(link, target - current);
+  } else if (current > target) {
+    ledger_.ShrinkSpare(link, current - target);
+  }
+  return ledger_.spare(link) >= target;
+}
+
+bool DrConnectionManager::IsOverbooked(LinkId link) const {
+  return ledger_.spare(link) < SpareTarget(link);
+}
+
+}  // namespace drtp::core

@@ -1,0 +1,129 @@
+// Per-router DR-connection manager (§2.2, §5).
+//
+// Each router runs one manager that owns, for every *outgoing* link:
+//   - the link's APLV (updated from the primary LSETs carried in
+//     backup-path register/release packets),
+//   - the backup channel table (which backups traverse the link),
+//   - the spare-resource policy: keep spare_bw >= max_j demand[j] — the
+//     bandwidth-weighted form of §5's max(APLV) × bw rule — so any single
+//     link failure can activate every affected backup; grow the pool from
+//     free bandwidth when possible, accept overbooking when not (§5
+//     choice (2)), and shrink/return bandwidth as backups or conflicting
+//     primaries depart.
+//
+// No manager ever sees another link's APLV — routing uses the *advertised*
+// abridgements (||APLV||_1 or the Conflict Vector) from the link-state
+// database, exactly as the paper prescribes for scalability.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "drtp/messages.h"
+#include "lsdb/aplv.h"
+#include "net/bandwidth_ledger.h"
+#include "net/topology.h"
+
+namespace drtp::core {
+
+/// How spare bandwidth is provisioned for backups.
+enum class SpareMode {
+  /// Paper's scheme: pool sized by max(APLV), shared by multiplexing.
+  kMultiplexed,
+  /// Ablation X3: one dedicated slot per backup (no sharing).
+  kDedicated,
+};
+
+/// Bandwidth-weighted companion to the APLV: element j is the backup
+/// bandwidth that would activate on this link if link L_j failed. The §5
+/// sizing rule generalizes from `max(APLV) × bw` (identical-bandwidth
+/// connections, the paper's simplification) to `max_j demand[j]` for
+/// heterogeneous bandwidths.
+class DemandVector {
+ public:
+  DemandVector() = default;
+  explicit DemandVector(int num_links)
+      : demand_(static_cast<std::size_t>(num_links), 0) {}
+
+  void Add(const routing::LinkSet& lset, Bandwidth bw);
+  void Remove(const routing::LinkSet& lset, Bandwidth bw);
+
+  /// Worst-case simultaneous activation bandwidth under a single link
+  /// failure.
+  Bandwidth Max() const { return max_; }
+
+  Bandwidth at(LinkId j) const {
+    return demand_[static_cast<std::size_t>(j)];
+  }
+
+ private:
+  std::vector<Bandwidth> demand_;
+  Bandwidth max_ = 0;
+};
+
+/// State the manager keeps per owned (outgoing) link.
+struct ManagedLink {
+  lsdb::Aplv aplv;
+  DemandVector demand;
+  /// Sum of the bandwidths of all backups on the link (dedicated-spare
+  /// mode's target).
+  Bandwidth total_backup_bw = 0;
+  /// Backup channel table: conn id -> (primary LSET, bandwidth) as
+  /// registered.
+  std::unordered_map<ConnId, std::pair<routing::LinkSet, Bandwidth>> backups;
+};
+
+/// One router's DR-connection manager.
+class DrConnectionManager {
+ public:
+  DrConnectionManager(NodeId node, const net::Topology& topo,
+                      net::BandwidthLedger& ledger, SpareMode mode);
+
+  NodeId node() const { return node_; }
+
+  /// Handles one hop of a backup-path register packet: updates the APLV
+  /// from the primary's LSET, records the backup, and reconciles the spare
+  /// pool. `link` must be an outgoing link of this router. Registration
+  /// never fails — when the pool cannot grow, the backup is multiplexed
+  /// over existing spares (§5 choice (2)) and the hop reports overbooked.
+  /// Returns true when the spare pool fully covers the post-registration
+  /// target (i.e., not overbooked).
+  bool RegisterBackupHop(LinkId link, const BackupRegisterPacket& packet);
+
+  /// Handles one hop of a backup-path release packet (inverse of
+  /// RegisterBackupHop); shrinks the spare pool to the new target.
+  void ReleaseBackupHop(LinkId link, const BackupReleasePacket& packet);
+
+  /// Re-evaluates the spare pool of `link` against its target; called when
+  /// free bandwidth reappears (e.g., a primary on this link terminated,
+  /// §5 last paragraph). Returns true when the pool meets the target.
+  bool ReconcileSpare(LinkId link);
+
+  /// The spare bandwidth this link *should* hold for its backups.
+  Bandwidth SpareTarget(LinkId link) const;
+
+  /// True when the link currently holds less spare than its target.
+  bool IsOverbooked(LinkId link) const;
+
+  const lsdb::Aplv& aplv(LinkId link) const { return Owned(link).aplv; }
+  const ManagedLink& managed(LinkId link) const { return Owned(link); }
+
+  /// Number of backups registered on the link.
+  int BackupCount(LinkId link) const {
+    return static_cast<int>(Owned(link).backups.size());
+  }
+
+ private:
+  const ManagedLink& Owned(LinkId link) const;
+  ManagedLink& Owned(LinkId link);
+
+  NodeId node_;
+  net::BandwidthLedger& ledger_;
+  SpareMode mode_;
+  /// Keyed by LinkId; only this router's outgoing links are present.
+  std::unordered_map<LinkId, ManagedLink> links_;
+};
+
+}  // namespace drtp::core

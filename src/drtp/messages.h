@@ -1,0 +1,40 @@
+// DRTP control messages (§2.2).
+//
+// The backup-path register/release packets carry the LSET of the
+// corresponding *primary* route so that each router along the backup can
+// maintain the APLV of its own links without storing any global state —
+// the paper's key scalability device.
+#pragma once
+
+#include "common/types.h"
+#include "routing/path.h"
+
+namespace drtp::core {
+
+/// Sent hop-by-hop along a newly selected backup route (step 3 of
+/// connection management, §2.2).
+struct BackupRegisterPacket {
+  ConnId conn_id = kInvalidConn;
+  Bandwidth bw = 0;
+  /// LSET of the corresponding primary route.
+  routing::LinkSet primary_lset;
+};
+
+/// Sent hop-by-hop when a backup is torn down (connection termination,
+/// rejection upstream, or promotion to primary).
+struct BackupReleasePacket {
+  ConnId conn_id = kInvalidConn;
+  Bandwidth bw = 0;
+  routing::LinkSet primary_lset;
+};
+
+/// Approximate wire sizes, used by the control-overhead accounting.
+/// Header (ids, bandwidth, flags) + 4 bytes per LSET entry.
+inline int PacketBytes(const BackupRegisterPacket& p) {
+  return 16 + 4 * static_cast<int>(p.primary_lset.size());
+}
+inline int PacketBytes(const BackupReleasePacket& p) {
+  return 16 + 4 * static_cast<int>(p.primary_lset.size());
+}
+
+}  // namespace drtp::core

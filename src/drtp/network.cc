@@ -1,0 +1,300 @@
+#include "drtp/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace drtp::core {
+
+DrtpNetwork::DrtpNetwork(net::Topology topo, NetworkConfig config)
+    : topo_(std::move(topo)),
+      config_(config),
+      ledger_(topo_),
+      link_up_(static_cast<std::size_t>(topo_.num_links()), 1) {
+  managers_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    managers_.emplace_back(n, topo_, ledger_, config_.spare_mode);
+  }
+}
+
+bool DrtpNetwork::IsLinkUp(LinkId l) const {
+  DRTP_CHECK(l >= 0 && l < topo_.num_links());
+  return link_up_[static_cast<std::size_t>(l)] != 0;
+}
+
+void DrtpNetwork::SetLinkDown(LinkId l) {
+  DRTP_CHECK(l >= 0 && l < topo_.num_links());
+  link_up_[static_cast<std::size_t>(l)] = 0;
+  if (config_.duplex_failures) {
+    const LinkId rev = topo_.link(l).reverse;
+    if (rev != kInvalidLink) link_up_[static_cast<std::size_t>(rev)] = 0;
+  }
+}
+
+void DrtpNetwork::SetLinkUp(LinkId l) {
+  DRTP_CHECK(l >= 0 && l < topo_.num_links());
+  link_up_[static_cast<std::size_t>(l)] = 1;
+  if (config_.duplex_failures) {
+    const LinkId rev = topo_.link(l).reverse;
+    if (rev != kInvalidLink) link_up_[static_cast<std::size_t>(rev)] = 1;
+  }
+}
+
+std::vector<LinkId> DrtpNetwork::DownLinks() const {
+  std::vector<LinkId> down;
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    if (!IsLinkUp(l)) down.push_back(l);
+  }
+  return down;
+}
+
+bool DrtpNetwork::EstablishConnection(ConnId id, const routing::Path& primary,
+                                      Bandwidth bw, Time now) {
+  DRTP_CHECK(bw > 0);
+  DRTP_CHECK_MSG(!conns_.contains(id), "duplicate connection id " << id);
+  // All-or-nothing reservation with rollback.
+  std::vector<LinkId> reserved;
+  reserved.reserve(primary.links().size());
+  for (LinkId l : primary.links()) {
+    if (!IsLinkUp(l) || !ledger_.ReservePrime(l, bw)) {
+      for (LinkId r : reserved) ledger_.ReleasePrime(r, bw);
+      return false;
+    }
+    reserved.push_back(l);
+  }
+  conns_.emplace(id, DrConnection{.id = id,
+                                  .src = primary.src(),
+                                  .dst = primary.dst(),
+                                  .bw = bw,
+                                  .primary = primary,
+                                  .primary_lset = primary.ToLinkSet(),
+                                  .backups = {},
+                                  .established_at = now,
+                                  .failovers = 0});
+  return true;
+}
+
+int DrtpNetwork::RegisterBackup(ConnId id, const routing::Path& backup) {
+  auto it = conns_.find(id);
+  DRTP_CHECK_MSG(it != conns_.end(), "no connection " << id);
+  DrConnection& conn = it->second;
+  DRTP_CHECK(backup.src() == conn.src && backup.dst() == conn.dst);
+  for (const routing::Path& existing : conn.backups) {
+    DRTP_CHECK_MSG(existing.LinkDisjoint(backup),
+                   "backups of connection " << id << " must be disjoint");
+  }
+
+  const BackupRegisterPacket packet{
+      .conn_id = id, .bw = conn.bw, .primary_lset = conn.primary_lset};
+  int overbooked_hops = 0;
+  for (LinkId l : backup.links()) {
+    const NodeId router = topo_.link(l).src;
+    if (!manager(router).RegisterBackupHop(l, packet)) {
+      ++overbooked_hops;
+      overbooked_.insert(l);
+    }
+  }
+  conn.backups.push_back(backup);
+  return overbooked_hops;
+}
+
+void DrtpNetwork::ReleaseBackupAt(ConnId id, std::size_t index) {
+  auto it = conns_.find(id);
+  DRTP_CHECK_MSG(it != conns_.end(), "no connection " << id);
+  DrConnection& conn = it->second;
+  DRTP_CHECK_MSG(index < conn.backups.size(),
+                 "connection " << id << " has no backup #" << index);
+  const BackupReleasePacket packet{
+      .conn_id = id, .bw = conn.bw, .primary_lset = conn.primary_lset};
+  for (LinkId l : conn.backups[index].links()) {
+    manager(topo_.link(l).src).ReleaseBackupHop(l, packet);
+  }
+  conn.backups.erase(conn.backups.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  ReconcileOverbooked();
+}
+
+void DrtpNetwork::ReleaseAllBackups(ConnId id) {
+  auto it = conns_.find(id);
+  DRTP_CHECK_MSG(it != conns_.end(), "no connection " << id);
+  while (!it->second.backups.empty()) {
+    ReleaseBackupAt(id, it->second.backups.size() - 1);
+  }
+}
+
+void DrtpNetwork::ReleaseConnection(ConnId id) {
+  auto it = conns_.find(id);
+  DRTP_CHECK_MSG(it != conns_.end(), "no connection " << id);
+  ReleaseAllBackups(id);
+  for (LinkId l : it->second.primary.links()) {
+    ledger_.ReleasePrime(l, it->second.bw);
+  }
+  conns_.erase(it);
+  // §5: resources of a released primary are offered to spare pools that
+  // could not previously reach their targets.
+  ReconcileOverbooked();
+}
+
+bool DrtpNetwork::ActivateBackup(ConnId id, std::size_t index, Time now) {
+  auto it = conns_.find(id);
+  DRTP_CHECK_MSG(it != conns_.end(), "no connection " << id);
+  DrConnection& conn = it->second;
+  DRTP_CHECK_MSG(index < conn.backups.size(),
+                 "connection " << id << " has no backup #" << index
+                               << " to activate");
+  const routing::Path promoted = conn.backups[index];
+
+  // Deregister every backup first: the registrations carried the *old*
+  // primary's LSET and would go stale the moment the promotion lands; the
+  // promoted route's own spare demand disappearing typically frees exactly
+  // the bandwidth the promotion is about to claim. Step 4 (resource
+  // reconfiguration) re-establishes protection afterwards.
+  ReleaseAllBackups(id);
+  for (LinkId l : conn.primary.links()) ledger_.ReleasePrime(l, conn.bw);
+
+  // Reserve along the promoted route, raiding spare pools if needed.
+  std::vector<LinkId> reserved;
+  bool ok = true;
+  for (LinkId l : promoted.links()) {
+    if (!IsLinkUp(l) || !ledger_.ReservePrimeForced(l, conn.bw)) {
+      ok = false;
+      break;
+    }
+    reserved.push_back(l);
+    if (manager(topo_.link(l).src).IsOverbooked(l)) overbooked_.insert(l);
+  }
+  if (!ok) {
+    for (LinkId r : reserved) ledger_.ReleasePrime(r, conn.bw);
+    conns_.erase(it);  // unrecoverable: resources already released
+    ReconcileOverbooked();
+    return false;
+  }
+  conn.primary = promoted;
+  conn.primary_lset = promoted.ToLinkSet();
+  conn.established_at = now;
+  ++conn.failovers;
+  ReconcileOverbooked();
+  return true;
+}
+
+const DrConnection* DrtpNetwork::Find(ConnId id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+DrConnectionManager& DrtpNetwork::manager(NodeId n) {
+  DRTP_CHECK(n >= 0 && n < topo_.num_nodes());
+  return managers_[static_cast<std::size_t>(n)];
+}
+
+const DrConnectionManager& DrtpNetwork::manager(NodeId n) const {
+  DRTP_CHECK(n >= 0 && n < topo_.num_nodes());
+  return managers_[static_cast<std::size_t>(n)];
+}
+
+const lsdb::Aplv& DrtpNetwork::aplv(LinkId l) const {
+  return manager(topo_.link(l).src).aplv(l);
+}
+
+std::vector<ConnId> DrtpNetwork::ConnsWithPrimaryOn(LinkId l) const {
+  std::vector<ConnId> out;
+  for (const auto& [id, conn] : conns_) {
+    if (routing::SetContains(conn.primary_lset, l)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ConnId> DrtpNetwork::ConnsWithBackupOn(LinkId l) const {
+  std::vector<ConnId> out;
+  for (const auto& [id, conn] : conns_) {
+    for (const routing::Path& backup : conn.backups) {
+      if (backup.Contains(l)) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LinkId> DrtpNetwork::OverbookedLinks() const {
+  std::vector<LinkId> out;
+  for (LinkId l : overbooked_) out.push_back(l);
+  return out;
+}
+
+void DrtpNetwork::PublishTo(lsdb::LinkStateDb& db, Time now) const {
+  DRTP_CHECK(db.num_links() == topo_.num_links());
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    lsdb::LinkRecord& rec = db.record(l);
+    const lsdb::Aplv& vec = aplv(l);
+    rec.aplv_l1 = vec.L1();
+    rec.cv = vec.ToConflictVector();
+    rec.up = IsLinkUp(l);
+    if (IsLinkUp(l)) {
+      rec.available_for_backup = ledger_.spare(l) + ledger_.free(l);
+      rec.free_for_primary = ledger_.free(l);
+    } else {
+      rec.available_for_backup = 0;
+      rec.free_for_primary = 0;
+    }
+  }
+  db.set_last_refresh(now);
+}
+
+void DrtpNetwork::ReconcileOverbooked() {
+  for (auto it = overbooked_.begin(); it != overbooked_.end();) {
+    const LinkId l = *it;
+    if (manager(topo_.link(l).src).ReconcileSpare(l)) {
+      it = overbooked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DrtpNetwork::CheckConsistency() const {
+  ledger_.CheckInvariants();
+  // Rebuild expected APLVs from the connection table.
+  std::vector<lsdb::Aplv> expected(
+      static_cast<std::size_t>(topo_.num_links()),
+      lsdb::Aplv(topo_.num_links()));
+  std::vector<DemandVector> expected_demand(
+      static_cast<std::size_t>(topo_.num_links()),
+      DemandVector(topo_.num_links()));
+  for (const auto& [id, conn] : conns_) {
+    for (const routing::Path& backup : conn.backups) {
+      for (LinkId l : backup.links()) {
+        expected[static_cast<std::size_t>(l)].AddPrimaryLset(
+            conn.primary_lset);
+        expected_demand[static_cast<std::size_t>(l)].Add(conn.primary_lset,
+                                                         conn.bw);
+      }
+    }
+  }
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    DRTP_CHECK_MSG(expected[static_cast<std::size_t>(l)] == aplv(l),
+                   "APLV mismatch on link " << l);
+    const DemandVector& demand = manager(topo_.link(l).src).managed(l).demand;
+    for (LinkId j = 0; j < topo_.num_links(); ++j) {
+      DRTP_CHECK_MSG(
+          expected_demand[static_cast<std::size_t>(l)].at(j) == demand.at(j),
+          "demand mismatch on link " << l << " element " << j);
+    }
+    // Spare pools meet their targets unless the link is out of free
+    // bandwidth (§5's best-effort growth), in which case the link must be
+    // flagged overbooked.
+    const auto& mgr = manager(topo_.link(l).src);
+    const Bandwidth target = mgr.SpareTarget(l);
+    const Bandwidth spare = ledger_.spare(l);
+    DRTP_CHECK_MSG(spare <= target, "spare exceeds target on link " << l);
+    if (spare < target) {
+      DRTP_CHECK_MSG(ledger_.free(l) == 0,
+                     "link " << l << " underprovisioned with free bandwidth");
+      DRTP_CHECK_MSG(overbooked_.contains(l),
+                     "link " << l << " overbooked but untracked");
+    }
+  }
+}
+
+}  // namespace drtp::core

@@ -1,0 +1,151 @@
+// DrtpNetwork — the authoritative network state for DRTP.
+//
+// Owns the topology, the per-link bandwidth ledger, one DR-connection
+// manager per router, the connection table, and link up/down state. The
+// four steps of DR-connection management (§2.2) map to:
+//   1. EstablishConnection  — reserve the primary route's bandwidth,
+//   2/3. RegisterBackup     — walk the backup route hop-by-hop with a
+//                             backup-path register packet (APLV + spares),
+//   4. ReleaseConnection    — return every resource; freed bandwidth is
+//                             offered to still-underprovisioned spare
+//                             pools (§5 last paragraph).
+// Failure handling (ActivateBackup / failure.h) implements DRTP steps
+// "failure reporting and channel switching" and "resource reconfiguration".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "drtp/connection.h"
+#include "drtp/manager.h"
+#include "lsdb/link_state_db.h"
+#include "net/bandwidth_ledger.h"
+#include "net/topology.h"
+
+namespace drtp::core {
+
+struct NetworkConfig {
+  SpareMode spare_mode = SpareMode::kMultiplexed;
+  /// When true, failing a link also fails its reverse half (fiber-cut
+  /// model); the paper's examples treat unidirectional failures, the
+  /// default here.
+  bool duplex_failures = false;
+};
+
+class DrtpNetwork {
+ public:
+  explicit DrtpNetwork(net::Topology topo, NetworkConfig config = {});
+
+  DrtpNetwork(const DrtpNetwork&) = delete;
+  DrtpNetwork& operator=(const DrtpNetwork&) = delete;
+
+  const net::Topology& topology() const { return topo_; }
+  const net::BandwidthLedger& ledger() const { return ledger_; }
+  const NetworkConfig& config() const { return config_; }
+
+  // ---- link state -------------------------------------------------------
+
+  bool IsLinkUp(LinkId l) const;
+  /// Marks the link (and, under duplex_failures, its reverse) down. Does
+  /// not touch connections — that is the failure engine's job.
+  void SetLinkDown(LinkId l);
+  void SetLinkUp(LinkId l);
+  std::vector<LinkId> DownLinks() const;
+
+  // ---- connection management -------------------------------------------
+
+  /// Step 1: reserves `bw` of primary bandwidth on every link of
+  /// `primary`, all-or-nothing; records the connection. Fails (false, no
+  /// state change) if any link is down or lacks free bandwidth, or the id
+  /// is already in use is a programming error (checked).
+  [[nodiscard]] bool EstablishConnection(ConnId id,
+                                         const routing::Path& primary,
+                                         Bandwidth bw, Time now);
+
+  /// Steps 2–3: sends the backup-path register packet hop-by-hop along
+  /// `backup` and appends it to the connection's backup list. Never
+  /// rejects (overbooking is accepted per §5); returns the number of hops
+  /// left overbooked. The new backup must not share links with the
+  /// connection's existing backups (checked) — §2's "one or more backup
+  /// channels" are alternatives, not overlays.
+  int RegisterBackup(ConnId id, const routing::Path& backup);
+
+  /// Releases the backup at `index` in the connection's list (used when a
+  /// failure breaks one backup of several).
+  void ReleaseBackupAt(ConnId id, std::size_t index);
+
+  /// Releases every backup of the connection (re-routing, promotion).
+  void ReleaseAllBackups(ConnId id);
+
+  /// Step 4: releases every resource of the connection and erases it.
+  void ReleaseConnection(ConnId id);
+
+  /// Channel switching (DRTP step 3): promotes the backup at `index` to
+  /// be the new primary. The old primary's bandwidth is released, every
+  /// backup deregistered (their registrations referenced the old
+  /// primary's LSET), and primary bandwidth reserved along the promoted
+  /// route — drawing on the spare pool (possibly leaving other backups
+  /// overbooked) when free bandwidth alone does not suffice. Returns
+  /// false — with the connection dropped and its resources released — if
+  /// even that fails.
+  [[nodiscard]] bool ActivateBackup(ConnId id, std::size_t index, Time now);
+
+  /// Convenience: promote the preferred (first) backup.
+  [[nodiscard]] bool ActivateBackup(ConnId id, Time now) {
+    return ActivateBackup(id, 0, now);
+  }
+
+  // ---- queries ----------------------------------------------------------
+
+  const DrConnection* Find(ConnId id) const;
+  const std::map<ConnId, DrConnection>& connections() const {
+    return conns_;
+  }
+  int ActiveCount() const { return static_cast<int>(conns_.size()); }
+
+  DrConnectionManager& manager(NodeId n);
+  const DrConnectionManager& manager(NodeId n) const;
+
+  /// APLV of link `l`, as held by its owning router.
+  const lsdb::Aplv& aplv(LinkId l) const;
+
+  /// Connections whose *primary* route traverses `l` (§2.1 PSET, keyed by
+  /// connection rather than route).
+  std::vector<ConnId> ConnsWithPrimaryOn(LinkId l) const;
+
+  /// Connections whose *backup* route traverses `l`.
+  std::vector<ConnId> ConnsWithBackupOn(LinkId l) const;
+
+  /// Links whose spare pool is below target (overbooked).
+  std::vector<LinkId> OverbookedLinks() const;
+
+  // ---- link-state advertisement ------------------------------------------
+
+  /// Publishes every link's advertisement (APLV abridgements + bandwidth)
+  /// into `db`, stamping the refresh time. Down links advertise zero
+  /// bandwidth so no route selection uses them.
+  void PublishTo(lsdb::LinkStateDb& db, Time now) const;
+
+  /// Rebuilds every APLV from the connection table and asserts it matches
+  /// the managers' incremental state, checks ledger invariants and the
+  /// spare-pool property (spare == target unless free bandwidth is
+  /// exhausted). Test/debug hook; throws CheckError on violation.
+  void CheckConsistency() const;
+
+ private:
+  void ReconcileOverbooked();
+
+  net::Topology topo_;
+  NetworkConfig config_;
+  net::BandwidthLedger ledger_;
+  std::vector<DrConnectionManager> managers_;  // indexed by NodeId
+  std::map<ConnId, DrConnection> conns_;
+  std::vector<char> link_up_;
+  /// Links whose spare pool could not reach target; swept after releases.
+  std::set<LinkId> overbooked_;
+};
+
+}  // namespace drtp::core

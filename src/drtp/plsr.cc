@@ -1,0 +1,26 @@
+#include "drtp/plsr.h"
+
+namespace drtp::core {
+
+RouteSelection Plsr::SelectRoutes(const DrtpNetwork& net,
+                                  const lsdb::LinkStateDb& db, NodeId src,
+                                  NodeId dst, Bandwidth bw) {
+  RouteSelection sel;
+  sel.primary = SelectPrimaryMinHop(net.topology(), db, src, dst, bw);
+  if (!sel.primary.has_value()) return sel;
+  sel.backup = SelectBackupLsr(net.topology(), db, sel.primary->ToLinkSet(),
+                               src, dst, bw, /*deterministic=*/false, {},
+                               MaxHops(*sel.primary));
+  return sel;
+}
+
+std::optional<routing::Path> Plsr::SelectBackupFor(
+    const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+    const routing::Path& primary, Bandwidth bw,
+    std::span<const routing::Path> avoid) {
+  return SelectBackupLsr(net.topology(), db, primary.ToLinkSet(),
+                         primary.src(), primary.dst(), bw,
+                         /*deterministic=*/false, avoid, MaxHops(primary));
+}
+
+}  // namespace drtp::core

@@ -1,0 +1,38 @@
+// P-LSR: probabilistic avoidance of backup conflicts (§3.1).
+//
+// Every link advertises ||APLV||_1. Maximizing the probability of backup
+// activation (Eq. 2) is equivalent to minimizing Σ ||APLV_i||_1 along the
+// backup route (Eq. 3), so the backup is the Dijkstra minimum of
+//   C_i = ||APLV_i||_1 + Q·[P uses L_i or bandwidth short] + ε   (Eq. 4).
+#pragma once
+
+#include "drtp/scheme.h"
+
+namespace drtp::core {
+
+class Plsr : public RoutingScheme {
+ public:
+  /// backup_hop_slack > 0 enforces a delay-style QoS bound on backups:
+  /// at most primary_hops + slack links (§2's remark that a backup longer
+  /// than the QoS allows cannot be used). 0 = unbounded.
+  explicit Plsr(int backup_hop_slack = 0) : slack_(backup_hop_slack) {}
+
+  std::string name() const override { return "P-LSR"; }
+
+  RouteSelection SelectRoutes(const DrtpNetwork& net,
+                              const lsdb::LinkStateDb& db, NodeId src,
+                              NodeId dst, Bandwidth bw) override;
+
+  std::optional<routing::Path> SelectBackupFor(
+      const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+      const routing::Path& primary, Bandwidth bw,
+      std::span<const routing::Path> avoid = {}) override;
+
+ private:
+  int MaxHops(const routing::Path& primary) const {
+    return slack_ > 0 ? primary.hops() + slack_ : 0;
+  }
+  int slack_;
+};
+
+}  // namespace drtp::core

@@ -1,0 +1,78 @@
+#include "drtp/scheme.h"
+
+#include "common/check.h"
+#include "routing/constrained.h"
+#include "routing/dijkstra.h"
+
+namespace drtp::core {
+
+std::optional<routing::Path> SelectPrimaryMinHop(const net::Topology& topo,
+                                                 const lsdb::LinkStateDb& db,
+                                                 NodeId src, NodeId dst,
+                                                 Bandwidth bw) {
+  return routing::CheapestPath(topo, src, dst, [&](LinkId l) {
+    const lsdb::LinkRecord& rec = db.record(l);
+    return rec.up && rec.free_for_primary >= bw ? 1.0
+                                                : routing::kInfiniteCost;
+  });
+}
+
+std::optional<routing::Path> RoutingScheme::SelectBackupFor(
+    const DrtpNetwork&, const lsdb::LinkStateDb&, const routing::Path&,
+    Bandwidth, std::span<const routing::Path>) {
+  return std::nullopt;
+}
+
+std::optional<routing::Path> SelectBackupLsr(
+    const net::Topology& topo, const lsdb::LinkStateDb& db,
+    const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
+    bool deterministic, std::span<const routing::Path> avoid, int max_hops) {
+  routing::LinkSet shunned = primary;
+  for (const routing::Path& path : avoid) {
+    for (LinkId l : path.links()) shunned.push_back(l);
+  }
+  shunned = routing::MakeLinkSet(std::move(shunned));
+
+  const auto cost = [&](LinkId l) {
+    const lsdb::LinkRecord& rec = db.record(l);
+    if (!rec.up) return routing::kInfiniteCost;
+    double c = deterministic ? static_cast<double>(rec.cv.CountIn(primary))
+                             : static_cast<double>(rec.aplv_l1);
+    c += kEpsilon;
+    if (routing::SetContains(shunned, l) || rec.available_for_backup < bw) {
+      c += kPenaltyQ;
+    }
+    return c;
+  };
+  if (max_hops > 0) {
+    return routing::CheapestPathMaxHops(topo, src, dst, cost, max_hops);
+  }
+  return routing::CheapestPath(topo, src, dst, cost);
+}
+
+int ProtectConnection(RoutingScheme& scheme, DrtpNetwork& net,
+                      const lsdb::LinkStateDb& db, ConnId id, int count) {
+  const DrConnection* conn = net.Find(id);
+  DRTP_CHECK_MSG(conn != nullptr, "no connection " << id);
+  int registered = 0;
+  while (static_cast<int>(conn->backups.size()) < count) {
+    auto backup = scheme.SelectBackupFor(net, db, conn->primary, conn->bw,
+                                         conn->backups);
+    if (!backup.has_value()) break;
+    // The Q penalty is soft; a candidate that still overlaps the primary
+    // or an existing backup means no further disjoint route exists — stop
+    // rather than register a useless overlay (an own-backup overlap would
+    // also be rejected by RegisterBackup).
+    bool disjoint = backup->LinkDisjoint(conn->primary);
+    for (const routing::Path& existing : conn->backups) {
+      if (!disjoint) break;
+      if (!existing.LinkDisjoint(*backup)) disjoint = false;
+    }
+    if (!disjoint) break;
+    net.RegisterBackup(id, *backup);
+    ++registered;
+  }
+  return registered;
+}
+
+}  // namespace drtp::core

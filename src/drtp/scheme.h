@@ -1,0 +1,108 @@
+// RoutingScheme — the interface the paper's three schemes implement.
+//
+// A scheme answers one question: given a DR-connection request (src, dst,
+// bw) and the information it is allowed to see, which primary and backup
+// routes should be used? Link-state schemes see only the advertised
+// LinkStateDb; bounded flooding sees the per-node authoritative bandwidth
+// (it is on-demand — the flooded CDPs sample real state, §4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+#include "drtp/network.h"
+#include "lsdb/link_state_db.h"
+#include "routing/path.h"
+
+namespace drtp::core {
+
+/// Outcome of route discovery for one request.
+struct RouteSelection {
+  /// Absent => the request is blocked (no feasible primary).
+  std::optional<routing::Path> primary;
+  /// Absent => the connection runs unprotected (only baselines do this on
+  /// purpose; the paper's schemes always produce some backup when a path
+  /// exists).
+  std::optional<routing::Path> backup;
+
+  /// Control-plane cost of this discovery: messages sent (CDP forwards for
+  /// BF; zero for link-state schemes whose cost is the periodic
+  /// advertisement traffic) and their bytes.
+  std::int64_t control_messages = 0;
+  std::int64_t control_bytes = 0;
+};
+
+class RoutingScheme {
+ public:
+  virtual ~RoutingScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// False for the unprotected baseline; the simulator then skips backup
+  /// registration entirely.
+  virtual bool wants_backup() const { return true; }
+
+  /// Discovers primary and backup routes for a request. `db` is the
+  /// advertised link-state view; `net` is the authoritative state, which
+  /// only on-demand schemes (BF) may consult, and then only for what a
+  /// real node could observe locally.
+  virtual RouteSelection SelectRoutes(const DrtpNetwork& net,
+                                      const lsdb::LinkStateDb& db, NodeId src,
+                                      NodeId dst, Bandwidth bw) = 0;
+
+  /// Re-discovers a backup for an *existing* primary — DRTP step 4
+  /// (resource reconfiguration) after a failover consumed the backup or a
+  /// failure broke it, and the building block for multi-backup
+  /// connections. Routes in `avoid` (typically the connection's other
+  /// backups) are shunned like the primary itself. Default: unsupported
+  /// (nullopt).
+  virtual std::optional<routing::Path> SelectBackupFor(
+      const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+      const routing::Path& primary, Bandwidth bw,
+      std::span<const routing::Path> avoid = {});
+
+  /// Called after a link goes down or comes back up. Schemes holding
+  /// topology-derived caches (BF's distance tables, §4.1) refresh them
+  /// here; stateless schemes ignore it.
+  virtual void OnTopologyChanged(const DrtpNetwork& net) { (void)net; }
+};
+
+/// Backup selection shared by the two link-state schemes: Dijkstra over
+/// Eq. 4 (deterministic == false, cost ||APLV||_1) or Eq. 5
+/// (deterministic == true, cost Σ c_{i,j} over the primary's LSET).
+/// Links of `avoid` routes are penalized like the primary's own links.
+/// max_hops > 0 restricts the search to QoS-feasible (delay-bounded)
+/// backups (§2: a backup longer than the QoS allows protects nothing);
+/// 0 means unbounded.
+std::optional<routing::Path> SelectBackupLsr(
+    const net::Topology& topo, const lsdb::LinkStateDb& db,
+    const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
+    bool deterministic, std::span<const routing::Path> avoid = {},
+    int max_hops = 0);
+
+/// Registers up to `count` pairwise-disjoint backups for the connection's
+/// primary using scheme.SelectBackupFor, stopping early when no further
+/// disjoint backup exists. Returns how many were registered.
+int ProtectConnection(RoutingScheme& scheme, DrtpNetwork& net,
+                      const lsdb::LinkStateDb& db, ConnId id, int count);
+
+/// Shared helper: minimum-hop primary over links advertising enough free
+/// bandwidth (used by both LSR schemes; §2.2 step 1).
+std::optional<routing::Path> SelectPrimaryMinHop(const net::Topology& topo,
+                                                 const lsdb::LinkStateDb& db,
+                                                 NodeId src, NodeId dst,
+                                                 Bandwidth bw);
+
+/// Large-but-finite penalty for disqualified links (Eq. 4/5's Q): a
+/// penalized link can still be used when nothing better exists, mirroring
+/// §5's decision to accept imperfect backups rather than reject.
+inline constexpr double kPenaltyQ = 1e7;
+
+/// Tie-break toward shorter routes (Eq. 4/5's epsilon, < 1).
+inline constexpr double kEpsilon = 1e-3;
+
+}  // namespace drtp::core

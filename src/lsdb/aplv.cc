@@ -1,0 +1,50 @@
+#include "lsdb/aplv.h"
+
+#include <algorithm>
+
+namespace drtp::lsdb {
+
+void Aplv::AddPrimaryLset(const routing::LinkSet& lset) {
+  for (LinkId j : lset) {
+    DRTP_CHECK(j >= 0 && j < size());
+    auto& c = counts_[static_cast<std::size_t>(j)];
+    ++c;
+    ++l1_;
+    if (c > max_) max_ = c;
+  }
+}
+
+void Aplv::RemovePrimaryLset(const routing::LinkSet& lset) {
+  bool touched_max = false;
+  for (LinkId j : lset) {
+    DRTP_CHECK(j >= 0 && j < size());
+    auto& c = counts_[static_cast<std::size_t>(j)];
+    DRTP_CHECK_MSG(c > 0, "removing absent primary link " << j);
+    if (c == max_) touched_max = true;
+    --c;
+    --l1_;
+  }
+  if (touched_max) {
+    max_ = counts_.empty()
+               ? 0
+               : *std::max_element(counts_.begin(), counts_.end());
+  }
+}
+
+ConflictVector Aplv::ToConflictVector() const {
+  ConflictVector cv(size());
+  for (LinkId j = 0; j < size(); ++j) {
+    if (count(j) > 0) cv.Set(j, true);
+  }
+  return cv;
+}
+
+int Aplv::ConflictingLinksIn(const routing::LinkSet& lset) const {
+  int n = 0;
+  for (LinkId j : lset) {
+    if (j >= 0 && j < size() && count(j) > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace drtp::lsdb

@@ -1,0 +1,65 @@
+// Accumulated Primary-route Link Vector (§2.1).
+//
+// APLV_i[j] is the number of primary channels that traverse link L_j and
+// whose backup channels go through link L_i. The L1 norm drives P-LSR
+// (Eq. 4), the bit pattern (Conflict Vector) drives D-LSR (Eq. 5), and the
+// max element sizes the spare pool (§5: any single link failure activates
+// at most max_j APLV_i[j] backups on L_i).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "lsdb/conflict_vector.h"
+#include "routing/path.h"
+
+namespace drtp::lsdb {
+
+/// One link's APLV with incrementally maintained L1 norm and maximum.
+class Aplv {
+ public:
+  Aplv() = default;
+  explicit Aplv(int num_links)
+      : counts_(static_cast<std::size_t>(num_links), 0) {
+    DRTP_CHECK(num_links >= 0);
+  }
+
+  int size() const { return static_cast<int>(counts_.size()); }
+
+  std::int32_t count(LinkId j) const {
+    DRTP_DCHECK(j >= 0 && j < size());
+    return counts_[static_cast<std::size_t>(j)];
+  }
+
+  /// ||APLV||_1 — total number of (primary link, backup) incidences.
+  std::int64_t L1() const { return l1_; }
+
+  /// max_j APLV[j] — worst-case simultaneous activations on this link
+  /// under a single link failure.
+  std::int32_t Max() const { return max_; }
+
+  /// Registers a backup on this link whose primary has the given LSET:
+  /// increments every element indexed by the primary's links.
+  void AddPrimaryLset(const routing::LinkSet& lset);
+
+  /// Inverse of AddPrimaryLset. Requires the counts to be present.
+  void RemovePrimaryLset(const routing::LinkSet& lset);
+
+  /// Bit-vector abridgement (c_{i,j} = 1 iff a_{i,j} > 0).
+  ConflictVector ToConflictVector() const;
+
+  /// Σ_{j ∈ lset} a_{i,j} > 0 element count — number of the primary's
+  /// links already conflicting here (used by tests/diagnostics).
+  int ConflictingLinksIn(const routing::LinkSet& lset) const;
+
+  friend bool operator==(const Aplv&, const Aplv&) = default;
+
+ private:
+  std::vector<std::int32_t> counts_;
+  std::int64_t l1_ = 0;
+  std::int32_t max_ = 0;
+};
+
+}  // namespace drtp::lsdb

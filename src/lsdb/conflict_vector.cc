@@ -1,0 +1,21 @@
+#include "lsdb/conflict_vector.h"
+
+#include <bit>
+
+namespace drtp::lsdb {
+
+int ConflictVector::PopCount() const {
+  int count = 0;
+  for (std::uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+int ConflictVector::CountIn(const routing::LinkSet& lset) const {
+  int count = 0;
+  for (LinkId j : lset) {
+    if (j >= 0 && j < num_links_ && Test(j)) ++count;
+  }
+  return count;
+}
+
+}  // namespace drtp::lsdb

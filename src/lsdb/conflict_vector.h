@@ -1,0 +1,68 @@
+// Conflict Vector (§3.2): the bit-vector abridgement of an APLV.
+//
+// CV_i[j] == 1 iff at least one primary channel runs through link L_j whose
+// backup traverses L_i. D-LSR advertises CVs in the link-state database and
+// prices a candidate backup link by how many of the primary's links are set
+// in its CV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "routing/path.h"
+
+namespace drtp::lsdb {
+
+/// Fixed-width bit vector indexed by LinkId.
+class ConflictVector {
+ public:
+  ConflictVector() = default;
+  explicit ConflictVector(int num_links)
+      : num_links_(num_links),
+        words_(static_cast<std::size_t>((num_links + 63) / 64), 0) {
+    DRTP_CHECK(num_links >= 0);
+  }
+
+  int size() const { return num_links_; }
+
+  bool Test(LinkId j) const {
+    Bounds(j);
+    return (words_[Word(j)] >> Bit(j)) & 1u;
+  }
+
+  void Set(LinkId j, bool value) {
+    Bounds(j);
+    if (value) {
+      words_[Word(j)] |= std::uint64_t{1} << Bit(j);
+    } else {
+      words_[Word(j)] &= ~(std::uint64_t{1} << Bit(j));
+    }
+  }
+
+  /// Number of set bits.
+  int PopCount() const;
+
+  /// |{ j in lset : CV[j] == 1 }| — the D-LSR conflict term
+  /// Σ_{L_j ∈ LSET(P)} c_{i,j} of Eq. 5.
+  int CountIn(const routing::LinkSet& lset) const;
+
+  /// Wire size of the advertisement payload in bytes (N bits, rounded up).
+  int AdvertBytes() const { return (num_links_ + 7) / 8; }
+
+  friend bool operator==(const ConflictVector&,
+                         const ConflictVector&) = default;
+
+ private:
+  void Bounds(LinkId j) const { DRTP_DCHECK(j >= 0 && j < num_links_); }
+  static std::size_t Word(LinkId j) {
+    return static_cast<std::size_t>(j) / 64;
+  }
+  static unsigned Bit(LinkId j) { return static_cast<unsigned>(j) % 64; }
+
+  int num_links_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace drtp::lsdb

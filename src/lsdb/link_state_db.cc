@@ -1,0 +1,14 @@
+#include "lsdb/link_state_db.h"
+
+namespace drtp::lsdb {
+
+std::int64_t LinkStateDb::AdvertBytesPerCycle(bool with_cv) const {
+  std::int64_t total = 0;
+  for (const auto& r : records_) {
+    total += 4 + 4 + 4;  // link id + two bandwidth fields
+    total += with_cv ? r.cv.AdvertBytes() : 8;
+  }
+  return total;
+}
+
+}  // namespace drtp::lsdb

@@ -1,0 +1,87 @@
+#include "net/bandwidth_ledger.h"
+
+#include <algorithm>
+
+namespace drtp::net {
+
+BandwidthLedger::BandwidthLedger(const Topology& topo) {
+  entries_.reserve(static_cast<std::size_t>(topo.num_links()));
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    entries_.push_back(Entry{.total = topo.link(l).capacity});
+  }
+}
+
+bool BandwidthLedger::ReservePrime(LinkId l, Bandwidth bw) {
+  DRTP_CHECK(bw >= 0);
+  Entry& e = At(l);
+  if (e.total - e.prime - e.spare < bw) return false;
+  e.prime += bw;
+  return true;
+}
+
+void BandwidthLedger::ReleasePrime(LinkId l, Bandwidth bw) {
+  DRTP_CHECK(bw >= 0);
+  Entry& e = At(l);
+  DRTP_CHECK_MSG(e.prime >= bw, "releasing " << bw << " of " << e.prime
+                                             << " prime kbit/s on link " << l);
+  e.prime -= bw;
+}
+
+bool BandwidthLedger::ReservePrimeForced(LinkId l, Bandwidth bw) {
+  DRTP_CHECK(bw >= 0);
+  Entry& e = At(l);
+  if (e.total - e.prime < bw) return false;
+  const Bandwidth from_free = std::min(bw, e.total - e.prime - e.spare);
+  const Bandwidth from_spare = bw - from_free;
+  DRTP_CHECK(e.spare >= from_spare);
+  e.spare -= from_spare;
+  e.prime += bw;
+  return true;
+}
+
+Bandwidth BandwidthLedger::GrowSpare(LinkId l, Bandwidth want) {
+  DRTP_CHECK(want >= 0);
+  Entry& e = At(l);
+  const Bandwidth granted = std::min(want, e.total - e.prime - e.spare);
+  e.spare += granted;
+  return granted;
+}
+
+void BandwidthLedger::ShrinkSpare(LinkId l, Bandwidth amount) {
+  DRTP_CHECK(amount >= 0);
+  Entry& e = At(l);
+  DRTP_CHECK_MSG(e.spare >= amount, "shrinking " << amount << " of " << e.spare
+                                                 << " spare kbit/s on link "
+                                                 << l);
+  e.spare -= amount;
+}
+
+Bandwidth BandwidthLedger::TotalCapacity() const {
+  Bandwidth sum = 0;
+  for (const Entry& e : entries_) sum += e.total;
+  return sum;
+}
+
+Bandwidth BandwidthLedger::TotalPrime() const {
+  Bandwidth sum = 0;
+  for (const Entry& e : entries_) sum += e.prime;
+  return sum;
+}
+
+Bandwidth BandwidthLedger::TotalSpare() const {
+  Bandwidth sum = 0;
+  for (const Entry& e : entries_) sum += e.spare;
+  return sum;
+}
+
+void BandwidthLedger::CheckInvariants() const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    DRTP_CHECK_MSG(e.prime >= 0 && e.spare >= 0 &&
+                       e.prime + e.spare <= e.total,
+                   "link " << i << " pools total=" << e.total
+                           << " prime=" << e.prime << " spare=" << e.spare);
+  }
+}
+
+}  // namespace drtp::net

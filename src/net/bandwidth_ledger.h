@@ -1,0 +1,87 @@
+// Per-link bandwidth accounting.
+//
+// Each directed link's capacity is split three ways (§2.1 notation):
+//   prime  — bandwidth reserved by primary channels (prime_bw),
+//   spare  — the shared pool reserved for multiplexed backups (spare_bw),
+//   free   — unallocated (usable by best-effort traffic).
+// The ledger enforces total == prime + spare + free exactly (integral
+// kbit/s) and never lets a pool go negative.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace drtp::net {
+
+/// Mutable bandwidth state for every link of a fixed topology.
+class BandwidthLedger {
+ public:
+  explicit BandwidthLedger(const Topology& topo);
+
+  Bandwidth total(LinkId l) const { return At(l).total; }
+  Bandwidth prime(LinkId l) const { return At(l).prime; }
+  Bandwidth spare(LinkId l) const { return At(l).spare; }
+  Bandwidth free(LinkId l) const {
+    const Entry& e = At(l);
+    return e.total - e.prime - e.spare;
+  }
+
+  /// True iff `bw` more primary bandwidth fits in the free pool.
+  bool CanReservePrime(LinkId l, Bandwidth bw) const {
+    DRTP_CHECK(bw >= 0);
+    return free(l) >= bw;
+  }
+
+  /// Moves `bw` from free to prime; false (and no change) if it does not fit.
+  [[nodiscard]] bool ReservePrime(LinkId l, Bandwidth bw);
+
+  /// Moves `bw` from prime back to free. Requires that much to be reserved.
+  void ReleasePrime(LinkId l, Bandwidth bw);
+
+  /// Reserves prime bandwidth drawing first from free, then by raiding the
+  /// spare pool (backup activation promotes a channel using the very spare
+  /// resources reserved for it, §5). False — and no change — only when
+  /// total - prime < bw.
+  [[nodiscard]] bool ReservePrimeForced(LinkId l, Bandwidth bw);
+
+  /// Grows the spare pool by up to `want`, limited by the free pool;
+  /// returns the amount actually granted (possibly 0 — the caller decides
+  /// whether to overbook, per §5).
+  Bandwidth GrowSpare(LinkId l, Bandwidth want);
+
+  /// Returns `amount` from spare to free. Requires that much spare.
+  void ShrinkSpare(LinkId l, Bandwidth amount);
+
+  /// Network-wide aggregates.
+  Bandwidth TotalCapacity() const;
+  Bandwidth TotalPrime() const;
+  Bandwidth TotalSpare() const;
+
+  int num_links() const { return static_cast<int>(entries_.size()); }
+
+  /// Throws CheckError if any link's pools are inconsistent.
+  void CheckInvariants() const;
+
+ private:
+  struct Entry {
+    Bandwidth total = 0;
+    Bandwidth prime = 0;
+    Bandwidth spare = 0;
+  };
+
+  const Entry& At(LinkId l) const {
+    DRTP_DCHECK(l >= 0 && l < num_links());
+    return entries_[static_cast<std::size_t>(l)];
+  }
+  Entry& At(LinkId l) {
+    DRTP_DCHECK(l >= 0 && l < num_links());
+    return entries_[static_cast<std::size_t>(l)];
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace drtp::net

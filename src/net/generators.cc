@@ -1,0 +1,197 @@
+#include "net/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace drtp::net {
+namespace {
+
+double Distance(const Node& a, const Node& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Topology MakeWaxman(const WaxmanConfig& config) {
+  DRTP_CHECK(config.nodes >= 2);
+  DRTP_CHECK(config.avg_degree >= 2.0);  // need >= spanning-tree density
+  DRTP_CHECK(config.alpha > 0.0 && config.beta > 0.0);
+  Rng rng(config.seed);
+
+  Topology topo;
+  for (int i = 0; i < config.nodes; ++i) {
+    topo.AddNode(rng.UniformReal(0.0, 1.0), rng.UniformReal(0.0, 1.0));
+  }
+
+  double diameter = 0.0;
+  for (NodeId u = 0; u < config.nodes; ++u) {
+    for (NodeId v = u + 1; v < config.nodes; ++v) {
+      diameter = std::max(diameter, Distance(topo.node(u), topo.node(v)));
+    }
+  }
+  if (diameter <= 0.0) diameter = 1.0;  // coincident points; degenerate
+
+  const auto waxman_p = [&](NodeId u, NodeId v) {
+    const double d = Distance(topo.node(u), topo.node(v));
+    const double p = config.beta * std::exp(-d / (config.alpha * diameter));
+    return std::min(1.0, p);
+  };
+
+  // Connectivity first: attach each node (in random order) to a random
+  // already-attached node, biased by the Waxman probability so the tree
+  // keeps the model's locality.
+  std::vector<NodeId> order(static_cast<std::size_t>(config.nodes));
+  for (int i = 0; i < config.nodes; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.Shuffle(order);
+  std::vector<NodeId> attached{order[0]};
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const NodeId u = order[i];
+    // Weighted pick over attached nodes; fall back to uniform if all
+    // weights underflow.
+    double total = 0.0;
+    for (NodeId v : attached) total += waxman_p(u, v);
+    NodeId chosen = attached[rng.Index(attached.size())];
+    if (total > 0.0) {
+      double x = rng.UniformReal(0.0, total);
+      for (NodeId v : attached) {
+        x -= waxman_p(u, v);
+        if (x <= 0.0) {
+          chosen = v;
+          break;
+        }
+      }
+    }
+    topo.AddDuplexLink(u, chosen, config.link_capacity);
+    attached.push_back(u);
+  }
+
+  // Bring every node up to the minimum degree with Waxman-weighted picks
+  // among non-neighbors (closest-by-probability first via weighted draw).
+  for (NodeId u = 0; u < config.nodes; ++u) {
+    while (static_cast<int>(topo.out_links(u).size()) < config.min_degree) {
+      std::vector<NodeId> candidates;
+      for (NodeId v = 0; v < config.nodes; ++v) {
+        if (v != u && topo.FindLink(u, v) == kInvalidLink) {
+          candidates.push_back(v);
+        }
+      }
+      DRTP_CHECK_MSG(!candidates.empty(),
+                     "min_degree " << config.min_degree << " infeasible");
+      double total = 0.0;
+      for (NodeId v : candidates) total += waxman_p(u, v);
+      NodeId chosen = candidates[rng.Index(candidates.size())];
+      if (total > 0.0) {
+        double x = rng.UniformReal(0.0, total);
+        for (NodeId v : candidates) {
+          x -= waxman_p(u, v);
+          if (x <= 0.0) {
+            chosen = v;
+            break;
+          }
+        }
+      }
+      topo.AddDuplexLink(u, chosen, config.link_capacity);
+    }
+  }
+
+  // Densify to the target average degree with rejection sampling over
+  // unlinked pairs.
+  const auto target_duplex = static_cast<int>(
+      std::llround(config.nodes * config.avg_degree / 2.0));
+  const int max_duplex = config.nodes * (config.nodes - 1) / 2;
+  DRTP_CHECK_MSG(target_duplex <= max_duplex,
+                 "avg_degree " << config.avg_degree << " infeasible for "
+                               << config.nodes << " nodes");
+  int duplex = topo.num_links() / 2;  // tree + min-degree edges so far
+  // Candidate list of absent pairs, reshuffled passes until the target is
+  // met; each pass accepts pairs with the Waxman probability so the final
+  // edge set follows the model's distance bias.
+  std::vector<std::pair<NodeId, NodeId>> absent;
+  for (NodeId u = 0; u < config.nodes; ++u) {
+    for (NodeId v = u + 1; v < config.nodes; ++v) {
+      if (topo.FindLink(u, v) == kInvalidLink) absent.emplace_back(u, v);
+    }
+  }
+  while (duplex < target_duplex && !absent.empty()) {
+    rng.Shuffle(absent);
+    std::vector<std::pair<NodeId, NodeId>> still_absent;
+    for (const auto& [u, v] : absent) {
+      if (duplex < target_duplex && rng.Bernoulli(waxman_p(u, v))) {
+        topo.AddDuplexLink(u, v, config.link_capacity);
+        ++duplex;
+      } else {
+        still_absent.emplace_back(u, v);
+      }
+    }
+    absent = std::move(still_absent);
+  }
+
+  DRTP_CHECK(topo.IsConnected());
+  return topo;
+}
+
+Topology MakeGrid(int rows, int cols, Bandwidth link_capacity) {
+  DRTP_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Topology topo;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      topo.AddNode(static_cast<double>(c), static_cast<double>(r));
+    }
+  }
+  const auto id = [cols](int r, int c) { return NodeId(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) topo.AddDuplexLink(id(r, c), id(r, c + 1), link_capacity);
+      if (r + 1 < rows) topo.AddDuplexLink(id(r, c), id(r + 1, c), link_capacity);
+    }
+  }
+  return topo;
+}
+
+Topology MakeRing(int n, Bandwidth link_capacity) {
+  DRTP_CHECK(n >= 3);
+  Topology topo;
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * i / n;
+    topo.AddNode(0.5 + 0.5 * std::cos(angle), 0.5 + 0.5 * std::sin(angle));
+  }
+  for (int i = 0; i < n; ++i) {
+    topo.AddDuplexLink(i, (i + 1) % n, link_capacity);
+  }
+  return topo;
+}
+
+Topology MakeStar(int leaves, Bandwidth link_capacity) {
+  DRTP_CHECK(leaves >= 2);
+  Topology topo;
+  const NodeId hub = topo.AddNode(0.5, 0.5);
+  for (int i = 0; i < leaves; ++i) {
+    const double angle = 2.0 * M_PI * i / leaves;
+    const NodeId leaf =
+        topo.AddNode(0.5 + 0.4 * std::cos(angle), 0.5 + 0.4 * std::sin(angle));
+    topo.AddDuplexLink(hub, leaf, link_capacity);
+  }
+  return topo;
+}
+
+Topology MakeParallelPaths(int paths, Bandwidth link_capacity) {
+  DRTP_CHECK(paths >= 1);
+  Topology topo;
+  const NodeId s = topo.AddNode(0.0, 0.5);
+  const NodeId t = topo.AddNode(1.0, 0.5);
+  for (int i = 0; i < paths; ++i) {
+    const NodeId relay =
+        topo.AddNode(0.5, static_cast<double>(i) / std::max(1, paths - 1));
+    topo.AddDuplexLink(s, relay, link_capacity);
+    topo.AddDuplexLink(relay, t, link_capacity);
+  }
+  return topo;
+}
+
+}  // namespace drtp::net

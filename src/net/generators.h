@@ -1,0 +1,51 @@
+// Topology generators.
+//
+// The paper evaluates on 60-node Waxman graphs with average node degree 3
+// and 4 (§6.1, citing Waxman 1988); the grid generator rebuilds the 3x3
+// mesh of Fig. 1; ring/star are pathological shapes used by tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace drtp::net {
+
+/// Parameters for the Waxman random-graph model. An edge u-v is accepted
+/// with probability beta * exp(-d(u,v) / (alpha * L)), d Euclidean, L the
+/// diameter of the node set. avg_degree picks the number of duplex edges
+/// (nodes * avg_degree / 2); connectivity is guaranteed by seeding with a
+/// Waxman-weighted random spanning tree.
+struct WaxmanConfig {
+  int nodes = 60;
+  double avg_degree = 3.0;
+  double alpha = 0.25;  // locality: smaller favours short edges
+  double beta = 0.8;    // density scale
+  /// Minimum node degree. 2 (the default) guarantees every node has at
+  /// least one link-disjoint detour, matching the paper's premise that a
+  /// backup route exists; 1 allows single-homed stubs.
+  int min_degree = 2;
+  Bandwidth link_capacity = Mbps(30);
+  std::uint64_t seed = 1;
+};
+
+/// Builds a connected Waxman graph per the config. All links are duplex
+/// pairs of identical capacity.
+Topology MakeWaxman(const WaxmanConfig& config);
+
+/// rows x cols grid of duplex links (Fig. 1 uses 3x3).
+Topology MakeGrid(int rows, int cols, Bandwidth link_capacity);
+
+/// Cycle of n >= 3 nodes; exactly two disjoint paths between any pair.
+Topology MakeRing(int n, Bandwidth link_capacity);
+
+/// Hub-and-spoke with n >= 2 leaves; no disjoint backup exists, the
+/// worst case for DRTP.
+Topology MakeStar(int leaves, Bandwidth link_capacity);
+
+/// Two nodes joined by `paths` >= 1 parallel two-hop routes through
+/// distinct relay nodes; the simplest shape with tunable path diversity.
+Topology MakeParallelPaths(int paths, Bandwidth link_capacity);
+
+}  // namespace drtp::net

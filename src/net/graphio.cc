@@ -1,0 +1,112 @@
+#include "net/graphio.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace drtp::net {
+
+void WriteTopology(const Topology& topo, std::ostream& os) {
+  os.precision(17);  // coordinates must round-trip exactly
+  os << "drtp-topology 1\n";
+  os << "nodes " << topo.num_nodes() << "\n";
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const Node& node = topo.node(n);
+    os << "node " << n << " " << node.x << " " << node.y << "\n";
+  }
+  os << "links " << topo.num_links() << "\n";
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(l);
+    os << "link " << l << " " << link.src << " " << link.dst << " "
+       << link.capacity << " " << link.reverse << "\n";
+  }
+}
+
+Topology ReadTopology(std::istream& is) {
+  std::string word;
+  int version = 0;
+  DRTP_CHECK_MSG(is >> word >> version && word == "drtp-topology" &&
+                     version == 1,
+                 "bad topology header");
+  int n = 0;
+  DRTP_CHECK(is >> word >> n && word == "nodes" && n >= 0);
+  Topology topo;
+  for (int i = 0; i < n; ++i) {
+    int id = 0;
+    double x = 0, y = 0;
+    DRTP_CHECK(is >> word >> id >> x >> y && word == "node" && id == i);
+    topo.AddNode(x, y);
+  }
+  int m = 0;
+  DRTP_CHECK(is >> word >> m && word == "links" && m >= 0);
+  // Links must be re-added in id order; reverse pointers are re-derived and
+  // validated against the file.
+  struct Row {
+    LinkId id, src, dst, reverse;
+    Bandwidth capacity;
+  };
+  std::vector<Row> rows;
+  rows.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    Row r{};
+    DRTP_CHECK(is >> word >> r.id >> r.src >> r.dst >> r.capacity >>
+                   r.reverse &&
+               word == "link" && r.id == i);
+    rows.push_back(r);
+  }
+  // Duplex pairs appear as (ab, ba) with mutual reverse ids; AddDuplexLink
+  // requires both halves at once, so stitch them as encountered.
+  std::vector<char> added(rows.size(), 0);
+  for (const Row& r : rows) {
+    if (added[static_cast<std::size_t>(r.id)]) continue;
+    if (r.reverse == kInvalidLink) {
+      const LinkId got = topo.AddLink(r.src, r.dst, r.capacity);
+      DRTP_CHECK(got == r.id);
+      added[static_cast<std::size_t>(r.id)] = 1;
+    } else {
+      DRTP_CHECK_MSG(r.reverse == r.id + 1, "duplex halves must be adjacent");
+      const Row& rev = rows[static_cast<std::size_t>(r.reverse)];
+      DRTP_CHECK(rev.reverse == r.id && rev.src == r.dst && rev.dst == r.src &&
+                 rev.capacity == r.capacity);
+      const auto [ab, ba] = topo.AddDuplexLink(r.src, r.dst, r.capacity);
+      DRTP_CHECK(ab == r.id && ba == rev.id);
+      added[static_cast<std::size_t>(r.id)] = 1;
+      added[static_cast<std::size_t>(rev.id)] = 1;
+    }
+  }
+  return topo;
+}
+
+std::string TopologyToString(const Topology& topo) {
+  std::ostringstream os;
+  WriteTopology(topo, os);
+  return os.str();
+}
+
+Topology TopologyFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadTopology(is);
+}
+
+std::string TopologyToDot(const Topology& topo) {
+  std::ostringstream os;
+  os << "graph drtp {\n  node [shape=circle];\n";
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const Node& node = topo.node(n);
+    os << "  n" << n << " [pos=\"" << node.x << "," << node.y << "!\"];\n";
+  }
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(l);
+    // Render each duplex pair once; keep strictly one-way links directed.
+    if (link.reverse != kInvalidLink && link.reverse < l) continue;
+    os << "  n" << link.src << " -- n" << link.dst << " [label=\"L" << l;
+    if (link.reverse != kInvalidLink) os << "/L" << link.reverse;
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace drtp::net

@@ -1,0 +1,31 @@
+// Topology serialization: a line-oriented text format (round-trippable)
+// and Graphviz DOT export for visual inspection of generated networks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/topology.h"
+
+namespace drtp::net {
+
+/// Writes the topology in the text format below; ReadTopology inverts it.
+///
+///   drtp-topology 1
+///   nodes <n>
+///   node <id> <x> <y>            (n lines)
+///   links <m>
+///   link <id> <src> <dst> <capacity_kbps> <reverse>
+void WriteTopology(const Topology& topo, std::ostream& os);
+
+/// Parses the text format; throws CheckError on malformed input.
+Topology ReadTopology(std::istream& is);
+
+/// Round-trip helpers via std::string.
+std::string TopologyToString(const Topology& topo);
+Topology TopologyFromString(const std::string& text);
+
+/// Graphviz DOT (undirected rendering of duplex pairs).
+std::string TopologyToDot(const Topology& topo);
+
+}  // namespace drtp::net

@@ -1,0 +1,87 @@
+#include "net/topology.h"
+
+#include <queue>
+
+namespace drtp::net {
+
+NodeId Topology::AddNode(double x, double y) {
+  const NodeId id = num_nodes();
+  nodes_.push_back(Node{.id = id, .x = x, .y = y, .out_links = {}, .in_links = {}});
+  return id;
+}
+
+LinkId Topology::AddLink(NodeId src, NodeId dst, Bandwidth capacity) {
+  DRTP_CHECK(src >= 0 && src < num_nodes());
+  DRTP_CHECK(dst >= 0 && dst < num_nodes());
+  DRTP_CHECK_MSG(src != dst, "self-loop at node " << src);
+  DRTP_CHECK(capacity > 0);
+  DRTP_CHECK_MSG(FindLink(src, dst) == kInvalidLink,
+                 "duplicate link " << src << "->" << dst);
+  const LinkId id = num_links();
+  links_.push_back(Link{.id = id, .src = src, .dst = dst,
+                        .capacity = capacity, .reverse = kInvalidLink});
+  nodes_[static_cast<std::size_t>(src)].out_links.push_back(id);
+  nodes_[static_cast<std::size_t>(dst)].in_links.push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::AddDuplexLink(NodeId a, NodeId b,
+                                                  Bandwidth capacity) {
+  const LinkId ab = AddLink(a, b, capacity);
+  const LinkId ba = AddLink(b, a, capacity);
+  links_[static_cast<std::size_t>(ab)].reverse = ba;
+  links_[static_cast<std::size_t>(ba)].reverse = ab;
+  return {ab, ba};
+}
+
+LinkId Topology::FindLink(NodeId src, NodeId dst) const {
+  if (src < 0 || src >= num_nodes()) return kInvalidLink;
+  for (LinkId l : node(src).out_links) {
+    if (link(l).dst == dst) return l;
+  }
+  return kInvalidLink;
+}
+
+double Topology::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  // With duplex pairs, out-degree == undirected degree.
+  return static_cast<double>(num_links()) / static_cast<double>(num_nodes());
+}
+
+bool Topology::IsConnected() const {
+  if (num_nodes() <= 1) return true;
+  // BFS from node 0 over out-links; with duplex pairs this equals
+  // undirected connectivity, and for general digraphs we additionally
+  // require reverse reachability via in-links.
+  auto reaches_all = [&](bool forward) {
+    std::vector<char> seen(static_cast<std::size_t>(num_nodes()), 0);
+    std::queue<NodeId> q;
+    q.push(0);
+    seen[0] = 1;
+    int count = 1;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      const auto& adj = forward ? node(u).out_links : node(u).in_links;
+      for (LinkId l : adj) {
+        const NodeId v = forward ? link(l).dst : link(l).src;
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          ++count;
+          q.push(v);
+        }
+      }
+    }
+    return count == num_nodes();
+  };
+  return reaches_all(true) && reaches_all(false);
+}
+
+std::vector<NodeId> Topology::Neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  out.reserve(node(id).out_links.size());
+  for (LinkId l : node(id).out_links) out.push_back(link(l).dst);
+  return out;
+}
+
+}  // namespace drtp::net

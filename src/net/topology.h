@@ -1,0 +1,92 @@
+// Network topology: nodes (routers/switches) joined by directed links.
+//
+// The paper's model (§6.1): every connection between two nodes is two
+// unidirectional links of identical capacity; AddDuplexLink builds that
+// pair and cross-references the two halves.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace drtp::net {
+
+/// A router/switch. Coordinates are in the unit square; they only matter to
+/// geometric generators (Waxman) and visual dumps.
+struct Node {
+  NodeId id = kInvalidNode;
+  double x = 0.0;
+  double y = 0.0;
+  std::vector<LinkId> out_links;
+  std::vector<LinkId> in_links;
+};
+
+/// A unidirectional link. `reverse` is the opposite half of a duplex pair,
+/// or kInvalidLink for a strictly one-way link.
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth capacity = 0;
+  LinkId reverse = kInvalidLink;
+};
+
+/// Immutable-after-build graph structure. Bandwidth *state* lives in
+/// net::BandwidthLedger; Topology only records capacities.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Adds a node at (x, y); returns its dense id.
+  NodeId AddNode(double x = 0.0, double y = 0.0);
+
+  /// Adds one unidirectional link. Requires distinct, existing endpoints
+  /// and no pre-existing link src->dst (parallel links are not modeled).
+  LinkId AddLink(NodeId src, NodeId dst, Bandwidth capacity);
+
+  /// Adds a duplex pair a<->b; returns {a->b, b->a}.
+  std::pair<LinkId, LinkId> AddDuplexLink(NodeId a, NodeId b,
+                                          Bandwidth capacity);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  const Node& node(NodeId id) const {
+    DRTP_DCHECK(id >= 0 && id < num_nodes());
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  const Link& link(LinkId id) const {
+    DRTP_DCHECK(id >= 0 && id < num_links());
+    return links_[static_cast<std::size_t>(id)];
+  }
+
+  std::span<const LinkId> out_links(NodeId id) const {
+    return node(id).out_links;
+  }
+  std::span<const LinkId> in_links(NodeId id) const {
+    return node(id).in_links;
+  }
+
+  /// Link id of src->dst, or kInvalidLink.
+  LinkId FindLink(NodeId src, NodeId dst) const;
+
+  /// Directed links per node (== undirected degree when all links are
+  /// duplex pairs) — the paper's "average node degree E".
+  double AverageDegree() const;
+
+  /// True iff every node can reach every other over directed links.
+  bool IsConnected() const;
+
+  /// Nodes adjacent via outgoing links.
+  std::vector<NodeId> Neighbors(NodeId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+};
+
+}  // namespace drtp::net

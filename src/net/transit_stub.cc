@@ -1,0 +1,94 @@
+#include "net/transit_stub.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace drtp::net {
+
+Topology MakeTransitStub(const TransitStubConfig& config,
+                         TransitStubLayout* layout) {
+  DRTP_CHECK(config.transit_nodes >= 3);
+  DRTP_CHECK(config.transit_chords >= 0);
+  DRTP_CHECK(config.stubs_per_transit >= 0);
+  DRTP_CHECK(config.stub_size >= 1);
+  DRTP_CHECK(config.multihome_prob >= 0.0 && config.multihome_prob <= 1.0);
+  DRTP_CHECK(config.transit_capacity_factor >= 1);
+  DRTP_CHECK(config.stub_capacity > 0);
+  Rng rng(config.seed);
+
+  Topology topo;
+  TransitStubLayout local;
+  const Bandwidth core_cap =
+      config.stub_capacity * config.transit_capacity_factor;
+
+  // Transit core: ring + random chords, laid out on an inner circle.
+  for (int i = 0; i < config.transit_nodes; ++i) {
+    const double angle = 2.0 * M_PI * i / config.transit_nodes;
+    local.transit.push_back(
+        topo.AddNode(0.5 + 0.2 * std::cos(angle), 0.5 + 0.2 * std::sin(angle)));
+  }
+  for (int i = 0; i < config.transit_nodes; ++i) {
+    topo.AddDuplexLink(local.transit[static_cast<std::size_t>(i)],
+                       local.transit[static_cast<std::size_t>(
+                           (i + 1) % config.transit_nodes)],
+                       core_cap);
+  }
+  int chords = 0;
+  int guard = 0;
+  while (chords < config.transit_chords &&
+         guard++ < 100 * (config.transit_chords + 1)) {
+    const NodeId a = local.transit[rng.Index(local.transit.size())];
+    const NodeId b = local.transit[rng.Index(local.transit.size())];
+    if (a == b || topo.FindLink(a, b) != kInvalidLink) continue;
+    topo.AddDuplexLink(a, b, core_cap);
+    ++chords;
+  }
+
+  // Stub domains: small rings (cliques when < 3 nodes) with one uplink to
+  // their transit node and an optional second uplink elsewhere.
+  for (int t = 0; t < config.transit_nodes; ++t) {
+    for (int s = 0; s < config.stubs_per_transit; ++s) {
+      std::vector<NodeId> domain;
+      const double base_angle =
+          2.0 * M_PI * (t + (s + 1.0) / (config.stubs_per_transit + 1.0)) /
+          config.transit_nodes;
+      for (int k = 0; k < config.stub_size; ++k) {
+        const double r = 0.38 + 0.04 * k;
+        domain.push_back(topo.AddNode(0.5 + r * std::cos(base_angle),
+                                      0.5 + r * std::sin(base_angle)));
+      }
+      if (config.stub_size >= 3) {
+        for (int k = 0; k < config.stub_size; ++k) {
+          topo.AddDuplexLink(
+              domain[static_cast<std::size_t>(k)],
+              domain[static_cast<std::size_t>((k + 1) % config.stub_size)],
+              config.stub_capacity);
+        }
+      } else if (config.stub_size == 2) {
+        topo.AddDuplexLink(domain[0], domain[1], config.stub_capacity);
+      }
+      // Primary uplink from the domain's first node.
+      topo.AddDuplexLink(domain[0],
+                         local.transit[static_cast<std::size_t>(t)],
+                         config.stub_capacity);
+      // Optional multi-homing from the last node to a different transit.
+      if (rng.Bernoulli(config.multihome_prob)) {
+        NodeId other = local.transit[rng.Index(local.transit.size())];
+        if (other == local.transit[static_cast<std::size_t>(t)]) {
+          other = local.transit[static_cast<std::size_t>(
+              (t + 1) % config.transit_nodes)];
+        }
+        topo.AddDuplexLink(domain.back(), other, config.stub_capacity);
+      }
+      local.stubs.push_back(std::move(domain));
+    }
+  }
+
+  DRTP_CHECK(topo.IsConnected());
+  if (layout != nullptr) *layout = std::move(local);
+  return topo;
+}
+
+}  // namespace drtp::net

@@ -1,0 +1,46 @@
+// Transit-stub topology generator (Zegura/GT-ITM style).
+//
+// The paper evaluates on flat Waxman graphs; real internets are
+// hierarchical — a well-connected transit core with stub domains hanging
+// off it. This generator builds such a hierarchy so the routing schemes
+// can be exercised where path diversity is asymmetric: rich in the core,
+// scarce toward the stubs. Used by the generality appendix bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace drtp::net {
+
+struct TransitStubConfig {
+  /// Transit-core nodes, connected as a ring plus random chords.
+  int transit_nodes = 8;
+  /// Extra random chords in the core beyond the ring.
+  int transit_chords = 4;
+  /// Stub domains attached to each transit node.
+  int stubs_per_transit = 2;
+  /// Nodes per stub domain (connected ring when >= 3, else clique).
+  int stub_size = 3;
+  /// Stub domains get a second uplink to another transit node with this
+  /// probability (multi-homing — gives stubs a disjoint escape route).
+  double multihome_prob = 0.5;
+  /// Core links are fatter than stub links by this factor.
+  int transit_capacity_factor = 4;
+  Bandwidth stub_capacity = Mbps(30);
+  std::uint64_t seed = 1;
+};
+
+/// Description of where each node landed, for tests and traffic steering.
+struct TransitStubLayout {
+  std::vector<NodeId> transit;             // core node ids
+  std::vector<std::vector<NodeId>> stubs;  // per-domain node ids
+};
+
+/// Builds the hierarchy; layout (if non-null) receives the node roles.
+Topology MakeTransitStub(const TransitStubConfig& config,
+                         TransitStubLayout* layout = nullptr);
+
+}  // namespace drtp::net

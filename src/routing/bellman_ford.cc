@@ -1,0 +1,69 @@
+#include "routing/bellman_ford.h"
+
+#include "common/check.h"
+#include "routing/distance_table.h"
+
+namespace drtp::routing {
+
+std::vector<double> BellmanFordDistances(const net::Topology& topo,
+                                         NodeId src, const LinkCostFn& cost) {
+  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  std::vector<double> dist(n, kInfiniteCost);
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  // At most V-1 relaxation rounds; stop early on a quiet round.
+  for (int round = 0; round + 1 < topo.num_nodes(); ++round) {
+    bool changed = false;
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      const double c = cost(l);
+      if (c == kInfiniteCost) continue;
+      DRTP_CHECK(c >= 0.0);
+      const net::Link& link = topo.link(l);
+      const double du = dist[static_cast<std::size_t>(link.src)];
+      if (du == kInfiniteCost) continue;
+      if (du + c < dist[static_cast<std::size_t>(link.dst)]) {
+        dist[static_cast<std::size_t>(link.dst)] = du + c;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> DistanceVectorAllPairs(
+    const net::Topology& topo) {
+  const int n = topo.num_nodes();
+  std::vector<std::vector<int>> dist(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(n), kUnreachableHops));
+  for (NodeId i = 0; i < n; ++i)
+    dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+
+  // Synchronous rounds: every node advertises its vector; neighbors merge.
+  // Converges within the network diameter (< n) rounds.
+  bool changed = true;
+  int rounds = 0;
+  while (changed) {
+    DRTP_CHECK_MSG(rounds++ <= n, "distance-vector failed to converge");
+    changed = false;
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      const net::Link& link = topo.link(l);
+      auto& from = dist[static_cast<std::size_t>(link.src)];
+      const auto& via = dist[static_cast<std::size_t>(link.dst)];
+      for (NodeId j = 0; j < n; ++j) {
+        const int candidate =
+            via[static_cast<std::size_t>(j)] >= kUnreachableHops
+                ? kUnreachableHops
+                : via[static_cast<std::size_t>(j)] + 1;
+        if (candidate < from[static_cast<std::size_t>(j)]) {
+          from[static_cast<std::size_t>(j)] = candidate;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace drtp::routing

@@ -1,0 +1,29 @@
+// Bellman-Ford distance-vector computation.
+//
+// §4.1 allows distance tables to be computed "using the Dijkstra's
+// algorithm or the Bellman-Ford distance-vector algorithm"; this is the
+// latter. It also serves as an independent oracle for Dijkstra in tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+#include "routing/dijkstra.h"  // LinkCostFn / kInfiniteCost
+
+namespace drtp::routing {
+
+/// Single-source Bellman-Ford over arbitrary non-negative costs.
+/// Returns per-node distances (kInfiniteCost when unreachable).
+std::vector<double> BellmanFordDistances(const net::Topology& topo,
+                                         NodeId src, const LinkCostFn& cost);
+
+/// All-pairs minimum hop counts via synchronous distance-vector rounds
+/// (each node repeatedly merges neighbors' vectors until a fixed point) —
+/// the classic distributed algorithm, executed to convergence.
+/// result[i][j] = min hops i->j, kUnreachableHops when disconnected.
+std::vector<std::vector<int>> DistanceVectorAllPairs(
+    const net::Topology& topo);
+
+}  // namespace drtp::routing

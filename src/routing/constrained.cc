@@ -1,0 +1,75 @@
+#include "routing/constrained.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace drtp::routing {
+
+std::optional<Path> CheapestPathMaxHops(const net::Topology& topo,
+                                        NodeId src, NodeId dst,
+                                        const LinkCostFn& cost,
+                                        int max_hops) {
+  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
+  DRTP_CHECK(dst >= 0 && dst < topo.num_nodes());
+  DRTP_CHECK(src != dst);
+  DRTP_CHECK(max_hops >= 1);
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+
+  // dist[h][v] = cheapest cost of reaching v in exactly h hops;
+  // parent[h][v] = the link used for the h-th hop on that path.
+  std::vector<std::vector<double>> dist(
+      static_cast<std::size_t>(max_hops) + 1,
+      std::vector<double>(n, kInfiniteCost));
+  std::vector<std::vector<LinkId>> parent(
+      static_cast<std::size_t>(max_hops) + 1,
+      std::vector<LinkId>(n, kInvalidLink));
+  dist[0][static_cast<std::size_t>(src)] = 0.0;
+
+  for (int h = 1; h <= max_hops; ++h) {
+    const auto& prev = dist[static_cast<std::size_t>(h - 1)];
+    auto& cur = dist[static_cast<std::size_t>(h)];
+    auto& par = parent[static_cast<std::size_t>(h)];
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      const net::Link& link = topo.link(l);
+      const double du = prev[static_cast<std::size_t>(link.src)];
+      if (du == kInfiniteCost) continue;
+      const double c = cost(l);
+      if (c == kInfiniteCost) continue;
+      DRTP_CHECK_MSG(c >= 0.0, "negative cost on link " << l);
+      const auto v = static_cast<std::size_t>(link.dst);
+      if (du + c < cur[v]) {
+        cur[v] = du + c;
+        par[v] = l;
+      }
+    }
+  }
+
+  // Best hop count within the bound.
+  int best_h = -1;
+  double best = kInfiniteCost;
+  for (int h = 1; h <= max_hops; ++h) {
+    const double d =
+        dist[static_cast<std::size_t>(h)][static_cast<std::size_t>(dst)];
+    if (d < best) {
+      best = d;
+      best_h = h;
+    }
+  }
+  if (best_h < 0) return std::nullopt;
+
+  std::vector<LinkId> links(static_cast<std::size_t>(best_h));
+  NodeId v = dst;
+  for (int h = best_h; h >= 1; --h) {
+    const LinkId l =
+        parent[static_cast<std::size_t>(h)][static_cast<std::size_t>(v)];
+    DRTP_CHECK(l != kInvalidLink);
+    links[static_cast<std::size_t>(h - 1)] = l;
+    v = topo.link(l).src;
+  }
+  DRTP_CHECK(v == src);
+  return Path::FromLinks(topo, std::move(links));
+}
+
+}  // namespace drtp::routing

@@ -1,0 +1,71 @@
+#include "routing/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace drtp::routing {
+
+std::optional<Path> DijkstraTree::PathTo(const net::Topology& topo,
+                                         NodeId dst) const {
+  if (!Reached(dst)) return std::nullopt;
+  std::vector<LinkId> links;
+  NodeId v = dst;
+  while (parent_link[static_cast<std::size_t>(v)] != kInvalidLink) {
+    const LinkId l = parent_link[static_cast<std::size_t>(v)];
+    links.push_back(l);
+    v = topo.link(l).src;
+  }
+  if (links.empty()) return std::nullopt;  // dst == src
+  std::reverse(links.begin(), links.end());
+  return Path::FromLinks(topo, std::move(links));
+}
+
+DijkstraTree RunDijkstra(const net::Topology& topo, NodeId src,
+                         const LinkCostFn& cost) {
+  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  DijkstraTree tree{std::vector<double>(n, kInfiniteCost),
+                    std::vector<LinkId>(n, kInvalidLink)};
+  tree.dist[static_cast<std::size_t>(src)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.dist[static_cast<std::size_t>(u)]) continue;  // stale
+    for (LinkId l : topo.out_links(u)) {
+      const double c = cost(l);
+      if (c == kInfiniteCost) continue;
+      DRTP_CHECK_MSG(c >= 0.0, "negative cost " << c << " on link " << l);
+      const NodeId v = topo.link(l).dst;
+      const double nd = d + c;
+      if (nd < tree.dist[static_cast<std::size_t>(v)]) {
+        tree.dist[static_cast<std::size_t>(v)] = nd;
+        tree.parent_link[static_cast<std::size_t>(v)] = l;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
+                                 NodeId dst, const LinkCostFn& cost) {
+  DRTP_CHECK(src != dst);
+  return RunDijkstra(topo, src, cost).PathTo(topo, dst);
+}
+
+std::optional<Path> MinHopPath(const net::Topology& topo, NodeId src,
+                               NodeId dst,
+                               const std::function<bool(LinkId)>& usable) {
+  return CheapestPath(topo, src, dst, [&](LinkId l) {
+    if (usable && !usable(l)) return kInfiniteCost;
+    return 1.0;
+  });
+}
+
+}  // namespace drtp::routing

@@ -1,0 +1,57 @@
+// Dijkstra shortest paths with pluggable non-negative link costs.
+//
+// Both link-state schemes reduce backup selection to a single Dijkstra run
+// over scheme-specific costs (Eq. 4 and Eq. 5); primary selection uses
+// unit costs with infeasible links priced at infinity.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+#include "routing/path.h"
+
+namespace drtp::routing {
+
+/// Cost of traversing a link. Return kInfiniteCost to forbid the link.
+using LinkCostFn = std::function<double(LinkId)>;
+
+inline constexpr double kInfiniteCost =
+    std::numeric_limits<double>::infinity();
+
+/// Single-source shortest path tree.
+struct DijkstraTree {
+  /// dist[v] is the cost from the source; infinity when unreachable.
+  std::vector<double> dist;
+  /// parent_link[v] is the tree link entering v; kInvalidLink at the
+  /// source and unreachable nodes.
+  std::vector<LinkId> parent_link;
+
+  bool Reached(NodeId v) const {
+    return dist[static_cast<std::size_t>(v)] < kInfiniteCost;
+  }
+
+  /// Extracts the path source->dst from the tree; nullopt if unreachable
+  /// or dst is the source itself.
+  std::optional<Path> PathTo(const net::Topology& topo, NodeId dst) const;
+};
+
+/// Runs Dijkstra from `src`. Costs must be non-negative (checked).
+DijkstraTree RunDijkstra(const net::Topology& topo, NodeId src,
+                         const LinkCostFn& cost);
+
+/// Convenience: cheapest src->dst path, nullopt when disconnected (or when
+/// every route has infinite cost).
+std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
+                                 NodeId dst, const LinkCostFn& cost);
+
+/// Min-hop path using unit costs, restricted to links where `usable`
+/// returns true (pass nullptr for no restriction).
+std::optional<Path> MinHopPath(const net::Topology& topo, NodeId src,
+                               NodeId dst,
+                               const std::function<bool(LinkId)>& usable);
+
+}  // namespace drtp::routing

@@ -1,0 +1,44 @@
+#include "routing/distance_table.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace drtp::routing {
+
+DistanceTable DistanceTable::Build(const net::Topology& topo) {
+  const int n = topo.num_nodes();
+  std::vector<int> dist(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                        kUnreachableHops);
+  for (NodeId s = 0; s < n; ++s) {
+    auto row = [&](NodeId t) -> int& {
+      return dist[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(t)];
+    };
+    row(s) = 0;
+    std::queue<NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (LinkId l : topo.out_links(u)) {
+        const NodeId v = topo.link(l).dst;
+        if (row(v) == kUnreachableHops) {
+          row(v) = row(u) + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return DistanceTable(n, std::move(dist));
+}
+
+int DistanceTable::MinHopsVia(NodeId from, NodeId to, NodeId via) const {
+  DRTP_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_ && via >= 0 &&
+             via < n_);
+  const int tail = MinHops(via, to);
+  if (tail >= kUnreachableHops) return kUnreachableHops;
+  return 1 + tail;
+}
+
+}  // namespace drtp::routing

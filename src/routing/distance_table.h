@@ -1,0 +1,56 @@
+// Distance tables for bounded flooding (§4.1).
+//
+// Each node i keeps, for every destination j and every neighbor k, the
+// minimum hop count from i to j when the first hop is i->k (D^i_{j,k});
+// D^i_j is the minimum over neighbors. Tables are rebuilt only on topology
+// change, exactly as the paper prescribes.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace drtp::routing {
+
+/// Hop count used for unreachable pairs (safe to add small offsets to).
+inline constexpr int kUnreachableHops =
+    std::numeric_limits<int>::max() / 4;
+
+/// All-pairs minimum hop counts plus the via-neighbor view the flooding
+/// tests need. Immutable snapshot of one topology.
+class DistanceTable {
+ public:
+  /// Builds via one BFS per node: O(V * (V + L)).
+  static DistanceTable Build(const net::Topology& topo);
+
+  /// D^from_to: minimum hops from `from` to `to` (0 when equal).
+  int MinHops(NodeId from, NodeId to) const {
+    return dist_[Index(from, to)];
+  }
+
+  /// D^from_{to, via}: minimum hops from `from` to `to` when the first hop
+  /// is the link from->via. Requires `via` adjacent to `from`.
+  int MinHopsVia(NodeId from, NodeId to, NodeId via) const;
+
+  bool Reachable(NodeId from, NodeId to) const {
+    return MinHops(from, to) < kUnreachableHops;
+  }
+
+  int num_nodes() const { return n_; }
+
+ private:
+  DistanceTable(int n, std::vector<int> dist)
+      : n_(n), dist_(std::move(dist)) {}
+
+  std::size_t Index(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(to);
+  }
+
+  int n_;
+  std::vector<int> dist_;  // row-major [from][to]
+};
+
+}  // namespace drtp::routing

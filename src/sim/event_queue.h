@@ -1,0 +1,70 @@
+// Discrete-event engine.
+//
+// A minimal, deterministic future-event list: events at equal times run in
+// scheduling order. The scenario replayer and the examples drive all state
+// changes through this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace drtp::sim {
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `t` (>= now).
+  void Schedule(Time t, std::function<void()> action) {
+    DRTP_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < "
+                                                           << now_);
+    heap_.push(Item{t, next_seq_++, std::move(action)});
+  }
+
+  /// Runs the earliest event; false when the queue is empty.
+  bool RunNext() {
+    if (heap_.empty()) return false;
+    // Item::action is not const-qualified for the move below; top() is.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.time;
+    item.action();
+    return true;
+  }
+
+  /// Runs every event with time <= t, then advances the clock to t.
+  void RunUntil(Time t) {
+    while (!heap_.empty() && heap_.top().time <= t) RunNext();
+    if (t > now_) now_ = t;
+  }
+
+  /// Drains the queue completely.
+  void RunAll() {
+    while (RunNext()) {
+    }
+  }
+
+  Time now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Item {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> action;
+
+    bool operator>(const Item& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace drtp::sim

@@ -1,0 +1,176 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "drtp/failure.h"
+
+namespace drtp::sim {
+
+RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
+                       core::RoutingScheme& scheme,
+                       const ExperimentConfig& config) {
+  const Time duration = scenario.traffic.duration;
+  DRTP_CHECK_MSG(config.warmup < duration,
+                 "warmup " << config.warmup << " >= duration " << duration);
+  DRTP_CHECK(config.sample_interval > 0.0);
+
+  core::DrtpNetwork net(topo, core::NetworkConfig{
+                                  .spare_mode = config.spare_mode,
+                                  .duplex_failures = false});
+  lsdb::LinkStateDb db(topo.num_links(), topo.num_links());
+
+  RunMetrics m;
+  m.scheme = scheme.name();
+  m.measure_start = config.warmup;
+  m.measure_end = duration;
+
+  const bool instant = config.lsdb_refresh_interval <= 0.0;
+  net.PublishTo(db, 0.0);
+  Time next_refresh = instant ? kTimeInfinity : config.lsdb_refresh_interval;
+
+  // Time-weighted active-connection count over the measurement window.
+  TimeWeightedStat window;
+  int active_count = 0;
+  const auto note_active = [&](Time t, int count) {
+    // The measurement window is [warmup, duration]; trailing releases
+    // beyond the horizon no longer affect the average.
+    const Time clamped = std::min(t, duration);
+    if (clamped >= config.warmup) {
+      if (!window.started()) window.Set(config.warmup, active_count);
+      window.Set(clamped, count);
+    }
+    active_count = count;
+  };
+
+  Time next_sample = config.warmup;
+  const auto sample = [&](Time t) {
+    m.pbk.Merge(core::EvaluateAllSingleLinkFailures(net));
+    m.prime_bw.Add(static_cast<double>(net.ledger().TotalPrime()));
+    m.spare_bw.Add(static_cast<double>(net.ledger().TotalSpare()));
+    if (config.check_consistency) net.CheckConsistency();
+    (void)t;
+  };
+
+  std::unordered_set<ConnId> admitted_ids;
+
+  // inspect_final fires once the clock passes the horizon, i.e. on the
+  // loaded steady-state network rather than the drained one.
+  bool inspected = false;
+  const auto maybe_inspect = [&](Time t) {
+    if (!inspected && t > duration && config.inspect_final) {
+      config.inspect_final(net);
+      inspected = true;
+    }
+  };
+
+  for (const ScenarioEvent& e : scenario.events) {
+    maybe_inspect(e.time);
+    while (next_sample <= e.time && next_sample <= duration) {
+      sample(next_sample);
+      next_sample += config.sample_interval;
+    }
+    while (next_refresh <= e.time) {
+      net.PublishTo(db, next_refresh);
+      next_refresh += config.lsdb_refresh_interval;
+    }
+
+    if (e.type == ScenarioEvent::Type::kRequest) {
+      ++m.requests;
+      core::RouteSelection sel =
+          scheme.SelectRoutes(net, db, e.src, e.dst, e.bw);
+      m.control_messages += sel.control_messages;
+      m.control_bytes += sel.control_bytes;
+      bool ok = false;
+      if (sel.primary.has_value() &&
+          net.EstablishConnection(e.conn, *sel.primary, e.bw, e.time)) {
+        ok = true;
+        ++m.admitted;
+        admitted_ids.insert(e.conn);
+        m.primary_hops.Add(sel.primary->hops());
+        if (scheme.wants_backup() && config.num_backups > 0 &&
+            sel.backup.has_value()) {
+          m.overbooked_hops += net.RegisterBackup(e.conn, *sel.backup);
+          ++m.with_backup;
+          m.backup_hops.Add(sel.backup->hops());
+          m.backup_overlap_links += sel.backup->OverlapCount(*sel.primary);
+          if (config.num_backups > 1) {
+            core::ProtectConnection(scheme, net, db, e.conn,
+                                    config.num_backups);
+          }
+        }
+        note_active(e.time, active_count + 1);
+        if (config.trace != nullptr) {
+          const core::DrConnection* conn = net.Find(e.conn);
+          config.trace->OnAdmit(e.time, e.conn, conn->primary,
+                                conn->first_backup());
+        }
+      }
+      if (!ok) {
+        ++m.blocked;
+        if (config.trace != nullptr) {
+          config.trace->OnBlock(e.time, e.conn, e.src, e.dst);
+        }
+      }
+      if (ok && instant) net.PublishTo(db, e.time);
+    } else if (e.type == ScenarioEvent::Type::kRelease) {
+      // Releases of never-admitted (blocked) connections are no-ops;
+      // connections dropped by an earlier failure were already erased.
+      if (admitted_ids.erase(e.conn) > 0 && net.Find(e.conn) != nullptr) {
+        net.ReleaseConnection(e.conn);
+        note_active(e.time, active_count - 1);
+        if (config.trace != nullptr) config.trace->OnRelease(e.time, e.conn);
+        if (instant) net.PublishTo(db, e.time);
+      }
+    } else if (e.type == ScenarioEvent::Type::kLinkFail) {
+      if (net.IsLinkUp(e.link)) {
+        ++m.failures_enacted;
+        const core::SwitchoverReport report = core::ApplyLinkFailure(
+            net, e.link, e.time, config.num_backups > 0 ? &scheme : nullptr,
+            &db);
+        m.failover_recovered += static_cast<std::int64_t>(
+            report.recovered.size());
+        m.failover_dropped += static_cast<std::int64_t>(
+            report.dropped.size());
+        m.backups_broken += static_cast<std::int64_t>(
+            report.backups_lost.size());
+        m.backups_reestablished += static_cast<std::int64_t>(
+            report.rerouted.size());
+        for (ConnId id : report.dropped) admitted_ids.erase(id);
+        note_active(e.time, net.ActiveCount());
+        if (config.trace != nullptr) {
+          config.trace->OnLinkFail(e.time, e.link,
+                                   static_cast<int>(report.recovered.size()),
+                                   static_cast<int>(report.dropped.size()),
+                                   static_cast<int>(
+                                       report.backups_lost.size()));
+        }
+        scheme.OnTopologyChanged(net);
+        if (instant) net.PublishTo(db, e.time);
+      }
+    } else {  // kLinkRepair
+      if (!net.IsLinkUp(e.link)) {
+        net.SetLinkUp(e.link);
+        scheme.OnTopologyChanged(net);
+        if (config.trace != nullptr) {
+          config.trace->OnLinkRepair(e.time, e.link);
+        }
+        if (instant) net.PublishTo(db, e.time);
+      }
+    }
+  }
+  while (next_sample <= duration) {
+    sample(next_sample);
+    next_sample += config.sample_interval;
+  }
+  if (!window.started()) window.Set(config.warmup, active_count);
+  m.avg_active = window.Average(duration);
+
+  DRTP_CHECK(m.admitted + m.blocked == m.requests);
+  if (config.check_consistency) net.CheckConsistency();
+  if (!inspected && config.inspect_final) config.inspect_final(net);
+  return m;
+}
+
+}  // namespace drtp::sim

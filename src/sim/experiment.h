@@ -1,0 +1,53 @@
+// Experiment driver: replays a scenario against one routing scheme on a
+// fresh copy of the network and collects RunMetrics.
+//
+// The driver owns the measurement protocol of §6: a warm-up period (the
+// network fills toward steady state — lifetimes are 20–60 min, so warm-up
+// spans multiple mean lifetimes), then a measurement window in which the
+// active-connection count is integrated and P_bk is sampled by what-if
+// failing every link at regular instants.
+#pragma once
+
+#include <functional>
+
+#include "drtp/network.h"
+#include "drtp/scheme.h"
+#include "net/topology.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "sim/trace.h"
+
+namespace drtp::sim {
+
+struct ExperimentConfig {
+  /// Measurement starts here; must be < scenario duration.
+  Time warmup = 4000.0;
+  /// P_bk / bandwidth sampling cadence inside the window.
+  Time sample_interval = 200.0;
+  /// 0 = advertise instantly after every change (the paper's assumption);
+  /// > 0 = periodic advertisement, modelling link-state staleness.
+  Time lsdb_refresh_interval = 0.0;
+  /// Spare provisioning mode (kDedicated for ablation X3).
+  core::SpareMode spare_mode = core::SpareMode::kMultiplexed;
+  /// Backups per connection (§2 allows "one or more"); extras beyond the
+  /// scheme's own selection come from SelectBackupFor with the existing
+  /// backups shunned. 0 disables protection even for protecting schemes.
+  int num_backups = 1;
+  /// Run DrtpNetwork::CheckConsistency at every sample (slow; tests only).
+  bool check_consistency = false;
+  /// Invoked once with the network state at the end of the measurement
+  /// window (before trailing releases drain it) — audits, custom metrics.
+  /// Null = disabled.
+  std::function<void(const core::DrtpNetwork&)> inspect_final;
+  /// Receives every replay event (admissions, blocks, releases, failures);
+  /// not owned. Null = tracing off.
+  TraceSink* trace = nullptr;
+};
+
+/// Replays `scenario` on a fresh DrtpNetwork over `topo` using `scheme`.
+/// Deterministic: same inputs, same metrics.
+RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
+                       core::RoutingScheme& scheme,
+                       const ExperimentConfig& config);
+
+}  // namespace drtp::sim

@@ -1,0 +1,15 @@
+#include "sim/metrics.h"
+
+#include "common/check.h"
+
+namespace drtp::sim {
+
+double CapacityOverheadPercent(const RunMetrics& baseline,
+                               const RunMetrics& scheme) {
+  DRTP_CHECK(baseline.avg_active >= 0.0 && scheme.avg_active >= 0.0);
+  if (baseline.avg_active <= 0.0) return 0.0;
+  return 100.0 * (baseline.avg_active - scheme.avg_active) /
+         baseline.avg_active;
+}
+
+}  // namespace drtp::sim

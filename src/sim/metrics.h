@@ -1,0 +1,84 @@
+// Metrics collected from one scenario replay (§6's measured quantities).
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace drtp::sim {
+
+struct RunMetrics {
+  std::string scheme;
+
+  // --- admission -----------------------------------------------------------
+  std::int64_t requests = 0;
+  std::int64_t admitted = 0;
+  std::int64_t blocked = 0;
+  /// Admitted connections that also got a backup registered.
+  std::int64_t with_backup = 0;
+
+  // --- enacted failures (scenarios with injected link faults) --------------
+  std::int64_t failures_enacted = 0;
+  /// Connections whose primary was hit and whose backup was promoted.
+  std::int64_t failover_recovered = 0;
+  /// Connections lost to a failure (no activatable backup).
+  std::int64_t failover_dropped = 0;
+  /// Backups broken by a failure (released, connection kept running).
+  std::int64_t backups_broken = 0;
+  /// Backups re-established by step-4 resource reconfiguration.
+  std::int64_t backups_reestablished = 0;
+
+  /// Recovery ratio actually achieved across enacted failures — the
+  /// enacted counterpart of the what-if P_bk.
+  double EnactedRecoveryRatio() const {
+    const auto hit = failover_recovered + failover_dropped;
+    return hit == 0 ? 0.0
+                    : static_cast<double>(failover_recovered) /
+                          static_cast<double>(hit);
+  }
+
+  // --- fault tolerance -------------------------------------------------------
+  /// P_bk: probability of activating a backup when a single link failure
+  /// disables the primary; aggregated over all sampled instants and all
+  /// single-link failure cases.
+  Ratio pbk;
+
+  // --- carried load (measurement window) -----------------------------------
+  /// Time-weighted average number of active DR-connections; Fig. 5's
+  /// capacity-overhead ingredient.
+  double avg_active = 0.0;
+  /// Sampled averages of network-wide reserved bandwidth.
+  RunningStat prime_bw;
+  RunningStat spare_bw;
+
+  // --- route quality --------------------------------------------------------
+  RunningStat primary_hops;
+  RunningStat backup_hops;
+  /// Backup-route links sharing a link with the own primary (should be
+  /// rare; forced only when no disjoint route exists).
+  std::int64_t backup_overlap_links = 0;
+
+  // --- overhead --------------------------------------------------------------
+  /// Route-discovery control traffic (CDP forwards for BF; zero for LSR).
+  std::int64_t control_messages = 0;
+  std::int64_t control_bytes = 0;
+  /// Backup-registration hops that left a spare pool below target.
+  std::int64_t overbooked_hops = 0;
+
+  Time measure_start = 0.0;
+  Time measure_end = 0.0;
+
+  double AcceptanceRatio() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(admitted) / static_cast<double>(requests);
+  }
+};
+
+/// Fig. 5's metric: percentage drop in carried connections relative to the
+/// unprotected baseline run on the same scenario.
+double CapacityOverheadPercent(const RunMetrics& baseline,
+                               const RunMetrics& scheme);
+
+}  // namespace drtp::sim

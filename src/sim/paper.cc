@@ -1,0 +1,59 @@
+#include "sim/paper.h"
+
+#include "common/check.h"
+#include "drtp/baselines.h"
+#include "drtp/bounded_flood.h"
+#include "drtp/dlsr.h"
+#include "drtp/plsr.h"
+
+namespace drtp::sim {
+
+net::Topology MakePaperTopology(double avg_degree, std::uint64_t seed) {
+  return net::MakeWaxman(net::WaxmanConfig{.nodes = kPaperNodes,
+                                           .avg_degree = avg_degree,
+                                           .alpha = 0.25,
+                                           .beta = 0.8,
+                                           .link_capacity = kPaperLinkCapacity,
+                                           .seed = seed});
+}
+
+TrafficConfig MakePaperTraffic(TrafficPattern pattern, double lambda,
+                               std::uint64_t seed) {
+  TrafficConfig tc;
+  tc.pattern = pattern;
+  tc.lambda = lambda;
+  tc.duration = kPaperDuration;
+  tc.bw = kPaperConnBw;
+  tc.lifetime_min = Minutes(20);
+  tc.lifetime_max = Minutes(60);
+  tc.hotspots = 10;
+  tc.hotspot_fraction = 0.5;
+  tc.seed = seed;
+  return tc;
+}
+
+ExperimentConfig MakePaperExperiment() {
+  ExperimentConfig ec;
+  ec.warmup = kPaperWarmup;
+  ec.sample_interval = 200.0;
+  ec.lsdb_refresh_interval = 0.0;
+  ec.spare_mode = core::SpareMode::kMultiplexed;
+  return ec;
+}
+
+std::unique_ptr<core::RoutingScheme> MakeScheme(const std::string& label,
+                                                const net::Topology& topo,
+                                                std::uint64_t seed) {
+  if (label == "D-LSR") return std::make_unique<core::Dlsr>();
+  if (label == "P-LSR") return std::make_unique<core::Plsr>();
+  if (label == "BF") return std::make_unique<core::BoundedFlooding>(topo);
+  if (label == "NoBackup") return std::make_unique<core::NoBackup>();
+  if (label == "RandomBackup")
+    return std::make_unique<core::RandomBackup>(seed);
+  if (label == "SD-Backup")
+    return std::make_unique<core::ShortestDisjointBackup>();
+  DRTP_CHECK_MSG(false, "unknown scheme '" << label << "'");
+  return nullptr;
+}
+
+}  // namespace drtp::sim

@@ -1,0 +1,192 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace drtp::sim {
+
+Scenario Scenario::Generate(const net::Topology& topo,
+                            const TrafficConfig& config) {
+  Scenario sc;
+  sc.traffic = config;
+  const std::vector<Request> requests = GenerateRequests(topo, config);
+  sc.events.reserve(requests.size() * 2);
+  for (const Request& r : requests) {
+    sc.events.push_back(ScenarioEvent{.type = ScenarioEvent::Type::kRequest,
+                                      .time = r.arrival,
+                                      .conn = r.id,
+                                      .src = r.src,
+                                      .dst = r.dst,
+                                      .bw = r.bw,
+                                      .link = kInvalidLink});
+    sc.events.push_back(ScenarioEvent{.type = ScenarioEvent::Type::kRelease,
+                                      .time = r.arrival + r.lifetime,
+                                      .conn = r.id,
+                                      .src = kInvalidNode,
+                                      .dst = kInvalidNode,
+                                      .bw = 0,
+                                      .link = kInvalidLink});
+  }
+  std::stable_sort(sc.events.begin(), sc.events.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.time < b.time;
+                   });
+  return sc;
+}
+
+std::int64_t Scenario::NumRequests() const {
+  return static_cast<std::int64_t>(
+      std::count_if(events.begin(), events.end(), [](const ScenarioEvent& e) {
+        return e.type == ScenarioEvent::Type::kRequest;
+      }));
+}
+
+std::int64_t Scenario::NumFailures() const {
+  return static_cast<std::int64_t>(
+      std::count_if(events.begin(), events.end(), [](const ScenarioEvent& e) {
+        return e.type == ScenarioEvent::Type::kLinkFail;
+      }));
+}
+
+void InjectLinkFailures(Scenario& scenario, const net::Topology& topo,
+                        int count, Time t_begin, Time t_end, Time mttr,
+                        std::uint64_t seed) {
+  DRTP_CHECK(count >= 0);
+  DRTP_CHECK(t_begin >= 0.0 && t_end > t_begin);
+  DRTP_CHECK(mttr > 0.0);
+  DRTP_CHECK(topo.num_links() > 0);
+  Rng rng(seed);
+
+  std::vector<ScenarioEvent> faults;
+  // down_until[l] prevents re-failing a link that is still under repair.
+  std::vector<Time> down_until(static_cast<std::size_t>(topo.num_links()),
+                               -1.0);
+  // Draw instants first, then sort, so victims are picked in time order.
+  std::vector<Time> instants;
+  instants.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    instants.push_back(rng.UniformReal(t_begin, t_end));
+  }
+  std::sort(instants.begin(), instants.end());
+  for (const Time t : instants) {
+    LinkId victim = kInvalidLink;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const LinkId l = static_cast<LinkId>(
+          rng.Index(static_cast<std::size_t>(topo.num_links())));
+      if (down_until[static_cast<std::size_t>(l)] < t) {
+        victim = l;
+        break;
+      }
+    }
+    if (victim == kInvalidLink) continue;  // nearly everything is down
+    down_until[static_cast<std::size_t>(victim)] = t + mttr;
+    faults.push_back(ScenarioEvent{.type = ScenarioEvent::Type::kLinkFail,
+                                   .time = t,
+                                   .conn = kInvalidConn,
+                                   .src = kInvalidNode,
+                                   .dst = kInvalidNode,
+                                   .bw = 0,
+                                   .link = victim});
+    faults.push_back(ScenarioEvent{.type = ScenarioEvent::Type::kLinkRepair,
+                                   .time = t + mttr,
+                                   .conn = kInvalidConn,
+                                   .src = kInvalidNode,
+                                   .dst = kInvalidNode,
+                                   .bw = 0,
+                                   .link = victim});
+  }
+  scenario.events.insert(scenario.events.end(), faults.begin(), faults.end());
+  std::stable_sort(scenario.events.begin(), scenario.events.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void Scenario::Save(std::ostream& os) const {
+  os << "drtp-scenario 1\n";
+  os << "traffic " << static_cast<int>(traffic.pattern) << " "
+     << traffic.lambda << " " << traffic.duration << " " << traffic.bw << " "
+     << traffic.bw_max << " " << traffic.lifetime_min << " "
+     << traffic.lifetime_max << " " << traffic.hotspots << " "
+     << traffic.hotspot_fraction << " " << traffic.seed << "\n";
+  os << "events " << events.size() << "\n";
+  os.precision(17);  // times must round-trip exactly
+  for (const ScenarioEvent& e : events) {
+    switch (e.type) {
+      case ScenarioEvent::Type::kRequest:
+        os << "req " << e.time << " " << e.conn << " " << e.src << " "
+           << e.dst << " " << e.bw << "\n";
+        break;
+      case ScenarioEvent::Type::kRelease:
+        os << "rel " << e.time << " " << e.conn << "\n";
+        break;
+      case ScenarioEvent::Type::kLinkFail:
+        os << "fail " << e.time << " " << e.link << "\n";
+        break;
+      case ScenarioEvent::Type::kLinkRepair:
+        os << "repair " << e.time << " " << e.link << "\n";
+        break;
+    }
+  }
+}
+
+Scenario Scenario::Load(std::istream& is) {
+  std::string word;
+  int version = 0;
+  DRTP_CHECK_MSG(is >> word >> version && word == "drtp-scenario" &&
+                     version == 1,
+                 "bad scenario header");
+  Scenario sc;
+  int pattern = 0;
+  DRTP_CHECK(is >> word >> pattern >> sc.traffic.lambda >>
+                 sc.traffic.duration >> sc.traffic.bw >> sc.traffic.bw_max >>
+                 sc.traffic.lifetime_min >> sc.traffic.lifetime_max >>
+                 sc.traffic.hotspots >> sc.traffic.hotspot_fraction >>
+                 sc.traffic.seed &&
+             word == "traffic");
+  DRTP_CHECK(pattern == 0 || pattern == 1);
+  sc.traffic.pattern = static_cast<TrafficPattern>(pattern);
+  std::size_t count = 0;
+  DRTP_CHECK(is >> word >> count && word == "events");
+  sc.events.reserve(count);
+  Time prev = -kTimeInfinity;
+  for (std::size_t i = 0; i < count; ++i) {
+    ScenarioEvent e;
+    DRTP_CHECK_MSG(static_cast<bool>(is >> word), "truncated scenario");
+    if (word == "req") {
+      e.type = ScenarioEvent::Type::kRequest;
+      DRTP_CHECK(is >> e.time >> e.conn >> e.src >> e.dst >> e.bw);
+    } else if (word == "rel") {
+      e.type = ScenarioEvent::Type::kRelease;
+      DRTP_CHECK(is >> e.time >> e.conn);
+    } else if (word == "fail") {
+      e.type = ScenarioEvent::Type::kLinkFail;
+      DRTP_CHECK(is >> e.time >> e.link);
+    } else if (word == "repair") {
+      e.type = ScenarioEvent::Type::kLinkRepair;
+      DRTP_CHECK(is >> e.time >> e.link);
+    } else {
+      DRTP_CHECK_MSG(false, "unknown event kind '" << word << "'");
+    }
+    DRTP_CHECK_MSG(e.time >= prev, "events out of order");
+    prev = e.time;
+    sc.events.push_back(e);
+  }
+  return sc;
+}
+
+std::string Scenario::ToString() const {
+  std::ostringstream os;
+  Save(os);
+  return os.str();
+}
+
+Scenario Scenario::FromString(const std::string& text) {
+  std::istringstream is(text);
+  return Load(is);
+}
+
+}  // namespace drtp::sim

@@ -1,0 +1,65 @@
+// Scenario files (§6.1).
+//
+// The paper records connection request/release events in scenario files
+// (generated with Matlab there) and replays the *same* file against every
+// routing scheme, so admission and fault-tolerance differences are
+// attributable to the scheme alone. This module is the C++ rebuild of
+// that workflow: generate once, serialize, replay many times.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+#include "sim/traffic.h"
+
+namespace drtp::sim {
+
+/// One replayable event.
+struct ScenarioEvent {
+  enum class Type { kRequest, kRelease, kLinkFail, kLinkRepair };
+  Type type = Type::kRequest;
+  Time time = 0.0;
+  ConnId conn = kInvalidConn;
+  // Request-only fields (zero on releases).
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth bw = 0;
+  // Failure/repair events only.
+  LinkId link = kInvalidLink;
+};
+
+/// An immutable event trace plus the traffic parameters it came from.
+struct Scenario {
+  TrafficConfig traffic;
+  /// Sorted by (time, insertion order); a connection's release always
+  /// follows its request.
+  std::vector<ScenarioEvent> events;
+
+  /// Expands GenerateRequests into interleaved request/release events.
+  static Scenario Generate(const net::Topology& topo,
+                           const TrafficConfig& config);
+
+  /// Line-oriented text round-trip.
+  void Save(std::ostream& os) const;
+  static Scenario Load(std::istream& is);
+  std::string ToString() const;
+  static Scenario FromString(const std::string& text);
+
+  std::int64_t NumRequests() const;
+  std::int64_t NumFailures() const;
+};
+
+/// Injects `count` single-link failure events at uniform-random instants
+/// in [t_begin, t_end], each repaired `mttr` seconds later (repairs may
+/// fall beyond t_end). Victim links are drawn uniformly; a link is never
+/// scheduled to fail again while still down. Events are merged in time
+/// order. This turns the what-if P_bk analysis into enacted DRTP failure
+/// handling during replay.
+void InjectLinkFailures(Scenario& scenario, const net::Topology& topo,
+                        int count, Time t_begin, Time t_end, Time mttr,
+                        std::uint64_t seed);
+
+}  // namespace drtp::sim

@@ -1,0 +1,53 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace drtp::sim {
+namespace {
+
+void WriteNodes(std::ostream& os, const routing::Path& path) {
+  const auto& nodes = path.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) os << '-';
+    os << nodes[i];
+  }
+}
+
+}  // namespace
+
+void TextTraceSink::OnAdmit(Time t, ConnId conn,
+                            const routing::Path& primary,
+                            const routing::Path* backup) {
+  os_ << t << " + conn " << conn << " primary ";
+  WriteNodes(os_, primary);
+  if (backup != nullptr) {
+    os_ << " backup ";
+    WriteNodes(os_, *backup);
+  }
+  os_ << '\n';
+  ++lines_;
+}
+
+void TextTraceSink::OnBlock(Time t, ConnId conn, NodeId src, NodeId dst) {
+  os_ << t << " x conn " << conn << " (" << src << " -> " << dst << ")\n";
+  ++lines_;
+}
+
+void TextTraceSink::OnRelease(Time t, ConnId conn) {
+  os_ << t << " - conn " << conn << '\n';
+  ++lines_;
+}
+
+void TextTraceSink::OnLinkFail(Time t, LinkId link, int recovered,
+                               int dropped, int backups_broken) {
+  os_ << t << " ! link " << link << " recovered " << recovered << " dropped "
+      << dropped << " broken " << backups_broken << '\n';
+  ++lines_;
+}
+
+void TextTraceSink::OnLinkRepair(Time t, LinkId link) {
+  os_ << t << " ~ link " << link << " repaired\n";
+  ++lines_;
+}
+
+}  // namespace drtp::sim

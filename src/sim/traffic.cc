@@ -1,0 +1,84 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace drtp::sim {
+
+const char* PatternName(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform:
+      return "UT";
+    case TrafficPattern::kHotspot:
+      return "NT";
+  }
+  return "?";
+}
+
+std::vector<NodeId> HotspotNodes(const net::Topology& topo,
+                                 const TrafficConfig& config) {
+  DRTP_CHECK(config.hotspots > 0 && config.hotspots <= topo.num_nodes());
+  // Derive from a dedicated stream so request draws do not shift the set.
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<NodeId> all(static_cast<std::size_t>(topo.num_nodes()));
+  for (NodeId n = 0; n < topo.num_nodes(); ++n)
+    all[static_cast<std::size_t>(n)] = n;
+  rng.Shuffle(all);
+  all.resize(static_cast<std::size_t>(config.hotspots));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<Request> GenerateRequests(const net::Topology& topo,
+                                      const TrafficConfig& config) {
+  DRTP_CHECK(topo.num_nodes() >= 2);
+  DRTP_CHECK(config.lambda > 0.0);
+  DRTP_CHECK(config.duration > 0.0);
+  DRTP_CHECK(config.bw > 0);
+  DRTP_CHECK(config.bw_max == 0 || config.bw_max >= config.bw);
+  DRTP_CHECK(config.lifetime_min > 0.0 &&
+             config.lifetime_max >= config.lifetime_min);
+  DRTP_CHECK(config.hotspot_fraction >= 0.0 &&
+             config.hotspot_fraction <= 1.0);
+
+  const std::vector<NodeId> hotspots =
+      config.pattern == TrafficPattern::kHotspot ? HotspotNodes(topo, config)
+                                                 : std::vector<NodeId>{};
+  Rng rng(config.seed);
+  std::vector<Request> requests;
+  Time t = 0.0;
+  ConnId next_id = 0;
+  while (true) {
+    t += rng.Exponential(config.lambda);
+    if (t >= config.duration) break;
+    Request r;
+    r.id = next_id++;
+    r.arrival = t;
+    r.lifetime = rng.UniformReal(config.lifetime_min, config.lifetime_max);
+    if (config.bw_max > config.bw) {
+      constexpr Bandwidth kStep = 250;  // kbit/s granularity
+      const auto steps = (config.bw_max - config.bw) / kStep;
+      r.bw = config.bw + kStep * rng.UniformInt(0, steps);
+    } else {
+      r.bw = config.bw;
+    }
+    // Destination first (NT concentrates destinations), then a distinct
+    // uniform source.
+    if (config.pattern == TrafficPattern::kHotspot &&
+        rng.Bernoulli(config.hotspot_fraction)) {
+      r.dst = hotspots[rng.Index(hotspots.size())];
+    } else {
+      r.dst = static_cast<NodeId>(rng.Index(
+          static_cast<std::size_t>(topo.num_nodes())));
+    }
+    do {
+      r.src = static_cast<NodeId>(rng.Index(
+          static_cast<std::size_t>(topo.num_nodes())));
+    } while (r.src == r.dst);
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+}  // namespace drtp::sim

@@ -1,0 +1,66 @@
+// Traffic model (§6.1).
+//
+// DR-connection requests arrive as a Poisson process with rate lambda;
+// each connection needs a constant bandwidth and lives for a uniformly
+// distributed time between 20 and 60 minutes. Two endpoint patterns:
+//   UT — source and destination drawn uniformly at random,
+//   NT — 10 pre-selected nodes receive 50% of all connections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace drtp::sim {
+
+enum class TrafficPattern { kUniform, kHotspot };
+
+/// Short names used in tables: UT / NT (the paper's labels).
+const char* PatternName(TrafficPattern p);
+
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// Request arrival rate, per second.
+  double lambda = 0.5;
+  /// Requests arrive in [0, duration); releases may fall later.
+  Time duration = 10000.0;
+  /// Per-connection bandwidth (paper: identical for all). When bw_max > bw
+  /// each request draws uniformly from {bw, bw+250 kbps, ..., bw_max} —
+  /// the heterogeneous workload the §5 sizing rule is generalized for.
+  Bandwidth bw = Mbps(1);
+  Bandwidth bw_max = 0;  // 0 = constant bandwidth
+  /// Uniform lifetime bounds.
+  Time lifetime_min = Minutes(20);
+  Time lifetime_max = Minutes(60);
+  /// NT parameters: this many random nodes receive `hotspot_fraction` of
+  /// all connections as destinations.
+  int hotspots = 10;
+  double hotspot_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// One connection request as the generator produced it.
+struct Request {
+  ConnId id = kInvalidConn;
+  Time arrival = 0.0;
+  Time lifetime = 0.0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth bw = 0;
+};
+
+/// Draws the full request sequence for one run; arrivals are strictly
+/// increasing, ids sequential from 0. Deterministic in (config, topology
+/// node count).
+std::vector<Request> GenerateRequests(const net::Topology& topo,
+                                      const TrafficConfig& config);
+
+/// The NT hotspot destination set for the given config (exposed so tests
+/// and the harness can verify concentration).
+std::vector<NodeId> HotspotNodes(const net::Topology& topo,
+                                 const TrafficConfig& config);
+
+}  // namespace drtp::sim

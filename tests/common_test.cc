@@ -1,0 +1,235 @@
+// Tests for src/common: checks, rng, stats, flags, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace drtp {
+namespace {
+
+// ---- check ------------------------------------------------------------
+
+TEST(Check, PassingCheckDoesNothing) { DRTP_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(DRTP_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageCarriesContext) {
+  try {
+    DRTP_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+// ---- rng ---------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.UniformInt(3, 6);
+    ASSERT_GE(x, 3);
+    ASSERT_LE(x, 6);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformReal(1.5, 2.5);
+    ASSERT_GE(x, 1.5);
+    ASSERT_LT(x, 2.5);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyInverseRate) {
+  Rng rng(3);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.Add(rng.Exponential(0.5));
+  EXPECT_NEAR(stat.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng rng(6);
+  EXPECT_THROW(rng.Index(0), CheckError);
+}
+
+// ---- stats -------------------------------------------------------------
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  Rng rng(9);
+  RunningStat all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.UniformReal(-1, 1);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(TimeWeightedStat, PiecewiseConstantAverage) {
+  TimeWeightedStat s;
+  s.Set(0.0, 10.0);
+  s.Set(5.0, 20.0);  // 10 for [0,5)
+  // 20 for [5,10): average = (50 + 100) / 10
+  EXPECT_DOUBLE_EQ(s.Average(10.0), 15.0);
+}
+
+TEST(TimeWeightedStat, AverageBeforeStartIsZero) {
+  TimeWeightedStat s;
+  EXPECT_EQ(s.Average(5.0), 0.0);
+}
+
+TEST(Histogram, BinningAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i / 10.0);  // uniform over [0,10)
+  EXPECT_EQ(h.total(), 100);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 10.0, 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+}
+
+TEST(Ratio, Aggregation) {
+  Ratio r;
+  r.Add(true);
+  r.Add(false);
+  r.AddMany(8, 8);
+  EXPECT_DOUBLE_EQ(r.value(), 0.9);
+  Ratio empty;
+  EXPECT_EQ(empty.value(), 0.0);
+}
+
+// ---- flags -------------------------------------------------------------
+
+TEST(FlagSet, ParsesAllTypes) {
+  FlagSet flags("prog");
+  auto& n = flags.Int64("n", 1, "count");
+  auto& x = flags.Double("x", 0.5, "ratio");
+  auto& s = flags.String("s", "a", "label");
+  auto& b = flags.Bool("b", false, "toggle");
+  const char* argv[] = {"prog", "--n=42", "--x", "2.5", "--s=hello", "--b"};
+  flags.Parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagSet, DefaultsSurviveNoArgs) {
+  FlagSet flags("prog");
+  auto& n = flags.Int64("n", 7, "count");
+  const char* argv[] = {"prog"};
+  flags.Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(n, 7);
+}
+
+TEST(FlagSet, PositionalCollected) {
+  FlagSet flags("prog");
+  const char* argv[] = {"prog", "one", "two"};
+  flags.Parse(3, const_cast<char**>(argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "one");
+}
+
+TEST(FlagSet, UsageMentionsEveryFlag) {
+  FlagSet flags("prog");
+  flags.Int64("alpha", 0, "the alpha");
+  flags.Bool("beta", true, "the beta");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("--beta"), std::string::npos);
+}
+
+// ---- table -------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.BeginRow();
+  t.Cell("x");
+  t.Cell(std::int64_t{10});
+  t.BeginRow();
+  t.Cell("longer");
+  t.Cell(3.14159, 2);
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsOverfilledRow) {
+  TextTable t({"a"});
+  t.BeginRow();
+  t.Cell("1");
+  EXPECT_THROW(t.Cell("2"), CheckError);
+}
+
+}  // namespace
+}  // namespace drtp

@@ -1,0 +1,149 @@
+// Integration tests: full scenario replays through the experiment driver
+// on reduced-scale paper setups, checking determinism, metric sanity, and
+// the qualitative relations §6 reports.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/paper.h"
+
+namespace drtp::sim {
+namespace {
+
+/// Reduced-scale setup so each replay takes milliseconds: shorter horizon
+/// and lifetimes, same structure as the paper runs.
+struct SmallSetup {
+  net::Topology topo;
+  Scenario scenario;
+  ExperimentConfig config;
+
+  static SmallSetup Make(double avg_degree, TrafficPattern pattern,
+                         double lambda, std::uint64_t seed,
+                         core::SpareMode mode = core::SpareMode::kMultiplexed) {
+    SmallSetup s{MakePaperTopology(avg_degree, seed), {}, {}};
+    TrafficConfig tc = MakePaperTraffic(pattern, lambda, seed + 1);
+    tc.duration = 2000.0;
+    tc.lifetime_min = 300.0;
+    tc.lifetime_max = 900.0;
+    s.scenario = Scenario::Generate(s.topo, tc);
+    s.config.warmup = 800.0;
+    s.config.sample_interval = 100.0;
+    s.config.spare_mode = mode;
+    return s;
+  }
+};
+
+RunMetrics Replay(const SmallSetup& s, const std::string& scheme_label) {
+  auto scheme = MakeScheme(scheme_label, s.topo, 17);
+  return RunScenario(s.topo, s.scenario, *scheme, s.config);
+}
+
+TEST(Experiment, MetricsAreSane) {
+  const SmallSetup s = SmallSetup::Make(3.0, TrafficPattern::kUniform, 0.4, 1);
+  for (const char* label : {"D-LSR", "P-LSR", "BF", "NoBackup"}) {
+    const RunMetrics m = Replay(s, label);
+    EXPECT_EQ(m.scheme, label);
+    EXPECT_EQ(m.requests, s.scenario.NumRequests());
+    EXPECT_EQ(m.admitted + m.blocked, m.requests) << label;
+    EXPECT_GT(m.admitted, 0) << label;
+    EXPECT_GE(m.pbk.value(), 0.0);
+    EXPECT_LE(m.pbk.value(), 1.0);
+    EXPECT_GT(m.avg_active, 0.0) << label;
+    if (std::string(label) == "NoBackup") {
+      EXPECT_EQ(m.with_backup, 0);
+      EXPECT_EQ(m.pbk.value(), 0.0);  // nothing ever activates
+      EXPECT_EQ(m.spare_bw.max(), 0.0);
+    } else if (std::string(label) == "BF") {
+      // BF may find only one candidate inside the flooding ellipse and
+      // leave the connection unprotected — part of why its
+      // fault-tolerance trails the LSR schemes (§6.2).
+      EXPECT_GT(m.with_backup, m.admitted / 2) << label;
+      EXPECT_LE(m.with_backup, m.admitted) << label;
+      EXPECT_GT(m.pbk.trials, 0) << label;
+    } else {
+      EXPECT_EQ(m.with_backup, m.admitted) << label;  // ample topology
+      EXPECT_GT(m.pbk.trials, 0) << label;
+      EXPECT_GT(m.spare_bw.mean(), 0.0) << label;
+    }
+  }
+}
+
+TEST(Experiment, DeterministicReplay) {
+  const SmallSetup s = SmallSetup::Make(3.0, TrafficPattern::kHotspot, 0.5, 2);
+  const RunMetrics a = Replay(s, "D-LSR");
+  const RunMetrics b = Replay(s, "D-LSR");
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.pbk.hits, b.pbk.hits);
+  EXPECT_EQ(a.pbk.trials, b.pbk.trials);
+  EXPECT_DOUBLE_EQ(a.avg_active, b.avg_active);
+}
+
+TEST(Experiment, ConsistencyHoldsThroughoutReplay) {
+  SmallSetup s = SmallSetup::Make(3.0, TrafficPattern::kUniform, 0.3, 3);
+  s.config.check_consistency = true;  // CheckConsistency at every sample
+  const RunMetrics m = Replay(s, "D-LSR");
+  EXPECT_GT(m.admitted, 0);
+}
+
+TEST(Experiment, SchemesProtectWellAtModerateLoad) {
+  const SmallSetup s = SmallSetup::Make(4.0, TrafficPattern::kUniform, 0.3, 4);
+  for (const char* label : {"D-LSR", "P-LSR", "BF"}) {
+    const RunMetrics m = Replay(s, label);
+    EXPECT_GT(m.pbk.value(), 0.80) << label;
+  }
+}
+
+TEST(Experiment, BackupsCostCapacityButNotTooMuch) {
+  // At a load past the no-backup saturation point, protected schemes carry
+  // fewer connections — the §6.2 capacity overhead — but multiplexing
+  // keeps the drop well under the 50% of dedicated protection.
+  const SmallSetup s = SmallSetup::Make(3.0, TrafficPattern::kUniform, 1.2, 5);
+  const RunMetrics base = Replay(s, "NoBackup");
+  const RunMetrics dlsr = Replay(s, "D-LSR");
+  const double overhead = CapacityOverheadPercent(base, dlsr);
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 45.0);
+  EXPECT_LT(dlsr.avg_active, base.avg_active);
+}
+
+TEST(Experiment, DedicatedSparesCostMoreThanMultiplexed) {
+  const SmallSetup multiplexed =
+      SmallSetup::Make(3.0, TrafficPattern::kUniform, 1.2, 6);
+  const SmallSetup dedicated = SmallSetup::Make(
+      3.0, TrafficPattern::kUniform, 1.2, 6, core::SpareMode::kDedicated);
+  const RunMetrics base = Replay(multiplexed, "NoBackup");
+  const RunMetrics mux = Replay(multiplexed, "D-LSR");
+  const RunMetrics ded = Replay(dedicated, "D-LSR");
+  EXPECT_GT(CapacityOverheadPercent(base, ded),
+            CapacityOverheadPercent(base, mux));
+}
+
+TEST(Experiment, BfReportsControlTraffic) {
+  const SmallSetup s = SmallSetup::Make(3.0, TrafficPattern::kUniform, 0.3, 7);
+  const RunMetrics bf = Replay(s, "BF");
+  EXPECT_GT(bf.control_messages, 0);
+  EXPECT_GT(bf.control_bytes, bf.control_messages * 24);
+  const RunMetrics dlsr = Replay(s, "D-LSR");
+  EXPECT_EQ(dlsr.control_messages, 0);  // link-state: periodic, not per-call
+}
+
+TEST(Experiment, StaleLsdbStillFunctions) {
+  SmallSetup s = SmallSetup::Make(3.0, TrafficPattern::kUniform, 0.3, 8);
+  s.config.lsdb_refresh_interval = 50.0;
+  const RunMetrics m = Replay(s, "D-LSR");
+  EXPECT_GT(m.admitted, 0);
+  EXPECT_GE(m.pbk.value(), 0.0);
+  EXPECT_LE(m.pbk.value(), 1.0);
+}
+
+TEST(Experiment, HigherLoadDegradesFaultTolerance) {
+  const SmallSetup lo = SmallSetup::Make(3.0, TrafficPattern::kUniform, 0.2, 9);
+  const SmallSetup hi =
+      SmallSetup::Make(3.0, TrafficPattern::kUniform, 1.5, 9);
+  const RunMetrics a = Replay(lo, "D-LSR");
+  const RunMetrics b = Replay(hi, "D-LSR");
+  EXPECT_GE(a.pbk.value(), b.pbk.value() - 0.02);
+}
+
+}  // namespace
+}  // namespace drtp::sim

@@ -1,0 +1,243 @@
+// Tests for the failure machinery: the what-if P_bk evaluator (including
+// the Fig. 1 multiplexing stories) and the mutating switchover engine.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "drtp/dlsr.h"
+#include "drtp/failure.h"
+#include "drtp/network.h"
+#include "net/generators.h"
+
+namespace drtp::core {
+namespace {
+
+routing::Path NodePath(const net::Topology& topo,
+                       std::vector<NodeId> nodes) {
+  auto p = routing::Path::FromNodes(topo, nodes);
+  DRTP_CHECK(p.has_value());
+  return *p;
+}
+
+/// Builds the Fig. 1 situation on a 3x3 grid (nodes 0..8 row-major):
+/// D1 and D2 have disjoint primaries whose backups share links (benign
+/// multiplexing); D1 and D3 have overlapping primaries whose backups also
+/// share a link (conflict).
+class Figure1Test : public ::testing::Test {
+ protected:
+  Figure1Test() : net_(net::MakeGrid(3, 3, Mbps(2))) {}
+
+  DrtpNetwork net_;
+};
+
+TEST_F(Figure1Test, DisjointPrimariesShareSpareSafely) {
+  // D1: primary 0-1-2 , backup 0-3-4-5-2.
+  // D2: primary 6-7-8 , backup 6-3-4-5-8 — backups share 3->4 and 4->5.
+  ASSERT_TRUE(net_.EstablishConnection(1, NodePath(net_.topology(), {0, 1, 2}),
+                                       Mbps(1), 0.0));
+  net_.RegisterBackup(1, NodePath(net_.topology(), {0, 3, 4, 5, 2}));
+  ASSERT_TRUE(net_.EstablishConnection(2, NodePath(net_.topology(), {6, 7, 8}),
+                                       Mbps(1), 0.0));
+  net_.RegisterBackup(2, NodePath(net_.topology(), {6, 3, 4, 5, 8}));
+  // Shared links hold one slot only (primaries disjoint => multiplexing
+  // is free), yet every single-link failure is fully recoverable.
+  EXPECT_EQ(net_.ledger().spare(net_.topology().FindLink(3, 4)), Mbps(1));
+  const Ratio pbk = EvaluateAllSingleLinkFailures(net_);
+  EXPECT_EQ(pbk.hits, pbk.trials);
+  EXPECT_GT(pbk.trials, 0);
+  EXPECT_DOUBLE_EQ(pbk.value(), 1.0);
+}
+
+TEST_F(Figure1Test, ConflictingBackupsContendWhenUnderProvisioned) {
+  // Both connections run their primaries over the shared link 0->1; their
+  // backups share 3->4. Failing 0->1 activates both; the shared spare
+  // must hold two slots (§5) for both to survive.
+  ASSERT_TRUE(net_.EstablishConnection(1, NodePath(net_.topology(), {0, 1}),
+                                       Mbps(1), 0.0));
+  net_.RegisterBackup(1, NodePath(net_.topology(), {0, 3, 4, 1}));
+  ASSERT_TRUE(net_.EstablishConnection(2,
+                                       NodePath(net_.topology(), {0, 1, 2}),
+                                       Mbps(1), 0.0));
+  net_.RegisterBackup(2, NodePath(net_.topology(), {0, 3, 4, 5, 2}));
+  // APLV of 0->3 lists 0->1 twice -> two spare slots reserved.
+  const LinkId l03 = net_.topology().FindLink(0, 3);
+  EXPECT_EQ(net_.aplv(l03).Max(), 2);
+  EXPECT_EQ(net_.ledger().spare(l03), Mbps(2));
+  const FailureImpact impact =
+      EvaluateLinkFailure(net_, net_.topology().FindLink(0, 1));
+  EXPECT_EQ(impact.attempts, 2);
+  EXPECT_EQ(impact.activated, 2);
+
+  // Now starve the shared link so only one slot exists: the same
+  // situation, but 0->3 already carries 1 Mbps of primary traffic.
+  DrtpNetwork tight2(net::MakeGrid(3, 3, Mbps(2)));
+  ASSERT_TRUE(tight2.EstablishConnection(
+      9, NodePath(tight2.topology(), {0, 3}), Mbps(1), 0.0));
+  ASSERT_TRUE(tight2.EstablishConnection(
+      1, NodePath(tight2.topology(), {0, 1}), Mbps(1), 0.0));
+  tight2.RegisterBackup(1, NodePath(tight2.topology(), {0, 3, 4, 1}));
+  ASSERT_TRUE(tight2.EstablishConnection(
+      2, NodePath(tight2.topology(), {0, 1, 2}), Mbps(1), 0.0));
+  tight2.RegisterBackup(2, NodePath(tight2.topology(), {0, 3, 4, 5, 2}));
+  // 0->3: total 2, prime 1 -> spare can only reach 1 of the 2 target.
+  EXPECT_EQ(tight2.ledger().spare(tight2.topology().FindLink(0, 3)), Mbps(1));
+  EXPECT_FALSE(tight2.OverbookedLinks().empty());
+  const FailureImpact tight_impact =
+      EvaluateLinkFailure(tight2, tight2.topology().FindLink(0, 1));
+  EXPECT_EQ(tight_impact.attempts, 2);
+  EXPECT_EQ(tight_impact.activated, 1);  // one of the two loses
+}
+
+TEST_F(Figure1Test, BackupThroughFailedLinkCannotActivate) {
+  ASSERT_TRUE(net_.EstablishConnection(1, NodePath(net_.topology(), {0, 1}),
+                                       Mbps(1), 0.0));
+  net_.RegisterBackup(1, NodePath(net_.topology(), {0, 3, 4, 1}));
+  ASSERT_TRUE(net_.EstablishConnection(2, NodePath(net_.topology(), {3, 4}),
+                                       Mbps(1), 0.0));
+  net_.RegisterBackup(2, NodePath(net_.topology(), {3, 0, 1, 4}));
+  // Fail 3->4: D2's primary dies; D2's backup 3-0-1-4 is intact -> 1/1.
+  const FailureImpact a = EvaluateLinkFailure(net_, net_.topology().FindLink(3, 4));
+  EXPECT_EQ(a.attempts, 1);
+  EXPECT_EQ(a.activated, 1);
+  // A connection whose primary AND backup share a failed link never
+  // recovers: craft one.
+  DrtpNetwork star(net::MakeStar(3, Mbps(2)));
+  ASSERT_TRUE(star.EstablishConnection(
+      1, NodePath(star.topology(), {1, 0, 2}), Mbps(1), 0.0));
+  star.RegisterBackup(1, NodePath(star.topology(), {1, 0, 2}));
+  const FailureImpact b =
+      EvaluateLinkFailure(star, star.topology().FindLink(1, 0));
+  EXPECT_EQ(b.attempts, 1);
+  EXPECT_EQ(b.activated, 0);
+}
+
+TEST_F(Figure1Test, UnprotectedConnectionNeverActivates) {
+  ASSERT_TRUE(net_.EstablishConnection(1, NodePath(net_.topology(), {0, 1}),
+                                       Mbps(1), 0.0));
+  const FailureImpact impact =
+      EvaluateLinkFailure(net_, net_.topology().FindLink(0, 1));
+  EXPECT_EQ(impact.attempts, 1);
+  EXPECT_EQ(impact.activated, 0);
+}
+
+TEST_F(Figure1Test, EvaluationIsPureWhatIf) {
+  ASSERT_TRUE(net_.EstablishConnection(1, NodePath(net_.topology(), {0, 1, 2}),
+                                       Mbps(1), 0.0));
+  net_.RegisterBackup(1, NodePath(net_.topology(), {0, 3, 4, 5, 2}));
+  const Bandwidth prime_before = net_.ledger().TotalPrime();
+  const Bandwidth spare_before = net_.ledger().TotalSpare();
+  (void)EvaluateAllSingleLinkFailures(net_);
+  EXPECT_EQ(net_.ledger().TotalPrime(), prime_before);
+  EXPECT_EQ(net_.ledger().TotalSpare(), spare_before);
+  EXPECT_EQ(net_.ActiveCount(), 1);
+  net_.CheckConsistency();
+}
+
+TEST_F(Figure1Test, EmptyNetworkHasNoTrials) {
+  const Ratio pbk = EvaluateAllSingleLinkFailures(net_);
+  EXPECT_EQ(pbk.trials, 0);
+  EXPECT_EQ(pbk.value(), 0.0);
+}
+
+// ---- switchover engine -----------------------------------------------------
+
+TEST(Switchover, RecoversAndReroutes) {
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(4)));
+  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1, 2}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 4, 5, 2}));
+  Dlsr dlsr;
+  const SwitchoverReport report =
+      ApplyLinkFailure(net, net.topology().FindLink(0, 1), 1.0, &dlsr, &db);
+  EXPECT_EQ(report.recovered, std::vector<ConnId>{1});
+  EXPECT_TRUE(report.dropped.empty());
+  EXPECT_EQ(report.rerouted, std::vector<ConnId>{1});
+  const DrConnection* conn = net.Find(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->primary, NodePath(net.topology(), {0, 3, 4, 5, 2}));
+  ASSERT_TRUE(conn->has_backup());
+  EXPECT_FALSE(conn->backups.front().Contains(net.topology().FindLink(0, 1)));
+  EXPECT_EQ(conn->failovers, 1);
+  net.CheckConsistency();
+}
+
+TEST(Switchover, DropsUnprotectedConnections) {
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(4)));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1}),
+                                      Mbps(1), 0.0));
+  const SwitchoverReport report =
+      ApplyLinkFailure(net, net.topology().FindLink(0, 1), 1.0, nullptr,
+                       nullptr);
+  EXPECT_EQ(report.dropped, std::vector<ConnId>{1});
+  EXPECT_EQ(net.ActiveCount(), 0);
+  EXPECT_EQ(net.ledger().TotalPrime(), 0);
+}
+
+TEST(Switchover, ReleasesBrokenBackups) {
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(4)));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1, 2}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 4, 5, 2}));
+  // Fail a backup-only link: connection stays up, loses protection.
+  const SwitchoverReport report = ApplyLinkFailure(
+      net, net.topology().FindLink(3, 4), 1.0, nullptr, nullptr);
+  EXPECT_TRUE(report.recovered.empty());
+  EXPECT_TRUE(report.dropped.empty());
+  EXPECT_EQ(report.backups_lost, std::vector<ConnId>{1});
+  const DrConnection* conn = net.Find(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_FALSE(conn->has_backup());
+  net.CheckConsistency();
+}
+
+TEST(Switchover, ReroutesBrokenBackupWhenSchemeProvided) {
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(4)));
+  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1, 2}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 4, 5, 2}));
+  Dlsr dlsr;
+  const SwitchoverReport report = ApplyLinkFailure(
+      net, net.topology().FindLink(3, 4), 1.0, &dlsr, &db);
+  EXPECT_EQ(report.rerouted, std::vector<ConnId>{1});
+  const DrConnection* conn = net.Find(1);
+  ASSERT_TRUE(conn->has_backup());
+  EXPECT_FALSE(conn->backups.front().Contains(net.topology().FindLink(3, 4)));
+  net.CheckConsistency();
+}
+
+TEST(Switchover, SequentialFailuresEventuallyDrop) {
+  // Ring: after the first failure consumes the backup and the second
+  // failure hits the promoted route with no reroute, the connection dies.
+  DrtpNetwork net(net::MakeRing(4, Mbps(4)));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 2, 1}));
+  auto r1 = ApplyLinkFailure(net, net.topology().FindLink(0, 1), 1.0, nullptr,
+                             nullptr);
+  EXPECT_EQ(r1.recovered, std::vector<ConnId>{1});
+  auto r2 = ApplyLinkFailure(net, net.topology().FindLink(0, 3), 2.0, nullptr,
+                             nullptr);
+  EXPECT_EQ(r2.dropped, std::vector<ConnId>{1});
+  EXPECT_EQ(net.ActiveCount(), 0);
+}
+
+TEST(Switchover, DuplexFailureHitsBothDirections) {
+  DrtpNetwork net(net::MakeRing(4, Mbps(4)),
+                  NetworkConfig{.spare_mode = SpareMode::kMultiplexed,
+                                .duplex_failures = true});
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 2, 1}));
+  ASSERT_TRUE(net.EstablishConnection(2, NodePath(net.topology(), {1, 0}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(2, NodePath(net.topology(), {1, 2, 3, 0}));
+  const SwitchoverReport report = ApplyLinkFailure(
+      net, net.topology().FindLink(0, 1), 1.0, nullptr, nullptr);
+  // Both directions' primaries are hit and both recover disjointly.
+  EXPECT_EQ(report.recovered.size(), 2u);
+  net.CheckConsistency();
+}
+
+}  // namespace
+}  // namespace drtp::core

@@ -1,0 +1,207 @@
+// Tests for the topology generators, including seed-swept properties of
+// the Waxman model (the paper's evaluation substrate) and serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "net/generators.h"
+#include "net/graphio.h"
+#include "net/transit_stub.h"
+
+namespace drtp::net {
+namespace {
+
+TEST(Grid, ThreeByThreeMatchesPaperFigure1Shape) {
+  // Fig. 1 uses a 3x3 mesh: 9 nodes, 12 duplex connections, 24
+  // unidirectional links.
+  Topology t = MakeGrid(3, 3, Mbps(30));
+  EXPECT_EQ(t.num_nodes(), 9);
+  EXPECT_EQ(t.num_links(), 24);
+  EXPECT_TRUE(t.IsConnected());
+}
+
+TEST(Ring, HasTwoDisjointPathsShape) {
+  Topology t = MakeRing(6, Mbps(1));
+  EXPECT_EQ(t.num_nodes(), 6);
+  EXPECT_EQ(t.num_links(), 12);
+  EXPECT_TRUE(t.IsConnected());
+  for (NodeId n = 0; n < 6; ++n) EXPECT_EQ(t.Neighbors(n).size(), 2u);
+}
+
+TEST(Star, HubDegreeEqualsLeaves) {
+  Topology t = MakeStar(5, Mbps(1));
+  EXPECT_EQ(t.num_nodes(), 6);
+  EXPECT_EQ(t.Neighbors(0).size(), 5u);
+  EXPECT_TRUE(t.IsConnected());
+}
+
+TEST(ParallelPaths, DisjointRelays) {
+  Topology t = MakeParallelPaths(3, Mbps(1));
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_links(), 12);
+  EXPECT_TRUE(t.IsConnected());
+}
+
+/// Seed-swept Waxman properties (paper setup: 60 nodes, E in {3,4}).
+class WaxmanProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(WaxmanProperty, ConnectedWithTargetDegree) {
+  const auto [avg_degree, seed] = GetParam();
+  const Topology t = MakeWaxman(WaxmanConfig{.nodes = 60,
+                                             .avg_degree = avg_degree,
+                                             .alpha = 0.25,
+                                             .beta = 0.8,
+                                             .link_capacity = Mbps(30),
+                                             .seed = seed});
+  EXPECT_EQ(t.num_nodes(), 60);
+  EXPECT_TRUE(t.IsConnected());
+  EXPECT_NEAR(t.AverageDegree(), avg_degree, 0.05);
+  // All links are duplex with the configured capacity.
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_NE(t.link(l).reverse, kInvalidLink);
+    EXPECT_EQ(t.link(l).capacity, Mbps(30));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeAndSeeds, WaxmanProperty,
+    ::testing::Combine(::testing::Values(3.0, 4.0),
+                       ::testing::Values(1u, 2u, 3u, 17u, 42u)));
+
+TEST(Waxman, DeterministicForSeed) {
+  const WaxmanConfig cfg{.nodes = 30, .avg_degree = 3.0, .seed = 99};
+  EXPECT_EQ(TopologyToString(MakeWaxman(cfg)),
+            TopologyToString(MakeWaxman(cfg)));
+}
+
+TEST(Waxman, LocalityBiasFavorsShortEdges) {
+  // With strong locality (small alpha) the mean Euclidean edge length
+  // should be well below the ~0.52 expectation of uniform random pairs.
+  const Topology t = MakeWaxman(WaxmanConfig{
+      .nodes = 60, .avg_degree = 4.0, .alpha = 0.1, .beta = 1.0, .seed = 5});
+  double total = 0.0;
+  int count = 0;
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    const Link& link = t.link(l);
+    const Node& a = t.node(link.src);
+    const Node& b = t.node(link.dst);
+    total += std::hypot(a.x - b.x, a.y - b.y);
+    ++count;
+  }
+  EXPECT_LT(total / count, 0.40);
+}
+
+TEST(Waxman, RejectsInfeasibleDegree) {
+  EXPECT_THROW(
+      MakeWaxman(WaxmanConfig{.nodes = 4, .avg_degree = 5.0, .seed = 1}),
+      CheckError);
+}
+
+// ---- transit-stub hierarchy -------------------------------------------------
+
+TEST(TransitStub, ShapeMatchesConfig) {
+  TransitStubLayout layout;
+  const TransitStubConfig cfg{.transit_nodes = 6,
+                              .transit_chords = 3,
+                              .stubs_per_transit = 2,
+                              .stub_size = 3,
+                              .multihome_prob = 0.5,
+                              .transit_capacity_factor = 4,
+                              .stub_capacity = Mbps(10),
+                              .seed = 9};
+  const Topology t = MakeTransitStub(cfg, &layout);
+  EXPECT_EQ(t.num_nodes(), 6 + 6 * 2 * 3);
+  EXPECT_TRUE(t.IsConnected());
+  ASSERT_EQ(layout.transit.size(), 6u);
+  ASSERT_EQ(layout.stubs.size(), 12u);
+  for (const auto& stub : layout.stubs) EXPECT_EQ(stub.size(), 3u);
+  // Core links are fatter than stub links.
+  const LinkId core_link =
+      t.FindLink(layout.transit[0], layout.transit[1]);
+  ASSERT_NE(core_link, kInvalidLink);
+  EXPECT_EQ(t.link(core_link).capacity, Mbps(40));
+  const LinkId stub_uplink = t.FindLink(layout.stubs[0][0], layout.transit[0]);
+  ASSERT_NE(stub_uplink, kInvalidLink);
+  EXPECT_EQ(t.link(stub_uplink).capacity, Mbps(10));
+}
+
+TEST(TransitStub, DeterministicPerSeed) {
+  const TransitStubConfig cfg{.seed = 4};
+  EXPECT_EQ(TopologyToString(MakeTransitStub(cfg)),
+            TopologyToString(MakeTransitStub(cfg)));
+}
+
+TEST(TransitStub, FullMultihomingGivesEveryStubTwoUplinks) {
+  TransitStubLayout layout;
+  TransitStubConfig cfg;
+  cfg.multihome_prob = 1.0;
+  cfg.seed = 3;
+  const Topology t = MakeTransitStub(cfg, &layout);
+  for (const auto& stub : layout.stubs) {
+    // First node uplinks to the home transit; last node to another.
+    int uplinks = 0;
+    for (const NodeId n : {stub.front(), stub.back()}) {
+      for (const NodeId nb : t.Neighbors(n)) {
+        if (std::find(layout.transit.begin(), layout.transit.end(), nb) !=
+            layout.transit.end()) {
+          ++uplinks;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(uplinks, 2);
+  }
+}
+
+TEST(TransitStub, RoundTripsThroughSerialization) {
+  const Topology t = MakeTransitStub(TransitStubConfig{.seed = 6});
+  EXPECT_EQ(TopologyToString(TopologyFromString(TopologyToString(t))),
+            TopologyToString(t));
+}
+
+// ---- serialization -------------------------------------------------------
+
+TEST(GraphIo, RoundTripsGrid) {
+  const Topology t = MakeGrid(3, 4, Mbps(7));
+  const Topology u = TopologyFromString(TopologyToString(t));
+  EXPECT_EQ(TopologyToString(t), TopologyToString(u));
+  EXPECT_EQ(u.num_nodes(), t.num_nodes());
+  EXPECT_EQ(u.num_links(), t.num_links());
+}
+
+TEST(GraphIo, RoundTripsWaxmanWithCoordinates) {
+  const Topology t =
+      MakeWaxman(WaxmanConfig{.nodes = 25, .avg_degree = 3.0, .seed = 3});
+  const Topology u = TopologyFromString(TopologyToString(t));
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(t.node(n).x, u.node(n).x);
+    EXPECT_DOUBLE_EQ(t.node(n).y, u.node(n).y);
+  }
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_EQ(t.link(l).src, u.link(l).src);
+    EXPECT_EQ(t.link(l).dst, u.link(l).dst);
+    EXPECT_EQ(t.link(l).reverse, u.link(l).reverse);
+  }
+}
+
+TEST(GraphIo, RejectsGarbage) {
+  EXPECT_THROW(TopologyFromString("not a topology"), CheckError);
+}
+
+TEST(GraphIo, DotContainsEveryDuplexEdgeOnce) {
+  const Topology t = MakeRing(4, Mbps(1));
+  const std::string dot = TopologyToDot(t);
+  // 4 duplex edges -> 4 "--" lines.
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find("--"); pos != std::string::npos;
+       pos = dot.find("--", pos + 2)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+}  // namespace
+}  // namespace drtp::net

@@ -1,0 +1,208 @@
+// Tests for APLV, Conflict Vector and the link-state database — including
+// the paper's worked numeric examples from §3.1 (Figure 1) and §3.2
+// (Figure 2).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "lsdb/aplv.h"
+#include "lsdb/conflict_vector.h"
+#include "lsdb/link_state_db.h"
+
+namespace drtp::lsdb {
+namespace {
+
+using routing::LinkSet;
+using routing::MakeLinkSet;
+
+// ---- paper worked examples -------------------------------------------------
+//
+// Figure 1 (§3.1): the 3x3 mesh example considers 13 unidirectional links
+// L1..L13. PSET_7 = {P1, P3} with LSET_P1 = {L8, L12, L13} and
+// LSET_P3 = {L11, L13}; the paper states
+//   APLV_7 = (0,0,0,0,0,0,0,1,0,0,1,1,2)  and  ||APLV_7||_1 = 5,
+// and for P-LSR's comparison ||APLV_2||_1 = 0, ||APLV_4||_1 = 2.
+// We replay the registrations on 1-indexed ids (element 0 unused).
+
+TEST(AplvPaper, Figure1Aplv7) {
+  Aplv aplv7(14);
+  aplv7.AddPrimaryLset(MakeLinkSet({8, 12, 13}));   // B1's primary P1
+  aplv7.AddPrimaryLset(MakeLinkSet({11, 13}));      // B3's primary P3
+  const std::vector<int> expect{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 1, 2};
+  for (LinkId j = 0; j < 14; ++j) {
+    EXPECT_EQ(aplv7.count(j), expect[static_cast<std::size_t>(j)])
+        << "APLV_7[" << j << "]";
+  }
+  EXPECT_EQ(aplv7.L1(), 5);  // ||APLV_7||_1 = 5 per the paper
+  EXPECT_EQ(aplv7.Max(), 2); // L13 carries two conflicting primaries
+}
+
+TEST(AplvPaper, Figure1ConflictPrediction) {
+  // "if L7 is selected as a link of the backup route for a DR-connection
+  // whose primary channel goes through L12, it will generate conflicts
+  // with two other backups" — i.e. both registered primaries conflict.
+  Aplv aplv7(14);
+  aplv7.AddPrimaryLset(MakeLinkSet({8, 12, 13}));
+  aplv7.AddPrimaryLset(MakeLinkSet({11, 13}));
+  // A new primary through L12 and L13 overlaps both registered LSETs.
+  EXPECT_EQ(aplv7.ConflictingLinksIn(MakeLinkSet({12, 13})), 2);
+}
+
+// Figure 2 (§3.2): PSET_6 = {P1, P2} and the paper gives
+//   CV_6 = (1,0,1,0,0,0,0,1,0,0,0,1,1),
+// i.e. bits {1,3,8,12,13} set (1-indexed). A consistent split is
+// LSET_P1 = {L1, L8, L12}, LSET_P2 = {L3, L13}.
+
+TEST(AplvPaper, Figure2ConflictVector6) {
+  Aplv aplv6(14);
+  aplv6.AddPrimaryLset(MakeLinkSet({1, 8, 12}));
+  aplv6.AddPrimaryLset(MakeLinkSet({3, 13}));
+  const ConflictVector cv6 = aplv6.ToConflictVector();
+  const std::vector<int> bits{0, 1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 1};
+  for (LinkId j = 0; j < 14; ++j) {
+    EXPECT_EQ(cv6.Test(j), bits[static_cast<std::size_t>(j)] == 1)
+        << "CV_6[" << j << "]";
+  }
+  EXPECT_EQ(cv6.PopCount(), 5);
+}
+
+TEST(AplvPaper, Section5MultiplexingExample) {
+  // §5: "let APLV_1 = (0,1,2,1,2). Then, if L3 or L5 fails, two
+  // DR-connections will attempt to activate their backups through L1" —
+  // spare sizing must therefore cover max(APLV) = 2 activations.
+  Aplv aplv1(6);
+  aplv1.AddPrimaryLset(MakeLinkSet({2, 3}));      // 1-indexed
+  aplv1.AddPrimaryLset(MakeLinkSet({3, 4, 5}));
+  aplv1.AddPrimaryLset(MakeLinkSet({5}));
+  EXPECT_EQ(aplv1.count(1), 0);
+  EXPECT_EQ(aplv1.count(2), 1);
+  EXPECT_EQ(aplv1.count(3), 2);
+  EXPECT_EQ(aplv1.count(4), 1);
+  EXPECT_EQ(aplv1.count(5), 2);
+  EXPECT_EQ(aplv1.Max(), 2);
+}
+
+// ---- Aplv unit behaviour ---------------------------------------------------
+
+TEST(Aplv, AddRemoveRoundTripsToZero) {
+  Aplv a(10);
+  const LinkSet s1 = MakeLinkSet({1, 2, 3});
+  const LinkSet s2 = MakeLinkSet({2, 3, 4});
+  a.AddPrimaryLset(s1);
+  a.AddPrimaryLset(s2);
+  a.RemovePrimaryLset(s1);
+  a.RemovePrimaryLset(s2);
+  EXPECT_EQ(a, Aplv(10));
+  EXPECT_EQ(a.L1(), 0);
+  EXPECT_EQ(a.Max(), 0);
+}
+
+TEST(Aplv, RemovingAbsentThrows) {
+  Aplv a(4);
+  EXPECT_THROW(a.RemovePrimaryLset(MakeLinkSet({1})), CheckError);
+}
+
+TEST(Aplv, MaxRecomputesAfterDecrement) {
+  Aplv a(5);
+  a.AddPrimaryLset(MakeLinkSet({1}));
+  a.AddPrimaryLset(MakeLinkSet({1}));
+  a.AddPrimaryLset(MakeLinkSet({2}));
+  EXPECT_EQ(a.Max(), 2);
+  a.RemovePrimaryLset(MakeLinkSet({1}));
+  EXPECT_EQ(a.Max(), 1);
+  a.RemovePrimaryLset(MakeLinkSet({1}));
+  EXPECT_EQ(a.Max(), 1);  // link 2 still has one
+}
+
+/// Property: incremental L1/Max always match a from-scratch recompute.
+TEST(AplvProperty, IncrementalMatchesRecompute) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    Aplv a(20);
+    std::vector<LinkSet> registered;
+    for (int step = 0; step < 500; ++step) {
+      if (registered.empty() || rng.Bernoulli(0.6)) {
+        std::vector<LinkId> raw;
+        const int n = static_cast<int>(rng.UniformInt(1, 5));
+        for (int i = 0; i < n; ++i)
+          raw.push_back(static_cast<LinkId>(rng.Index(20)));
+        const LinkSet s = MakeLinkSet(std::move(raw));
+        a.AddPrimaryLset(s);
+        registered.push_back(s);
+      } else {
+        const auto idx = rng.Index(registered.size());
+        a.RemovePrimaryLset(registered[idx]);
+        registered.erase(registered.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+      }
+      // Recompute oracle.
+      std::int64_t l1 = 0;
+      std::int32_t mx = 0;
+      std::vector<std::int32_t> counts(20, 0);
+      for (const LinkSet& s : registered) {
+        for (LinkId j : s) ++counts[static_cast<std::size_t>(j)];
+      }
+      for (std::int32_t c : counts) {
+        l1 += c;
+        mx = std::max(mx, c);
+      }
+      ASSERT_EQ(a.L1(), l1);
+      ASSERT_EQ(a.Max(), mx);
+    }
+  }
+}
+
+// ---- ConflictVector ---------------------------------------------------------
+
+TEST(ConflictVector, SetTestClear) {
+  ConflictVector cv(130);  // spans three words
+  EXPECT_FALSE(cv.Test(0));
+  cv.Set(0, true);
+  cv.Set(64, true);
+  cv.Set(129, true);
+  EXPECT_TRUE(cv.Test(0));
+  EXPECT_TRUE(cv.Test(64));
+  EXPECT_TRUE(cv.Test(129));
+  EXPECT_EQ(cv.PopCount(), 3);
+  cv.Set(64, false);
+  EXPECT_FALSE(cv.Test(64));
+  EXPECT_EQ(cv.PopCount(), 2);
+}
+
+TEST(ConflictVector, CountInLinkSet) {
+  ConflictVector cv(10);
+  cv.Set(2, true);
+  cv.Set(5, true);
+  cv.Set(7, true);
+  EXPECT_EQ(cv.CountIn(MakeLinkSet({1, 2, 5, 9})), 2);
+  EXPECT_EQ(cv.CountIn(MakeLinkSet({})), 0);
+}
+
+TEST(ConflictVector, AdvertBytesRoundsUp) {
+  EXPECT_EQ(ConflictVector(8).AdvertBytes(), 1);
+  EXPECT_EQ(ConflictVector(9).AdvertBytes(), 2);
+  EXPECT_EQ(ConflictVector(240).AdvertBytes(), 30);
+}
+
+// ---- LinkStateDb ------------------------------------------------------------
+
+TEST(LinkStateDb, RecordsAreIndependent) {
+  LinkStateDb db(4, 4);
+  db.record(2).aplv_l1 = 9;
+  db.record(2).available_for_backup = Mbps(3);
+  EXPECT_EQ(db.record(2).aplv_l1, 9);
+  EXPECT_EQ(db.record(1).aplv_l1, 0);
+  EXPECT_EQ(db.record(2).available_for_backup, Mbps(3));
+}
+
+TEST(LinkStateDb, AdvertBytesScaleWithPayload) {
+  LinkStateDb db(100, 100);
+  const auto l1_bytes = db.AdvertBytesPerCycle(/*with_cv=*/false);
+  const auto cv_bytes = db.AdvertBytesPerCycle(/*with_cv=*/true);
+  EXPECT_EQ(l1_bytes, 100 * (12 + 8));
+  EXPECT_EQ(cv_bytes, 100 * (12 + 13));  // 100 bits -> 13 bytes
+  EXPECT_GT(cv_bytes, l1_bytes);
+}
+
+}  // namespace
+}  // namespace drtp::lsdb

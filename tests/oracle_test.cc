@@ -1,0 +1,185 @@
+// Oracle-based property tests: algorithms checked against brute-force
+// enumeration on small graphs, plus parser robustness fuzzing.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "net/generators.h"
+#include "routing/constrained.h"
+#include "routing/dijkstra.h"
+#include "sim/scenario.h"
+
+namespace drtp {
+namespace {
+
+/// Enumerates every simple path src->dst with at most max_hops links and
+/// returns the cheapest cost found (infinity if none). Exponential — for
+/// tiny graphs only.
+double BruteForceCheapest(const net::Topology& topo, NodeId src, NodeId dst,
+                          const routing::LinkCostFn& cost, int max_hops) {
+  double best = routing::kInfiniteCost;
+  std::vector<char> visited(static_cast<std::size_t>(topo.num_nodes()), 0);
+  std::function<void(NodeId, int, double)> dfs = [&](NodeId u, int hops,
+                                                     double acc) {
+    if (u == dst) {
+      best = std::min(best, acc);
+      return;
+    }
+    if (hops == max_hops) return;
+    visited[static_cast<std::size_t>(u)] = 1;
+    for (LinkId l : topo.out_links(u)) {
+      const double c = cost(l);
+      if (c == routing::kInfiniteCost) continue;
+      const NodeId v = topo.link(l).dst;
+      if (visited[static_cast<std::size_t>(v)]) continue;
+      dfs(v, hops + 1, acc + c);
+    }
+    visited[static_cast<std::size_t>(u)] = 0;
+  };
+  dfs(src, 0, 0.0);
+  return best;
+}
+
+class ConstrainedOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConstrainedOracle, MatchesBruteForceOnSmallGraphs) {
+  const std::uint64_t seed = GetParam();
+  const net::Topology topo = net::MakeWaxman(net::WaxmanConfig{
+      .nodes = 8, .avg_degree = 3.0, .seed = seed});
+  Rng rng(seed * 17 + 3);
+  std::vector<double> costs(static_cast<std::size_t>(topo.num_links()));
+  for (auto& c : costs) {
+    c = rng.Bernoulli(0.15) ? routing::kInfiniteCost
+                            : rng.UniformReal(0.5, 4.0);
+  }
+  const auto cost = [&](LinkId l) {
+    return costs[static_cast<std::size_t>(l)];
+  };
+  for (int max_hops = 1; max_hops <= 5; ++max_hops) {
+    for (NodeId src = 0; src < topo.num_nodes(); ++src) {
+      for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+        if (src == dst) continue;
+        const double expected =
+            BruteForceCheapest(topo, src, dst, cost, max_hops);
+        const auto got =
+            routing::CheapestPathMaxHops(topo, src, dst, cost, max_hops);
+        if (expected == routing::kInfiniteCost) {
+          EXPECT_FALSE(got.has_value())
+              << src << "->" << dst << " h=" << max_hops;
+        } else {
+          ASSERT_TRUE(got.has_value())
+              << src << "->" << dst << " h=" << max_hops;
+          double actual = 0;
+          for (LinkId l : got->links()) actual += cost(l);
+          EXPECT_NEAR(actual, expected, 1e-9)
+              << src << "->" << dst << " h=" << max_hops;
+          EXPECT_LE(got->hops(), max_hops);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstrainedOracle,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+class DijkstraOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraOracle, MatchesBruteForceUnbounded) {
+  const std::uint64_t seed = GetParam();
+  const net::Topology topo = net::MakeWaxman(net::WaxmanConfig{
+      .nodes = 7, .avg_degree = 3.0, .seed = seed + 50});
+  Rng rng(seed * 11);
+  std::vector<double> costs(static_cast<std::size_t>(topo.num_links()));
+  for (auto& c : costs) c = rng.UniformReal(0.1, 3.0);
+  const auto cost = [&](LinkId l) {
+    return costs[static_cast<std::size_t>(l)];
+  };
+  for (NodeId dst = 1; dst < topo.num_nodes(); ++dst) {
+    const double expected =
+        BruteForceCheapest(topo, 0, dst, cost, topo.num_nodes());
+    const auto got = routing::CheapestPath(topo, 0, dst, cost);
+    ASSERT_TRUE(got.has_value());
+    double actual = 0;
+    for (LinkId l : got->links()) actual += cost(l);
+    EXPECT_NEAR(actual, expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraOracle,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+// ---- parser robustness ---------------------------------------------------------
+
+TEST(ScenarioFuzz, MalformedInputsThrowNotCrash) {
+  const net::Topology topo = net::MakeRing(4, Mbps(1));
+  sim::TrafficConfig tc;
+  tc.lambda = 2.0;
+  tc.duration = 50.0;
+  sim::Scenario sc = sim::Scenario::Generate(topo, tc);
+  const std::string good = sc.ToString();
+
+  // Truncations at every quarter of the file.
+  for (std::size_t cut = 1; cut < 4; ++cut) {
+    const std::string broken = good.substr(0, good.size() * cut / 4);
+    EXPECT_THROW(sim::Scenario::FromString(broken), CheckError)
+        << "cut " << cut;
+  }
+  // Token corruption.
+  for (const char* bad : {"drtp-scenario x\n", "drtp-scenario 1\nevents -1\n",
+                          "drtp-scenario 1\ntraffic 9 0 0\n"}) {
+    EXPECT_THROW(sim::Scenario::FromString(bad), CheckError) << bad;
+  }
+  // Event-kind corruption inside a valid prefix.
+  std::string mangled = good;
+  const auto pos = mangled.find("\nreq ");
+  ASSERT_NE(pos, std::string::npos);
+  mangled.replace(pos, 5, "\nzzz ");
+  EXPECT_THROW(sim::Scenario::FromString(mangled), CheckError);
+  // Out-of-order events.
+  sim::Scenario reordered = sc;
+  ASSERT_GE(reordered.events.size(), 2u);
+  std::swap(reordered.events.front(), reordered.events.back());
+  EXPECT_THROW(sim::Scenario::FromString(reordered.ToString()), CheckError);
+}
+
+TEST(FlagFuzz, TryParseReportsErrorsWithoutExiting) {
+  FlagSet flags("prog");
+  auto& n = flags.Int64("n", 5, "count");
+  {
+    const char* argv[] = {"prog", "--bogus=1"};
+    EXPECT_NE(flags.TryParse(2, const_cast<char**>(argv)), "");
+  }
+  {
+    const char* argv[] = {"prog", "--n=notanumber"};
+    EXPECT_NE(flags.TryParse(2, const_cast<char**>(argv)), "");
+  }
+  {
+    const char* argv[] = {"prog", "--n"};
+    EXPECT_EQ(flags.TryParse(2, const_cast<char**>(argv)),
+              "flag --n needs a value");
+  }
+  {
+    const char* argv[] = {"prog", "--help"};
+    EXPECT_EQ(flags.TryParse(2, const_cast<char**>(argv)), "help");
+  }
+  {
+    const char* argv[] = {"prog", "--n=42"};
+    EXPECT_EQ(flags.TryParse(2, const_cast<char**>(argv)), "");
+    EXPECT_EQ(n, 42);
+  }
+  {
+    FlagSet b("prog");
+    auto& flag = b.Bool("b", false, "toggle");
+    const char* argv[] = {"prog", "--b=maybe"};
+    EXPECT_NE(b.TryParse(2, const_cast<char**>(argv)), "");
+    EXPECT_FALSE(flag);
+  }
+}
+
+}  // namespace
+}  // namespace drtp

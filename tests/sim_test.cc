@@ -1,0 +1,245 @@
+// Tests for the simulation layer: event queue, traffic generation (UT/NT
+// statistics), scenario round-trips and deterministic replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/check.h"
+#include "net/generators.h"
+#include "sim/event_queue.h"
+#include "sim/paper.h"
+#include "drtp/dlsr.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "sim/traffic.h"
+
+namespace drtp::sim {
+namespace {
+
+// ---- event queue ------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(1.0, [&] { ++ran; });
+  q.Schedule(2.0, [&] { ++ran; });
+  q.Schedule(3.0, [&] { ++ran; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.Schedule(q.now() + 1.0, chain);
+  };
+  q.Schedule(0.0, chain);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.Schedule(5.0, [] {});
+  q.RunAll();
+  EXPECT_THROW(q.Schedule(1.0, [] {}), CheckError);
+}
+
+// ---- traffic -----------------------------------------------------------------
+
+class TrafficFixture : public ::testing::Test {
+ protected:
+  TrafficFixture() : topo_(MakePaperTopology(3.0, 1)) {}
+  net::Topology topo_;
+};
+
+TEST_F(TrafficFixture, PoissonRateApproximatelyLambda) {
+  TrafficConfig tc = MakePaperTraffic(TrafficPattern::kUniform, 0.5, 2);
+  tc.duration = 20000.0;
+  const auto reqs = GenerateRequests(topo_, tc);
+  EXPECT_NEAR(static_cast<double>(reqs.size()) / tc.duration, 0.5, 0.03);
+}
+
+TEST_F(TrafficFixture, ArrivalsStrictlyIncreasingIdsSequential) {
+  const auto reqs = GenerateRequests(
+      topo_, MakePaperTraffic(TrafficPattern::kUniform, 1.0, 3));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].id, static_cast<ConnId>(i));
+    if (i > 0) {
+      EXPECT_GT(reqs[i].arrival, reqs[i - 1].arrival);
+    }
+    EXPECT_NE(reqs[i].src, reqs[i].dst);
+    EXPECT_GE(reqs[i].src, 0);
+    EXPECT_LT(reqs[i].src, topo_.num_nodes());
+    EXPECT_GE(reqs[i].dst, 0);
+    EXPECT_LT(reqs[i].dst, topo_.num_nodes());
+  }
+}
+
+TEST_F(TrafficFixture, LifetimesWithinPaperBounds) {
+  const auto reqs = GenerateRequests(
+      topo_, MakePaperTraffic(TrafficPattern::kUniform, 1.0, 4));
+  for (const Request& r : reqs) {
+    EXPECT_GE(r.lifetime, Minutes(20));
+    EXPECT_LE(r.lifetime, Minutes(60));
+    EXPECT_EQ(r.bw, kPaperConnBw);
+  }
+}
+
+TEST_F(TrafficFixture, HotspotPatternConcentratesDestinations) {
+  TrafficConfig tc = MakePaperTraffic(TrafficPattern::kHotspot, 1.0, 5);
+  tc.duration = 20000.0;
+  const auto hotspots = HotspotNodes(topo_, tc);
+  EXPECT_EQ(hotspots.size(), 10u);
+  const auto reqs = GenerateRequests(topo_, tc);
+  std::int64_t hot = 0;
+  for (const Request& r : reqs) {
+    if (std::binary_search(hotspots.begin(), hotspots.end(), r.dst)) ++hot;
+  }
+  const double frac = static_cast<double>(hot) /
+                      static_cast<double>(reqs.size());
+  // 50% targeted + ~10/60 of the uniform remainder ≈ 0.58.
+  EXPECT_GT(frac, 0.5);
+  EXPECT_LT(frac, 0.68);
+}
+
+TEST_F(TrafficFixture, UniformPatternDoesNotConcentrate) {
+  TrafficConfig tc = MakePaperTraffic(TrafficPattern::kUniform, 1.0, 5);
+  tc.duration = 20000.0;
+  const auto hotspots = HotspotNodes(topo_, tc);  // same candidate set
+  const auto reqs = GenerateRequests(topo_, tc);
+  std::int64_t hot = 0;
+  for (const Request& r : reqs) {
+    if (std::binary_search(hotspots.begin(), hotspots.end(), r.dst)) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / static_cast<double>(reqs.size()),
+              10.0 / 60.0, 0.03);
+}
+
+TEST_F(TrafficFixture, DeterministicPerSeed) {
+  const TrafficConfig tc = MakePaperTraffic(TrafficPattern::kHotspot, 0.7, 9);
+  const auto a = GenerateRequests(topo_, tc);
+  const auto b = GenerateRequests(topo_, tc);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+// ---- scenario -----------------------------------------------------------------
+
+TEST_F(TrafficFixture, ScenarioEventsSortedAndPaired) {
+  const Scenario sc = Scenario::Generate(
+      topo_, MakePaperTraffic(TrafficPattern::kUniform, 0.3, 6));
+  EXPECT_EQ(sc.events.size(),
+            static_cast<std::size_t>(sc.NumRequests()) * 2);
+  Time prev = 0.0;
+  std::set<ConnId> open;
+  for (const ScenarioEvent& e : sc.events) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    if (e.type == ScenarioEvent::Type::kRequest) {
+      EXPECT_TRUE(open.insert(e.conn).second);
+    } else {
+      EXPECT_EQ(open.erase(e.conn), 1u);  // release after its request
+    }
+  }
+  EXPECT_TRUE(open.empty());
+}
+
+TEST_F(TrafficFixture, ScenarioRoundTripsExactly) {
+  const Scenario sc = Scenario::Generate(
+      topo_, MakePaperTraffic(TrafficPattern::kHotspot, 0.4, 7));
+  const Scenario rt = Scenario::FromString(sc.ToString());
+  ASSERT_EQ(rt.events.size(), sc.events.size());
+  for (std::size_t i = 0; i < sc.events.size(); ++i) {
+    EXPECT_EQ(rt.events[i].time, sc.events[i].time);
+    EXPECT_EQ(rt.events[i].type, sc.events[i].type);
+    EXPECT_EQ(rt.events[i].conn, sc.events[i].conn);
+    EXPECT_EQ(rt.events[i].src, sc.events[i].src);
+    EXPECT_EQ(rt.events[i].dst, sc.events[i].dst);
+    EXPECT_EQ(rt.events[i].bw, sc.events[i].bw);
+  }
+  EXPECT_EQ(rt.traffic.lambda, sc.traffic.lambda);
+  EXPECT_EQ(rt.traffic.seed, sc.traffic.seed);
+}
+
+TEST_F(TrafficFixture, HeterogeneousBandwidthDrawsInRange) {
+  TrafficConfig tc = MakePaperTraffic(TrafficPattern::kUniform, 1.0, 12);
+  tc.bw = Kbps(500);
+  tc.bw_max = Kbps(1500);
+  tc.duration = 5000.0;
+  const auto reqs = GenerateRequests(topo_, tc);
+  bool saw_low = false, saw_high = false;
+  for (const Request& r : reqs) {
+    ASSERT_GE(r.bw, Kbps(500));
+    ASSERT_LE(r.bw, Kbps(1500));
+    ASSERT_EQ((r.bw - Kbps(500)) % 250, 0);  // 250 kbps granularity
+    saw_low |= r.bw == Kbps(500);
+    saw_high |= r.bw == Kbps(1500);
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+  // Round-trips through the scenario format, bandwidths intact.
+  const Scenario sc = Scenario::Generate(topo_, tc);
+  const Scenario rt = Scenario::FromString(sc.ToString());
+  EXPECT_EQ(rt.traffic.bw_max, Kbps(1500));
+  for (std::size_t i = 0; i < sc.events.size(); ++i) {
+    EXPECT_EQ(rt.events[i].bw, sc.events[i].bw);
+  }
+}
+
+TEST_F(TrafficFixture, HeterogeneousReplayKeepsInvariants) {
+  TrafficConfig tc = MakePaperTraffic(TrafficPattern::kUniform, 0.4, 13);
+  tc.bw = Kbps(250);
+  tc.bw_max = Kbps(1750);
+  tc.duration = 1200.0;
+  tc.lifetime_min = 200.0;
+  tc.lifetime_max = 500.0;
+  const Scenario sc = Scenario::Generate(topo_, tc);
+  ExperimentConfig ec;
+  ec.warmup = 400.0;
+  ec.sample_interval = 100.0;
+  ec.check_consistency = true;  // weighted-demand invariants every sample
+  core::Dlsr dlsr;
+  const RunMetrics m = RunScenario(topo_, sc, dlsr, ec);
+  EXPECT_GT(m.admitted, 0);
+  EXPECT_GT(m.pbk.value(), 0.9);
+}
+
+TEST(Scenario, LoadRejectsGarbage) {
+  EXPECT_THROW(Scenario::FromString("nonsense"), CheckError);
+  EXPECT_THROW(Scenario::FromString("drtp-scenario 2\n"), CheckError);
+}
+
+}  // namespace
+}  // namespace drtp::sim

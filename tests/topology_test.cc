@@ -1,0 +1,203 @@
+// Tests for net::Topology and net::BandwidthLedger.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/bandwidth_ledger.h"
+#include "net/generators.h"
+#include "net/topology.h"
+
+namespace drtp::net {
+namespace {
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology t;
+  const NodeId a = t.AddNode();
+  const NodeId b = t.AddNode();
+  const LinkId ab = t.AddLink(a, b, Mbps(10));
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.num_links(), 1);
+  EXPECT_EQ(t.link(ab).src, a);
+  EXPECT_EQ(t.link(ab).dst, b);
+  EXPECT_EQ(t.link(ab).capacity, Mbps(10));
+  EXPECT_EQ(t.link(ab).reverse, kInvalidLink);
+}
+
+TEST(Topology, DuplexPairCrossReferences) {
+  Topology t;
+  const NodeId a = t.AddNode();
+  const NodeId b = t.AddNode();
+  const auto [ab, ba] = t.AddDuplexLink(a, b, Mbps(5));
+  EXPECT_EQ(t.link(ab).reverse, ba);
+  EXPECT_EQ(t.link(ba).reverse, ab);
+  EXPECT_EQ(t.link(ba).src, b);
+  EXPECT_EQ(t.link(ba).dst, a);
+}
+
+TEST(Topology, RejectsSelfLoopAndDuplicates) {
+  Topology t;
+  const NodeId a = t.AddNode();
+  const NodeId b = t.AddNode();
+  EXPECT_THROW(t.AddLink(a, a, Mbps(1)), CheckError);
+  t.AddLink(a, b, Mbps(1));
+  EXPECT_THROW(t.AddLink(a, b, Mbps(1)), CheckError);
+}
+
+TEST(Topology, FindLinkDirectional) {
+  Topology t;
+  const NodeId a = t.AddNode();
+  const NodeId b = t.AddNode();
+  const LinkId ab = t.AddLink(a, b, Mbps(1));
+  EXPECT_EQ(t.FindLink(a, b), ab);
+  EXPECT_EQ(t.FindLink(b, a), kInvalidLink);
+}
+
+TEST(Topology, ConnectivityDetection) {
+  Topology t;
+  const NodeId a = t.AddNode();
+  const NodeId b = t.AddNode();
+  const NodeId c = t.AddNode();
+  t.AddDuplexLink(a, b, Mbps(1));
+  EXPECT_FALSE(t.IsConnected());  // c isolated
+  t.AddDuplexLink(b, c, Mbps(1));
+  EXPECT_TRUE(t.IsConnected());
+}
+
+TEST(Topology, OneWayLinksAreNotConnectivity) {
+  Topology t;
+  const NodeId a = t.AddNode();
+  const NodeId b = t.AddNode();
+  t.AddLink(a, b, Mbps(1));  // no way back
+  EXPECT_FALSE(t.IsConnected());
+}
+
+TEST(Topology, NeighborsAndDegree) {
+  Topology t = MakeGrid(3, 3, Mbps(1));
+  // Corner node 0 has 2 neighbors; center node 4 has 4.
+  EXPECT_EQ(t.Neighbors(0).size(), 2u);
+  EXPECT_EQ(t.Neighbors(4).size(), 4u);
+  // 12 duplex edges in a 3x3 grid -> 24 directed links over 9 nodes.
+  EXPECT_EQ(t.num_links(), 24);
+  EXPECT_NEAR(t.AverageDegree(), 24.0 / 9.0, 1e-12);
+}
+
+// ---- BandwidthLedger ----------------------------------------------------
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() : topo_(MakeGrid(2, 2, Mbps(10))), ledger_(topo_) {}
+  Topology topo_;
+  BandwidthLedger ledger_;
+};
+
+TEST_F(LedgerTest, StartsAllFree) {
+  EXPECT_EQ(ledger_.total(0), Mbps(10));
+  EXPECT_EQ(ledger_.prime(0), 0);
+  EXPECT_EQ(ledger_.spare(0), 0);
+  EXPECT_EQ(ledger_.free(0), Mbps(10));
+}
+
+TEST_F(LedgerTest, ReservePrimeMovesFromFree) {
+  ASSERT_TRUE(ledger_.ReservePrime(0, Mbps(4)));
+  EXPECT_EQ(ledger_.prime(0), Mbps(4));
+  EXPECT_EQ(ledger_.free(0), Mbps(6));
+  ledger_.ReleasePrime(0, Mbps(4));
+  EXPECT_EQ(ledger_.free(0), Mbps(10));
+}
+
+TEST_F(LedgerTest, ReservePrimeFailsWhenShort) {
+  ASSERT_TRUE(ledger_.ReservePrime(0, Mbps(8)));
+  EXPECT_FALSE(ledger_.ReservePrime(0, Mbps(3)));
+  EXPECT_EQ(ledger_.prime(0), Mbps(8));  // unchanged on failure
+}
+
+TEST_F(LedgerTest, SpareRespectsFreePool) {
+  ASSERT_TRUE(ledger_.ReservePrime(0, Mbps(7)));
+  EXPECT_EQ(ledger_.GrowSpare(0, Mbps(5)), Mbps(3));  // partial grant
+  EXPECT_EQ(ledger_.spare(0), Mbps(3));
+  EXPECT_EQ(ledger_.free(0), 0);
+  ledger_.ShrinkSpare(0, Mbps(2));
+  EXPECT_EQ(ledger_.spare(0), Mbps(1));
+  EXPECT_EQ(ledger_.free(0), Mbps(2));
+}
+
+TEST_F(LedgerTest, SpareBlocksPrime) {
+  EXPECT_EQ(ledger_.GrowSpare(0, Mbps(9)), Mbps(9));
+  EXPECT_FALSE(ledger_.ReservePrime(0, Mbps(2)));
+  EXPECT_TRUE(ledger_.ReservePrime(0, Mbps(1)));
+}
+
+TEST_F(LedgerTest, ForcedReserveRaidsSpare) {
+  EXPECT_EQ(ledger_.GrowSpare(0, Mbps(9)), Mbps(9));
+  // free = 1, spare = 9; forced reserve of 4 takes 1 free + 3 spare.
+  ASSERT_TRUE(ledger_.ReservePrimeForced(0, Mbps(4)));
+  EXPECT_EQ(ledger_.prime(0), Mbps(4));
+  EXPECT_EQ(ledger_.spare(0), Mbps(6));
+  EXPECT_EQ(ledger_.free(0), 0);
+}
+
+TEST_F(LedgerTest, ForcedReserveFailsBeyondCapacity) {
+  ASSERT_TRUE(ledger_.ReservePrime(0, Mbps(9)));
+  EXPECT_EQ(ledger_.GrowSpare(0, Mbps(1)), Mbps(1));
+  EXPECT_FALSE(ledger_.ReservePrimeForced(0, Mbps(2)));
+  EXPECT_EQ(ledger_.spare(0), Mbps(1));  // untouched on failure
+}
+
+TEST_F(LedgerTest, ReleaseMoreThanReservedThrows) {
+  ASSERT_TRUE(ledger_.ReservePrime(0, Mbps(1)));
+  EXPECT_THROW(ledger_.ReleasePrime(0, Mbps(2)), CheckError);
+  EXPECT_THROW(ledger_.ShrinkSpare(0, Mbps(1)), CheckError);
+}
+
+TEST_F(LedgerTest, Totals) {
+  ASSERT_TRUE(ledger_.ReservePrime(0, Mbps(2)));
+  ASSERT_TRUE(ledger_.ReservePrime(1, Mbps(3)));
+  ledger_.GrowSpare(2, Mbps(4));
+  EXPECT_EQ(ledger_.TotalPrime(), Mbps(5));
+  EXPECT_EQ(ledger_.TotalSpare(), Mbps(4));
+  EXPECT_EQ(ledger_.TotalCapacity(), Mbps(10) * topo_.num_links());
+  ledger_.CheckInvariants();
+}
+
+/// Property: a random walk of valid operations never violates invariants
+/// and always nets back to zero after mirrored releases.
+TEST(LedgerProperty, RandomWalkPreservesInvariants) {
+  Topology topo = MakeGrid(3, 3, Mbps(20));
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    BandwidthLedger ledger(topo);
+    drtp::Rng rng(seed);
+    std::vector<std::pair<LinkId, Bandwidth>> primes;
+    for (int step = 0; step < 2000; ++step) {
+      const LinkId l = static_cast<LinkId>(rng.Index(
+          static_cast<std::size_t>(topo.num_links())));
+      switch (rng.UniformInt(0, 3)) {
+        case 0: {
+          const Bandwidth bw = Mbps(rng.UniformInt(1, 5));
+          if (ledger.ReservePrime(l, bw)) primes.emplace_back(l, bw);
+          break;
+        }
+        case 1:
+          if (!primes.empty()) {
+            const auto idx = rng.Index(primes.size());
+            ledger.ReleasePrime(primes[idx].first, primes[idx].second);
+            primes.erase(primes.begin() + static_cast<std::ptrdiff_t>(idx));
+          }
+          break;
+        case 2:
+          ledger.GrowSpare(l, Mbps(rng.UniformInt(0, 4)));
+          break;
+        case 3: {
+          const Bandwidth s = ledger.spare(l);
+          if (s > 0) ledger.ShrinkSpare(l, rng.UniformInt(0, s));
+          break;
+        }
+      }
+      ledger.CheckInvariants();
+    }
+    for (const auto& [l, bw] : primes) ledger.ReleasePrime(l, bw);
+    EXPECT_EQ(ledger.TotalPrime(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace drtp::net

@@ -1,0 +1,156 @@
+// Tests for the trace subsystem and for invariants under combined
+// connection churn and link failures/repairs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+#include "drtp/dlsr.h"
+#include "drtp/failure.h"
+#include "net/generators.h"
+#include "sim/experiment.h"
+#include "sim/paper.h"
+#include "sim/trace.h"
+
+namespace drtp::sim {
+namespace {
+
+Scenario SmallScenario(const net::Topology& topo, int failures,
+                       std::uint64_t seed) {
+  TrafficConfig tc = MakePaperTraffic(TrafficPattern::kUniform, 0.4, seed);
+  tc.duration = 1200.0;
+  tc.lifetime_min = 200.0;
+  tc.lifetime_max = 500.0;
+  Scenario sc = Scenario::Generate(topo, tc);
+  if (failures > 0) {
+    InjectLinkFailures(sc, topo, failures, 400.0, 1100.0, 150.0, seed + 5);
+  }
+  return sc;
+}
+
+TEST(Trace, TextSinkRecordsEveryEventKind) {
+  const net::Topology topo = MakePaperTopology(3.0, 30);
+  const Scenario sc = SmallScenario(topo, 6, 31);
+  std::ostringstream os;
+  TextTraceSink sink(os);
+  ExperimentConfig ec;
+  ec.warmup = 400.0;
+  ec.sample_interval = 100.0;
+  ec.trace = &sink;
+  core::Dlsr dlsr;
+  const RunMetrics m = RunScenario(topo, sc, dlsr, ec);
+
+  const std::string text = os.str();
+  EXPECT_GT(sink.lines_written(), 0);
+  EXPECT_NE(text.find(" + conn "), std::string::npos);
+  EXPECT_NE(text.find(" - conn "), std::string::npos);
+  EXPECT_NE(text.find(" ! link "), std::string::npos);
+  EXPECT_NE(text.find(" ~ link "), std::string::npos);
+  EXPECT_NE(text.find(" primary "), std::string::npos);
+  EXPECT_NE(text.find(" backup "), std::string::npos);
+  (void)m;
+}
+
+TEST(Trace, CountsMatchMetrics) {
+  const net::Topology topo = MakePaperTopology(3.0, 32);
+  const Scenario sc = SmallScenario(topo, 4, 33);
+  CountingTraceSink counts;
+  ExperimentConfig ec;
+  ec.warmup = 400.0;
+  ec.sample_interval = 100.0;
+  ec.trace = &counts;
+  core::Dlsr dlsr;
+  const RunMetrics m = RunScenario(topo, sc, dlsr, ec);
+
+  EXPECT_EQ(counts.admits, m.admitted);
+  EXPECT_EQ(counts.blocks, m.blocked);
+  EXPECT_EQ(counts.fails, m.failures_enacted);
+  // Every admitted connection either released normally or was dropped by
+  // a failure.
+  EXPECT_EQ(counts.releases + m.failover_dropped, m.admitted);
+  EXPECT_LE(counts.repairs, counts.fails);
+}
+
+TEST(Trace, DisabledByDefault) {
+  const net::Topology topo = MakePaperTopology(3.0, 34);
+  const Scenario sc = SmallScenario(topo, 0, 35);
+  ExperimentConfig ec;
+  ec.warmup = 400.0;
+  ec.sample_interval = 100.0;
+  core::Dlsr dlsr;
+  const RunMetrics m = RunScenario(topo, sc, dlsr, ec);  // must not crash
+  EXPECT_GT(m.admitted, 0);
+}
+
+/// Property: random interleaving of churn, failures and repairs keeps
+/// every DrtpNetwork invariant, and the network drains cleanly.
+class ChurnWithFailures : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnWithFailures, InvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  const net::Topology topo = net::MakeWaxman(net::WaxmanConfig{
+      .nodes = 24, .avg_degree = 3.5, .link_capacity = Mbps(6),
+      .seed = seed});
+  core::DrtpNetwork net(topo);
+  lsdb::LinkStateDb db(topo.num_links(), topo.num_links());
+  core::Dlsr dlsr;
+  Rng rng(seed * 7 + 2);
+  std::vector<ConnId> active;
+  ConnId next_id = 0;
+  int failures = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    if (op <= 4) {  // admit
+      const NodeId src = static_cast<NodeId>(rng.Index(24));
+      NodeId dst = static_cast<NodeId>(rng.Index(24));
+      if (src == dst) continue;
+      net.PublishTo(db, step);
+      const auto sel = dlsr.SelectRoutes(net, db, src, dst, Mbps(1));
+      if (sel.primary &&
+          net.EstablishConnection(next_id, *sel.primary, Mbps(1), step)) {
+        if (sel.backup) net.RegisterBackup(next_id, *sel.backup);
+        active.push_back(next_id);
+        ++next_id;
+      }
+    } else if (op <= 6 && !active.empty()) {  // release
+      const auto idx = rng.Index(active.size());
+      net.ReleaseConnection(active[idx]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (op == 7 && failures < 6) {  // fail a random up link
+      std::vector<LinkId> up;
+      for (LinkId l = 0; l < topo.num_links(); ++l) {
+        if (net.IsLinkUp(l)) up.push_back(l);
+      }
+      const LinkId victim = up[rng.Index(up.size())];
+      const auto report =
+          core::ApplyLinkFailure(net, victim, step, &dlsr, &db);
+      ++failures;
+      // Dropped connections vanish from our active list too.
+      for (ConnId id : report.dropped) {
+        active.erase(std::remove(active.begin(), active.end(), id),
+                     active.end());
+      }
+    } else if (op >= 8) {  // repair a random down link
+      const auto down = net.DownLinks();
+      if (!down.empty()) {
+        net.SetLinkUp(down[rng.Index(down.size())]);
+        --failures;
+      }
+    }
+    if (step % 25 == 0) net.CheckConsistency();
+  }
+  net.CheckConsistency();
+  for (ConnId id : active) net.ReleaseConnection(id);
+  EXPECT_EQ(net.ActiveCount(), 0);
+  EXPECT_EQ(net.ledger().TotalPrime(), 0);
+  EXPECT_EQ(net.ledger().TotalSpare(), 0);
+  net.CheckConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnWithFailures,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace drtp::sim
