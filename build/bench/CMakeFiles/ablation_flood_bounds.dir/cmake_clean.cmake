@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flood_bounds.dir/ablation_flood_bounds.cc.o"
+  "CMakeFiles/ablation_flood_bounds.dir/ablation_flood_bounds.cc.o.d"
+  "ablation_flood_bounds"
+  "ablation_flood_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flood_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

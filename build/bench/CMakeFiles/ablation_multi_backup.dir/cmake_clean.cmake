@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_backup.dir/ablation_multi_backup.cc.o"
+  "CMakeFiles/ablation_multi_backup.dir/ablation_multi_backup.cc.o.d"
+  "ablation_multi_backup"
+  "ablation_multi_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiplexing.dir/ablation_multiplexing.cc.o"
+  "CMakeFiles/ablation_multiplexing.dir/ablation_multiplexing.cc.o.d"
+  "ablation_multiplexing"
+  "ablation_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

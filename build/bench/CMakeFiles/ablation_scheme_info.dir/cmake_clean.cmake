@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheme_info.dir/ablation_scheme_info.cc.o"
+  "CMakeFiles/ablation_scheme_info.dir/ablation_scheme_info.cc.o.d"
+  "ablation_scheme_info"
+  "ablation_scheme_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheme_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_transit_stub.dir/appendix_transit_stub.cc.o"
+  "CMakeFiles/appendix_transit_stub.dir/appendix_transit_stub.cc.o.d"
+  "appendix_transit_stub"
+  "appendix_transit_stub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_transit_stub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

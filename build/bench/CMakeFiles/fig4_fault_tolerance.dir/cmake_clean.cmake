@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fault_tolerance.dir/fig4_fault_tolerance.cc.o"
+  "CMakeFiles/fig4_fault_tolerance.dir/fig4_fault_tolerance.cc.o.d"
+  "fig4_fault_tolerance"
+  "fig4_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

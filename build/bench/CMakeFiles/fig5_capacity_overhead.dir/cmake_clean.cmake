@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_capacity_overhead.dir/fig5_capacity_overhead.cc.o"
+  "CMakeFiles/fig5_capacity_overhead.dir/fig5_capacity_overhead.cc.o.d"
+  "fig5_capacity_overhead"
+  "fig5_capacity_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_capacity_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

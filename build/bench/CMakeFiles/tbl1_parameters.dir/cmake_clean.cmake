@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl1_parameters.dir/tbl1_parameters.cc.o"
+  "CMakeFiles/tbl1_parameters.dir/tbl1_parameters.cc.o.d"
+  "tbl1_parameters"
+  "tbl1_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl1_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_recovery.dir/tbl_recovery.cc.o"
+  "CMakeFiles/tbl_recovery.dir/tbl_recovery.cc.o.d"
+  "tbl_recovery"
+  "tbl_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_routing_overhead.dir/tbl_routing_overhead.cc.o"
+  "CMakeFiles/tbl_routing_overhead.dir/tbl_routing_overhead.cc.o.d"
+  "tbl_routing_overhead"
+  "tbl_routing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_routing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

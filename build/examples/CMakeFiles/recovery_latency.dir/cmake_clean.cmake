@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_latency.dir/recovery_latency.cpp.o"
+  "CMakeFiles/recovery_latency.dir/recovery_latency.cpp.o.d"
+  "recovery_latency"
+  "recovery_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telesurgery.dir/telesurgery.cpp.o"
+  "CMakeFiles/telesurgery.dir/telesurgery.cpp.o.d"
+  "telesurgery"
+  "telesurgery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telesurgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtp_common.dir/flags.cc.o"
+  "CMakeFiles/drtp_common.dir/flags.cc.o.d"
+  "CMakeFiles/drtp_common.dir/log.cc.o"
+  "CMakeFiles/drtp_common.dir/log.cc.o.d"
+  "CMakeFiles/drtp_common.dir/table.cc.o"
+  "CMakeFiles/drtp_common.dir/table.cc.o.d"
+  "libdrtp_common.a"
+  "libdrtp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

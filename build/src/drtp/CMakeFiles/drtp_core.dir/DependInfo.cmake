@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drtp/baselines.cc" "src/drtp/CMakeFiles/drtp_core.dir/baselines.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/baselines.cc.o.d"
+  "/root/repo/src/drtp/bounded_flood.cc" "src/drtp/CMakeFiles/drtp_core.dir/bounded_flood.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/bounded_flood.cc.o.d"
+  "/root/repo/src/drtp/dlsr.cc" "src/drtp/CMakeFiles/drtp_core.dir/dlsr.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/dlsr.cc.o.d"
+  "/root/repo/src/drtp/failure.cc" "src/drtp/CMakeFiles/drtp_core.dir/failure.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/failure.cc.o.d"
+  "/root/repo/src/drtp/manager.cc" "src/drtp/CMakeFiles/drtp_core.dir/manager.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/manager.cc.o.d"
+  "/root/repo/src/drtp/network.cc" "src/drtp/CMakeFiles/drtp_core.dir/network.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/network.cc.o.d"
+  "/root/repo/src/drtp/plsr.cc" "src/drtp/CMakeFiles/drtp_core.dir/plsr.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/plsr.cc.o.d"
+  "/root/repo/src/drtp/scheme.cc" "src/drtp/CMakeFiles/drtp_core.dir/scheme.cc.o" "gcc" "src/drtp/CMakeFiles/drtp_core.dir/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsdb/CMakeFiles/drtp_lsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/drtp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/drtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

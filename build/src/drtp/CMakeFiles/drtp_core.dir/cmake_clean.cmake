@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtp_core.dir/baselines.cc.o"
+  "CMakeFiles/drtp_core.dir/baselines.cc.o.d"
+  "CMakeFiles/drtp_core.dir/bounded_flood.cc.o"
+  "CMakeFiles/drtp_core.dir/bounded_flood.cc.o.d"
+  "CMakeFiles/drtp_core.dir/dlsr.cc.o"
+  "CMakeFiles/drtp_core.dir/dlsr.cc.o.d"
+  "CMakeFiles/drtp_core.dir/failure.cc.o"
+  "CMakeFiles/drtp_core.dir/failure.cc.o.d"
+  "CMakeFiles/drtp_core.dir/manager.cc.o"
+  "CMakeFiles/drtp_core.dir/manager.cc.o.d"
+  "CMakeFiles/drtp_core.dir/network.cc.o"
+  "CMakeFiles/drtp_core.dir/network.cc.o.d"
+  "CMakeFiles/drtp_core.dir/plsr.cc.o"
+  "CMakeFiles/drtp_core.dir/plsr.cc.o.d"
+  "CMakeFiles/drtp_core.dir/scheme.cc.o"
+  "CMakeFiles/drtp_core.dir/scheme.cc.o.d"
+  "libdrtp_core.a"
+  "libdrtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsdb/aplv.cc" "src/lsdb/CMakeFiles/drtp_lsdb.dir/aplv.cc.o" "gcc" "src/lsdb/CMakeFiles/drtp_lsdb.dir/aplv.cc.o.d"
+  "/root/repo/src/lsdb/conflict_vector.cc" "src/lsdb/CMakeFiles/drtp_lsdb.dir/conflict_vector.cc.o" "gcc" "src/lsdb/CMakeFiles/drtp_lsdb.dir/conflict_vector.cc.o.d"
+  "/root/repo/src/lsdb/link_state_db.cc" "src/lsdb/CMakeFiles/drtp_lsdb.dir/link_state_db.cc.o" "gcc" "src/lsdb/CMakeFiles/drtp_lsdb.dir/link_state_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/drtp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/drtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtp_lsdb.dir/aplv.cc.o"
+  "CMakeFiles/drtp_lsdb.dir/aplv.cc.o.d"
+  "CMakeFiles/drtp_lsdb.dir/conflict_vector.cc.o"
+  "CMakeFiles/drtp_lsdb.dir/conflict_vector.cc.o.d"
+  "CMakeFiles/drtp_lsdb.dir/link_state_db.cc.o"
+  "CMakeFiles/drtp_lsdb.dir/link_state_db.cc.o.d"
+  "libdrtp_lsdb.a"
+  "libdrtp_lsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtp_lsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

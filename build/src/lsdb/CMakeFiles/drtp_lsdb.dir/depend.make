@@ -1,0 +1,2 @@
+# Empty dependencies file for drtp_lsdb.
+# This may be replaced when dependencies are built.

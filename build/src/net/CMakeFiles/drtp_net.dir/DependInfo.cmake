@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_ledger.cc" "src/net/CMakeFiles/drtp_net.dir/bandwidth_ledger.cc.o" "gcc" "src/net/CMakeFiles/drtp_net.dir/bandwidth_ledger.cc.o.d"
+  "/root/repo/src/net/generators.cc" "src/net/CMakeFiles/drtp_net.dir/generators.cc.o" "gcc" "src/net/CMakeFiles/drtp_net.dir/generators.cc.o.d"
+  "/root/repo/src/net/graphio.cc" "src/net/CMakeFiles/drtp_net.dir/graphio.cc.o" "gcc" "src/net/CMakeFiles/drtp_net.dir/graphio.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/drtp_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/drtp_net.dir/topology.cc.o.d"
+  "/root/repo/src/net/transit_stub.cc" "src/net/CMakeFiles/drtp_net.dir/transit_stub.cc.o" "gcc" "src/net/CMakeFiles/drtp_net.dir/transit_stub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtp_net.dir/bandwidth_ledger.cc.o"
+  "CMakeFiles/drtp_net.dir/bandwidth_ledger.cc.o.d"
+  "CMakeFiles/drtp_net.dir/generators.cc.o"
+  "CMakeFiles/drtp_net.dir/generators.cc.o.d"
+  "CMakeFiles/drtp_net.dir/graphio.cc.o"
+  "CMakeFiles/drtp_net.dir/graphio.cc.o.d"
+  "CMakeFiles/drtp_net.dir/topology.cc.o"
+  "CMakeFiles/drtp_net.dir/topology.cc.o.d"
+  "CMakeFiles/drtp_net.dir/transit_stub.cc.o"
+  "CMakeFiles/drtp_net.dir/transit_stub.cc.o.d"
+  "libdrtp_net.a"
+  "libdrtp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

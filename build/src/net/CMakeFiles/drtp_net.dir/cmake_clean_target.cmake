@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrtp_net.a"
+)

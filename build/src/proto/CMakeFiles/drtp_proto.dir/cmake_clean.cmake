@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtp_proto.dir/engine.cc.o"
+  "CMakeFiles/drtp_proto.dir/engine.cc.o.d"
+  "libdrtp_proto.a"
+  "libdrtp_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtp_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bellman_ford.cc" "src/routing/CMakeFiles/drtp_routing.dir/bellman_ford.cc.o" "gcc" "src/routing/CMakeFiles/drtp_routing.dir/bellman_ford.cc.o.d"
+  "/root/repo/src/routing/constrained.cc" "src/routing/CMakeFiles/drtp_routing.dir/constrained.cc.o" "gcc" "src/routing/CMakeFiles/drtp_routing.dir/constrained.cc.o.d"
+  "/root/repo/src/routing/dijkstra.cc" "src/routing/CMakeFiles/drtp_routing.dir/dijkstra.cc.o" "gcc" "src/routing/CMakeFiles/drtp_routing.dir/dijkstra.cc.o.d"
+  "/root/repo/src/routing/distance_table.cc" "src/routing/CMakeFiles/drtp_routing.dir/distance_table.cc.o" "gcc" "src/routing/CMakeFiles/drtp_routing.dir/distance_table.cc.o.d"
+  "/root/repo/src/routing/path.cc" "src/routing/CMakeFiles/drtp_routing.dir/path.cc.o" "gcc" "src/routing/CMakeFiles/drtp_routing.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/drtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

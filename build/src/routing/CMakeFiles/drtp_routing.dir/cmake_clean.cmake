@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtp_routing.dir/bellman_ford.cc.o"
+  "CMakeFiles/drtp_routing.dir/bellman_ford.cc.o.d"
+  "CMakeFiles/drtp_routing.dir/constrained.cc.o"
+  "CMakeFiles/drtp_routing.dir/constrained.cc.o.d"
+  "CMakeFiles/drtp_routing.dir/dijkstra.cc.o"
+  "CMakeFiles/drtp_routing.dir/dijkstra.cc.o.d"
+  "CMakeFiles/drtp_routing.dir/distance_table.cc.o"
+  "CMakeFiles/drtp_routing.dir/distance_table.cc.o.d"
+  "CMakeFiles/drtp_routing.dir/path.cc.o"
+  "CMakeFiles/drtp_routing.dir/path.cc.o.d"
+  "libdrtp_routing.a"
+  "libdrtp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

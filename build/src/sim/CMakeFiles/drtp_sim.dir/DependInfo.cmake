@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/drtp_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/drtp_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/drtp_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/drtp_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/paper.cc" "src/sim/CMakeFiles/drtp_sim.dir/paper.cc.o" "gcc" "src/sim/CMakeFiles/drtp_sim.dir/paper.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/drtp_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/drtp_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/drtp_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/drtp_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/sim/CMakeFiles/drtp_sim.dir/traffic.cc.o" "gcc" "src/sim/CMakeFiles/drtp_sim.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drtp/CMakeFiles/drtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsdb/CMakeFiles/drtp_lsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/drtp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/drtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

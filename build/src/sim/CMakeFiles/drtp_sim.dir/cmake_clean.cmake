@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtp_sim.dir/experiment.cc.o"
+  "CMakeFiles/drtp_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/drtp_sim.dir/metrics.cc.o"
+  "CMakeFiles/drtp_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/drtp_sim.dir/paper.cc.o"
+  "CMakeFiles/drtp_sim.dir/paper.cc.o.d"
+  "CMakeFiles/drtp_sim.dir/scenario.cc.o"
+  "CMakeFiles/drtp_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/drtp_sim.dir/trace.cc.o"
+  "CMakeFiles/drtp_sim.dir/trace.cc.o.d"
+  "CMakeFiles/drtp_sim.dir/traffic.cc.o"
+  "CMakeFiles/drtp_sim.dir/traffic.cc.o.d"
+  "libdrtp_sim.a"
+  "libdrtp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_flood_test.dir/bounded_flood_test.cc.o"
+  "CMakeFiles/bounded_flood_test.dir/bounded_flood_test.cc.o.d"
+  "bounded_flood_test"
+  "bounded_flood_test.pdb"
+  "bounded_flood_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_flood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

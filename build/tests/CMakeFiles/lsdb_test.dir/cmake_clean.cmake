@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdb_test.dir/lsdb_test.cc.o"
+  "CMakeFiles/lsdb_test.dir/lsdb_test.cc.o.d"
+  "lsdb_test"
+  "lsdb_test.pdb"
+  "lsdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

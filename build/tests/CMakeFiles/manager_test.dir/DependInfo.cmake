@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/manager_test.cc" "tests/CMakeFiles/manager_test.dir/manager_test.cc.o" "gcc" "tests/CMakeFiles/manager_test.dir/manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/drtp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/drtp/CMakeFiles/drtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsdb/CMakeFiles/drtp_lsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/drtp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/drtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtpsim.dir/drtpsim.cc.o"
+  "CMakeFiles/drtpsim.dir/drtpsim.cc.o.d"
+  "drtpsim"
+  "drtpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(drtpsim_topo "/root/repo/build/tools/drtpsim" "topo" "--kind=grid" "--rows=4" "--cols=4" "--out=/root/repo/build/tools/smoke.topo")
+set_tests_properties(drtpsim_topo PROPERTIES  FIXTURES_SETUP "smoke_topo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(drtpsim_scenario "/root/repo/build/tools/drtpsim" "scenario" "--topo=/root/repo/build/tools/smoke.topo" "--lambda=0.3" "--duration=600" "--failures=2" "--mttr=60" "--out=/root/repo/build/tools/smoke.scn")
+set_tests_properties(drtpsim_scenario PROPERTIES  FIXTURES_REQUIRED "smoke_topo" FIXTURES_SETUP "smoke_scn" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(drtpsim_run "/root/repo/build/tools/drtpsim" "run" "--topo=/root/repo/build/tools/smoke.topo" "--scenario=/root/repo/build/tools/smoke.scn" "--scheme=BF" "--warmup_frac=0.3")
+set_tests_properties(drtpsim_run PROPERTIES  FIXTURES_REQUIRED "smoke_topo;smoke_scn" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
