@@ -4,15 +4,25 @@
 // this header provides cell execution with scenario reuse — the same
 // scenario file is replayed against every scheme, the paper's methodology —
 // plus standard flags (--fast, --seed, --duration).
+//
+// Harnesses with grid-shaped sweeps (fig4, fig5, tbl_recovery) run through
+// runner::SweepEngine via the --jobs/--out flag pair below; the remaining
+// single-threaded harnesses use CellRunner directly.
 #pragma once
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/check.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "runner/sweep.h"
 #include "sim/experiment.h"
 #include "sim/paper.h"
 
@@ -36,6 +46,56 @@ struct HarnessOptions {
   }
 };
 
+/// Parallel-sweep flags shared by the engine-backed harnesses.
+struct SweepFlags {
+  std::int64_t* jobs;
+  std::string* out;
+
+  static SweepFlags Register(FlagSet& flags) {
+    SweepFlags s{};
+    s.jobs = &flags.Int64("jobs", 1,
+                          "worker threads (0 = hardware concurrency)");
+    s.out = &flags.String(
+        "out", "", "append one JSON object per cell to this .jsonl file");
+    return s;
+  }
+};
+
+/// Runs `engine` with the standard sink setup: JSONL when --out is set,
+/// progress to stderr when it is a terminal. Results come back ordered by
+/// cell index.
+inline std::vector<runner::CellResult> RunSweep(runner::SweepEngine& engine,
+                                                const SweepFlags& sf) {
+  runner::SweepEngine::RunOptions ro;
+  ro.jobs = static_cast<int>(*sf.jobs);
+  ro.progress = isatty(fileno(stderr)) != 0;
+  std::unique_ptr<runner::JsonlSink> jsonl;
+  if (!sf.out->empty()) {
+    jsonl = std::make_unique<runner::JsonlSink>(*sf.out);
+    ro.sinks.push_back(jsonl.get());
+  }
+  return engine.Run(ro);
+}
+
+/// Metrics lookup by grid coordinates (linear scan; figure grids are
+/// small). Throws CheckError when the cell is not in the results.
+inline const sim::RunMetrics& FindMetrics(
+    const std::vector<runner::CellResult>& results, std::uint64_t base_seed,
+    double degree, sim::TrafficPattern pattern, double lambda,
+    std::string_view scheme) {
+  for (const runner::CellResult& r : results) {
+    if (r.cell.base_seed == base_seed && r.cell.degree == degree &&
+        r.cell.pattern == pattern && r.cell.lambda == lambda &&
+        r.cell.scheme == scheme) {
+      return r.metrics;
+    }
+  }
+  DRTP_CHECK_MSG(false, "no result for cell (seed=" << base_seed << ", E="
+                                                    << degree << ", lambda="
+                                                    << lambda << ", "
+                                                    << scheme << ")");
+}
+
 /// One evaluation cell: everything needed to replay one scheme on one
 /// (degree, pattern, λ) configuration.
 class CellRunner {
@@ -44,10 +104,7 @@ class CellRunner {
       : seed_(seed), duration_(fast ? duration / 4 : duration), fast_(fast) {}
 
   /// λ grid of Fig. 4/5 (0.2 … 1.0), thinned under --fast.
-  std::vector<double> Lambdas() const {
-    if (fast_) return {0.2, 0.5, 0.8};
-    return {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
-  }
+  std::vector<double> Lambdas() const { return runner::PaperLambdas(fast_); }
 
   const net::Topology& Topology(double degree) {
     auto it = topos_.find(degree);

@@ -5,7 +5,9 @@
 // Paper shape targets: D-LSR >= P-LSR >= BF almost everywhere; all three
 // >= ~0.87; fault-tolerance degrades with load for the LSR schemes and is
 // uniformly higher at E = 4.
-#include <memory>
+//
+// Cells run on the parallel sweep engine: --jobs=N fans them out over a
+// work-stealing pool, with tables bit-identical for every N.
 #include <vector>
 
 #include "bench_common.h"
@@ -14,19 +16,28 @@ int main(int argc, char** argv) {
   using namespace drtp;
   FlagSet flags("fig4_fault_tolerance");
   const auto opts = bench::HarnessOptions::Register(flags);
+  const auto sweep = bench::SweepFlags::Register(flags);
   auto& replications = flags.Int64(
       "replications", 1,
       "independent topology+traffic seeds averaged per cell (the paper "
       "plots one; >1 adds rigor at proportional cost)");
   flags.Parse(argc, argv);
 
-  // One CellRunner per replication so topology and traffic reseed together.
-  std::vector<std::unique_ptr<bench::CellRunner>> runners;
+  runner::SweepSpec spec;
+  // One base seed per replication so topology and traffic reseed together.
+  spec.seeds.clear();
   for (std::int64_t r = 0; r < replications; ++r) {
-    runners.push_back(std::make_unique<bench::CellRunner>(
-        static_cast<std::uint64_t>(*opts.seed + r * 101), *opts.duration,
-        *opts.fast));
+    spec.seeds.push_back(static_cast<std::uint64_t>(*opts.seed + r * 101));
   }
+  spec.degrees = {3.0, 4.0};
+  spec.patterns = {sim::TrafficPattern::kUniform,
+                   sim::TrafficPattern::kHotspot};
+  spec.lambdas = runner::PaperLambdas(*opts.fast);
+  spec.schemes = {"D-LSR", "P-LSR", "BF"};
+  spec.duration = *opts.duration;
+  spec.fast = *opts.fast;
+  runner::SweepEngine engine(spec);
+  const auto results = bench::RunSweep(engine, sweep);
 
   std::printf("Figure 4 — fault-tolerance P_bk vs arrival rate lambda\n");
   std::printf("(probability a backup activates when a single link failure"
@@ -41,15 +52,17 @@ int main(int argc, char** argv) {
                 degree);
     TextTable table({"lambda", "D-LSR,UT", "P-LSR,UT", "BF,UT", "D-LSR,NT",
                      "P-LSR,NT", "BF,NT"});
-    for (const double lambda : runners.front()->Lambdas()) {
+    for (const double lambda : spec.lambdas) {
       table.BeginRow();
       table.Cell(lambda, 2);
       for (const auto pattern :
            {sim::TrafficPattern::kUniform, sim::TrafficPattern::kHotspot}) {
         for (const char* scheme : {"D-LSR", "P-LSR", "BF"}) {
           RunningStat pbk;
-          for (auto& runner : runners) {
-            pbk.Add(runner->Run(degree, pattern, lambda, scheme).pbk.value());
+          for (const std::uint64_t seed : spec.seeds) {
+            pbk.Add(bench::FindMetrics(results, seed, degree, pattern, lambda,
+                                       scheme)
+                        .pbk.value());
           }
           table.Cell(pbk.mean(), 4);
         }

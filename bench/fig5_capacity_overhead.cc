@@ -6,15 +6,30 @@
 // reserved as spares displace primaries once the network saturates.
 // Paper shape targets: overhead ≈ 0 below saturation (λ≈0.5 at E=3, ≈0.9
 // at E=4), then climbs to at most ~25% (UT) / ~20% (NT).
+//
+// The no-backup baseline is just one more scheme in the sweep grid, so all
+// cells (baseline included) run on the parallel engine under --jobs=N.
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
   using namespace drtp;
   FlagSet flags("fig5_capacity_overhead");
   const auto opts = bench::HarnessOptions::Register(flags);
+  const auto sweep = bench::SweepFlags::Register(flags);
   flags.Parse(argc, argv);
-  bench::CellRunner runner(static_cast<std::uint64_t>(*opts.seed),
-                           *opts.duration, *opts.fast);
+
+  runner::SweepSpec spec;
+  spec.seeds = {static_cast<std::uint64_t>(*opts.seed)};
+  spec.degrees = {3.0, 4.0};
+  spec.patterns = {sim::TrafficPattern::kUniform,
+                   sim::TrafficPattern::kHotspot};
+  spec.lambdas = runner::PaperLambdas(*opts.fast);
+  spec.schemes = {"NoBackup", "D-LSR", "P-LSR", "BF"};
+  spec.duration = *opts.duration;
+  spec.fast = *opts.fast;
+  runner::SweepEngine engine(spec);
+  const auto results = bench::RunSweep(engine, sweep);
+  const std::uint64_t seed = spec.seeds.front();
 
   std::printf("Figure 5 — capacity overhead (%%) vs arrival rate lambda\n");
   std::printf("(drop in carried connections vs the no-backup replay of the"
@@ -24,20 +39,21 @@ int main(int argc, char** argv) {
                 degree);
     TextTable table({"lambda", "base(avg act)", "D-LSR,UT", "P-LSR,UT",
                      "BF,UT", "D-LSR,NT", "P-LSR,NT", "BF,NT"});
-    for (const double lambda : runner.Lambdas()) {
+    for (const double lambda : spec.lambdas) {
       table.BeginRow();
       table.Cell(lambda, 2);
       bool base_cell_done = false;
       for (const auto pattern :
            {sim::TrafficPattern::kUniform, sim::TrafficPattern::kHotspot}) {
-        const sim::RunMetrics base =
-            runner.Run(degree, pattern, lambda, "NoBackup");
+        const sim::RunMetrics& base = bench::FindMetrics(
+            results, seed, degree, pattern, lambda, "NoBackup");
         if (!base_cell_done) {
           table.Cell(base.avg_active, 1);
           base_cell_done = true;
         }
         for (const char* scheme : {"D-LSR", "P-LSR", "BF"}) {
-          const sim::RunMetrics m = runner.Run(degree, pattern, lambda, scheme);
+          const sim::RunMetrics& m = bench::FindMetrics(
+              results, seed, degree, pattern, lambda, scheme);
           table.Cell(sim::CapacityOverheadPercent(base, m), 2);
         }
       }

@@ -5,37 +5,46 @@
 //
 // If the evaluator models the protocol faithfully, the two columns track
 // each other closely for every scheme.
+//
+// The three scheme replays are independent cells on the sweep engine
+// (failure injection is part of the engine's scenario cache), so --jobs=3
+// runs them concurrently with identical output.
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
   using namespace drtp;
   FlagSet flags("tbl_recovery");
   const auto opts = bench::HarnessOptions::Register(flags);
+  const auto sweep = bench::SweepFlags::Register(flags);
   auto& lambda = flags.Double("lambda", 0.5, "arrival rate for the probe");
   auto& degree = flags.Double("degree", 3.0, "average node degree");
   auto& failures = flags.Int64("failures", 60, "injected link failures");
   auto& mttr = flags.Double("mttr", 300.0, "repair time seconds");
   flags.Parse(argc, argv);
-  bench::CellRunner runner(static_cast<std::uint64_t>(*opts.seed),
-                           *opts.duration, *opts.fast);
+
+  runner::SweepSpec spec;
+  spec.seeds = {static_cast<std::uint64_t>(*opts.seed)};
+  spec.degrees = {degree};
+  spec.patterns = {sim::TrafficPattern::kUniform};
+  spec.lambdas = {lambda};
+  spec.schemes = {"D-LSR", "P-LSR", "BF"};
+  spec.duration = *opts.duration;
+  spec.fast = *opts.fast;
+  spec.failures = static_cast<int>(failures);
+  spec.mttr = mttr;
+  runner::SweepEngine engine(spec);
+  const auto results = bench::RunSweep(engine, sweep);
 
   std::printf("Enacted recovery vs what-if P_bk (E = %.0f, lambda = %.2f,"
               " %lld failures, UT)\n\n",
               degree, lambda, static_cast<long long>(failures));
 
-  const net::Topology& topo = runner.Topology(degree);
-  sim::Scenario sc =
-      runner.Scenario(degree, sim::TrafficPattern::kUniform, lambda);
-  const sim::ExperimentConfig ec = runner.Experiment();
-  sim::InjectLinkFailures(sc, topo, static_cast<int>(failures), ec.warmup,
-                          sc.traffic.duration * 0.95, mttr,
-                          runner.seed() + 55);
-
   TextTable t({"scheme", "what-if P_bk", "enacted recovery", "hit", "lost",
                "re-protected"});
   for (const char* label : {"D-LSR", "P-LSR", "BF"}) {
-    auto scheme = sim::MakeScheme(label, topo, runner.seed() + 7);
-    const sim::RunMetrics m = sim::RunScenario(topo, sc, *scheme, ec);
+    const sim::RunMetrics& m =
+        bench::FindMetrics(results, spec.seeds.front(), degree,
+                           sim::TrafficPattern::kUniform, lambda, label);
     t.BeginRow();
     t.Cell(label);
     t.Cell(m.pbk.value(), 4);

@@ -1,0 +1,157 @@
+#include "runner/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace drtp::runner {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) {
+    DRTP_CHECK_MSG(out_.empty(), "only one top-level JSON value allowed");
+    return;
+  }
+  if (scopes_.back() == Scope::kObject) {
+    DRTP_CHECK_MSG(after_key_, "object member needs Key() before its value");
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_.back()) Raw(",");
+  need_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  scopes_.push_back(Scope::kObject);
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  DRTP_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  DRTP_CHECK_MSG(!after_key_, "dangling Key() at EndObject");
+  Raw("}");
+  scopes_.pop_back();
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  scopes_.push_back(Scope::kArray);
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  DRTP_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  Raw("]");
+  scopes_.pop_back();
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  DRTP_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  DRTP_CHECK_MSG(!after_key_, "two Key() calls in a row");
+  if (need_comma_.back()) Raw(",");
+  need_comma_.back() = true;
+  Raw("\"");
+  Raw(JsonEscape(name));
+  Raw("\":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Raw("\"");
+  Raw(JsonEscape(value));
+  Raw("\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue();
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; null keeps the line parseable.
+    Raw("null");
+    return *this;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  DRTP_CHECK(res.ec == std::errc());
+  Raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Raw(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  Raw("null");
+  return *this;
+}
+
+}  // namespace drtp::runner

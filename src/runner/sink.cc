@@ -1,0 +1,169 @@
+#include "runner/sink.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+#include "runner/json.h"
+
+namespace drtp::runner {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WriteStat(JsonWriter& w, const RunningStat& s) {
+  w.BeginObject();
+  w.Key("count").Int(s.count());
+  w.Key("mean").Double(s.mean());
+  w.Key("stddev").Double(s.stddev());
+  w.Key("min").Double(s.min());
+  w.Key("max").Double(s.max());
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteRunMetrics(JsonWriter& w, const sim::RunMetrics& m) {
+  w.Key("scheme").String(m.scheme);
+  w.Key("requests").Int(m.requests);
+  w.Key("admitted").Int(m.admitted);
+  w.Key("blocked").Int(m.blocked);
+  w.Key("with_backup").Int(m.with_backup);
+  w.Key("acceptance_ratio").Double(m.AcceptanceRatio());
+  w.Key("pbk").BeginObject();
+  w.Key("hits").Int(m.pbk.hits);
+  w.Key("trials").Int(m.pbk.trials);
+  w.Key("value").Double(m.pbk.value());
+  w.EndObject();
+  w.Key("avg_active").Double(m.avg_active);
+  w.Key("prime_bw_kbps");
+  WriteStat(w, m.prime_bw);
+  w.Key("spare_bw_kbps");
+  WriteStat(w, m.spare_bw);
+  w.Key("primary_hops");
+  WriteStat(w, m.primary_hops);
+  w.Key("backup_hops");
+  WriteStat(w, m.backup_hops);
+  w.Key("backup_overlap_links").Int(m.backup_overlap_links);
+  w.Key("control_messages").Int(m.control_messages);
+  w.Key("control_bytes").Int(m.control_bytes);
+  w.Key("overbooked_hops").Int(m.overbooked_hops);
+  w.Key("failures_enacted").Int(m.failures_enacted);
+  w.Key("failover_recovered").Int(m.failover_recovered);
+  w.Key("failover_dropped").Int(m.failover_dropped);
+  w.Key("backups_broken").Int(m.backups_broken);
+  w.Key("backups_reestablished").Int(m.backups_reestablished);
+  w.Key("enacted_recovery_ratio").Double(m.EnactedRecoveryRatio());
+  w.Key("measure_start").Double(m.measure_start);
+  w.Key("measure_end").Double(m.measure_end);
+}
+
+std::string CellResultToJson(const CellResult& r) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kJsonlSchema);
+  w.Key("cell").Int(static_cast<std::int64_t>(r.cell.index));
+  w.Key("seed").Uint(r.cell.base_seed);
+  w.Key("cell_seed").Uint(r.cell.cell_seed);
+  w.Key("degree").Double(r.cell.degree);
+  w.Key("pattern").String(sim::PatternName(r.cell.pattern));
+  w.Key("lambda").Double(r.cell.lambda);
+  w.Key("scheme").String(r.cell.scheme);
+  w.Key("wall_s").Double(r.wall_seconds);
+  w.Key("metrics").BeginObject();
+  WriteRunMetrics(w, r.metrics);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::app)) {
+  DRTP_CHECK_MSG(owned_->good(), "cannot open '" << path << "' for append");
+  os_ = owned_.get();
+}
+
+void JsonlSink::Consume(const CellResult& result) {
+  // Render outside the lock; append + flush atomically under it so lines
+  // from concurrent cells never interleave and crash-truncated files lose
+  // at most the line in flight.
+  const std::string line = CellResultToJson(result);
+  std::lock_guard<std::mutex> lk(mu_);
+  (*os_) << line << '\n';
+  os_->flush();
+  ++lines_;
+}
+
+void JsonlSink::Finish() {
+  std::lock_guard<std::mutex> lk(mu_);
+  os_->flush();
+}
+
+TableSink::TableSink(std::ostream& os) : os_(os) {}
+
+void TableSink::Consume(const CellResult& result) {
+  std::lock_guard<std::mutex> lk(mu_);
+  results_.push_back(result);
+}
+
+void TableSink::Finish() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::sort(results_.begin(), results_.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.cell.index < b.cell.index;
+            });
+  TextTable t({"seed", "E", "pattern", "lambda", "scheme", "req", "admit",
+               "accept", "P_bk", "avg_act", "prime_Mbps", "spare_Mbps",
+               "wall_s"});
+  for (const CellResult& r : results_) {
+    t.BeginRow();
+    t.Cell(static_cast<std::int64_t>(r.cell.base_seed));
+    t.Cell(r.cell.degree, 0);
+    t.Cell(sim::PatternName(r.cell.pattern));
+    t.Cell(r.cell.lambda, 2);
+    t.Cell(r.cell.scheme);
+    t.Cell(r.metrics.requests);
+    t.Cell(r.metrics.admitted);
+    t.Cell(r.metrics.AcceptanceRatio(), 3);
+    t.Cell(r.metrics.pbk.value(), 4);
+    t.Cell(r.metrics.avg_active, 1);
+    t.Cell(r.metrics.prime_bw.mean() / 1000.0, 1);
+    t.Cell(r.metrics.spare_bw.mean() / 1000.0, 1);
+    t.Cell(r.wall_seconds, 2);
+  }
+  os_ << t.Render();
+  os_.flush();
+}
+
+ProgressReporter::ProgressReporter(std::size_t total_cells)
+    : total_(total_cells), start_seconds_(MonotonicSeconds()) {}
+
+void ProgressReporter::Consume(const CellResult& result) {
+  (void)result;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++done_;
+  const double elapsed = MonotonicSeconds() - start_seconds_;
+  const double rate = elapsed > 0.0 ? static_cast<double>(done_) / elapsed
+                                    : 0.0;
+  const double eta =
+      rate > 0.0 ? static_cast<double>(total_ - done_) / rate : 0.0;
+  std::fprintf(stderr, "\r[sweep] %zu/%zu cells  %.2f cells/s  ETA %.0fs   ",
+               done_, total_, rate, eta);
+  if (done_ == total_) std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+void ProgressReporter::Finish() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (done_ != total_) std::fputc('\n', stderr);
+}
+
+}  // namespace drtp::runner

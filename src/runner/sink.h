@@ -1,0 +1,120 @@
+// Result sinks for the sweep engine.
+//
+// Each completed cell is pushed to every registered sink as the pool
+// finishes it — i.e. in a nondeterministic order under --jobs > 1. Sinks
+// therefore lock internally and, where ordered output matters (TableSink),
+// buffer and sort by cell index before rendering. JSONL lines carry the
+// full cell coordinates plus a schema version, so a results file is
+// self-describing regardless of line order.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/metrics.h"
+#include "sim/traffic.h"
+
+namespace drtp::runner {
+
+/// JSONL schema tag; bump when the line layout changes incompatibly.
+inline constexpr char kJsonlSchema[] = "drtp.sweep/1";
+/// Schema tag for single-run JSON output (drtpsim run --format=json).
+inline constexpr char kRunJsonSchema[] = "drtp.run/1";
+
+/// One point of the sweep grid.
+struct Cell {
+  std::size_t index = 0;  ///< Position in SweepSpec expansion order.
+  std::uint64_t base_seed = 1;
+  double degree = 3.0;
+  sim::TrafficPattern pattern = sim::TrafficPattern::kUniform;
+  double lambda = 0.5;
+  std::string scheme;
+  /// splitmix64(base_seed, index); seeds per-cell randomness.
+  std::uint64_t cell_seed = 0;
+};
+
+struct CellResult {
+  Cell cell;
+  sim::RunMetrics metrics;
+  /// Wall-clock spent replaying this cell, seconds.
+  double wall_seconds = 0.0;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// Called once per completed cell, possibly from several threads.
+  virtual void Consume(const CellResult& result) = 0;
+  /// Called once after the last Consume of a sweep.
+  virtual void Finish() {}
+};
+
+class JsonWriter;
+
+/// Serialises `metrics` as the members of an (already open) JSON object.
+void WriteRunMetrics(JsonWriter& w, const sim::RunMetrics& metrics);
+
+/// Renders one schema-versioned JSONL line for a completed cell (no
+/// trailing newline).
+std::string CellResultToJson(const CellResult& result);
+
+/// Appends one JSON object per completed cell to a stream, newline
+/// terminated, under a mutex so concurrent cells never interleave.
+class JsonlSink : public ResultSink {
+ public:
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit JsonlSink(std::ostream& os);
+  /// Opens `path` for appending; throws CheckError when unwritable.
+  explicit JsonlSink(const std::string& path);
+
+  void Consume(const CellResult& result) override;
+  void Finish() override;
+
+  std::int64_t lines_written() const { return lines_; }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_;
+  std::mutex mu_;
+  std::int64_t lines_ = 0;
+};
+
+/// Buffers every result and renders one common/table.h row per cell in
+/// cell-index order — the sweep counterpart of the bespoke figure tables.
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& os);
+
+  void Consume(const CellResult& result) override;
+  /// Sorts by cell index and renders the table.
+  void Finish() override;
+
+ private:
+  std::ostream& os_;
+  std::mutex mu_;
+  std::vector<CellResult> results_;
+};
+
+/// Writes "done/total, cells/s, ETA" lines to stderr as cells complete.
+/// Instantiate just before Run() — the clock starts at construction.
+class ProgressReporter : public ResultSink {
+ public:
+  explicit ProgressReporter(std::size_t total_cells);
+
+  void Consume(const CellResult& result) override;
+  void Finish() override;
+
+ private:
+  std::size_t total_;
+  std::size_t done_ = 0;  // under mu_
+  double start_seconds_;  // monotonic
+  std::mutex mu_;
+};
+
+}  // namespace drtp::runner

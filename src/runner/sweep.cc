@@ -1,0 +1,176 @@
+#include "runner/sweep.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace drtp::runner {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t CellSeed(std::uint64_t base_seed, std::uint64_t cell_index) {
+  // Stateless splitmix64: jump the stream seeded at base_seed directly to
+  // output `cell_index` (the generator's increment is a Weyl sequence, so
+  // the i-th state is base_seed + (i+1)·γ).
+  std::uint64_t z = base_seed + (cell_index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<double> PaperLambdas(bool fast) {
+  if (fast) return {0.2, 0.5, 0.8};
+  return {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+SweepEngine::SweepEngine(SweepSpec spec)
+    : spec_(std::move(spec)),
+      duration_(spec_.fast ? spec_.duration / 4 : spec_.duration) {
+  DRTP_CHECK_MSG(spec_.NumCells() > 0, "empty sweep grid");
+}
+
+std::vector<Cell> SweepEngine::Cells() const {
+  std::vector<Cell> cells;
+  cells.reserve(spec_.NumCells());
+  std::size_t index = 0;
+  for (const std::uint64_t seed : spec_.seeds) {
+    for (const double degree : spec_.degrees) {
+      for (const auto pattern : spec_.patterns) {
+        for (const double lambda : spec_.lambdas) {
+          for (const std::string& scheme : spec_.schemes) {
+            Cell c;
+            c.index = index;
+            c.base_seed = seed;
+            c.degree = degree;
+            c.pattern = pattern;
+            c.lambda = lambda;
+            c.scheme = scheme;
+            c.cell_seed = CellSeed(seed, static_cast<std::uint64_t>(index));
+            cells.push_back(std::move(c));
+            ++index;
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+sim::ExperimentConfig SweepEngine::Experiment() const {
+  sim::ExperimentConfig ec = sim::MakePaperExperiment();
+  ec.warmup = duration_ * 0.4;
+  ec.sample_interval = duration_ / 50.0;
+  ec.num_backups = spec_.num_backups;
+  ec.spare_mode = spec_.spare_mode;
+  ec.lsdb_refresh_interval = spec_.lsdb_refresh_interval;
+  return ec;
+}
+
+const net::Topology& SweepEngine::TopologyFor(std::uint64_t base_seed,
+                                              double degree) {
+  const auto key = std::make_pair(base_seed, degree);
+  {
+    std::shared_lock<std::shared_mutex> lk(topo_mu_);
+    auto it = topos_.find(key);
+    if (it != topos_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(topo_mu_);
+  auto it = topos_.find(key);
+  if (it == topos_.end()) {
+    // Deterministic in (degree, seed): whichever thread generates first
+    // produces the value every other thread would have.
+    it = topos_
+             .emplace(key, std::make_unique<net::Topology>(
+                               sim::MakePaperTopology(degree, base_seed)))
+             .first;
+  }
+  return *it->second;
+}
+
+const sim::Scenario& SweepEngine::ScenarioFor(std::uint64_t base_seed,
+                                              double degree,
+                                              sim::TrafficPattern pattern,
+                                              double lambda) {
+  const auto key = std::make_tuple(base_seed, degree, pattern, lambda);
+  {
+    std::shared_lock<std::shared_mutex> lk(scenario_mu_);
+    auto it = scenarios_.find(key);
+    if (it != scenarios_.end()) return *it->second;
+  }
+  const net::Topology& topo = TopologyFor(base_seed, degree);
+  std::unique_lock<std::shared_mutex> lk(scenario_mu_);
+  auto it = scenarios_.find(key);
+  if (it == scenarios_.end()) {
+    sim::TrafficConfig tc =
+        sim::MakePaperTraffic(pattern, lambda, base_seed + 1000);
+    tc.duration = duration_;
+    if (spec_.fast) {
+      // Shrink lifetimes with the horizon but scale λ up by the same
+      // factor so the offered load λ·E[lifetime] matches the full run.
+      const double shrink = duration_ / sim::kPaperDuration;
+      tc.lifetime_min *= shrink;
+      tc.lifetime_max *= shrink;
+      tc.lambda = lambda / shrink;
+    }
+    auto sc = std::make_unique<sim::Scenario>(
+        sim::Scenario::Generate(topo, tc));
+    if (spec_.failures > 0) {
+      sim::InjectLinkFailures(*sc, topo, spec_.failures, duration_ * 0.4,
+                              duration_ * 0.95, spec_.mttr, base_seed + 55);
+    }
+    it = scenarios_.emplace(key, std::move(sc)).first;
+  }
+  return *it->second;
+}
+
+CellResult SweepEngine::RunCell(const Cell& cell) {
+  const net::Topology& topo = TopologyFor(cell.base_seed, cell.degree);
+  const sim::Scenario& scenario =
+      ScenarioFor(cell.base_seed, cell.degree, cell.pattern, cell.lambda);
+  auto scheme = sim::MakeScheme(cell.scheme, topo, cell.cell_seed);
+  const double t0 = MonotonicSeconds();
+  CellResult r;
+  r.cell = cell;
+  r.metrics = sim::RunScenario(topo, scenario, *scheme, Experiment());
+  r.wall_seconds = MonotonicSeconds() - t0;
+  return r;
+}
+
+std::vector<CellResult> SweepEngine::Run(const RunOptions& options) {
+  const std::vector<Cell> cells = Cells();
+  std::vector<CellResult> results(cells.size());
+
+  std::vector<ResultSink*> sinks = options.sinks;
+  std::unique_ptr<ProgressReporter> progress;
+  if (options.progress) {
+    progress = std::make_unique<ProgressReporter>(cells.size());
+    sinks.push_back(progress.get());
+  }
+
+  {
+    ThreadPool pool(ThreadPool::Options{.threads = options.jobs});
+    for (const Cell& cell : cells) {
+      pool.Submit([this, &cell, &results, &sinks] {
+        CellResult r = RunCell(cell);
+        for (ResultSink* sink : sinks) sink->Consume(r);
+        // Cells own distinct slots; no lock needed.
+        results[cell.index] = std::move(r);
+      });
+    }
+    pool.Wait();  // rethrows the first failed cell
+    pool.Shutdown();
+  }
+
+  for (ResultSink* sink : sinks) sink->Finish();
+  return results;
+}
+
+}  // namespace drtp::runner

@@ -1,0 +1,164 @@
+#include "runner/thread_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace drtp::runner {
+
+ThreadPool::ThreadPool(Options options) {
+  int n = options.threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  queue_capacity_ = options.queue_capacity > 0 ? options.queue_capacity : 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    done_cv_.wait(lk, [this] { return unfinished_ == 0; });
+  }
+  JoinThreads();
+}
+
+bool ThreadPool::AnyQueued() const {
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> qlk(w->mu);
+    if (!w->queue.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  DRTP_CHECK(task != nullptr);
+  std::unique_lock<std::mutex> lk(state_mu_);
+  DRTP_CHECK_MSG(!stop_, "Submit() after Shutdown()");
+  const std::size_t start = next_worker_++ % workers_.size();
+  for (;;) {
+    for (std::size_t j = 0; j < workers_.size(); ++j) {
+      Worker& w = *workers_[(start + j) % workers_.size()];
+      std::lock_guard<std::mutex> qlk(w.mu);
+      if (w.queue.size() < queue_capacity_) {
+        w.queue.push_back(std::move(task));
+        ++unfinished_;
+        lk.unlock();
+        work_cv_.notify_one();
+        return;
+      }
+    }
+    // Backpressure: every queue is at capacity. Workers notify space_cv_
+    // after each pop (with an empty state_mu_ critical section, so the
+    // pop is ordered against this predicate evaluation).
+    space_cv_.wait(lk, [this] {
+      for (const auto& w : workers_) {
+        std::lock_guard<std::mutex> qlk(w->mu);
+        if (w->queue.size() < queue_capacity_) return true;
+      }
+      return false;
+    });
+  }
+}
+
+bool ThreadPool::PopAny(std::size_t self, std::function<void()>& task) {
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> qlk(own.mu);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.front());
+      own.queue.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t j = 1; j < workers_.size(); ++j) {
+    Worker& victim = *workers_[(self + j) % workers_.size()];
+    std::lock_guard<std::mutex> qlk(victim.mu);
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.back());
+      victim.queue.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (PopAny(self, task)) {
+      {
+        // Order the pop against a full-queue submitter's predicate scan.
+        std::lock_guard<std::mutex> lk(state_mu_);
+      }
+      space_cv_.notify_one();
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> elk(error_mu_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (--unfinished_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(state_mu_);
+    work_cv_.wait(lk, [this] { return stop_ || AnyQueued(); });
+    if (stop_ && !AnyQueued()) return;
+  }
+}
+
+void ThreadPool::Wait() {
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    done_cv_.wait(lk, [this] { return unfinished_ == 0; });
+  }
+  RethrowPending();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    done_cv_.wait(lk, [this] { return unfinished_ == 0; });
+  }
+  JoinThreads();
+  RethrowPending();
+}
+
+void ThreadPool::JoinThreads() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::RethrowPending() {
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+std::int64_t ThreadPool::unfinished() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return unfinished_;
+}
+
+}  // namespace drtp::runner

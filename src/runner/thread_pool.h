@@ -1,0 +1,96 @@
+// Work-stealing thread pool for the sweep engine.
+//
+// Each worker owns a bounded deque; it consumes its own queue from the
+// front and, when empty, steals from the back of a sibling's queue. The
+// pool is built for coarse tasks (one simulation cell each, milliseconds
+// to seconds), so queues are mutex-guarded rather than lock-free — the
+// stealing structure is what matters: submissions spread round-robin and
+// an idle worker never waits while any queue holds work.
+//
+// Exceptions thrown by tasks are captured; the first one is rethrown from
+// Wait() (and the rest dropped), after all in-flight tasks have drained,
+// so a failing cell can never deadlock or tear down the process.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace drtp::runner {
+
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker count; <= 0 selects std::thread::hardware_concurrency().
+    int threads = 1;
+    /// Per-worker queue bound; Submit blocks when every queue is full.
+    std::size_t queue_capacity = 256;
+  };
+
+  explicit ThreadPool(Options options);
+  /// Convenience: `threads` workers with the default queue bound.
+  explicit ThreadPool(int threads) : ThreadPool(Options{.threads = threads}) {}
+
+  /// Drains outstanding work, then joins. Task exceptions still pending
+  /// at destruction are swallowed — call Wait() first to observe them.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Blocks for backpressure while every worker queue is
+  /// at capacity. Must not be called after Shutdown() or from a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (clearing it); the pool remains
+  /// usable for further Submit() calls either way.
+  void Wait();
+
+  /// Graceful shutdown: lets queued tasks finish, then joins all workers.
+  /// Idempotent. Like Wait(), rethrows the first captured task exception.
+  void Shutdown();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks submitted but not yet finished (approximate once workers run).
+  std::int64_t unfinished() const;
+
+ private:
+  struct Worker {
+    mutable std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void WorkerLoop(std::size_t self);
+  bool PopAny(std::size_t self, std::function<void()>& task);
+  bool AnyQueued() const;
+  void JoinThreads();
+  void RethrowPending();
+
+  std::size_t queue_capacity_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Coordination for sleeping workers / waiters. `state_mu_` orders queue
+  // pushes against the wait predicates (empty critical section on the
+  // submit side); the queues themselves are guarded by their own mutexes.
+  mutable std::mutex state_mu_;
+  std::condition_variable work_cv_;   // new work or stop
+  std::condition_variable done_cv_;   // unfinished_ hit zero
+  std::condition_variable space_cv_;  // a queue slot freed up
+  std::int64_t unfinished_ = 0;       // queued + running, under state_mu_
+  bool stop_ = false;
+  std::size_t next_worker_ = 0;  // round-robin submit cursor
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace drtp::runner

@@ -5,9 +5,9 @@
 // changes through this queue.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
@@ -21,15 +21,16 @@ class EventQueue {
   void Schedule(Time t, std::function<void()> action) {
     DRTP_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < "
                                                            << now_);
-    heap_.push(Item{t, next_seq_++, std::move(action)});
+    heap_.push_back(Item{t, next_seq_++, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   /// Runs the earliest event; false when the queue is empty.
   bool RunNext() {
     if (heap_.empty()) return false;
-    // Item::action is not const-qualified for the move below; top() is.
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
     now_ = item.time;
     item.action();
     return true;
@@ -37,7 +38,7 @@ class EventQueue {
 
   /// Runs every event with time <= t, then advances the clock to t.
   void RunUntil(Time t) {
-    while (!heap_.empty() && heap_.top().time <= t) RunNext();
+    while (!heap_.empty() && heap_.front().time <= t) RunNext();
     if (t > now_) now_ = t;
   }
 
@@ -55,14 +56,21 @@ class EventQueue {
     Time time;
     std::uint64_t seq;
     std::function<void()> action;
+  };
 
-    bool operator>(const Item& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+  /// Min-heap order on (time, seq): the comparator says "a runs after b",
+  /// so std::push_heap/pop_heap keep the earliest event at front().
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  // A plain vector managed with the <algorithm> heap primitives instead of
+  // std::priority_queue: popping moves the item out of back() — no
+  // const_cast of top() required.
+  std::vector<Item> heap_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

@@ -1,0 +1,391 @@
+// Tests for the parallel sweep runner: thread-pool semantics (completion,
+// stealing under imbalance, exception surfacing), the deterministic
+// seeding contract (same sweep, any thread count -> bit-identical
+// metrics), and the JSONL sink's schema-versioned, parseable output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/json.h"
+#include "runner/sink.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+
+namespace drtp::runner {
+namespace {
+
+// --- minimal JSON validator ------------------------------------------------
+// Recursive-descent syntax check, enough to prove JSONL lines are real
+// JSON without pulling in a parser dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- splitmix64 ------------------------------------------------------------
+
+TEST(CellSeedTest, MatchesSplitmix64Reference) {
+  // Reference: the stateful generator from the splitmix64 paper.
+  std::uint64_t state = 42;
+  const auto next = [&state] {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(CellSeed(42, i), next()) << "index " << i;
+  }
+}
+
+TEST(CellSeedTest, KnownFirstValueOfZeroStream) {
+  // Widely published first output of splitmix64 seeded with 0.
+  EXPECT_EQ(CellSeed(0, 0), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(CellSeedTest, DistinctAcrossCellsAndSeeds) {
+  EXPECT_NE(CellSeed(1, 0), CellSeed(1, 1));
+  EXPECT_NE(CellSeed(1, 0), CellSeed(2, 0));
+}
+
+// --- thread pool -----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, StealsAcrossWorkersUnderImbalance) {
+  // Tiny queues force submissions (and thieves) to spread across workers;
+  // with one long task hogging a worker, the rest must still finish.
+  ThreadPool pool(ThreadPool::Options{.threads = 3, .queue_capacity = 2});
+  std::atomic<int> count{0};
+  pool.Submit([&count] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    count.fetch_add(1);
+  });
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 201);
+}
+
+TEST(ThreadPoolTest, TaskExceptionSurfacesAtWaitWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count, i] {
+      if (i == 17) throw std::runtime_error("cell 17 failed");
+      count.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Every non-throwing task still ran, and the pool stays usable.
+  EXPECT_EQ(count.load(), 49);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutWait) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+// --- sweep determinism -----------------------------------------------------
+
+SweepSpec TinySpec() {
+  SweepSpec spec;
+  spec.seeds = {7};
+  spec.degrees = {3.0};
+  spec.patterns = {sim::TrafficPattern::kUniform};
+  spec.lambdas = {0.4, 0.6};
+  spec.schemes = {"D-LSR", "BF"};
+  spec.duration = 400.0;
+  return spec;
+}
+
+void ExpectBitIdentical(const sim::RunMetrics& a, const sim::RunMetrics& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.with_backup, b.with_backup);
+  EXPECT_EQ(a.pbk.hits, b.pbk.hits);
+  EXPECT_EQ(a.pbk.trials, b.pbk.trials);
+  // Doubles compared with == on purpose: the contract is bit-identity,
+  // not approximation.
+  EXPECT_EQ(a.avg_active, b.avg_active);
+  EXPECT_EQ(a.prime_bw.mean(), b.prime_bw.mean());
+  EXPECT_EQ(a.prime_bw.count(), b.prime_bw.count());
+  EXPECT_EQ(a.spare_bw.mean(), b.spare_bw.mean());
+  EXPECT_EQ(a.primary_hops.mean(), b.primary_hops.mean());
+  EXPECT_EQ(a.backup_hops.mean(), b.backup_hops.mean());
+  EXPECT_EQ(a.backup_overlap_links, b.backup_overlap_links);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+  EXPECT_EQ(a.overbooked_hops, b.overbooked_hops);
+  EXPECT_EQ(a.measure_start, b.measure_start);
+  EXPECT_EQ(a.measure_end, b.measure_end);
+}
+
+TEST(SweepEngineTest, FourThreadSweepBitIdenticalToSerial) {
+  SweepEngine serial(TinySpec());
+  SweepEngine threaded(TinySpec());
+
+  SweepEngine::RunOptions one;
+  one.jobs = 1;
+  const auto a = serial.Run(one);
+
+  SweepEngine::RunOptions four;
+  four.jobs = 4;
+  const auto b = threaded.Run(four);
+
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), TinySpec().NumCells());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell.index, i);
+    EXPECT_EQ(b[i].cell.index, i);
+    EXPECT_EQ(a[i].cell.cell_seed, b[i].cell.cell_seed);
+    ExpectBitIdentical(a[i].metrics, b[i].metrics);
+  }
+}
+
+TEST(SweepEngineTest, CellsExpandInSpecOrderWithDerivedSeeds) {
+  SweepEngine engine(TinySpec());
+  const auto cells = engine.Cells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].scheme, "D-LSR");
+  EXPECT_EQ(cells[1].scheme, "BF");
+  EXPECT_EQ(cells[0].lambda, 0.4);
+  EXPECT_EQ(cells[2].lambda, 0.6);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].cell_seed, CellSeed(7, i));
+  }
+}
+
+TEST(SweepEngineTest, FailingCellRethrowsFromRun) {
+  SweepSpec spec = TinySpec();
+  spec.schemes = {"D-LSR", "NoSuchScheme"};
+  SweepEngine engine(spec);
+  SweepEngine::RunOptions ro;
+  ro.jobs = 2;
+  EXPECT_THROW(engine.Run(ro), std::exception);
+}
+
+// --- sinks -----------------------------------------------------------------
+
+TEST(JsonlSinkTest, LinesParseAndCarrySchemaVersion) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  SweepEngine engine(TinySpec());
+  SweepEngine::RunOptions ro;
+  ro.jobs = 2;
+  ro.sinks = {&sink};
+  const auto results = engine.Run(ro);
+  EXPECT_EQ(sink.lines_written(),
+            static_cast<std::int64_t>(results.size()));
+
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"schema\":\"drtp.sweep/1\""), std::string::npos);
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+  }
+  EXPECT_EQ(lines, results.size());
+}
+
+TEST(JsonWriterTest, EscapesAndFormats) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\nd");
+  w.Key("i").Int(-42);
+  w.Key("d").Double(0.1);
+  w.Key("nan").Double(std::nan(""));
+  w.Key("b").Bool(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":-42,\"d\":0.1,"
+            "\"nan\":null,\"b\":true}");
+  EXPECT_TRUE(JsonValidator(w.str()).Valid());
+}
+
+TEST(TableSinkTest, RendersOneRowPerCellInIndexOrder) {
+  std::ostringstream os;
+  TableSink sink(os);
+  for (const std::size_t index : {2u, 0u, 1u}) {
+    CellResult r;
+    r.cell.index = index;
+    r.cell.scheme = "D-LSR";
+    r.cell.lambda = 0.1 * static_cast<double>(index);
+    sink.Consume(r);
+  }
+  sink.Finish();
+  const std::string text = os.str();
+  // Header + rule + 3 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+  EXPECT_LT(text.find("0.10"), text.find("0.20"));
+}
+
+}  // namespace
+}  // namespace drtp::runner

@@ -27,6 +27,8 @@
 #include "drtp/drtp.h"
 #include "drtp/failure.h"
 #include "net/graphio.h"
+#include "runner/json.h"
+#include "runner/sink.h"
 #include "sim/experiment.h"
 #include "sim/paper.h"
 
@@ -148,7 +150,13 @@ int CmdRun(int argc, char** argv) {
   auto& seed = flags.Int64("seed", 1, "scheme seed (RandomBackup)");
   auto& trace_path =
       flags.String("trace", "", "write an ns-style event trace to this file");
+  auto& format = flags.String(
+      "format", "table",
+      "output format: table, or json (one schema-versioned object)");
   flags.Parse(argc, argv);
+  if (format != "table" && format != "json") {
+    return Fail("unknown --format '" + format + "' (table|json)");
+  }
 
   if (topo_path.empty()) return Fail("--topo is required");
   if (scenario_path.empty()) return Fail("--scenario is required");
@@ -179,6 +187,21 @@ int CmdRun(int argc, char** argv) {
     std::fprintf(stderr, "wrote %lld trace lines to %s\n",
                  static_cast<long long>(trace->lines_written()),
                  trace_path.c_str());
+  }
+
+  if (format == "json") {
+    runner::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String(runner::kRunJsonSchema);
+    w.Key("topo").String(topo_path);
+    w.Key("scenario").String(scenario_path);
+    w.Key("seed").Int(seed);
+    w.Key("metrics").BeginObject();
+    runner::WriteRunMetrics(w, m);
+    w.EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
   }
 
   TextTable t({"metric", "value"});
