@@ -1,160 +1,356 @@
-// Google-benchmark microbenchmarks of the engine's hot paths: Dijkstra,
-// APLV maintenance, conflict-vector scoring, bounded flooding, failure
-// evaluation and full request handling.
-#include <benchmark/benchmark.h>
+// Microbenchmark suite for the engine's hot-path kernels.
+//
+// Times the kernels the simulation spends its cycles in — LSDB
+// publication, Dijkstra, backup selection, the single-link failure sweep —
+// and emits one JSON document (schema drtp.micro/1) through the runner's
+// JSON writer. Superseded kernels (full-table publish, allocating
+// Dijkstra, full-scan failure sweep, bit-loop CV scoring) are measured
+// alongside their replacements, so every run carries its own
+// before/after comparison.
+//
+//   micro_engine                      # human-readable table on stdout
+//   micro_engine --out=BENCH_micro.json
+//   micro_engine --quick --validate   # CI perf-smoke: fast + schema check
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "common/flags.h"
 #include "common/rng.h"
-#include "drtp/bounded_flood.h"
 #include "drtp/dlsr.h"
 #include "drtp/failure.h"
 #include "drtp/network.h"
-#include "drtp/plsr.h"
+#include "drtp/scheme.h"
 #include "lsdb/aplv.h"
 #include "net/generators.h"
 #include "routing/dijkstra.h"
-#include "routing/distance_table.h"
+#include "runner/json.h"
 #include "sim/paper.h"
 
-namespace drtp {
+namespace drtp::bench {
 namespace {
 
-net::Topology PaperTopo(double degree) {
-  return sim::MakePaperTopology(degree, 1);
+constexpr std::string_view kSchema = "drtp.micro/1";
+
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
 }
 
-void BM_DijkstraMinHop(benchmark::State& state) {
-  const net::Topology topo = PaperTopo(static_cast<double>(state.range(0)));
-  Rng rng(7);
-  for (auto _ : state) {
-    const NodeId src = static_cast<NodeId>(rng.Index(60));
-    NodeId dst = static_cast<NodeId>(rng.Index(60));
-    if (dst == src) dst = (dst + 1) % 60;
-    auto p = routing::MinHopPath(topo, src, dst, nullptr);
-    benchmark::DoNotOptimize(p);
+struct KernelResult {
+  std::string name;
+  std::int64_t iters = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Runs `fn` repeatedly — doubling the batch size until the accumulated
+/// measured time passes `min_time_s` — and reports mean ns per call.
+class Timer {
+ public:
+  explicit Timer(double min_time_s) : min_time_s_(min_time_s) {}
+
+  template <typename Fn>
+  KernelResult Measure(std::string name, Fn&& fn) {
+    using Clock = std::chrono::steady_clock;
+    fn();  // warm caches and one-time lazy setup outside the clock
+    std::int64_t iters = 0;
+    double elapsed_s = 0.0;
+    std::int64_t batch = 1;
+    while (elapsed_s < min_time_s_) {
+      const auto start = Clock::now();
+      for (std::int64_t i = 0; i < batch; ++i) fn();
+      const auto stop = Clock::now();
+      elapsed_s += std::chrono::duration<double>(stop - start).count();
+      iters += batch;
+      batch *= 2;
+    }
+    return KernelResult{std::move(name), iters,
+                        elapsed_s * 1e9 / static_cast<double>(iters)};
   }
-}
-BENCHMARK(BM_DijkstraMinHop)->Arg(3)->Arg(4);
 
-void BM_DistanceTableBuild(benchmark::State& state) {
-  const net::Topology topo = PaperTopo(3.0);
-  for (auto _ : state) {
-    auto dt = routing::DistanceTable::Build(topo);
-    benchmark::DoNotOptimize(dt);
-  }
-}
-BENCHMARK(BM_DistanceTableBuild);
+ private:
+  double min_time_s_;
+};
 
-void BM_AplvUpdate(benchmark::State& state) {
-  lsdb::Aplv aplv(240);
-  const routing::LinkSet lset = routing::MakeLinkSet({3, 50, 100, 199, 230});
-  for (auto _ : state) {
-    aplv.AddPrimaryLset(lset);
-    aplv.RemovePrimaryLset(lset);
-    benchmark::DoNotOptimize(aplv);
-  }
-}
-BENCHMARK(BM_AplvUpdate);
-
-void BM_ConflictVectorScore(benchmark::State& state) {
-  lsdb::ConflictVector cv(240);
-  Rng rng(3);
-  for (int i = 0; i < 60; ++i)
-    cv.Set(static_cast<LinkId>(rng.Index(240)), true);
-  const routing::LinkSet lset = routing::MakeLinkSet({3, 50, 100, 199, 230});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cv.CountIn(lset));
-  }
-}
-BENCHMARK(BM_ConflictVectorScore);
-
-/// One full request through a loaded network: selection + establishment +
-/// backup registration + release.
-template <typename Scheme>
-void RequestCycle(benchmark::State& state, Scheme& scheme,
-                  core::DrtpNetwork& net, lsdb::LinkStateDb& db) {
-  Rng rng(11);
-  ConnId next = 1 << 20;
-  for (auto _ : state) {
-    const NodeId src = static_cast<NodeId>(rng.Index(60));
-    NodeId dst = static_cast<NodeId>(rng.Index(60));
-    if (dst == src) dst = (dst + 1) % 60;
+/// The shared fixture: the paper's 60-node topology loaded with ~300
+/// protected connections, so APLVs, spare pools and the reverse indexes
+/// are all non-trivial.
+struct LoadedNet {
+  explicit LoadedNet(std::uint64_t seed)
+      : topo(sim::MakePaperTopology(3.0, 1)),
+        net(topo),
+        db(topo.num_links(), topo.num_links()) {
+    core::Dlsr scheme;
+    Rng rng(seed);
+    const auto nodes = static_cast<std::size_t>(topo.num_nodes());
+    for (ConnId id = 0; id < 300; ++id) {
+      const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+      NodeId dst = static_cast<NodeId>(rng.Index(nodes));
+      if (dst == src) dst = (dst + 1) % topo.num_nodes();
+      net.PublishTo(db, 0.0);
+      auto sel = scheme.SelectRoutes(net, db, src, dst, Mbps(1));
+      if (sel.primary &&
+          net.EstablishConnection(id, *sel.primary, Mbps(1), 0.0)) {
+        if (sel.backup) net.RegisterBackup(id, *sel.backup);
+        conn_ids.push_back(id);
+      }
+    }
     net.PublishTo(db, 0.0);
-    auto sel = scheme.SelectRoutes(net, db, src, dst, Mbps(1));
-    if (sel.primary &&
-        net.EstablishConnection(next, *sel.primary, Mbps(1), 0.0)) {
-      if (sel.backup) net.RegisterBackup(next, *sel.backup);
-      net.ReleaseConnection(next);
-      ++next;
+  }
+
+  net::Topology topo;
+  core::DrtpNetwork net;
+  lsdb::LinkStateDb db;
+  std::vector<ConnId> conn_ids;
+};
+
+std::vector<KernelResult> RunSuite(LoadedNet& fx, double min_time_s,
+                                   std::uint64_t seed) {
+  Timer timer(min_time_s);
+  std::vector<KernelResult> out;
+  const int num_links = fx.topo.num_links();
+  const auto nodes = static_cast<std::size_t>(fx.topo.num_nodes());
+
+  // --- LSDB publication --------------------------------------------------
+  out.push_back(timer.Measure("publish_full", [&] {
+    fx.net.PublishFullTo(fx.db, 0.0);
+  }));
+  {
+    LinkId flip = 0;
+    bool down = false;
+    out.push_back(timer.Measure("publish_incremental", [&] {
+      // One link-state flip per publication — the simulator's typical
+      // dirty-set size between instant-mode publications.
+      down = !down;
+      if (down) {
+        fx.net.SetLinkDown(flip);
+      } else {
+        fx.net.SetLinkUp(flip);
+        flip = (flip + 1) % num_links;
+      }
+      fx.net.PublishTo(fx.db, 0.0);
+    }));
+    if (down) fx.net.SetLinkUp(flip);  // leave the fixture intact
+    fx.net.PublishTo(fx.db, 0.0);
+  }
+
+  // --- Dijkstra ----------------------------------------------------------
+  const auto unit_cost = [&](LinkId l) {
+    return fx.db.record(l).up ? 1.0 : routing::kInfiniteCost;
+  };
+  {
+    Rng rng(seed + 1);
+    out.push_back(timer.Measure("dijkstra_tree_alloc", [&] {
+      const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+      DoNotOptimize(routing::RunDijkstra(fx.topo, src, unit_cost));
+    }));
+  }
+  {
+    Rng rng(seed + 1);
+    routing::DijkstraWorkspace ws;
+    out.push_back(timer.Measure("dijkstra_workspace", [&] {
+      const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+      routing::RunDijkstra(fx.topo, src, unit_cost, ws);
+      DoNotOptimize(ws.Reached(0));
+    }));
+  }
+
+  // --- backup selection (Eq. 4 / Eq. 5) ----------------------------------
+  const auto backup_select = [&](const char* name, bool deterministic) {
+    Rng rng(seed + 2);
+    return timer.Measure(name, [&] {
+      const ConnId id = fx.conn_ids[rng.Index(fx.conn_ids.size())];
+      const core::DrConnection* conn = fx.net.Find(id);
+      DoNotOptimize(core::SelectBackupLsr(fx.topo, fx.db, conn->primary_lset,
+                                          conn->src, conn->dst, conn->bw,
+                                          deterministic));
+    });
+  };
+  out.push_back(backup_select("backup_select_dlsr", true));
+  out.push_back(backup_select("backup_select_plsr", false));
+
+  // --- single-link failure sweep -----------------------------------------
+  out.push_back(timer.Measure("failure_sweep_scan", [&] {
+    DoNotOptimize(core::EvaluateAllSingleLinkFailuresScan(fx.net));
+  }));
+  out.push_back(timer.Measure("failure_sweep_indexed", [&] {
+    DoNotOptimize(core::EvaluateAllSingleLinkFailures(fx.net));
+  }));
+
+  // --- APLV / conflict-vector primitives ---------------------------------
+  // A 5-link LSET spread across the id range (typical primary length).
+  const routing::LinkSet probe_lset = routing::MakeLinkSet(
+      {num_links / 8, num_links / 4, num_links / 2, (num_links * 3) / 4,
+       num_links - 1});
+  {
+    lsdb::Aplv aplv(num_links);
+    const routing::LinkSet& lset = probe_lset;
+    out.push_back(timer.Measure("aplv_update", [&] {
+      aplv.AddPrimaryLset(lset);
+      aplv.RemovePrimaryLset(lset);
+      DoNotOptimize(aplv);
+    }));
+  }
+  {
+    lsdb::ConflictVector cv(num_links);
+    Rng rng(seed + 3);
+    for (int i = 0; i < num_links / 4; ++i) {
+      cv.Set(static_cast<LinkId>(rng.Index(static_cast<std::size_t>(
+                 num_links))),
+             true);
+    }
+    const routing::LinkSet& lset = probe_lset;
+    std::vector<std::uint64_t> mask(
+        static_cast<std::size_t>((num_links + 63) / 64), 0);
+    for (LinkId l : lset) {
+      mask[static_cast<std::size_t>(l) / 64] |= std::uint64_t{1}
+                                                << (l % 64);
+    }
+    out.push_back(timer.Measure("cv_count_in", [&] {
+      DoNotOptimize(cv.CountIn(lset));
+    }));
+    out.push_back(timer.Measure("cv_and_popcount", [&] {
+      DoNotOptimize(cv.AndPopCount(mask));
+    }));
+  }
+
+  // --- end-to-end request cycle ------------------------------------------
+  {
+    core::Dlsr scheme;
+    Rng rng(seed + 4);
+    ConnId next = 1 << 20;
+    out.push_back(timer.Measure("request_cycle_dlsr", [&] {
+      const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+      NodeId dst = static_cast<NodeId>(rng.Index(nodes));
+      if (dst == src) dst = (dst + 1) % fx.topo.num_nodes();
+      fx.net.PublishTo(fx.db, 0.0);
+      auto sel = scheme.SelectRoutes(fx.net, fx.db, src, dst, Mbps(1));
+      if (sel.primary &&
+          fx.net.EstablishConnection(next, *sel.primary, Mbps(1), 0.0)) {
+        if (sel.backup) fx.net.RegisterBackup(next, *sel.backup);
+        fx.net.ReleaseConnection(next);
+        ++next;
+      }
+    }));
+  }
+
+  return out;
+}
+
+std::string RenderJson(const std::vector<KernelResult>& results,
+                       const LoadedNet& fx, bool quick, double min_time_s) {
+  runner::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kSchema);
+  w.Key("quick").Bool(quick);
+  w.Key("min_time_s").Double(min_time_s);
+  w.Key("topology").BeginObject();
+  w.Key("nodes").Int(fx.topo.num_nodes());
+  w.Key("links").Int(fx.topo.num_links());
+  w.Key("connections").Int(static_cast<std::int64_t>(fx.conn_ids.size()));
+  w.EndObject();
+  w.Key("kernels").BeginArray();
+  for (const KernelResult& r : results) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("iters").Int(r.iters);
+    w.Key("ns_per_op").Double(r.ns_per_op);
+    w.Key("ops_per_sec").Double(1e9 / r.ns_per_op);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+/// Schema check for CI: every expected kernel present, exactly once, with
+/// positive timings. Returns the number of problems found.
+int Validate(const std::vector<KernelResult>& results) {
+  static const char* const kExpected[] = {
+      "publish_full",        "publish_incremental", "dijkstra_tree_alloc",
+      "dijkstra_workspace",  "backup_select_dlsr",  "backup_select_plsr",
+      "failure_sweep_scan",  "failure_sweep_indexed", "aplv_update",
+      "cv_count_in",         "cv_and_popcount",     "request_cycle_dlsr",
+  };
+  int problems = 0;
+  for (const char* name : kExpected) {
+    int found = 0;
+    for (const KernelResult& r : results) {
+      if (r.name == name) {
+        ++found;
+        if (r.iters <= 0 || r.ns_per_op <= 0.0) {
+          std::fprintf(stderr, "micro_engine: kernel %s has bad timing\n",
+                       name);
+          ++problems;
+        }
+      }
+    }
+    if (found != 1) {
+      std::fprintf(stderr, "micro_engine: kernel %s appears %d times\n",
+                   name, found);
+      ++problems;
     }
   }
+  if (results.size() != std::size(kExpected)) {
+    std::fprintf(stderr, "micro_engine: %zu kernels, expected %zu\n",
+                 results.size(), std::size(kExpected));
+    ++problems;
+  }
+  return problems;
 }
 
-/// Pre-loads ~300 connections so APLVs and spare pools are non-trivial.
-void Preload(core::DrtpNetwork& net, lsdb::LinkStateDb& db,
-             core::RoutingScheme& scheme) {
-  Rng rng(5);
-  for (ConnId id = 0; id < 300; ++id) {
-    const NodeId src = static_cast<NodeId>(rng.Index(60));
-    NodeId dst = static_cast<NodeId>(rng.Index(60));
-    if (dst == src) dst = (dst + 1) % 60;
-    net.PublishTo(db, 0.0);
-    auto sel = scheme.SelectRoutes(net, db, src, dst, Mbps(1));
-    if (sel.primary && net.EstablishConnection(id, *sel.primary, Mbps(1), 0)) {
-      if (sel.backup) net.RegisterBackup(id, *sel.backup);
+int Main(int argc, char** argv) {
+  FlagSet flags("micro_engine");
+  auto& quick = flags.Bool("quick", false,
+                           "short timing windows (CI perf-smoke mode)");
+  auto& validate = flags.Bool("validate", false,
+                              "check the result set against the expected "
+                              "drtp.micro/1 kernel list; nonzero exit on "
+                              "mismatch");
+  auto& out = flags.String("out", "",
+                           "write the drtp.micro/1 JSON document here "
+                           "(default: stdout table only)");
+  auto& min_time = flags.Double("min_time", 0.0,
+                                "seconds of measured time per kernel "
+                                "(0 = 0.5, or 0.02 with --quick)");
+  auto& seed = flags.Int64("seed", 1, "fixture seed");
+  flags.Parse(argc, argv);
+
+  const double min_time_s = min_time > 0.0 ? min_time : (quick ? 0.02 : 0.5);
+  LoadedNet fx(static_cast<std::uint64_t>(seed));
+  const std::vector<KernelResult> results =
+      RunSuite(fx, min_time_s, static_cast<std::uint64_t>(seed));
+
+  std::printf("%-24s %12s %14s\n", "kernel", "iters", "ns/op");
+  for (const KernelResult& r : results) {
+    std::printf("%-24s %12lld %14.1f\n", r.name.c_str(),
+                static_cast<long long>(r.iters), r.ns_per_op);
+  }
+
+  const std::string json = RenderJson(results, fx, quick, min_time_s);
+  if (!out.empty()) {
+    std::ofstream f(out, std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "micro_engine: cannot open %s\n", out.c_str());
+      return 1;
     }
+    f << json << '\n';
+    std::fprintf(stderr, "micro_engine: wrote %s\n", out.c_str());
   }
-}
 
-void BM_RequestCycleDlsr(benchmark::State& state) {
-  core::DrtpNetwork net(PaperTopo(3.0));
-  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
-  core::Dlsr scheme;
-  Preload(net, db, scheme);
-  RequestCycle(state, scheme, net, db);
-}
-BENCHMARK(BM_RequestCycleDlsr);
-
-void BM_RequestCyclePlsr(benchmark::State& state) {
-  core::DrtpNetwork net(PaperTopo(3.0));
-  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
-  core::Plsr scheme;
-  Preload(net, db, scheme);
-  RequestCycle(state, scheme, net, db);
-}
-BENCHMARK(BM_RequestCyclePlsr);
-
-void BM_RequestCycleBoundedFlood(benchmark::State& state) {
-  core::DrtpNetwork net(PaperTopo(3.0));
-  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
-  core::BoundedFlooding scheme(net.topology());
-  core::Dlsr preload_scheme;
-  Preload(net, db, preload_scheme);
-  RequestCycle(state, scheme, net, db);
-}
-BENCHMARK(BM_RequestCycleBoundedFlood);
-
-void BM_EvaluateAllSingleLinkFailures(benchmark::State& state) {
-  core::DrtpNetwork net(PaperTopo(3.0));
-  lsdb::LinkStateDb db(net.topology().num_links(), net.topology().num_links());
-  core::Dlsr scheme;
-  Preload(net, db, scheme);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::EvaluateAllSingleLinkFailures(net));
+  if (validate) {
+    const int problems = Validate(results);
+    if (problems > 0) return 1;
+    std::fprintf(stderr, "micro_engine: schema %.*s OK (%zu kernels)\n",
+                 static_cast<int>(kSchema.size()), kSchema.data(),
+                 results.size());
   }
+  return 0;
 }
-BENCHMARK(BM_EvaluateAllSingleLinkFailures);
-
-void BM_WaxmanGeneration(benchmark::State& state) {
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    auto topo = net::MakeWaxman(net::WaxmanConfig{
-        .nodes = 60, .avg_degree = 3.0, .seed = seed++});
-    benchmark::DoNotOptimize(topo);
-  }
-}
-BENCHMARK(BM_WaxmanGeneration);
 
 }  // namespace
-}  // namespace drtp
+}  // namespace drtp::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return drtp::bench::Main(argc, argv); }

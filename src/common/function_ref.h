@@ -1,0 +1,62 @@
+// Non-owning callable reference.
+//
+// FunctionRef<R(Args...)> is a two-word (object pointer, thunk pointer)
+// view of any callable. Unlike std::function it never allocates, never
+// copies the target, and calls through a plain function pointer — which is
+// what the routing kernels want for their per-link cost callbacks, invoked
+// millions of times per sweep. The referenced callable must outlive every
+// call; pass lambdas directly as arguments (they live for the full call
+// expression) and never store a FunctionRef beyond the callee's scope.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace drtp {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference; calling it is undefined. Test with operator bool.
+  constexpr FunctionRef() noexcept = default;
+  constexpr FunctionRef(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept {  // NOLINT(runtime/explicit)
+    using Fn = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<Fn>) {
+      // A plain function: smuggle the function pointer itself through the
+      // object slot (casting it to void* needs reinterpret_cast, which is
+      // fine on every platform we target).
+      obj_ = reinterpret_cast<void*>(&f);
+      call_ = [](void* obj, Args... args) -> R {
+        return (*reinterpret_cast<Fn*>(obj))(std::forward<Args>(args)...);
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<Fn*>(obj))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace drtp

@@ -1,6 +1,8 @@
 #include "drtp/failure.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -19,22 +21,126 @@ std::vector<LinkId> FailedSet(const DrtpNetwork& net, LinkId l) {
   return failed;
 }
 
-bool UsesAny(const routing::Path& path, const std::vector<LinkId>& links) {
+bool UsesAny(const routing::Path& path, std::span<const LinkId> links) {
   return std::any_of(links.begin(), links.end(),
                      [&](LinkId l) { return path.Contains(l); });
+}
+
+/// Reusable scratch for the failure sweep: per-link remaining-bandwidth
+/// array invalidated by epoch stamp (no O(num_links) clear between links)
+/// plus a merge buffer for affected connection ids.
+struct EvalScratch {
+  explicit EvalScratch(int num_links)
+      : remaining(static_cast<std::size_t>(num_links), 0),
+        stamp(static_cast<std::size_t>(num_links), 0) {}
+
+  std::vector<Bandwidth> remaining;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+  std::vector<ConnId> affected;
+};
+
+/// Ascending-id union of the primaries crossing each failed link, built
+/// from the network's reverse index into `scratch.affected`. Matches the
+/// id-order the full table scan visits affected connections in.
+void CollectAffectedPrimaries(const DrtpNetwork& net,
+                              std::span<const LinkId> failed_set,
+                              std::vector<ConnId>& out) {
+  out.clear();
+  if (failed_set.size() == 1) {
+    const auto conns = net.PrimaryConnsOn(failed_set[0]);
+    out.assign(conns.begin(), conns.end());
+    return;
+  }
+  for (LinkId l : failed_set) {
+    const auto conns = net.PrimaryConnsOn(l);
+    out.insert(out.end(), conns.begin(), conns.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+FailureImpact EvaluateLinkFailureWith(const DrtpNetwork& net,
+                                      std::span<const LinkId> failed_set,
+                                      EvalScratch& scratch) {
+  // Affected connections in id order; the paper leaves contention order
+  // unspecified, id order keeps it deterministic across schemes.
+  FailureImpact impact;
+  CollectAffectedPrimaries(net, failed_set, scratch.affected);
+  if (scratch.affected.empty()) return impact;
+
+  // Remaining bandwidth each link can devote to activations: the spare
+  // pool plus whatever is still free. Lazily initialized per epoch.
+  ++scratch.epoch;
+  const auto available = [&](LinkId l) -> Bandwidth& {
+    const auto i = static_cast<std::size_t>(l);
+    if (scratch.stamp[i] != scratch.epoch) {
+      scratch.stamp[i] = scratch.epoch;
+      scratch.remaining[i] = net.ledger().spare(l) + net.ledger().free(l);
+    }
+    return scratch.remaining[i];
+  };
+
+  for (ConnId id : scratch.affected) {
+    const DrConnection* conn = net.Find(id);
+    DRTP_DCHECK(conn != nullptr);
+    ++impact.attempts;
+    // Try the backups in preference order; the first that avoids the
+    // failure and fits activates (and consumes its capacity).
+    for (const routing::Path& backup : conn->backups) {
+      if (UsesAny(backup, failed_set)) continue;
+      bool fits = true;
+      for (LinkId l : backup.links()) {
+        if (available(l) < conn->bw) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (LinkId l : backup.links()) available(l) -= conn->bw;
+      ++impact.activated;
+      break;
+    }
+  }
+  return impact;
 }
 
 }  // namespace
 
 FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed) {
   const std::vector<LinkId> failed_set = FailedSet(net, failed);
+  EvalScratch scratch(net.topology().num_links());
+  return EvaluateLinkFailureWith(net, failed_set, scratch);
+}
 
-  // Affected connections in id order (std::map iteration is ordered); the
-  // paper leaves contention order unspecified, id order keeps it
-  // deterministic across schemes.
+Ratio EvaluateAllSingleLinkFailures(const DrtpNetwork& net) {
+  Ratio ratio;
+  const net::Topology& topo = net.topology();
+  EvalScratch scratch(topo.num_links());
+  LinkId failed_set[2];
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (!net.IsLinkUp(l)) continue;
+    std::size_t n = 1;
+    failed_set[0] = l;
+    // Under duplex failures, count each physical fiber once.
+    if (net.config().duplex_failures) {
+      const LinkId rev = topo.link(l).reverse;
+      if (rev != kInvalidLink) {
+        if (rev < l) continue;
+        failed_set[n++] = rev;
+      }
+    }
+    const FailureImpact impact =
+        EvaluateLinkFailureWith(net, {failed_set, n}, scratch);
+    ratio.AddMany(impact.activated, impact.attempts);
+  }
+  return ratio;
+}
+
+FailureImpact EvaluateLinkFailureScan(const DrtpNetwork& net, LinkId failed) {
+  const std::vector<LinkId> failed_set = FailedSet(net, failed);
+
   FailureImpact impact;
-  // Remaining bandwidth each link can devote to activations: the spare
-  // pool plus whatever is still free.
   std::unordered_map<LinkId, Bandwidth> remaining;
   const auto available = [&](LinkId l) -> Bandwidth& {
     auto [it, fresh] = remaining.try_emplace(l, 0);
@@ -45,8 +151,6 @@ FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed) {
   for (const auto& [id, conn] : net.connections()) {
     if (!UsesAny(conn.primary, failed_set)) continue;
     ++impact.attempts;
-    // Try the backups in preference order; the first that avoids the
-    // failure and fits activates (and consumes its capacity).
     for (const routing::Path& backup : conn.backups) {
       if (UsesAny(backup, failed_set)) continue;
       bool fits = true;
@@ -65,17 +169,16 @@ FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed) {
   return impact;
 }
 
-Ratio EvaluateAllSingleLinkFailures(const DrtpNetwork& net) {
+Ratio EvaluateAllSingleLinkFailuresScan(const DrtpNetwork& net) {
   Ratio ratio;
   const net::Topology& topo = net.topology();
   for (LinkId l = 0; l < topo.num_links(); ++l) {
     if (!net.IsLinkUp(l)) continue;
-    // Under duplex failures, count each physical fiber once.
     if (net.config().duplex_failures) {
       const LinkId rev = topo.link(l).reverse;
       if (rev != kInvalidLink && rev < l) continue;
     }
-    const FailureImpact impact = EvaluateLinkFailure(net, l);
+    const FailureImpact impact = EvaluateLinkFailureScan(net, l);
     ratio.AddMany(impact.activated, impact.attempts);
   }
   return ratio;
@@ -91,21 +194,23 @@ SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
   // before any step-4 reroute floods.
   if (reroute != nullptr) reroute->OnTopologyChanged(net);
 
-  // Collect the affected ids first: mutations below invalidate iteration.
+  // Collect the affected ids first (from the reverse indexes — mutations
+  // below invalidate both iteration and the indexes themselves).
   std::vector<ConnId> primary_hit;
+  CollectAffectedPrimaries(net, failed_set, primary_hit);
   std::vector<ConnId> backup_hit;
-  for (const auto& [id, conn] : net.connections()) {
-    if (UsesAny(conn.primary, failed_set)) {
-      primary_hit.push_back(id);
-    } else {
-      for (const routing::Path& backup : conn.backups) {
-        if (UsesAny(backup, failed_set)) {
-          backup_hit.push_back(id);
-          break;
-        }
-      }
-    }
+  for (LinkId l : failed_set) {
+    const auto conns = net.BackupConnsOn(l);
+    backup_hit.insert(backup_hit.end(), conns.begin(), conns.end());
   }
+  std::sort(backup_hit.begin(), backup_hit.end());
+  backup_hit.erase(std::unique(backup_hit.begin(), backup_hit.end()),
+                   backup_hit.end());
+  // A connection whose primary is hit is handled by channel switching,
+  // not backup release.
+  std::erase_if(backup_hit, [&](ConnId id) {
+    return std::binary_search(primary_hit.begin(), primary_hit.end(), id);
+  });
 
   // Broken backups are released first (their spare claims must not block
   // activations), per the failure-reporting step. Surviving backups of the
@@ -164,7 +269,7 @@ SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
       net.PublishTo(*db, now);
       auto backup =
           reroute->SelectBackupFor(net, *db, conn->primary, conn->bw);
-      if (backup.has_value() && !UsesAny(*backup, net.DownLinks())) {
+      if (backup.has_value() && !UsesAny(*backup, net.down_links())) {
         net.RegisterBackup(id, *backup);
         report.rerouted.push_back(id);
       }

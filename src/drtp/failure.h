@@ -28,12 +28,21 @@ struct FailureImpact {
 };
 
 /// What-if analysis of failing `failed` (plus its reverse under
-/// duplex_failures). Non-mutating.
+/// duplex_failures). Non-mutating. Walks only the connections the
+/// network's link→connection reverse index reports on the failed links,
+/// not the whole connection table.
 FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed);
 
 /// Aggregates EvaluateLinkFailure over every link; links that disable no
-/// primary contribute nothing. The Ratio's value() is P_bk.
+/// primary contribute nothing. The Ratio's value() is P_bk. Reuses one
+/// scratch workspace across the whole sweep — no per-link allocation.
 Ratio EvaluateAllSingleLinkFailures(const DrtpNetwork& net);
+
+/// Reference implementations that scan the full connection table per link
+/// (the pre-index algorithm). Kept for the equivalence test suite — the
+/// indexed versions above must produce bit-identical results.
+FailureImpact EvaluateLinkFailureScan(const DrtpNetwork& net, LinkId failed);
+Ratio EvaluateAllSingleLinkFailuresScan(const DrtpNetwork& net);
 
 /// Result of actually failing a link.
 struct SwitchoverReport {

@@ -6,14 +6,41 @@
 
 namespace drtp::core {
 
+namespace {
+
+void SortedInsert(std::vector<ConnId>& v, ConnId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it == v.end() || *it != id) v.insert(it, id);
+}
+
+void SortedErase(std::vector<ConnId>& v, ConnId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  DRTP_DCHECK(it != v.end() && *it == id);
+  if (it != v.end() && *it == id) v.erase(it);
+}
+
+}  // namespace
+
 DrtpNetwork::DrtpNetwork(net::Topology topo, NetworkConfig config)
     : topo_(std::move(topo)),
       config_(config),
       ledger_(topo_),
-      link_up_(static_cast<std::size_t>(topo_.num_links()), 1) {
+      link_up_(static_cast<std::size_t>(topo_.num_links()), 1),
+      primary_conns_(static_cast<std::size_t>(topo_.num_links())),
+      backup_conns_(static_cast<std::size_t>(topo_.num_links())),
+      dirty_flag_(static_cast<std::size_t>(topo_.num_links()), 0) {
   managers_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
     managers_.emplace_back(n, topo_, ledger_, config_.spare_mode);
+  }
+  dirty_links_.reserve(static_cast<std::size_t>(topo_.num_links()));
+}
+
+void DrtpNetwork::MarkDirty(LinkId l) {
+  auto& flag = dirty_flag_[static_cast<std::size_t>(l)];
+  if (!flag) {
+    flag = 1;
+    dirty_links_.push_back(l);
   }
 }
 
@@ -22,30 +49,49 @@ bool DrtpNetwork::IsLinkUp(LinkId l) const {
   return link_up_[static_cast<std::size_t>(l)] != 0;
 }
 
+void DrtpNetwork::MarkLinkUpDown(LinkId l, bool up) {
+  auto& state = link_up_[static_cast<std::size_t>(l)];
+  if ((state != 0) == up) return;
+  state = up ? 1 : 0;
+  auto it = std::lower_bound(down_links_.begin(), down_links_.end(), l);
+  if (up) {
+    down_links_.erase(it);
+  } else {
+    down_links_.insert(it, l);
+  }
+  MarkDirty(l);
+}
+
 void DrtpNetwork::SetLinkDown(LinkId l) {
   DRTP_CHECK(l >= 0 && l < topo_.num_links());
-  link_up_[static_cast<std::size_t>(l)] = 0;
+  MarkLinkUpDown(l, false);
   if (config_.duplex_failures) {
     const LinkId rev = topo_.link(l).reverse;
-    if (rev != kInvalidLink) link_up_[static_cast<std::size_t>(rev)] = 0;
+    if (rev != kInvalidLink) MarkLinkUpDown(rev, false);
   }
 }
 
 void DrtpNetwork::SetLinkUp(LinkId l) {
   DRTP_CHECK(l >= 0 && l < topo_.num_links());
-  link_up_[static_cast<std::size_t>(l)] = 1;
+  MarkLinkUpDown(l, true);
   if (config_.duplex_failures) {
     const LinkId rev = topo_.link(l).reverse;
-    if (rev != kInvalidLink) link_up_[static_cast<std::size_t>(rev)] = 1;
+    if (rev != kInvalidLink) MarkLinkUpDown(rev, true);
   }
 }
 
-std::vector<LinkId> DrtpNetwork::DownLinks() const {
-  std::vector<LinkId> down;
-  for (LinkId l = 0; l < topo_.num_links(); ++l) {
-    if (!IsLinkUp(l)) down.push_back(l);
+void DrtpNetwork::IndexPrimary(ConnId id, const routing::LinkSet& lset) {
+  for (LinkId l : lset) {
+    SortedInsert(primary_conns_[static_cast<std::size_t>(l)], id);
+    MarkDirty(l);
   }
-  return down;
+}
+
+void DrtpNetwork::UnindexPrimary(ConnId id, const routing::LinkSet& lset) {
+  for (LinkId l : lset) {
+    SortedErase(primary_conns_[static_cast<std::size_t>(l)], id);
+    MarkDirty(l);
+  }
 }
 
 bool DrtpNetwork::EstablishConnection(ConnId id, const routing::Path& primary,
@@ -62,15 +108,18 @@ bool DrtpNetwork::EstablishConnection(ConnId id, const routing::Path& primary,
     }
     reserved.push_back(l);
   }
-  conns_.emplace(id, DrConnection{.id = id,
-                                  .src = primary.src(),
-                                  .dst = primary.dst(),
-                                  .bw = bw,
-                                  .primary = primary,
-                                  .primary_lset = primary.ToLinkSet(),
-                                  .backups = {},
-                                  .established_at = now,
-                                  .failovers = 0});
+  auto it = conns_
+                .emplace(id, DrConnection{.id = id,
+                                          .src = primary.src(),
+                                          .dst = primary.dst(),
+                                          .bw = bw,
+                                          .primary = primary,
+                                          .primary_lset = primary.ToLinkSet(),
+                                          .backups = {},
+                                          .established_at = now,
+                                          .failovers = 0})
+                .first;
+  IndexPrimary(id, it->second.primary_lset);
   return true;
 }
 
@@ -93,6 +142,8 @@ int DrtpNetwork::RegisterBackup(ConnId id, const routing::Path& backup) {
       ++overbooked_hops;
       overbooked_.insert(l);
     }
+    SortedInsert(backup_conns_[static_cast<std::size_t>(l)], id);
+    MarkDirty(l);
   }
   conn.backups.push_back(backup);
   return overbooked_hops;
@@ -108,6 +159,10 @@ void DrtpNetwork::ReleaseBackupAt(ConnId id, std::size_t index) {
       .conn_id = id, .bw = conn.bw, .primary_lset = conn.primary_lset};
   for (LinkId l : conn.backups[index].links()) {
     manager(topo_.link(l).src).ReleaseBackupHop(l, packet);
+    // A connection's backups are pairwise disjoint, so no surviving backup
+    // of `id` can still hold this link.
+    SortedErase(backup_conns_[static_cast<std::size_t>(l)], id);
+    MarkDirty(l);
   }
   conn.backups.erase(conn.backups.begin() +
                      static_cast<std::ptrdiff_t>(index));
@@ -129,6 +184,7 @@ void DrtpNetwork::ReleaseConnection(ConnId id) {
   for (LinkId l : it->second.primary.links()) {
     ledger_.ReleasePrime(l, it->second.bw);
   }
+  UnindexPrimary(id, it->second.primary_lset);
   conns_.erase(it);
   // §5: resources of a released primary are offered to spare pools that
   // could not previously reach their targets.
@@ -151,6 +207,7 @@ bool DrtpNetwork::ActivateBackup(ConnId id, std::size_t index, Time now) {
   // reconfiguration) re-establishes protection afterwards.
   ReleaseAllBackups(id);
   for (LinkId l : conn.primary.links()) ledger_.ReleasePrime(l, conn.bw);
+  UnindexPrimary(id, conn.primary_lset);
 
   // Reserve along the promoted route, raiding spare pools if needed.
   std::vector<LinkId> reserved;
@@ -161,6 +218,7 @@ bool DrtpNetwork::ActivateBackup(ConnId id, std::size_t index, Time now) {
       break;
     }
     reserved.push_back(l);
+    MarkDirty(l);
     if (manager(topo_.link(l).src).IsOverbooked(l)) overbooked_.insert(l);
   }
   if (!ok) {
@@ -171,6 +229,7 @@ bool DrtpNetwork::ActivateBackup(ConnId id, std::size_t index, Time now) {
   }
   conn.primary = promoted;
   conn.primary_lset = promoted.ToLinkSet();
+  IndexPrimary(id, conn.primary_lset);
   conn.established_at = now;
   ++conn.failovers;
   ReconcileOverbooked();
@@ -184,6 +243,9 @@ const DrConnection* DrtpNetwork::Find(ConnId id) const {
 
 DrConnectionManager& DrtpNetwork::manager(NodeId n) {
   DRTP_CHECK(n >= 0 && n < topo_.num_nodes());
+  // Handing out a mutable manager may change any of its out-links' APLVs
+  // or spare pools; conservatively treat them all as touched.
+  for (LinkId l : topo_.out_links(n)) MarkDirty(l);
   return managers_[static_cast<std::size_t>(n)];
 }
 
@@ -197,24 +259,23 @@ const lsdb::Aplv& DrtpNetwork::aplv(LinkId l) const {
 }
 
 std::vector<ConnId> DrtpNetwork::ConnsWithPrimaryOn(LinkId l) const {
-  std::vector<ConnId> out;
-  for (const auto& [id, conn] : conns_) {
-    if (routing::SetContains(conn.primary_lset, l)) out.push_back(id);
-  }
-  return out;
+  DRTP_CHECK(l >= 0 && l < topo_.num_links());
+  return primary_conns_[static_cast<std::size_t>(l)];
 }
 
 std::vector<ConnId> DrtpNetwork::ConnsWithBackupOn(LinkId l) const {
-  std::vector<ConnId> out;
-  for (const auto& [id, conn] : conns_) {
-    for (const routing::Path& backup : conn.backups) {
-      if (backup.Contains(l)) {
-        out.push_back(id);
-        break;
-      }
-    }
-  }
-  return out;
+  DRTP_CHECK(l >= 0 && l < topo_.num_links());
+  return backup_conns_[static_cast<std::size_t>(l)];
+}
+
+std::span<const ConnId> DrtpNetwork::PrimaryConnsOn(LinkId l) const {
+  DRTP_DCHECK(l >= 0 && l < topo_.num_links());
+  return primary_conns_[static_cast<std::size_t>(l)];
+}
+
+std::span<const ConnId> DrtpNetwork::BackupConnsOn(LinkId l) const {
+  DRTP_DCHECK(l >= 0 && l < topo_.num_links());
+  return backup_conns_[static_cast<std::size_t>(l)];
 }
 
 std::vector<LinkId> DrtpNetwork::OverbookedLinks() const {
@@ -223,28 +284,64 @@ std::vector<LinkId> DrtpNetwork::OverbookedLinks() const {
   return out;
 }
 
+void DrtpNetwork::WriteRecordTo(lsdb::LinkRecord& rec, LinkId l) const {
+  const lsdb::Aplv& vec = aplv(l);
+  rec.aplv_l1 = vec.L1();
+  rec.cv = vec.conflict_vector();
+  const bool up = IsLinkUp(l);
+  rec.up = up;
+  if (up) {
+    rec.available_for_backup = ledger_.spare(l) + ledger_.free(l);
+    rec.free_for_primary = ledger_.free(l);
+  } else {
+    rec.available_for_backup = 0;
+    rec.free_for_primary = 0;
+  }
+}
+
 void DrtpNetwork::PublishTo(lsdb::LinkStateDb& db, Time now) const {
   DRTP_CHECK(db.num_links() == topo_.num_links());
-  for (LinkId l = 0; l < topo_.num_links(); ++l) {
-    lsdb::LinkRecord& rec = db.record(l);
-    const lsdb::Aplv& vec = aplv(l);
-    rec.aplv_l1 = vec.L1();
-    rec.cv = vec.ToConflictVector();
-    rec.up = IsLinkUp(l);
-    if (IsLinkUp(l)) {
-      rec.available_for_backup = ledger_.spare(l) + ledger_.free(l);
-      rec.free_for_primary = ledger_.free(l);
-    } else {
-      rec.available_for_backup = 0;
-      rec.free_for_primary = 0;
+  const bool incremental =
+      db.publisher() == this && db.publish_seq() == publish_seq_;
+  if (incremental) {
+    for (LinkId l : dirty_links_) WriteRecordTo(db.record(l), l);
+#ifndef NDEBUG
+    // The incremental path must be indistinguishable from a full rewrite.
+    for (LinkId l = 0; l < topo_.num_links(); ++l) {
+      lsdb::LinkRecord full;
+      WriteRecordTo(full, l);
+      DRTP_CHECK_MSG(db.record(l) == full,
+                     "incremental publish diverged on link " << l);
+    }
+#endif
+  } else {
+    for (LinkId l = 0; l < topo_.num_links(); ++l) {
+      WriteRecordTo(db.record(l), l);
     }
   }
   db.set_last_refresh(now);
+  ++publish_seq_;
+  db.SetPublishStamp(this, publish_seq_);
+  for (LinkId l : dirty_links_) dirty_flag_[static_cast<std::size_t>(l)] = 0;
+  dirty_links_.clear();
+}
+
+void DrtpNetwork::PublishFullTo(lsdb::LinkStateDb& db, Time now) const {
+  DRTP_CHECK(db.num_links() == topo_.num_links());
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    WriteRecordTo(db.record(l), l);
+  }
+  db.set_last_refresh(now);
+  ++publish_seq_;
+  db.SetPublishStamp(this, publish_seq_);
+  for (LinkId l : dirty_links_) dirty_flag_[static_cast<std::size_t>(l)] = 0;
+  dirty_links_.clear();
 }
 
 void DrtpNetwork::ReconcileOverbooked() {
   for (auto it = overbooked_.begin(); it != overbooked_.end();) {
     const LinkId l = *it;
+    MarkDirty(l);  // ReconcileSpare may grow or shrink the pool
     if (manager(topo_.link(l).src).ReconcileSpare(l)) {
       it = overbooked_.erase(it);
     } else {
@@ -294,6 +391,38 @@ void DrtpNetwork::CheckConsistency() const {
       DRTP_CHECK_MSG(overbooked_.contains(l),
                      "link " << l << " overbooked but untracked");
     }
+  }
+  // Reverse indexes and the down-link mirror must match the tables they
+  // are derived from.
+  std::vector<std::vector<ConnId>> expect_primary(
+      static_cast<std::size_t>(topo_.num_links()));
+  std::vector<std::vector<ConnId>> expect_backup(
+      static_cast<std::size_t>(topo_.num_links()));
+  for (const auto& [id, conn] : conns_) {
+    for (LinkId l : conn.primary_lset) {
+      expect_primary[static_cast<std::size_t>(l)].push_back(id);
+    }
+    for (const routing::Path& backup : conn.backups) {
+      for (LinkId l : backup.links()) {
+        auto& v = expect_backup[static_cast<std::size_t>(l)];
+        if (v.empty() || v.back() != id) v.push_back(id);
+      }
+    }
+  }
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    DRTP_CHECK_MSG(
+        expect_primary[static_cast<std::size_t>(l)] ==
+            primary_conns_[static_cast<std::size_t>(l)],
+        "primary reverse index mismatch on link " << l);
+    auto& eb = expect_backup[static_cast<std::size_t>(l)];
+    std::sort(eb.begin(), eb.end());
+    eb.erase(std::unique(eb.begin(), eb.end()), eb.end());
+    DRTP_CHECK_MSG(eb == backup_conns_[static_cast<std::size_t>(l)],
+                   "backup reverse index mismatch on link " << l);
+    const bool listed_down = std::binary_search(down_links_.begin(),
+                                                down_links_.end(), l);
+    DRTP_CHECK_MSG(listed_down == !IsLinkUp(l),
+                   "down-link mirror mismatch on link " << l);
   }
 }
 

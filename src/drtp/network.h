@@ -13,9 +13,11 @@
 // "failure reporting and channel switching" and "resource reconfiguration".
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -50,10 +52,12 @@ class DrtpNetwork {
 
   bool IsLinkUp(LinkId l) const;
   /// Marks the link (and, under duplex_failures, its reverse) down. Does
-  /// not touch connections — that is the failure engine's job.
+  /// not touch connections — that is the failure engine's job. Idempotent.
   void SetLinkDown(LinkId l);
   void SetLinkUp(LinkId l);
-  std::vector<LinkId> DownLinks() const;
+  std::vector<LinkId> DownLinks() const { return down_links_; }
+  /// The same set without the copy (maintained incrementally, sorted).
+  const std::vector<LinkId>& down_links() const { return down_links_; }
 
   // ---- connection management -------------------------------------------
 
@@ -119,15 +123,35 @@ class DrtpNetwork {
   /// Connections whose *backup* route traverses `l`.
   std::vector<ConnId> ConnsWithBackupOn(LinkId l) const;
 
+  /// Zero-copy reverse index views: connection ids in ascending order.
+  /// Maintained incrementally on every establish/register/release/
+  /// activate — the failure engine walks these instead of scanning every
+  /// connection per link. Invalidated by any connection mutation.
+  std::span<const ConnId> PrimaryConnsOn(LinkId l) const;
+  std::span<const ConnId> BackupConnsOn(LinkId l) const;
+
   /// Links whose spare pool is below target (overbooked).
   std::vector<LinkId> OverbookedLinks() const;
 
   // ---- link-state advertisement ------------------------------------------
 
-  /// Publishes every link's advertisement (APLV abridgements + bandwidth)
+  /// Publishes the current advertisements (APLV abridgements + bandwidth)
   /// into `db`, stamping the refresh time. Down links advertise zero
   /// bandwidth so no route selection uses them.
+  ///
+  /// Incremental: the network tracks which links changed (bandwidth-ledger
+  /// deltas, APLV touches, up/down flips) since the last publication, and
+  /// when `db` provably received every prior publication (checked via its
+  /// publish stamp) only the dirty records are rewritten, in place, with
+  /// no allocation. Any other database — fresh, foreign, or behind —
+  /// gets a full republish. The result is byte-identical to PublishFullTo
+  /// (asserted in debug builds).
   void PublishTo(lsdb::LinkStateDb& db, Time now) const;
+
+  /// Unconditionally rewrites every record — the periodic-refresh path,
+  /// the reference for the equivalence tests, and the recovery hatch for
+  /// externally mutated databases.
+  void PublishFullTo(lsdb::LinkStateDb& db, Time now) const;
 
   /// Rebuilds every APLV from the connection table and asserts it matches
   /// the managers' incremental state, checks ledger invariants and the
@@ -138,14 +162,39 @@ class DrtpNetwork {
  private:
   void ReconcileOverbooked();
 
+  /// Records that link `l`'s advertised state may have changed since the
+  /// last publication. Cheap (bitmap-deduplicated); over-marking is
+  /// harmless, missing a mark is a staleness bug — every mutation path
+  /// below marks the links it touches.
+  void MarkDirty(LinkId l);
+  void MarkLinkUpDown(LinkId l, bool up);
+  /// Renders link `l`'s advertisement into `rec` in place (no allocation:
+  /// the conflict vector is copy-assigned into existing capacity).
+  void WriteRecordTo(lsdb::LinkRecord& rec, LinkId l) const;
+  void IndexPrimary(ConnId id, const routing::LinkSet& lset);
+  void UnindexPrimary(ConnId id, const routing::LinkSet& lset);
+
   net::Topology topo_;
   NetworkConfig config_;
   net::BandwidthLedger ledger_;
   std::vector<DrConnectionManager> managers_;  // indexed by NodeId
   std::map<ConnId, DrConnection> conns_;
   std::vector<char> link_up_;
+  /// Links currently down, ascending (mirror of link_up_).
+  std::vector<LinkId> down_links_;
   /// Links whose spare pool could not reach target; swept after releases.
   std::set<LinkId> overbooked_;
+
+  // ---- link → connection reverse indexes (ids ascending) ----------------
+  std::vector<std::vector<ConnId>> primary_conns_;  // indexed by LinkId
+  std::vector<std::vector<ConnId>> backup_conns_;   // indexed by LinkId
+
+  // ---- dirty-link tracking for incremental publication ------------------
+  // Mutable: PublishTo is logically const (it renders state, the network
+  // does not change) but consumes the dirty set and advances the stamp.
+  mutable std::vector<LinkId> dirty_links_;
+  mutable std::vector<char> dirty_flag_;  // dedup bitmap for dirty_links_
+  mutable std::uint64_t publish_seq_ = 0;
 };
 
 }  // namespace drtp::core

@@ -1,7 +1,5 @@
 #include "lsdb/aplv.h"
 
-#include <algorithm>
-
 namespace drtp::lsdb {
 
 void Aplv::AddPrimaryLset(const routing::LinkSet& lset) {
@@ -10,33 +8,40 @@ void Aplv::AddPrimaryLset(const routing::LinkSet& lset) {
     auto& c = counts_[static_cast<std::size_t>(j)];
     ++c;
     ++l1_;
-    if (c > max_) max_ = c;
+    if (c == 1) cv_.Set(j, true);
+    if (c > max_) {
+      max_ = c;
+      num_at_max_ = 1;
+    } else if (c == max_) {
+      ++num_at_max_;
+    }
   }
 }
 
 void Aplv::RemovePrimaryLset(const routing::LinkSet& lset) {
-  bool touched_max = false;
   for (LinkId j : lset) {
     DRTP_CHECK(j >= 0 && j < size());
     auto& c = counts_[static_cast<std::size_t>(j)];
     DRTP_CHECK_MSG(c > 0, "removing absent primary link " << j);
-    if (c == max_) touched_max = true;
+    if (c == max_) --num_at_max_;
     --c;
     --l1_;
+    if (c == 0) cv_.Set(j, false);
   }
-  if (touched_max) {
-    max_ = counts_.empty()
-               ? 0
-               : *std::max_element(counts_.begin(), counts_.end());
+  // Only when the last element holding the maximum was decremented can the
+  // maximum drop; otherwise max_ (and its survivor count) stand as-is.
+  if (max_ > 0 && num_at_max_ == 0) {
+    max_ = 0;
+    num_at_max_ = 0;
+    for (std::int32_t c : counts_) {
+      if (c > max_) {
+        max_ = c;
+        num_at_max_ = 1;
+      } else if (c == max_ && max_ > 0) {
+        ++num_at_max_;
+      }
+    }
   }
-}
-
-ConflictVector Aplv::ToConflictVector() const {
-  ConflictVector cv(size());
-  for (LinkId j = 0; j < size(); ++j) {
-    if (count(j) > 0) cv.Set(j, true);
-  }
-  return cv;
 }
 
 int Aplv::ConflictingLinksIn(const routing::LinkSet& lset) const {

@@ -17,12 +17,13 @@
 
 namespace drtp::lsdb {
 
-/// One link's APLV with incrementally maintained L1 norm and maximum.
+/// One link's APLV with incrementally maintained L1 norm, maximum and
+/// conflict-vector abridgement.
 class Aplv {
  public:
   Aplv() = default;
   explicit Aplv(int num_links)
-      : counts_(static_cast<std::size_t>(num_links), 0) {
+      : counts_(static_cast<std::size_t>(num_links), 0), cv_(num_links) {
     DRTP_CHECK(num_links >= 0);
   }
 
@@ -47,8 +48,12 @@ class Aplv {
   /// Inverse of AddPrimaryLset. Requires the counts to be present.
   void RemovePrimaryLset(const routing::LinkSet& lset);
 
-  /// Bit-vector abridgement (c_{i,j} = 1 iff a_{i,j} > 0).
-  ConflictVector ToConflictVector() const;
+  /// Bit-vector abridgement (c_{i,j} = 1 iff a_{i,j} > 0), maintained
+  /// incrementally with the counts — reading it is free.
+  const ConflictVector& conflict_vector() const { return cv_; }
+
+  /// Copy of the abridgement (kept for callers that want ownership).
+  ConflictVector ToConflictVector() const { return cv_; }
 
   /// Σ_{j ∈ lset} a_{i,j} > 0 element count — number of the primary's
   /// links already conflicting here (used by tests/diagnostics).
@@ -58,8 +63,13 @@ class Aplv {
 
  private:
   std::vector<std::int32_t> counts_;
+  ConflictVector cv_;
   std::int64_t l1_ = 0;
   std::int32_t max_ = 0;
+  /// How many elements currently equal max_ (0 when max_ is 0); lets
+  /// RemovePrimaryLset skip the full rescan while another element still
+  /// holds the maximum.
+  std::int32_t num_at_max_ = 0;
 };
 
 }  // namespace drtp::lsdb

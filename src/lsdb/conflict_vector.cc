@@ -1,5 +1,6 @@
 #include "lsdb/conflict_vector.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace drtp::lsdb {
@@ -14,6 +15,15 @@ int ConflictVector::CountIn(const routing::LinkSet& lset) const {
   int count = 0;
   for (LinkId j : lset) {
     if (j >= 0 && j < num_links_ && Test(j)) ++count;
+  }
+  return count;
+}
+
+int ConflictVector::AndPopCount(std::span<const std::uint64_t> mask) const {
+  const std::size_t n = std::min(words_.size(), mask.size());
+  int count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += std::popcount(words_[i] & mask[i]);
   }
   return count;
 }

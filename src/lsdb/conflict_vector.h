@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -47,6 +48,16 @@ class ConflictVector {
   /// |{ j in lset : CV[j] == 1 }| — the D-LSR conflict term
   /// Σ_{L_j ∈ LSET(P)} c_{i,j} of Eq. 5.
   int CountIn(const routing::LinkSet& lset) const;
+
+  /// Word-wise CountIn: popcount of the AND against a precomputed bitmask
+  /// (same word layout as words(), bit j = link L_j). Equivalent to
+  /// CountIn over the lset the mask encodes, at ~64 links per cycle;
+  /// SelectBackupLsr builds the primary's mask once per request and scores
+  /// every candidate link with this.
+  int AndPopCount(std::span<const std::uint64_t> mask) const;
+
+  /// The raw bit words, least-significant bit of word 0 = link 0.
+  std::span<const std::uint64_t> words() const { return words_; }
 
   /// Wire size of the advertisement payload in bytes (N bits, rounded up).
   int AdvertBytes() const { return (num_links_ + 7) / 8; }

@@ -32,6 +32,8 @@ struct LinkRecord {
   Bandwidth available_for_backup = 0;
   /// Bandwidth a *primary* may still reserve: the free pool only.
   Bandwidth free_for_primary = 0;
+
+  friend bool operator==(const LinkRecord&, const LinkRecord&) = default;
 };
 
 /// Snapshot store of every link's advertisement.
@@ -57,6 +59,20 @@ class LinkStateDb {
   Time last_refresh() const { return last_refresh_; }
   void set_last_refresh(Time t) { last_refresh_ = t; }
 
+  // ---- publish stamp ------------------------------------------------------
+  // Identity and sequence number of the last publisher that wrote this
+  // database. DrtpNetwork::PublishTo takes its incremental path only when
+  // the stamp proves this db received every publication since the last
+  // full one; any other writer (a different network, a fresh db, a copy
+  // that fell behind) gets a full republish. Opaque to everyone else.
+
+  const void* publisher() const { return publisher_; }
+  std::uint64_t publish_seq() const { return publish_seq_; }
+  void SetPublishStamp(const void* publisher, std::uint64_t seq) {
+    publisher_ = publisher;
+    publish_seq_ = seq;
+  }
+
   /// Wire size of one full advertisement cycle (all links), in bytes.
   /// Per link: 4B link id + 4B bandwidth fields x2 + payload
   /// (8B L1 for P-LSR, N/8 B conflict vector for D-LSR).
@@ -65,6 +81,8 @@ class LinkStateDb {
  private:
   std::vector<LinkRecord> records_;
   Time last_refresh_ = -1.0;
+  const void* publisher_ = nullptr;
+  std::uint64_t publish_seq_ = 0;
 };
 
 }  // namespace drtp::lsdb

@@ -9,28 +9,37 @@ namespace drtp::routing {
 
 std::optional<Path> CheapestPathMaxHops(const net::Topology& topo,
                                         NodeId src, NodeId dst,
-                                        const LinkCostFn& cost,
-                                        int max_hops) {
+                                        LinkCostFn cost, int max_hops) {
+  MaxHopsWorkspace ws;
+  return CheapestPathMaxHops(topo, src, dst, cost, max_hops, ws);
+}
+
+std::optional<Path> CheapestPathMaxHops(const net::Topology& topo,
+                                        NodeId src, NodeId dst,
+                                        LinkCostFn cost, int max_hops,
+                                        MaxHopsWorkspace& ws) {
   DRTP_CHECK(src >= 0 && src < topo.num_nodes());
   DRTP_CHECK(dst >= 0 && dst < topo.num_nodes());
   DRTP_CHECK(src != dst);
   DRTP_CHECK(max_hops >= 1);
   const auto n = static_cast<std::size_t>(topo.num_nodes());
+  const auto layers = static_cast<std::size_t>(max_hops) + 1;
 
-  // dist[h][v] = cheapest cost of reaching v in exactly h hops;
-  // parent[h][v] = the link used for the h-th hop on that path.
-  std::vector<std::vector<double>> dist(
-      static_cast<std::size_t>(max_hops) + 1,
-      std::vector<double>(n, kInfiniteCost));
-  std::vector<std::vector<LinkId>> parent(
-      static_cast<std::size_t>(max_hops) + 1,
-      std::vector<LinkId>(n, kInvalidLink));
-  dist[0][static_cast<std::size_t>(src)] = 0.0;
+  // dist[h*n + v] = cheapest cost of reaching v in exactly h hops;
+  // parent[h*n + v] = the link used for the h-th hop on that path.
+  if (ws.dist.size() < layers * n) {
+    ws.dist.resize(layers * n);
+    ws.parent.resize(layers * n);
+  }
+  std::fill(ws.dist.begin(), ws.dist.begin() + static_cast<std::ptrdiff_t>(
+                                                   layers * n),
+            kInfiniteCost);
+  ws.dist[static_cast<std::size_t>(src)] = 0.0;
 
-  for (int h = 1; h <= max_hops; ++h) {
-    const auto& prev = dist[static_cast<std::size_t>(h - 1)];
-    auto& cur = dist[static_cast<std::size_t>(h)];
-    auto& par = parent[static_cast<std::size_t>(h)];
+  for (std::size_t h = 1; h < layers; ++h) {
+    const double* prev = ws.dist.data() + (h - 1) * n;
+    double* cur = ws.dist.data() + h * n;
+    LinkId* par = ws.parent.data() + h * n;
     for (LinkId l = 0; l < topo.num_links(); ++l) {
       const net::Link& link = topo.link(l);
       const double du = prev[static_cast<std::size_t>(link.src)];
@@ -47,25 +56,23 @@ std::optional<Path> CheapestPathMaxHops(const net::Topology& topo,
   }
 
   // Best hop count within the bound.
-  int best_h = -1;
+  std::size_t best_h = 0;
   double best = kInfiniteCost;
-  for (int h = 1; h <= max_hops; ++h) {
-    const double d =
-        dist[static_cast<std::size_t>(h)][static_cast<std::size_t>(dst)];
+  for (std::size_t h = 1; h < layers; ++h) {
+    const double d = ws.dist[h * n + static_cast<std::size_t>(dst)];
     if (d < best) {
       best = d;
       best_h = h;
     }
   }
-  if (best_h < 0) return std::nullopt;
+  if (best_h == 0) return std::nullopt;
 
-  std::vector<LinkId> links(static_cast<std::size_t>(best_h));
+  std::vector<LinkId> links(best_h);
   NodeId v = dst;
-  for (int h = best_h; h >= 1; --h) {
-    const LinkId l =
-        parent[static_cast<std::size_t>(h)][static_cast<std::size_t>(v)];
+  for (std::size_t h = best_h; h >= 1; --h) {
+    const LinkId l = ws.parent[h * n + static_cast<std::size_t>(v)];
     DRTP_CHECK(l != kInvalidLink);
-    links[static_cast<std::size_t>(h - 1)] = l;
+    links[h - 1] = l;
     v = topo.link(l).src;
   }
   DRTP_CHECK(v == src);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
 #include "net/topology.h"
@@ -18,11 +19,25 @@
 
 namespace drtp::routing {
 
+/// Reusable DP tables for CheapestPathMaxHops: (max_hops+1) x num_nodes
+/// dist/parent layers flattened into two vectors, grown on demand and
+/// refilled (never reallocated) per call. One per thread.
+struct MaxHopsWorkspace {
+  std::vector<double> dist;
+  std::vector<LinkId> parent;
+};
+
 /// Cheapest src->dst path using at most `max_hops` links (must be >= 1).
 /// Dynamic program over (hops, node): O(max_hops * links). With strictly
 /// positive costs the result is loop-free. nullopt when no path fits.
 std::optional<Path> CheapestPathMaxHops(const net::Topology& topo,
                                         NodeId src, NodeId dst,
-                                        const LinkCostFn& cost, int max_hops);
+                                        LinkCostFn cost, int max_hops);
+
+/// Workspace-backed overload for hot paths (identical result).
+std::optional<Path> CheapestPathMaxHops(const net::Topology& topo,
+                                        NodeId src, NodeId dst,
+                                        LinkCostFn cost, int max_hops,
+                                        MaxHopsWorkspace& ws);
 
 }  // namespace drtp::routing

@@ -1,67 +1,128 @@
 #include "routing/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "common/check.h"
 
 namespace drtp::routing {
+namespace {
+
+/// Walks the parent chain dst->src once to count hops, then fills the
+/// exactly-sized link vector back-to-front — one allocation, no reverse.
+template <typename ParentFn>
+std::optional<Path> ExtractPath(const net::Topology& topo, NodeId dst,
+                                ParentFn parent_link) {
+  std::size_t hops = 0;
+  for (NodeId v = dst; parent_link(v) != kInvalidLink;
+       v = topo.link(parent_link(v)).src) {
+    ++hops;
+  }
+  if (hops == 0) return std::nullopt;  // dst == src
+  std::vector<LinkId> links(hops);
+  NodeId v = dst;
+  for (std::size_t i = hops; i-- > 0;) {
+    const LinkId l = parent_link(v);
+    links[i] = l;
+    v = topo.link(l).src;
+  }
+  return Path::FromLinks(topo, std::move(links));
+}
+
+}  // namespace
 
 std::optional<Path> DijkstraTree::PathTo(const net::Topology& topo,
                                          NodeId dst) const {
   if (!Reached(dst)) return std::nullopt;
-  std::vector<LinkId> links;
-  NodeId v = dst;
-  while (parent_link[static_cast<std::size_t>(v)] != kInvalidLink) {
-    const LinkId l = parent_link[static_cast<std::size_t>(v)];
-    links.push_back(l);
-    v = topo.link(l).src;
-  }
-  if (links.empty()) return std::nullopt;  // dst == src
-  std::reverse(links.begin(), links.end());
-  return Path::FromLinks(topo, std::move(links));
+  return ExtractPath(topo, dst, [&](NodeId v) {
+    return parent_link[static_cast<std::size_t>(v)];
+  });
 }
 
-DijkstraTree RunDijkstra(const net::Topology& topo, NodeId src,
-                         const LinkCostFn& cost) {
-  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
-  const auto n = static_cast<std::size_t>(topo.num_nodes());
-  DijkstraTree tree{std::vector<double>(n, kInfiniteCost),
-                    std::vector<LinkId>(n, kInvalidLink)};
-  tree.dist[static_cast<std::size_t>(src)] = 0.0;
+std::optional<Path> DijkstraWorkspace::PathTo(const net::Topology& topo,
+                                              NodeId dst) const {
+  if (!Reached(dst)) return std::nullopt;
+  return ExtractPath(topo, dst, [&](NodeId v) { return ParentLink(v); });
+}
 
-  using Item = std::pair<double, NodeId>;  // (dist, node)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  heap.emplace(0.0, src);
+void DijkstraWorkspace::Prepare(int num_nodes) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  if (stamp_.size() < n) {
+    dist_.resize(n);
+    parent_.resize(n);
+    stamp_.resize(n, 0);
+  }
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: stale stamps could collide
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+void RunDijkstra(const net::Topology& topo, NodeId src, LinkCostFn cost,
+                 DijkstraWorkspace& ws) {
+  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
+  ws.Prepare(topo.num_nodes());
+  ws.Relax(src, 0.0, kInvalidLink);
+
+  // Manual heap over the reused buffer; push_back+push_heap / pop_heap+
+  // pop_back is exactly how std::priority_queue is specified, so the pop
+  // order (and therefore every tie-break) matches the allocating variant.
+  auto& heap = ws.heap_;
+  heap.clear();
+  heap.emplace_back(0.0, src);
+  const std::greater<> cmp;
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > tree.dist[static_cast<std::size_t>(u)]) continue;  // stale
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (d > ws.Dist(u)) continue;  // stale
     for (LinkId l : topo.out_links(u)) {
       const double c = cost(l);
       if (c == kInfiniteCost) continue;
       DRTP_CHECK_MSG(c >= 0.0, "negative cost " << c << " on link " << l);
       const NodeId v = topo.link(l).dst;
       const double nd = d + c;
-      if (nd < tree.dist[static_cast<std::size_t>(v)]) {
-        tree.dist[static_cast<std::size_t>(v)] = nd;
-        tree.parent_link[static_cast<std::size_t>(v)] = l;
-        heap.emplace(nd, v);
+      if (nd < ws.Dist(v)) {
+        ws.Relax(v, nd, l);
+        heap.emplace_back(nd, v);
+        std::push_heap(heap.begin(), heap.end(), cmp);
       }
     }
+  }
+}
+
+DijkstraTree RunDijkstra(const net::Topology& topo, NodeId src,
+                         LinkCostFn cost) {
+  DijkstraWorkspace ws;
+  RunDijkstra(topo, src, cost, ws);
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  DijkstraTree tree{std::vector<double>(n, kInfiniteCost),
+                    std::vector<LinkId>(n, kInvalidLink)};
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    tree.dist[static_cast<std::size_t>(v)] = ws.Dist(v);
+    tree.parent_link[static_cast<std::size_t>(v)] = ws.ParentLink(v);
   }
   return tree;
 }
 
 std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
-                                 NodeId dst, const LinkCostFn& cost) {
+                                 NodeId dst, LinkCostFn cost) {
+  DijkstraWorkspace ws;
+  return CheapestPath(topo, src, dst, cost, ws);
+}
+
+std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
+                                 NodeId dst, LinkCostFn cost,
+                                 DijkstraWorkspace& ws) {
   DRTP_CHECK(src != dst);
-  return RunDijkstra(topo, src, cost).PathTo(topo, dst);
+  RunDijkstra(topo, src, cost, ws);
+  return ws.PathTo(topo, dst);
 }
 
 std::optional<Path> MinHopPath(const net::Topology& topo, NodeId src,
                                NodeId dst,
-                               const std::function<bool(LinkId)>& usable) {
+                               FunctionRef<bool(LinkId)> usable) {
   return CheapestPath(topo, src, dst, [&](LinkId l) {
     if (usable && !usable(l)) return kInfiniteCost;
     return 1.0;

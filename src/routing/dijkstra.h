@@ -3,13 +3,20 @@
 // Both link-state schemes reduce backup selection to a single Dijkstra run
 // over scheme-specific costs (Eq. 4 and Eq. 5); primary selection uses
 // unit costs with infeasible links priced at infinity.
+//
+// Two entry points: the allocating RunDijkstra/DijkstraTree (convenient,
+// used by tests and cold paths) and the workspace-backed overloads that
+// reuse epoch-stamped scratch arrays across calls — the request hot path
+// runs thousands of selections per second and must not allocate per call.
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/types.h"
 #include "net/topology.h"
 #include "routing/path.h"
@@ -17,7 +24,9 @@
 namespace drtp::routing {
 
 /// Cost of traversing a link. Return kInfiniteCost to forbid the link.
-using LinkCostFn = std::function<double(LinkId)>;
+/// Non-owning: the callable must outlive the routing call (always true for
+/// a lambda passed directly at the call site).
+using LinkCostFn = FunctionRef<double(LinkId)>;
 
 inline constexpr double kInfiniteCost =
     std::numeric_limits<double>::infinity();
@@ -39,19 +48,71 @@ struct DijkstraTree {
   std::optional<Path> PathTo(const net::Topology& topo, NodeId dst) const;
 };
 
+/// Reusable Dijkstra scratch: dist/parent arrays invalidated by an epoch
+/// stamp (bumping the epoch resets every node in O(1)) plus the binary
+/// heap's backing store. One run's results stay readable until the next
+/// run on the same workspace. Not thread-safe — use one per thread
+/// (thread_local in the schemes).
+class DijkstraWorkspace {
+ public:
+  bool Reached(NodeId v) const { return Dist(v) < kInfiniteCost; }
+
+  /// Cost from the last run's source; infinity when unreachable.
+  double Dist(NodeId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return stamp_[i] == epoch_ ? dist_[i] : kInfiniteCost;
+  }
+
+  /// Tree link entering `v`; kInvalidLink at the source / unreachable.
+  LinkId ParentLink(NodeId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return stamp_[i] == epoch_ ? parent_[i] : kInvalidLink;
+  }
+
+  /// As DijkstraTree::PathTo, reading the last run's tree.
+  std::optional<Path> PathTo(const net::Topology& topo, NodeId dst) const;
+
+ private:
+  friend void RunDijkstra(const net::Topology& topo, NodeId src,
+                          LinkCostFn cost, DijkstraWorkspace& ws);
+
+  void Prepare(int num_nodes);
+  void Relax(NodeId v, double d, LinkId parent) {
+    const auto i = static_cast<std::size_t>(v);
+    stamp_[i] = epoch_;
+    dist_[i] = d;
+    parent_[i] = parent;
+  }
+
+  std::vector<double> dist_;
+  std::vector<LinkId> parent_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::pair<double, NodeId>> heap_;
+};
+
 /// Runs Dijkstra from `src`. Costs must be non-negative (checked).
 DijkstraTree RunDijkstra(const net::Topology& topo, NodeId src,
-                         const LinkCostFn& cost);
+                         LinkCostFn cost);
+
+/// Allocation-free variant: identical tree (same tie-breaks — the heap
+/// replays std::priority_queue's pop order exactly), results land in `ws`.
+void RunDijkstra(const net::Topology& topo, NodeId src, LinkCostFn cost,
+                 DijkstraWorkspace& ws);
 
 /// Convenience: cheapest src->dst path, nullopt when disconnected (or when
 /// every route has infinite cost).
 std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
-                                 NodeId dst, const LinkCostFn& cost);
+                                 NodeId dst, LinkCostFn cost);
+
+/// Workspace-backed overload for hot paths.
+std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
+                                 NodeId dst, LinkCostFn cost,
+                                 DijkstraWorkspace& ws);
 
 /// Min-hop path using unit costs, restricted to links where `usable`
 /// returns true (pass nullptr for no restriction).
 std::optional<Path> MinHopPath(const net::Topology& topo, NodeId src,
-                               NodeId dst,
-                               const std::function<bool(LinkId)>& usable);
+                               NodeId dst, FunctionRef<bool(LinkId)> usable);
 
 }  // namespace drtp::routing

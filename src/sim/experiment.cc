@@ -72,7 +72,10 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
       next_sample += config.sample_interval;
     }
     while (next_refresh <= e.time) {
-      net.PublishTo(db, next_refresh);
+      // The periodic refresh is a full re-advertisement by construction
+      // (the paper's refresh cycle re-floods everything), and doubles as
+      // the incremental path's safety net.
+      net.PublishFullTo(db, next_refresh);
       next_refresh += config.lsdb_refresh_interval;
     }
 

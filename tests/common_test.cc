@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/function_ref.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -229,6 +230,54 @@ TEST(TextTable, RejectsOverfilledRow) {
   t.BeginRow();
   t.Cell("1");
   EXPECT_THROW(t.Cell("2"), CheckError);
+}
+
+// ---- function_ref -----------------------------------------------------
+
+int FreeFunctionDouble(int x) { return 2 * x; }
+
+TEST(FunctionRef, InvokesCapturingLambda) {
+  int calls = 0;
+  const auto lambda = [&](int x) {
+    ++calls;
+    return x + 1;
+  };
+  FunctionRef<int(int)> ref = lambda;
+  EXPECT_EQ(ref(41), 42);
+  EXPECT_EQ(ref(1), 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FunctionRef, InvokesFreeFunction) {
+  FunctionRef<int(int)> ref = FreeFunctionDouble;
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(FunctionRef, DefaultAndNullptrAreFalsey) {
+  FunctionRef<void()> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  FunctionRef<void()> null = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null));
+  const auto noop = [] {};
+  FunctionRef<void()> bound = noop;
+  EXPECT_TRUE(static_cast<bool>(bound));
+}
+
+TEST(FunctionRef, BindsTemporaryForCallDuration) {
+  // The common hot-path shape: a lambda temporary passed straight into a
+  // function taking FunctionRef by value.
+  const auto apply = [](FunctionRef<int(int)> f, int x) { return f(x); };
+  EXPECT_EQ(apply([](int x) { return x * x; }, 7), 49);
+}
+
+TEST(FunctionRef, ReferencesNotCopiesState) {
+  int counter = 0;
+  const auto bump = [&] { ++counter; };
+  FunctionRef<void()> ref = bump;
+  FunctionRef<void()> copy = ref;  // copying the ref, not the callable
+  ref();
+  copy();
+  EXPECT_EQ(counter, 2);
 }
 
 }  // namespace
