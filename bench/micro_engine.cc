@@ -25,6 +25,8 @@
 #include "drtp/scheme.h"
 #include "lsdb/aplv.h"
 #include "net/generators.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "routing/dijkstra.h"
 #include "runner/json.h"
 #include "sim/paper.h"
@@ -216,6 +218,20 @@ std::vector<KernelResult> RunSuite(LoadedNet& fx, double min_time_s,
     }));
   }
 
+  // --- obs instrumentation cost ------------------------------------------
+  // The raw price of one scoped span (two clock reads + one histogram
+  // observe) plus one counter add — the instrumentation unit every
+  // DRTP_OBS_SPAN site pays. Compiled with -DDRTP_OBS_DISABLED this times
+  // an empty body, demonstrating the zero-cost-off contract.
+  {
+    const obs::Counter count = obs::GetCounter("bench.obs.counter");
+    out.push_back(timer.Measure("obs_span_overhead", [&] {
+      DRTP_OBS_SPAN("bench.obs.span");
+      count.Add();
+      DoNotOptimize(count);
+    }));
+  }
+
   // --- end-to-end request cycle ------------------------------------------
   {
     core::Dlsr scheme;
@@ -272,7 +288,8 @@ int Validate(const std::vector<KernelResult>& results) {
       "publish_full",        "publish_incremental", "dijkstra_tree_alloc",
       "dijkstra_workspace",  "backup_select_dlsr",  "backup_select_plsr",
       "failure_sweep_scan",  "failure_sweep_indexed", "aplv_update",
-      "cv_count_in",         "cv_and_popcount",     "request_cycle_dlsr",
+      "cv_count_in",         "cv_and_popcount",     "obs_span_overhead",
+      "request_cycle_dlsr",
   };
   int problems = 0;
   for (const char* name : kExpected) {

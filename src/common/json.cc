@@ -1,4 +1,4 @@
-#include "runner/json.h"
+#include "common/json.h"
 
 #include <charconv>
 #include <cmath>
@@ -6,7 +6,7 @@
 
 #include "common/check.h"
 
-namespace drtp::runner {
+namespace drtp {
 
 std::string JsonEscape(std::string_view text) {
   std::string out;
@@ -154,4 +154,4 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
-}  // namespace drtp::runner
+}  // namespace drtp

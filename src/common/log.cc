@@ -1,12 +1,9 @@
 #include "common/log.h"
 
-#include <atomic>
 #include <cstdio>
 
 namespace drtp {
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,13 +21,10 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
-
 namespace detail {
 
 LogLine::LogLine(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level.load()), level_(level) {
+    : enabled_(level >= GetLogLevel()), level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {

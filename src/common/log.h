@@ -4,6 +4,7 @@
 // benches; examples raise it to kInfo to narrate what they do.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -11,9 +12,21 @@ namespace drtp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+namespace detail {
+/// Process-wide verbosity threshold. Atomic because sweep worker threads
+/// log concurrently with a main thread that may adjust verbosity; relaxed
+/// ordering suffices — the level is an independent filter, not a
+/// synchronisation point.
+inline std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+}  // namespace detail
+
 /// Process-wide verbosity threshold; messages below it are dropped.
-void SetLogLevel(LogLevel level);
-LogLevel GetLogLevel();
+inline void SetLogLevel(LogLevel level) {
+  detail::g_log_level.store(level, std::memory_order_relaxed);
+}
+inline LogLevel GetLogLevel() {
+  return detail::g_log_level.load(std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -32,6 +45,8 @@ class LogLine {
   }
 
  private:
+  /// Captured once at construction; the threshold is re-read nowhere else,
+  /// so a concurrent SetLogLevel cannot split one message across levels.
   bool enabled_;
   LogLevel level_;
   std::ostringstream os_;

@@ -1,6 +1,7 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -29,6 +30,10 @@ void TextTable::Cell(const std::string& text) {
 }
 
 void TextTable::Cell(double value, int precision) {
+  if (std::isnan(value)) {
+    Cell(std::string("--"));
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, value);
   Cell(std::string(buf));

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace drtp::core {
 namespace {
@@ -152,6 +153,7 @@ RouteSelection BoundedFlooding::SelectRoutes(const DrtpNetwork& net,
                                              const lsdb::LinkStateDb&,
                                              NodeId src, NodeId dst,
                                              Bandwidth bw) {
+  DRTP_OBS_SPAN("drtp.kernel.bf_flood");
   RouteSelection sel;
   const std::vector<Candidate> crt = Flood(net, src, dst, bw);
   sel.control_messages = stats_.cdp_forwards;

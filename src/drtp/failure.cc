@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace drtp::core {
 namespace {
@@ -114,6 +115,7 @@ FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed) {
 }
 
 Ratio EvaluateAllSingleLinkFailures(const DrtpNetwork& net) {
+  DRTP_OBS_SPAN("drtp.kernel.failure_sweep");
   Ratio ratio;
   const net::Topology& topo = net.topology();
   EvalScratch scratch(topo.num_links());
@@ -187,6 +189,7 @@ Ratio EvaluateAllSingleLinkFailuresScan(const DrtpNetwork& net) {
 SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
                                   RoutingScheme* reroute,
                                   lsdb::LinkStateDb* db) {
+  DRTP_OBS_SPAN("drtp.kernel.apply_failure");
   SwitchoverReport report;
   const std::vector<LinkId> failed_set = FailedSet(net, failed);
   net.SetLinkDown(failed);

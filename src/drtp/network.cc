@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace drtp::core {
 
@@ -304,6 +306,11 @@ void DrtpNetwork::PublishTo(lsdb::LinkStateDb& db, Time now) const {
   const bool incremental =
       db.publisher() == this && db.publish_seq() == publish_seq_;
   if (incremental) {
+    // Counter only: at ~tens of ns per call a scoped timer would cost
+    // more than the kernel it measures (see docs/OBSERVABILITY.md).
+    static const obs::Counter publishes =
+        obs::GetCounter("drtp.lsdb.publish_incremental");
+    publishes.Add();
     for (LinkId l : dirty_links_) WriteRecordTo(db.record(l), l);
 #ifndef NDEBUG
     // The incremental path must be indistinguishable from a full rewrite.
@@ -327,6 +334,12 @@ void DrtpNetwork::PublishTo(lsdb::LinkStateDb& db, Time now) const {
 }
 
 void DrtpNetwork::PublishFullTo(lsdb::LinkStateDb& db, Time now) const {
+  // Sampled 1-in-8: a ~2.5µs kernel where full-span clock reads would eat
+  // a few percent — the counter still records every publication.
+  DRTP_OBS_SPAN_SAMPLED("drtp.kernel.publish_full", 3);
+  static const obs::Counter publishes =
+      obs::GetCounter("drtp.lsdb.publish_full");
+  publishes.Add();
   DRTP_CHECK(db.num_links() == topo_.num_links());
   for (LinkId l = 0; l < topo_.num_links(); ++l) {
     WriteRecordTo(db.record(l), l);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/span.h"
 #include "routing/constrained.h"
 #include "routing/dijkstra.h"
 
@@ -68,6 +69,10 @@ std::optional<routing::Path> SelectBackupLsr(
     const net::Topology& topo, const lsdb::LinkStateDb& db,
     const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
     bool deterministic, std::span<const routing::Path> avoid, int max_hops) {
+  // Sampled 1-in-4: runs once per admission at a few µs per call, where a
+  // full span's clock reads are a measurable fraction of the kernel (the
+  // CI obs-overhead gate budget; see docs/OBSERVABILITY.md).
+  DRTP_OBS_SPAN_SAMPLED("drtp.kernel.backup_select", 2);
   LsrScratch& scratch = Scratch();
   scratch.Prepare(topo.num_links());
   for (LinkId l : primary) {

@@ -1,0 +1,368 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/table.h"
+
+namespace drtp::obs {
+namespace detail {
+
+struct Shard {
+  std::array<std::atomic<std::int64_t>, kMaxCounters> counters{};
+  std::array<HistogramCell, kMaxHistograms> histograms{};
+};
+
+namespace {
+
+struct HistogramDef {
+  std::string name;
+  bool timing = false;
+};
+
+/// All registry state. Allocated once and intentionally never destroyed:
+/// threads may exit (and park their shards) after main() returns, when a
+/// function-local static would already be gone.
+struct GlobalState {
+  std::mutex mu;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<HistogramDef> histogram_defs;
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  std::vector<std::unique_ptr<Shard>> shards;  // every shard ever created
+  std::vector<Shard*> parked;                  // shards of exited threads
+};
+
+GlobalState& State() {
+  static GlobalState* state = new GlobalState;
+  return *state;
+}
+
+/// Owns this thread's shard lease; parks the shard (values intact — they
+/// remain part of the global totals) for reuse when the thread exits.
+struct ShardLease {
+  Shard* shard = nullptr;
+
+  ~ShardLease() {
+    if (shard == nullptr) return;
+    GlobalState& g = State();
+    std::lock_guard<std::mutex> lk(g.mu);
+    g.parked.push_back(shard);
+  }
+};
+
+int FindOrAppend(std::vector<std::string>& names, std::string_view name,
+                 std::size_t capacity, const char* kind) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  DRTP_CHECK_MSG(names.size() < capacity,
+                 "obs registry " << kind << " capacity exhausted registering '"
+                                 << name << "'");
+  names.emplace_back(name);
+  return static_cast<int>(names.size() - 1);
+}
+
+int BucketFor(std::int64_t value) {
+  if (value <= 0) return 0;
+  const int b = std::bit_width(static_cast<std::uint64_t>(value));
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+}  // namespace
+
+Shard& ThisThreadShard() {
+  thread_local ShardLease lease;
+  if (lease.shard == nullptr) {
+    GlobalState& g = State();
+    std::lock_guard<std::mutex> lk(g.mu);
+    if (!g.parked.empty()) {
+      lease.shard = g.parked.back();
+      g.parked.pop_back();
+    } else {
+      g.shards.push_back(std::make_unique<Shard>());
+      lease.shard = g.shards.back().get();
+    }
+  }
+  return *lease.shard;
+}
+
+}  // namespace detail
+
+std::int64_t HistogramBucketUpperEdge(int b) {
+  DRTP_CHECK(b >= 0 && b < kHistogramBuckets);
+  if (b == 0) return 0;
+  if (b == kHistogramBuckets - 1) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << b) - 1;
+}
+
+#ifndef DRTP_OBS_DISABLED
+
+void Counter::Add(std::int64_t n) const {
+  if (id_ < 0) return;
+  detail::ThisThreadShard()
+      .counters[static_cast<std::size_t>(id_)]
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double value) const {
+  if (id_ < 0) return;
+  detail::State().gauges[static_cast<std::size_t>(id_)].store(
+      value, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(std::int64_t value) const {
+  if (id_ < 0) return;
+  detail::HistogramCell& cell =
+      detail::ThisThreadShard().histograms[static_cast<std::size_t>(id_)];
+  cell.buckets[static_cast<std::size_t>(detail::BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value > 0 ? value : 0, std::memory_order_relaxed);
+}
+
+#endif  // DRTP_OBS_DISABLED
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter Registry::GetCounter(std::string_view name) {
+  detail::GlobalState& g = detail::State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  return Counter(detail::FindOrAppend(g.counter_names, name,
+                                      detail::kMaxCounters, "counter"));
+}
+
+Gauge Registry::GetGauge(std::string_view name) {
+  detail::GlobalState& g = detail::State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  return Gauge(
+      detail::FindOrAppend(g.gauge_names, name, detail::kMaxGauges, "gauge"));
+}
+
+Histogram Registry::GetHistogram(std::string_view name) {
+  detail::GlobalState& g = detail::State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  for (std::size_t i = 0; i < g.histogram_defs.size(); ++i) {
+    if (g.histogram_defs[i].name == name) return Histogram(static_cast<int>(i));
+  }
+  DRTP_CHECK_MSG(g.histogram_defs.size() < detail::kMaxHistograms,
+                 "obs registry histogram capacity exhausted registering '"
+                     << name << "'");
+  g.histogram_defs.push_back({std::string(name), false});
+  return Histogram(static_cast<int>(g.histogram_defs.size() - 1));
+}
+
+Histogram Registry::GetTimingHistogram(std::string_view name) {
+  const Histogram h = GetHistogram(name);
+  detail::GlobalState& g = detail::State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.histogram_defs[static_cast<std::size_t>(h.id_)].timing = true;
+  return h;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  detail::GlobalState& g = detail::State();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(g.mu);
+
+  snap.counters.reserve(g.counter_names.size());
+  for (std::size_t i = 0; i < g.counter_names.size(); ++i) {
+    std::int64_t total = 0;
+    for (const auto& shard : g.shards) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(g.counter_names[i], total);
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+
+  snap.gauges.reserve(g.gauge_names.size());
+  for (std::size_t i = 0; i < g.gauge_names.size(); ++i) {
+    snap.gauges.emplace_back(g.gauge_names[i],
+                             g.gauges[i].load(std::memory_order_relaxed));
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+
+  snap.histograms.reserve(g.histogram_defs.size());
+  for (std::size_t i = 0; i < g.histogram_defs.size(); ++i) {
+    MetricsSnapshot::HistogramData h;
+    h.name = g.histogram_defs[i].name;
+    h.timing = g.histogram_defs[i].timing;
+    for (const auto& shard : g.shards) {
+      const detail::HistogramCell& cell = shard->histograms[i];
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[static_cast<std::size_t>(b)] +=
+            cell.buckets[static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed);
+      }
+      h.sum += cell.sum.load(std::memory_order_relaxed);
+    }
+    for (const std::int64_t b : h.buckets) h.count += b;
+    snap.histograms.push_back(std::move(h));
+  }
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+std::int64_t Registry::CounterValue(const Counter& c) const {
+  if (c.id_ < 0) return 0;
+  detail::GlobalState& g = detail::State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  std::int64_t total = 0;
+  for (const auto& shard : g.shards) {
+    total += shard->counters[static_cast<std::size_t>(c.id_)].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter GetCounter(std::string_view name) {
+  return Registry::Global().GetCounter(name);
+}
+Gauge GetGauge(std::string_view name) {
+  return Registry::Global().GetGauge(name);
+}
+Histogram GetHistogram(std::string_view name) {
+  return Registry::Global().GetHistogram(name);
+}
+Histogram GetTimingHistogram(std::string_view name) {
+  return Registry::Global().GetTimingHistogram(name);
+}
+
+std::int64_t MetricsSnapshot::HistogramData::ValueAtQuantile(double q) const {
+  DRTP_CHECK(q > 0.0 && q <= 1.0);
+  if (count == 0) return 0;
+  const auto threshold = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::int64_t acc = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    acc += buckets[static_cast<std::size_t>(b)];
+    if (acc >= threshold) return HistogramBucketUpperEdge(b);
+  }
+  return HistogramBucketUpperEdge(kHistogramBuckets - 1);
+}
+
+std::int64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter& w, bool include_timings) const {
+  w.BeginObject();
+  w.Key("schema").String(kMetricsSchema);
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) w.Key(name).Int(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) w.Key(name).Double(value);
+  w.EndObject();
+  w.Key("histograms").BeginArray();
+  for (const HistogramData& h : histograms) {
+    if (h.timing && !include_timings) continue;
+    w.BeginObject();
+    w.Key("name").String(h.name);
+    w.Key("timing").Bool(h.timing);
+    w.Key("count").Int(h.count);
+    w.Key("sum").Int(h.sum);
+    w.Key("mean").Double(h.Mean());
+    w.Key("p50").Int(h.ValueAtQuantile(0.5));
+    w.Key("p90").Int(h.ValueAtQuantile(0.9));
+    w.Key("p99").Int(h.ValueAtQuantile(0.99));
+    // Nonzero buckets as [upper_edge, count] pairs; the terminal bucket's
+    // edge is rendered as -1 (unbounded).
+    w.Key("buckets").BeginArray();
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const std::int64_t n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      w.BeginArray();
+      w.Int(b == kHistogramBuckets - 1 ? -1 : HistogramBucketUpperEdge(b));
+      w.Int(n);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string MetricsSnapshot::RenderTable(bool include_timings) const {
+  std::string out;
+  if (!counters.empty() || !gauges.empty()) {
+    TextTable t({"metric", "value"});
+    for (const auto& [name, value] : counters) {
+      t.BeginRow();
+      t.Cell(name);
+      t.Cell(value);
+    }
+    for (const auto& [name, value] : gauges) {
+      t.BeginRow();
+      t.Cell(name);
+      t.Cell(value, 3);
+    }
+    out += t.Render();
+  }
+  bool any_hist = false;
+  TextTable h({"histogram", "count", "mean", "p50", "p90", "p99"});
+  for (const HistogramData& data : histograms) {
+    if (data.timing && !include_timings) continue;
+    any_hist = true;
+    h.BeginRow();
+    h.Cell(data.name);
+    h.Cell(data.count);
+    h.Cell(data.Mean(), 1);
+    h.Cell(data.ValueAtQuantile(0.5));
+    h.Cell(data.ValueAtQuantile(0.9));
+    h.Cell(data.ValueAtQuantile(0.99));
+  }
+  if (any_hist) {
+    if (!out.empty()) out += '\n';
+    out += h.Render();
+  }
+  return out;
+}
+
+ThreadCounterBaseline::ThreadCounterBaseline() {
+#ifndef DRTP_OBS_DISABLED
+  detail::Shard& shard = detail::ThisThreadShard();
+  shard_ = &shard;
+  values_.resize(detail::kMaxCounters);
+  for (std::size_t i = 0; i < detail::kMaxCounters; ++i) {
+    values_[i] = shard.counters[i].load(std::memory_order_relaxed);
+  }
+#endif
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+ThreadCounterBaseline::Delta() const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+#ifndef DRTP_OBS_DISABLED
+  DRTP_CHECK_MSG(shard_ == &detail::ThisThreadShard(),
+                 "ThreadCounterBaseline::Delta on a different thread");
+  const auto& shard = *static_cast<const detail::Shard*>(shard_);
+  detail::GlobalState& g = detail::State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  for (std::size_t i = 0; i < g.counter_names.size(); ++i) {
+    const std::int64_t delta =
+        shard.counters[i].load(std::memory_order_relaxed) - values_[i];
+    if (delta != 0) out.emplace_back(g.counter_names[i], delta);
+  }
+  std::sort(out.begin(), out.end());
+#endif
+  return out;
+}
+
+}  // namespace drtp::obs

@@ -1,0 +1,201 @@
+// drtp::obs — process-wide metrics registry with thread-local sharded
+// storage.
+//
+// Handles (Counter / Gauge / Histogram) are registered once by name and
+// are cheap value types; the hot path is one relaxed atomic add into the
+// calling thread's shard (two for a histogram: bucket + sum). Shards are
+// only ever written by their owning thread, so there is no cross-core
+// cacheline ping-pong; Snapshot() aggregates every shard with relaxed
+// loads. When a thread exits its shard is parked on a free list and
+// reused by the next thread — recorded values are never lost and memory
+// stays bounded by the peak thread count.
+//
+// Determinism: counter values are event counts, so any fixed-seed
+// workload produces the same totals regardless of thread count or
+// execution order. Timing histograms (registered via TimingHistogram, fed
+// by ObsSpan) hold wall-clock content and are therefore excluded from the
+// JSON export unless explicitly requested — drtp.metrics/1 files from
+// fixed-seed runs stay byte-identical.
+//
+// Compiling with -DDRTP_OBS_DISABLED turns every handle operation into a
+// no-op (and obs/span.h compiles out entirely); registration and
+// Snapshot() still work and report zeros.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drtp {
+class JsonWriter;
+}
+
+namespace drtp::obs {
+
+/// JSON schema tag for exported snapshots.
+inline constexpr char kMetricsSchema[] = "drtp.metrics/1";
+
+/// Power-of-two histogram buckets: bucket b counts values v with
+/// bit_width(v) == b, i.e. [2^(b-1), 2^b); bucket 0 counts v <= 0 and
+/// the last bucket absorbs everything beyond 2^(kHistogramBuckets-2).
+/// 48 buckets span 1ns .. ~1.6 days, enough for any span or value here.
+inline constexpr int kHistogramBuckets = 48;
+
+/// Value of histogram bucket `b`'s upper edge (inclusive range end).
+std::int64_t HistogramBucketUpperEdge(int b);
+
+namespace detail {
+
+struct alignas(64) HistogramCell {
+  std::array<std::atomic<std::int64_t>, kHistogramBuckets> buckets;
+  std::atomic<std::int64_t> sum;
+};
+
+struct Shard;
+
+/// Registry capacities. Metrics are registered at well-known names from a
+/// handful of instrumentation sites; blowing these trips a DRTP_CHECK.
+inline constexpr std::size_t kMaxCounters = 256;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 64;
+
+Shard& ThisThreadShard();
+
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() = default;
+#ifdef DRTP_OBS_DISABLED
+  void Add(std::int64_t = 1) const {}  // compiled out
+#else
+  void Add(std::int64_t n = 1) const;
+#endif
+
+ private:
+  friend class Registry;
+  explicit Counter(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Last-write-wins scalar; global (not sharded) — gauges are set rarely.
+class Gauge {
+ public:
+  Gauge() = default;
+#ifdef DRTP_OBS_DISABLED
+  void Set(double) const {}  // compiled out
+#else
+  void Set(double value) const;
+#endif
+
+ private:
+  friend class Registry;
+  explicit Gauge(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Records one sample (clamped to >= 0). Two relaxed adds.
+#ifdef DRTP_OBS_DISABLED
+  void Observe(std::int64_t) const {}  // compiled out
+#else
+  void Observe(std::int64_t value) const;
+#endif
+
+ private:
+  friend class Registry;
+  explicit Histogram(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Aggregated view of the registry at one instant.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    bool timing = false;  ///< wall-clock content (span-fed)
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::array<std::int64_t, kHistogramBuckets> buckets{};
+
+    double Mean() const {
+      return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                       : 0.0;
+    }
+    /// Upper edge of the bucket containing quantile q (0 < q <= 1).
+    std::int64_t ValueAtQuantile(double q) const;
+  };
+
+  /// Sorted by name within each section.
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// Counter value by name; 0 when absent.
+  std::int64_t CounterValue(std::string_view name) const;
+
+  /// drtp.metrics/1 JSON. Timing histograms are omitted unless
+  /// `include_timings` — their content is wall-clock and would break the
+  /// byte-stability of fixed-seed exports.
+  void WriteJson(JsonWriter& w, bool include_timings) const;
+
+  /// Human view (common/table.h): one counters/gauges table plus one
+  /// histogram table with count/mean/p50/p90/p99.
+  std::string RenderTable(bool include_timings) const;
+};
+
+/// The process-wide registry. Thread-safe. Registering the same name
+/// twice returns the same handle (kind mismatch is checked).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  Histogram GetHistogram(std::string_view name);
+  /// A histogram flagged as holding wall-clock timings (ns).
+  Histogram GetTimingHistogram(std::string_view name);
+
+  /// Aggregates every shard. Safe to call concurrently with updates —
+  /// relaxed loads observe each slot atomically.
+  MetricsSnapshot Snapshot() const;
+
+  /// Fast path for live progress readouts: one counter's global total.
+  std::int64_t CounterValue(const Counter& c) const;
+
+ private:
+  Registry() = default;
+  friend Counter;
+  friend Gauge;
+  friend Histogram;
+  friend detail::Shard& detail::ThisThreadShard();
+};
+
+/// Convenience wrappers over Registry::Global().
+Counter GetCounter(std::string_view name);
+Gauge GetGauge(std::string_view name);
+Histogram GetHistogram(std::string_view name);
+Histogram GetTimingHistogram(std::string_view name);
+
+/// Captures the calling thread's counter values so a later Delta() yields
+/// exactly the counts this thread produced in between — the per-cell
+/// metrics tag of the sweep engine. Only valid on the capturing thread
+/// (checked); deterministic because a sweep cell runs single-threaded.
+class ThreadCounterBaseline {
+ public:
+  ThreadCounterBaseline();
+
+  /// (name, delta) pairs for counters this thread bumped since
+  /// construction, nonzero only, sorted by name.
+  std::vector<std::pair<std::string, std::int64_t>> Delta() const;
+
+ private:
+  std::vector<std::int64_t> values_;
+  const void* shard_ = nullptr;
+};
+
+}  // namespace drtp::obs

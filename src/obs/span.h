@@ -1,0 +1,93 @@
+// RAII profiling spans feeding obs timing histograms.
+//
+// DRTP_OBS_SPAN("drtp.kernel.dijkstra") at the top of a kernel records
+// the scope's wall time (steady-clock ns) into the named timing histogram
+// — two clock reads plus two relaxed atomic adds per scope, so only
+// instrument scopes that run for at least a few hundred nanoseconds.
+// DRTP_OBS_SPAN_SAMPLED(name, shift) measures one scope in 2^shift (a
+// thread-local counter decides), for hot paths too short to clock every
+// time; the histogram then holds a uniform sample of the scope's
+// distribution, not every call.
+//
+// Under -DDRTP_OBS_DISABLED both macros compile to nothing — zero code in
+// the kernel, which is what the CI obs-overhead gate compares against.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+#ifndef DRTP_OBS_DISABLED
+
+#include <chrono>
+
+namespace drtp::obs {
+
+class ObsSpan {
+ public:
+  explicit ObsSpan(Histogram h) : h_(h), start_(NowNs()) {}
+  ~ObsSpan() { h_.Observe(NowNs() - start_); }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  static std::int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  Histogram h_;
+  std::int64_t start_;
+};
+
+/// As ObsSpan, but only times one scope in 2^shift.
+class SampledObsSpan {
+ public:
+  SampledObsSpan(Histogram h, std::uint32_t& tick, unsigned shift)
+      : h_(h),
+        armed_((tick++ & ((1u << shift) - 1u)) == 0),
+        start_(armed_ ? ObsSpan::NowNs() : 0) {}
+  ~SampledObsSpan() {
+    if (armed_) h_.Observe(ObsSpan::NowNs() - start_);
+  }
+  SampledObsSpan(const SampledObsSpan&) = delete;
+  SampledObsSpan& operator=(const SampledObsSpan&) = delete;
+
+ private:
+  Histogram h_;
+  bool armed_;
+  std::int64_t start_;
+};
+
+}  // namespace drtp::obs
+
+#define DRTP_OBS_CONCAT_INNER(a, b) a##b
+#define DRTP_OBS_CONCAT(a, b) DRTP_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into the named timing histogram. The handle
+/// is resolved once per site (function-local static).
+#define DRTP_OBS_SPAN(name)                                             \
+  static const ::drtp::obs::Histogram DRTP_OBS_CONCAT(obs_span_h_,      \
+                                                      __LINE__) =       \
+      ::drtp::obs::GetTimingHistogram(name);                            \
+  ::drtp::obs::ObsSpan DRTP_OBS_CONCAT(obs_span_, __LINE__)(            \
+      DRTP_OBS_CONCAT(obs_span_h_, __LINE__))
+
+/// Times one enclosing scope in 2^shift (per thread).
+#define DRTP_OBS_SPAN_SAMPLED(name, shift)                              \
+  static const ::drtp::obs::Histogram DRTP_OBS_CONCAT(obs_span_h_,      \
+                                                      __LINE__) =       \
+      ::drtp::obs::GetTimingHistogram(name);                            \
+  thread_local std::uint32_t DRTP_OBS_CONCAT(obs_span_tick_,            \
+                                             __LINE__) = 0;            \
+  ::drtp::obs::SampledObsSpan DRTP_OBS_CONCAT(obs_span_, __LINE__)(     \
+      DRTP_OBS_CONCAT(obs_span_h_, __LINE__),                           \
+      DRTP_OBS_CONCAT(obs_span_tick_, __LINE__), shift)
+
+#else  // DRTP_OBS_DISABLED
+
+#define DRTP_OBS_SPAN(name) ((void)0)
+#define DRTP_OBS_SPAN_SAMPLED(name, shift) ((void)0)
+
+#endif  // DRTP_OBS_DISABLED

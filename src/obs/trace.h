@@ -1,0 +1,146 @@
+// Structured trace pipeline: one flat TraceEvent record per connection /
+// link lifecycle event, fanned to pluggable sinks.
+//
+// This generalizes the typed sim::TraceSink callbacks into a single
+// schema-versioned record so exporters live below the simulator:
+//   - JsonlTraceSink   — schema drtp.trace/1, one JSON object per line.
+//     Deterministic: a fixed-seed single-threaded replay produces
+//     byte-identical files; a sweep's lines are deterministic per cell
+//     (interleaving across cells follows completion order).
+//   - ChromeTraceSink  — Chrome trace-event JSON (load in chrome://tracing
+//     or Perfetto): one "X" span per connection lifetime, instant events
+//     for blocks/failures/failovers.
+// Both sinks lock per record, so concurrent sweep cells never corrupt a
+// line. sim::TextTraceSink remains the human one-line-per-event view and
+// adapts onto the same stream of typed callbacks (sim/trace.h).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/types.h"
+
+namespace drtp::obs {
+
+/// JSONL schema tag for JsonlTraceSink lines.
+inline constexpr char kTraceSchema[] = "drtp.trace/1";
+
+enum class TraceEventKind {
+  kRequest,      ///< a DR-connection request arrived
+  kAdmit,        ///< request admitted (primary established)
+  kBlock,        ///< request blocked (no feasible primary)
+  kRelease,      ///< connection released normally
+  kLinkFail,     ///< a link went down (aggregate impact counts attached)
+  kLinkRepair,   ///< a link came back up
+  kFailover,     ///< one connection's backup was promoted to primary
+  kDrop,         ///< one connection was lost (no activatable backup)
+  kBackupBreak,  ///< one connection's backup was broken and released
+  kReestablish,  ///< step-4 reconfiguration registered a fresh backup
+};
+
+/// Stable lowercase token used in drtp.trace/1 ("admit", "link_fail", ...).
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+/// One lifecycle event. Fields default to "absent" (-1 / empty) and are
+/// omitted from serialized records; spans point into caller storage and
+/// are only valid during the Write() call.
+struct TraceEvent {
+  Time t = 0.0;
+  TraceEventKind kind = TraceEventKind::kRequest;
+  /// Sweep-cell index the event belongs to; -1 for single runs.
+  std::int64_t cell = -1;
+  /// Routing scheme label ("D-LSR", ...); empty when unknown.
+  std::string_view scheme;
+  ConnId conn = kInvalidConn;
+  LinkId link = kInvalidLink;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth bw = -1;
+  /// Node sequences of the routes involved (admit, failover, reestablish).
+  std::span<const NodeId> primary;
+  std::span<const NodeId> backup;
+  /// Post-event APLV maxima on the backup route's links: the per-link
+  /// spare-pool pressure this admission/re-registration left behind.
+  std::span<const std::pair<LinkId, std::int32_t>> aplv;
+  /// kLinkFail aggregate impact (absent: -1).
+  int recovered = -1;
+  int dropped = -1;
+  int broken = -1;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// May be called from several threads (sweep cells); implementations
+  /// serialize internally.
+  virtual void Write(const TraceEvent& event) = 0;
+  /// Called once after the last event (flush footers, close spans).
+  virtual void Finish() {}
+};
+
+/// drtp.trace/1: one schema-versioned JSON object per line.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit JsonlTraceSink(std::ostream& os);
+  /// Truncates and writes `path`; throws CheckError when unwritable.
+  explicit JsonlTraceSink(const std::string& path);
+
+  void Write(const TraceEvent& event) override;
+  void Finish() override;
+
+  std::int64_t lines_written() const { return lines_; }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_;
+  std::mutex mu_;
+  std::int64_t lines_ = 0;
+};
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}): each connection's
+/// admit→release/drop lifetime becomes a complete ("X") span on the track
+/// (pid = cell + 1, tid = conn); blocks, failures, repairs, failovers and
+/// backup events render as instant events. Load the file in
+/// chrome://tracing or https://ui.perfetto.dev.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& os);
+  explicit ChromeTraceSink(const std::string& path);
+
+  void Write(const TraceEvent& event) override;
+  /// Closes still-open connection spans at the last seen time and writes
+  /// the JSON footer. Must be called exactly once.
+  void Finish() override;
+
+  std::int64_t events_written() const { return events_; }
+
+ private:
+  struct OpenSpan {
+    Time start = 0.0;
+    std::string scheme;
+    int hops = -1;
+  };
+
+  void Emit(const std::string& json);  // one event object, comma-managed
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_;
+  std::mutex mu_;
+  bool first_ = true;
+  bool finished_ = false;
+  std::int64_t events_ = 0;
+  Time last_time_ = 0.0;
+  /// (cell, conn) -> open lifetime span.
+  std::map<std::pair<std::int64_t, ConnId>, OpenSpan> open_;
+};
+
+}  // namespace drtp::obs

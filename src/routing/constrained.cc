@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace drtp::routing {
 
@@ -18,6 +19,9 @@ std::optional<Path> CheapestPathMaxHops(const net::Topology& topo,
                                         NodeId src, NodeId dst,
                                         LinkCostFn cost, int max_hops,
                                         MaxHopsWorkspace& ws) {
+  // Sampled for the same reason as the Dijkstra kernel: innermost, called
+  // repeatedly per admission under BF/maxhops schemes.
+  DRTP_OBS_SPAN_SAMPLED("drtp.kernel.maxhops", 6);
   DRTP_CHECK(src >= 0 && src < topo.num_nodes());
   DRTP_CHECK(dst >= 0 && dst < topo.num_nodes());
   DRTP_CHECK(src != dst);

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace drtp::routing {
 namespace {
@@ -30,6 +31,49 @@ std::optional<Path> ExtractPath(const net::Topology& topo, NodeId dst,
 }
 
 }  // namespace
+
+namespace detail {
+
+/// The actual algorithm, shared by the timed and untimed entries below.
+/// noinline so the hot loop's codegen is bit-identical whether or not obs
+/// spans are compiled in — the span object would otherwise stay live
+/// across the loop and shift register allocation, which costs more than
+/// the span itself (see docs/OBSERVABILITY.md).
+[[gnu::noinline]] void RunDijkstraLoop(const net::Topology& topo, NodeId src,
+                                       LinkCostFn cost,
+                                       DijkstraWorkspace& ws) {
+  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
+  ws.Prepare(topo.num_nodes());
+  ws.Relax(src, 0.0, kInvalidLink);
+
+  // Manual heap over the reused buffer; push_back+push_heap / pop_heap+
+  // pop_back is exactly how std::priority_queue is specified, so the pop
+  // order (and therefore every tie-break) matches the allocating variant.
+  auto& heap = ws.heap_;
+  heap.clear();
+  heap.emplace_back(0.0, src);
+  const std::greater<> cmp;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (d > ws.Dist(u)) continue;  // stale
+    for (LinkId l : topo.out_links(u)) {
+      const double c = cost(l);
+      if (c == kInfiniteCost) continue;
+      DRTP_CHECK_MSG(c >= 0.0, "negative cost " << c << " on link " << l);
+      const NodeId v = topo.link(l).dst;
+      const double nd = d + c;
+      if (nd < ws.Dist(v)) {
+        ws.Relax(v, nd, l);
+        heap.emplace_back(nd, v);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+}
+
+}  // namespace detail
 
 std::optional<Path> DijkstraTree::PathTo(const net::Topology& topo,
                                          NodeId dst) const {
@@ -61,35 +105,19 @@ void DijkstraWorkspace::Prepare(int num_nodes) {
 
 void RunDijkstra(const net::Topology& topo, NodeId src, LinkCostFn cost,
                  DijkstraWorkspace& ws) {
-  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
-  ws.Prepare(topo.num_nodes());
-  ws.Relax(src, 0.0, kInvalidLink);
-
-  // Manual heap over the reused buffer; push_back+push_heap / pop_heap+
-  // pop_back is exactly how std::priority_queue is specified, so the pop
-  // order (and therefore every tie-break) matches the allocating variant.
-  auto& heap = ws.heap_;
-  heap.clear();
-  heap.emplace_back(0.0, src);
-  const std::greater<> cmp;
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), cmp);
-    const auto [d, u] = heap.back();
-    heap.pop_back();
-    if (d > ws.Dist(u)) continue;  // stale
-    for (LinkId l : topo.out_links(u)) {
-      const double c = cost(l);
-      if (c == kInfiniteCost) continue;
-      DRTP_CHECK_MSG(c >= 0.0, "negative cost " << c << " on link " << l);
-      const NodeId v = topo.link(l).dst;
-      const double nd = d + c;
-      if (nd < ws.Dist(v)) {
-        ws.Relax(v, nd, l);
-        heap.emplace_back(nd, v);
-        std::push_heap(heap.begin(), heap.end(), cmp);
-      }
-    }
+#ifndef DRTP_OBS_DISABLED
+  // Sampled 1-in-64: the innermost routing kernel, invoked several times
+  // per backup selection. The timed path is a separate branch so the
+  // untimed 63/64 of calls run the exact same RunDijkstraLoop code an
+  // obs-disabled build runs.
+  thread_local std::uint32_t tick = 0;
+  if ((tick++ & 63u) == 0) {
+    DRTP_OBS_SPAN("drtp.kernel.dijkstra");
+    detail::RunDijkstraLoop(topo, src, cost, ws);
+    return;
   }
+#endif
+  detail::RunDijkstraLoop(topo, src, cost, ws);
 }
 
 DijkstraTree RunDijkstra(const net::Topology& topo, NodeId src,

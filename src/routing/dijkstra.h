@@ -31,6 +31,15 @@ using LinkCostFn = FunctionRef<double(LinkId)>;
 inline constexpr double kInfiniteCost =
     std::numeric_limits<double>::infinity();
 
+class DijkstraWorkspace;
+
+namespace detail {
+/// Internal: the Dijkstra hot loop, shared by the obs-timed and untimed
+/// entry paths of RunDijkstra (see dijkstra.cc for why it is split out).
+void RunDijkstraLoop(const net::Topology& topo, NodeId src, LinkCostFn cost,
+                     DijkstraWorkspace& ws);
+}  // namespace detail
+
 /// Single-source shortest path tree.
 struct DijkstraTree {
   /// dist[v] is the cost from the source; infinity when unreachable.
@@ -75,6 +84,9 @@ class DijkstraWorkspace {
  private:
   friend void RunDijkstra(const net::Topology& topo, NodeId src,
                           LinkCostFn cost, DijkstraWorkspace& ws);
+  friend void detail::RunDijkstraLoop(const net::Topology& topo, NodeId src,
+                                      LinkCostFn cost,
+                                      DijkstraWorkspace& ws);
 
   void Prepare(int num_nodes);
   void Relax(NodeId v, double d, LinkId parent) {

@@ -1,55 +1,14 @@
-// Minimal streaming JSON writer for the runner's result sinks and the
-// drtpsim --format=json output.
-//
-// Emits a single JSON value (typically one object) into an internal
-// buffer; doubles are rendered with std::to_chars shortest round-trip so
-// re-parsing reproduces the exact bits, which keeps JSONL result files as
-// authoritative as the in-memory metrics.
+// Forwarding header: the JSON writer moved to common/json.h so layers
+// below the runner (obs, sim) can emit JSON without depending on
+// drtp_runner. Existing includes and the drtp::runner::JsonWriter
+// spelling keep working through these aliases.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "common/json.h"
 
 namespace drtp::runner {
 
-/// Builds one JSON value. Calls must follow JSON grammar: inside an
-/// object alternate Key()/value, inside an array emit values directly.
-/// Misuse (e.g. a value in an object without a preceding Key) trips a
-/// DRTP_CHECK. Not thread-safe; writers are cheap, make one per message.
-class JsonWriter {
- public:
-  JsonWriter& BeginObject();
-  JsonWriter& EndObject();
-  JsonWriter& BeginArray();
-  JsonWriter& EndArray();
-
-  JsonWriter& Key(std::string_view name);
-  JsonWriter& String(std::string_view value);
-  JsonWriter& Int(std::int64_t value);
-  JsonWriter& Uint(std::uint64_t value);
-  JsonWriter& Double(double value);
-  JsonWriter& Bool(bool value);
-  JsonWriter& Null();
-
-  /// The rendered text. Valid once every container has been closed.
-  const std::string& str() const { return out_; }
-
- private:
-  enum class Scope { kObject, kArray };
-
-  void BeforeValue();
-  void Raw(std::string_view text);
-
-  std::string out_;
-  std::vector<Scope> scopes_;
-  // True when the next token at the current nesting level needs a ','.
-  std::vector<bool> need_comma_;
-  bool after_key_ = false;
-};
-
-/// JSON string escaping (quotes not included).
-std::string JsonEscape(std::string_view text);
+using ::drtp::JsonEscape;
+using ::drtp::JsonWriter;
 
 }  // namespace drtp::runner

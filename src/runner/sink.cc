@@ -76,6 +76,11 @@ std::string CellResultToJson(const CellResult& r) {
   w.Key("lambda").Double(r.cell.lambda);
   w.Key("scheme").String(r.cell.scheme);
   w.Key("wall_s").Double(r.wall_seconds);
+  if (!r.obs_counters.empty()) {
+    w.Key("obs").BeginObject();
+    for (const auto& [name, count] : r.obs_counters) w.Key(name).Int(count);
+    w.EndObject();
+  }
   w.Key("metrics").BeginObject();
   WriteRunMetrics(w, r.metrics);
   w.EndObject();
@@ -144,7 +149,12 @@ void TableSink::Finish() {
 }
 
 ProgressReporter::ProgressReporter(std::size_t total_cells)
-    : total_(total_cells), start_seconds_(MonotonicSeconds()) {}
+    : total_(total_cells), start_seconds_(MonotonicSeconds()) {
+  const obs::Registry& reg = obs::Registry::Global();
+  admits0_ = reg.CounterValue(admits_);
+  blocks0_ = reg.CounterValue(blocks_);
+  failovers0_ = reg.CounterValue(failovers_);
+}
 
 void ProgressReporter::Consume(const CellResult& result) {
   (void)result;
@@ -155,8 +165,18 @@ void ProgressReporter::Consume(const CellResult& result) {
                                     : 0.0;
   const double eta =
       rate > 0.0 ? static_cast<double>(total_ - done_) / rate : 0.0;
-  std::fprintf(stderr, "\r[sweep] %zu/%zu cells  %.2f cells/s  ETA %.0fs   ",
-               done_, total_, rate, eta);
+  const obs::Registry& reg = obs::Registry::Global();
+  const std::int64_t admits = reg.CounterValue(admits_) - admits0_;
+  const std::int64_t blocks = reg.CounterValue(blocks_) - blocks0_;
+  const std::int64_t failovers = reg.CounterValue(failovers_) - failovers0_;
+  const double admit_rate =
+      elapsed > 0.0 ? static_cast<double>(admits) / elapsed : 0.0;
+  std::fprintf(stderr,
+               "\r[sweep] %zu/%zu cells  %.2f cells/s  ETA %.0fs  "
+               "%.0f admits/s  %lld blocks  %lld failovers   ",
+               done_, total_, rate, eta, admit_rate,
+               static_cast<long long>(blocks),
+               static_cast<long long>(failovers));
   if (done_ == total_) std::fputc('\n', stderr);
   std::fflush(stderr);
 }

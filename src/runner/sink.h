@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "runner/json.h"
 #include "sim/metrics.h"
 #include "sim/traffic.h"
 
@@ -44,6 +46,11 @@ struct CellResult {
   sim::RunMetrics metrics;
   /// Wall-clock spent replaying this cell, seconds.
   double wall_seconds = 0.0;
+  /// Per-cell obs counter deltas ((name, count), sorted, nonzero only):
+  /// the cell thread's drtp.sim.* / drtp.kernel.* counts captured around
+  /// the replay. Deterministic — a cell runs single-threaded, so the
+  /// thread-shard delta is exactly the cell's own event counts.
+  std::vector<std::pair<std::string, std::int64_t>> obs_counters;
 };
 
 class ResultSink {
@@ -54,8 +61,6 @@ class ResultSink {
   /// Called once after the last Consume of a sweep.
   virtual void Finish() {}
 };
-
-class JsonWriter;
 
 /// Serialises `metrics` as the members of an (already open) JSON object.
 void WriteRunMetrics(JsonWriter& w, const sim::RunMetrics& metrics);
@@ -101,8 +106,10 @@ class TableSink : public ResultSink {
   std::vector<CellResult> results_;
 };
 
-/// Writes "done/total, cells/s, ETA" lines to stderr as cells complete.
-/// Instantiate just before Run() — the clock starts at construction.
+/// Writes "done/total, cells/s, ETA, admits/s, blocks, failovers" lines
+/// to stderr as cells complete; the lifecycle numbers are live global
+/// obs-registry readouts (drtp.sim.*), not per-cell fields. Instantiate
+/// just before Run() — the clock starts at construction.
 class ProgressReporter : public ResultSink {
  public:
   explicit ProgressReporter(std::size_t total_cells);
@@ -115,6 +122,14 @@ class ProgressReporter : public ResultSink {
   std::size_t done_ = 0;  // under mu_
   double start_seconds_;  // monotonic
   std::mutex mu_;
+  /// Registry totals at construction, so a second sweep in the same
+  /// process reports its own events only.
+  obs::Counter admits_ = obs::GetCounter("drtp.sim.admits");
+  obs::Counter blocks_ = obs::GetCounter("drtp.sim.blocks");
+  obs::Counter failovers_ = obs::GetCounter("drtp.sim.failovers");
+  std::int64_t admits0_ = 0;
+  std::int64_t blocks0_ = 0;
+  std::int64_t failovers0_ = 0;
 };
 
 }  // namespace drtp::runner

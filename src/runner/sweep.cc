@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "sim/obs_bridge.h"
 
 namespace drtp::runner {
 
@@ -131,15 +133,27 @@ const sim::Scenario& SweepEngine::ScenarioFor(std::uint64_t base_seed,
   return *it->second;
 }
 
-CellResult SweepEngine::RunCell(const Cell& cell) {
+CellResult SweepEngine::RunCell(const Cell& cell, obs::TraceSink* trace) {
   const net::Topology& topo = TopologyFor(cell.base_seed, cell.degree);
   const sim::Scenario& scenario =
       ScenarioFor(cell.base_seed, cell.degree, cell.pattern, cell.lambda);
   auto scheme = sim::MakeScheme(cell.scheme, topo, cell.cell_seed);
+  sim::ExperimentConfig ec = Experiment();
+  std::unique_ptr<sim::ObsBridge> bridge;
+  if (trace != nullptr) {
+    bridge = std::make_unique<sim::ObsBridge>(
+        *trace, cell.scheme, static_cast<std::int64_t>(cell.index));
+    ec.trace = bridge.get();
+  }
   const double t0 = MonotonicSeconds();
   CellResult r;
   r.cell = cell;
-  r.metrics = sim::RunScenario(topo, scenario, *scheme, Experiment());
+  // The replay runs entirely on this thread, so the thread-shard counter
+  // delta is exactly this cell's event counts — deterministic regardless
+  // of --jobs.
+  const obs::ThreadCounterBaseline baseline;
+  r.metrics = sim::RunScenario(topo, scenario, *scheme, ec);
+  r.obs_counters = baseline.Delta();
   r.wall_seconds = MonotonicSeconds() - t0;
   return r;
 }
@@ -158,8 +172,8 @@ std::vector<CellResult> SweepEngine::Run(const RunOptions& options) {
   {
     ThreadPool pool(ThreadPool::Options{.threads = options.jobs});
     for (const Cell& cell : cells) {
-      pool.Submit([this, &cell, &results, &sinks] {
-        CellResult r = RunCell(cell);
+      pool.Submit([this, &cell, &results, &sinks, &options] {
+        CellResult r = RunCell(cell, options.trace);
         for (ResultSink* sink : sinks) sink->Consume(r);
         // Cells own distinct slots; no lock needed.
         results[cell.index] = std::move(r);
@@ -170,6 +184,7 @@ std::vector<CellResult> SweepEngine::Run(const RunOptions& options) {
   }
 
   for (ResultSink* sink : sinks) sink->Finish();
+  if (options.trace != nullptr) options.trace->Finish();
   return results;
 }
 

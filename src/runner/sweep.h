@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "obs/trace.h"
 #include "runner/sink.h"
 #include "runner/thread_pool.h"
 #include "sim/experiment.h"
@@ -92,6 +93,10 @@ class SweepEngine {
     /// Receivers for each completed cell; not owned. Sinks must be
     /// thread-safe; Finish() is called once on each after the sweep.
     std::vector<ResultSink*> sinks;
+    /// Receives every cell's lifecycle trace records (stamped with the
+    /// cell index and scheme); not owned, must be thread-safe. Finish()
+    /// is called once after the sweep. Null = tracing off.
+    obs::TraceSink* trace = nullptr;
   };
 
   /// Runs every cell and returns results ordered by Cell::index.
@@ -106,7 +111,9 @@ class SweepEngine {
                                    sim::TrafficPattern pattern, double lambda);
 
   /// Runs one cell synchronously (the unit of work Run() parallelises).
-  CellResult RunCell(const Cell& cell);
+  /// When `trace` is set, the cell's lifecycle events are written to it
+  /// through a sim::ObsBridge stamped with the cell index and scheme.
+  CellResult RunCell(const Cell& cell, obs::TraceSink* trace = nullptr);
 
  private:
   SweepSpec spec_;

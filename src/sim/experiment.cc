@@ -2,11 +2,39 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "drtp/failure.h"
+#include "obs/metrics.h"
 
 namespace drtp::sim {
+namespace {
+
+/// Process-wide lifecycle counters (drtp.sim.*), resolved once. These
+/// feed the sweep ProgressReporter's live readout and per-cell snapshot
+/// tags; under DRTP_OBS_DISABLED every Add is a no-op.
+struct SimCounters {
+  obs::Counter requests = obs::GetCounter("drtp.sim.requests");
+  obs::Counter admits = obs::GetCounter("drtp.sim.admits");
+  obs::Counter blocks = obs::GetCounter("drtp.sim.blocks");
+  obs::Counter releases = obs::GetCounter("drtp.sim.releases");
+  obs::Counter link_fails = obs::GetCounter("drtp.sim.link_fails");
+  obs::Counter link_repairs = obs::GetCounter("drtp.sim.link_repairs");
+  obs::Counter failovers = obs::GetCounter("drtp.sim.failovers");
+  obs::Counter drops = obs::GetCounter("drtp.sim.drops");
+  obs::Counter backup_breaks = obs::GetCounter("drtp.sim.backup_breaks");
+  obs::Counter reestablishes =
+      obs::GetCounter("drtp.sim.backups_reestablished");
+};
+
+const SimCounters& Counters() {
+  static const SimCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
                        core::RoutingScheme& scheme,
@@ -55,6 +83,17 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
 
   std::unordered_set<ConnId> admitted_ids;
 
+  // Scratch for the per-link APLV annotations attached to admit /
+  // reestablish trace records; only filled when tracing is on.
+  std::vector<std::pair<LinkId, std::int32_t>> aplv_scratch;
+  const auto backup_aplv = [&](const routing::Path& b) -> BackupAplv {
+    aplv_scratch.clear();
+    for (const LinkId l : b.links()) {
+      aplv_scratch.emplace_back(l, net.aplv(l).Max());
+    }
+    return aplv_scratch;
+  };
+
   // inspect_final fires once the clock passes the horizon, i.e. on the
   // loaded steady-state network rather than the drained one.
   bool inspected = false;
@@ -81,6 +120,10 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
 
     if (e.type == ScenarioEvent::Type::kRequest) {
       ++m.requests;
+      Counters().requests.Add();
+      if (config.trace != nullptr) {
+        config.trace->OnRequest(e.time, e.conn, e.src, e.dst, e.bw);
+      }
       core::RouteSelection sel =
           scheme.SelectRoutes(net, db, e.src, e.dst, e.bw);
       m.control_messages += sel.control_messages;
@@ -104,14 +147,19 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
           }
         }
         note_active(e.time, active_count + 1);
+        Counters().admits.Add();
         if (config.trace != nullptr) {
           const core::DrConnection* conn = net.Find(e.conn);
-          config.trace->OnAdmit(e.time, e.conn, conn->primary,
-                                conn->first_backup());
+          const routing::Path* backup = conn->first_backup();
+          config.trace->OnAdmit(e.time, e.conn, conn->primary, backup,
+                                e.bw,
+                                backup != nullptr ? backup_aplv(*backup)
+                                                  : BackupAplv{});
         }
       }
       if (!ok) {
         ++m.blocked;
+        Counters().blocks.Add();
         if (config.trace != nullptr) {
           config.trace->OnBlock(e.time, e.conn, e.src, e.dst);
         }
@@ -123,6 +171,7 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
       if (admitted_ids.erase(e.conn) > 0 && net.Find(e.conn) != nullptr) {
         net.ReleaseConnection(e.conn);
         note_active(e.time, active_count - 1);
+        Counters().releases.Add();
         if (config.trace != nullptr) config.trace->OnRelease(e.time, e.conn);
         if (instant) net.PublishTo(db, e.time);
       }
@@ -142,12 +191,44 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
             report.rerouted.size());
         for (ConnId id : report.dropped) admitted_ids.erase(id);
         note_active(e.time, net.ActiveCount());
+        Counters().link_fails.Add();
+        Counters().failovers.Add(
+            static_cast<std::int64_t>(report.recovered.size()));
+        Counters().drops.Add(
+            static_cast<std::int64_t>(report.dropped.size()));
+        Counters().backup_breaks.Add(
+            static_cast<std::int64_t>(report.backups_lost.size()));
+        Counters().reestablishes.Add(
+            static_cast<std::int64_t>(report.rerouted.size()));
         if (config.trace != nullptr) {
           config.trace->OnLinkFail(e.time, e.link,
                                    static_cast<int>(report.recovered.size()),
                                    static_cast<int>(report.dropped.size()),
                                    static_cast<int>(
                                        report.backups_lost.size()));
+          // The aggregate line is followed by the per-connection
+          // consequences, in the report's (deterministic) order.
+          for (const ConnId id : report.recovered) {
+            const core::DrConnection* conn = net.Find(id);
+            if (conn != nullptr) {
+              config.trace->OnFailover(e.time, id, conn->primary);
+            }
+          }
+          for (const ConnId id : report.dropped) {
+            config.trace->OnDrop(e.time, id);
+          }
+          for (const ConnId id : report.backups_lost) {
+            config.trace->OnBackupBreak(e.time, id);
+          }
+          for (const ConnId id : report.rerouted) {
+            const core::DrConnection* conn = net.Find(id);
+            const routing::Path* backup =
+                conn != nullptr ? conn->first_backup() : nullptr;
+            if (backup != nullptr) {
+              config.trace->OnReestablish(e.time, id, *backup,
+                                          backup_aplv(*backup));
+            }
+          }
         }
         scheme.OnTopologyChanged(net);
         if (instant) net.PublishTo(db, e.time);
@@ -155,6 +236,7 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
     } else {  // kLinkRepair
       if (!net.IsLinkUp(e.link)) {
         net.SetLinkUp(e.link);
+        Counters().link_repairs.Add();
         scheme.OnTopologyChanged(net);
         if (config.trace != nullptr) {
           config.trace->OnLinkRepair(e.time, e.link);

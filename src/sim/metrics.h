@@ -1,6 +1,7 @@
 // Metrics collected from one scenario replay (§6's measured quantities).
 #pragma once
 
+#include <limits>
 #include <string>
 
 #include "common/stats.h"
@@ -30,10 +31,12 @@ struct RunMetrics {
   std::int64_t backups_reestablished = 0;
 
   /// Recovery ratio actually achieved across enacted failures — the
-  /// enacted counterpart of the what-if P_bk.
+  /// enacted counterpart of the what-if P_bk. NaN (rendered "--" by
+  /// TextTable) when no enacted failure hit a primary: "no evidence" is
+  /// distinct from "every hit connection dropped" (a true 0.0).
   double EnactedRecoveryRatio() const {
     const auto hit = failover_recovered + failover_dropped;
-    return hit == 0 ? 0.0
+    return hit == 0 ? std::numeric_limits<double>::quiet_NaN()
                     : static_cast<double>(failover_recovered) /
                           static_cast<double>(hit);
   }

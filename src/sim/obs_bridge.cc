@@ -1,0 +1,108 @@
+#include "sim/obs_bridge.h"
+
+#include <utility>
+
+namespace drtp::sim {
+
+ObsBridge::ObsBridge(obs::TraceSink& sink, std::string scheme,
+                     std::int64_t cell)
+    : sink_(sink), scheme_(std::move(scheme)), cell_(cell) {}
+
+obs::TraceEvent ObsBridge::Stamp(Time t, obs::TraceEventKind kind) const {
+  obs::TraceEvent e;
+  e.t = t;
+  e.kind = kind;
+  e.cell = cell_;
+  e.scheme = scheme_;
+  return e;
+}
+
+void ObsBridge::OnRequest(Time t, ConnId conn, NodeId src, NodeId dst,
+                          Bandwidth bw) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kRequest);
+  e.conn = conn;
+  e.src = src;
+  e.dst = dst;
+  e.bw = bw;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnAdmit(Time t, ConnId conn, const routing::Path& primary,
+                        const routing::Path* backup, Bandwidth bw,
+                        BackupAplv backup_aplv) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kAdmit);
+  e.conn = conn;
+  e.bw = bw;
+  const auto& nodes = primary.nodes();
+  if (!nodes.empty()) {
+    e.src = nodes.front();
+    e.dst = nodes.back();
+  }
+  e.primary = nodes;
+  if (backup != nullptr) e.backup = backup->nodes();
+  e.aplv = backup_aplv;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnBlock(Time t, ConnId conn, NodeId src, NodeId dst) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kBlock);
+  e.conn = conn;
+  e.src = src;
+  e.dst = dst;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnRelease(Time t, ConnId conn) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kRelease);
+  e.conn = conn;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnLinkFail(Time t, LinkId link, int recovered, int dropped,
+                           int backups_broken) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kLinkFail);
+  e.link = link;
+  e.recovered = recovered;
+  e.dropped = dropped;
+  e.broken = backups_broken;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnLinkRepair(Time t, LinkId link) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kLinkRepair);
+  e.link = link;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnFailover(Time t, ConnId conn,
+                           const routing::Path& promoted) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kFailover);
+  e.conn = conn;
+  // The promoted backup is the connection's new primary.
+  e.primary = promoted.nodes();
+  sink_.Write(e);
+}
+
+void ObsBridge::OnDrop(Time t, ConnId conn) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kDrop);
+  e.conn = conn;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnBackupBreak(Time t, ConnId conn) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kBackupBreak);
+  e.conn = conn;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnReestablish(Time t, ConnId conn,
+                              const routing::Path& backup,
+                              BackupAplv backup_aplv) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kReestablish);
+  e.conn = conn;
+  e.backup = backup.nodes();
+  e.aplv = backup_aplv;
+  sink_.Write(e);
+}
+
+}  // namespace drtp::sim

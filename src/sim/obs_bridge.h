@@ -1,0 +1,51 @@
+// Adapter: typed sim::TraceSink callbacks -> flat obs::TraceEvent records.
+//
+// One bridge wraps one replay (one sweep cell / one `drtpsim run`) and
+// stamps every record with the routing-scheme label and, for sweeps, the
+// cell index; the wrapped obs::TraceSink (JSONL, Chrome) may be shared by
+// many bridges running on different threads — obs sinks serialize
+// internally, the bridge itself holds no mutable shared state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+#include "sim/trace.h"
+
+namespace drtp::sim {
+
+class ObsBridge : public TraceSink {
+ public:
+  /// `sink` is not owned and must outlive the bridge. `cell` is the sweep
+  /// cell index (-1 for single runs).
+  ObsBridge(obs::TraceSink& sink, std::string scheme,
+            std::int64_t cell = -1);
+
+  void OnRequest(Time t, ConnId conn, NodeId src, NodeId dst,
+                 Bandwidth bw) override;
+  void OnAdmit(Time t, ConnId conn, const routing::Path& primary,
+               const routing::Path* backup, Bandwidth bw,
+               BackupAplv backup_aplv) override;
+  void OnBlock(Time t, ConnId conn, NodeId src, NodeId dst) override;
+  void OnRelease(Time t, ConnId conn) override;
+  void OnLinkFail(Time t, LinkId link, int recovered, int dropped,
+                  int backups_broken) override;
+  void OnLinkRepair(Time t, LinkId link) override;
+  void OnFailover(Time t, ConnId conn,
+                  const routing::Path& promoted) override;
+  void OnDrop(Time t, ConnId conn) override;
+  void OnBackupBreak(Time t, ConnId conn) override;
+  void OnReestablish(Time t, ConnId conn, const routing::Path& backup,
+                     BackupAplv backup_aplv) override;
+
+ private:
+  /// A TraceEvent pre-stamped with time, kind, cell and scheme.
+  obs::TraceEvent Stamp(Time t, obs::TraceEventKind kind) const;
+
+  obs::TraceSink& sink_;
+  std::string scheme_;
+  std::int64_t cell_;
+};
+
+}  // namespace drtp::sim

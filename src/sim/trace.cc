@@ -17,7 +17,10 @@ void WriteNodes(std::ostream& os, const routing::Path& path) {
 
 void TextTraceSink::OnAdmit(Time t, ConnId conn,
                             const routing::Path& primary,
-                            const routing::Path* backup) {
+                            const routing::Path* backup, Bandwidth bw,
+                            BackupAplv backup_aplv) {
+  (void)bw;
+  (void)backup_aplv;
   os_ << t << " + conn " << conn << " primary ";
   WriteNodes(os_, primary);
   if (backup != nullptr) {
@@ -47,6 +50,34 @@ void TextTraceSink::OnLinkFail(Time t, LinkId link, int recovered,
 
 void TextTraceSink::OnLinkRepair(Time t, LinkId link) {
   os_ << t << " ~ link " << link << " repaired\n";
+  ++lines_;
+}
+
+void TextTraceSink::OnFailover(Time t, ConnId conn,
+                               const routing::Path& promoted) {
+  os_ << t << " > conn " << conn << " promoted ";
+  WriteNodes(os_, promoted);
+  os_ << '\n';
+  ++lines_;
+}
+
+void TextTraceSink::OnDrop(Time t, ConnId conn) {
+  os_ << t << " # conn " << conn << " dropped\n";
+  ++lines_;
+}
+
+void TextTraceSink::OnBackupBreak(Time t, ConnId conn) {
+  os_ << t << " b conn " << conn << " backup broken\n";
+  ++lines_;
+}
+
+void TextTraceSink::OnReestablish(Time t, ConnId conn,
+                                  const routing::Path& backup,
+                                  BackupAplv backup_aplv) {
+  (void)backup_aplv;
+  os_ << t << " = conn " << conn << " backup ";
+  WriteNodes(os_, backup);
+  os_ << '\n';
   ++lines_;
 }
 

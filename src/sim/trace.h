@@ -5,30 +5,64 @@
 // TraceSink receives every simulation event, and the bundled text sink
 // renders one line per event. Wire a sink into ExperimentConfig::trace to
 // see exactly why a replay admitted, blocked, or dropped what it did.
+//
+// Structured export lives one layer down: sim::ObsBridge (obs_bridge.h)
+// adapts these typed callbacks onto obs::TraceSink records
+// (drtp.trace/1 JSONL, Chrome trace events).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "common/types.h"
 #include "routing/path.h"
 
 namespace drtp::sim {
 
+/// Post-admission APLV maxima on the links of a backup route: for each
+/// link of the route, the largest number of backup channels any single
+/// primary-link failure would activate on it. Spans point into caller
+/// storage and are valid only for the duration of the callback.
+using BackupAplv = std::span<const std::pair<LinkId, std::int32_t>>;
+
 /// Receiver for replay events. Implementations must tolerate any call
 /// order the simulator produces; all calls carry the simulation time.
+/// Every callback defaults to a no-op so sinks override only the events
+/// they render.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
 
-  virtual void OnAdmit(Time t, ConnId conn, const routing::Path& primary,
-                       const routing::Path* backup) = 0;
-  virtual void OnBlock(Time t, ConnId conn, NodeId src, NodeId dst) = 0;
-  virtual void OnRelease(Time t, ConnId conn) = 0;
-  virtual void OnLinkFail(Time t, LinkId link, int recovered, int dropped,
-                          int backups_broken) = 0;
-  virtual void OnLinkRepair(Time t, LinkId link) = 0;
+  /// A DR-connection request arrived (always followed by OnAdmit or
+  /// OnBlock at the same timestamp).
+  virtual void OnRequest(Time /*t*/, ConnId /*conn*/, NodeId /*src*/,
+                         NodeId /*dst*/, Bandwidth /*bw*/) {}
+  virtual void OnAdmit(Time /*t*/, ConnId /*conn*/,
+                       const routing::Path& /*primary*/,
+                       const routing::Path* /*backup*/, Bandwidth /*bw*/,
+                       BackupAplv /*backup_aplv*/) {}
+  virtual void OnBlock(Time /*t*/, ConnId /*conn*/, NodeId /*src*/,
+                       NodeId /*dst*/) {}
+  virtual void OnRelease(Time /*t*/, ConnId /*conn*/) {}
+  /// Aggregate failure impact; the per-connection consequences follow as
+  /// OnFailover / OnDrop / OnBackupBreak / OnReestablish calls.
+  virtual void OnLinkFail(Time /*t*/, LinkId /*link*/, int /*recovered*/,
+                          int /*dropped*/, int /*backups_broken*/) {}
+  virtual void OnLinkRepair(Time /*t*/, LinkId /*link*/) {}
+  /// One connection's backup was activated and promoted to primary.
+  virtual void OnFailover(Time /*t*/, ConnId /*conn*/,
+                          const routing::Path& /*promoted*/) {}
+  /// One connection was lost: primary hit with no activatable backup.
+  virtual void OnDrop(Time /*t*/, ConnId /*conn*/) {}
+  /// One connection's (unactivated) backup was broken and released.
+  virtual void OnBackupBreak(Time /*t*/, ConnId /*conn*/) {}
+  /// Step-4 reconfiguration registered a fresh backup for a connection.
+  virtual void OnReestablish(Time /*t*/, ConnId /*conn*/,
+                             const routing::Path& /*backup*/,
+                             BackupAplv /*backup_aplv*/) {}
 };
 
 /// Renders one line per event to a stream:
@@ -36,18 +70,31 @@ class TraceSink {
 ///   0.4411 - conn 9
 ///   0.5000 x conn 17 (4 -> 31)
 ///   9.1000 ! link 45 recovered 3 dropped 1 broken 2
+///   9.1000 > conn 12 promoted 3-9-14-22
+///   9.1000 # conn 7 dropped
+///   9.1000 b conn 4 backup broken
+///   9.1000 = conn 12 backup 3-5-22
 ///   9.5000 ~ link 45 repaired
+/// Requests are not rendered (each is immediately followed by its admit
+/// or block line).
 class TextTraceSink : public TraceSink {
  public:
   explicit TextTraceSink(std::ostream& os) : os_(os) {}
 
   void OnAdmit(Time t, ConnId conn, const routing::Path& primary,
-               const routing::Path* backup) override;
+               const routing::Path* backup, Bandwidth bw,
+               BackupAplv backup_aplv) override;
   void OnBlock(Time t, ConnId conn, NodeId src, NodeId dst) override;
   void OnRelease(Time t, ConnId conn) override;
   void OnLinkFail(Time t, LinkId link, int recovered, int dropped,
                   int backups_broken) override;
   void OnLinkRepair(Time t, LinkId link) override;
+  void OnFailover(Time t, ConnId conn,
+                  const routing::Path& promoted) override;
+  void OnDrop(Time t, ConnId conn) override;
+  void OnBackupBreak(Time t, ConnId conn) override;
+  void OnReestablish(Time t, ConnId conn, const routing::Path& backup,
+                     BackupAplv backup_aplv) override;
 
   std::int64_t lines_written() const { return lines_; }
 
@@ -59,20 +106,37 @@ class TextTraceSink : public TraceSink {
 /// Counts events by kind without formatting — cheap always-on statistics.
 class CountingTraceSink : public TraceSink {
  public:
-  void OnAdmit(Time, ConnId, const routing::Path&,
-               const routing::Path*) override {
+  void OnRequest(Time, ConnId, NodeId, NodeId, Bandwidth) override {
+    ++requests;
+  }
+  void OnAdmit(Time, ConnId, const routing::Path&, const routing::Path*,
+               Bandwidth, BackupAplv) override {
     ++admits;
   }
   void OnBlock(Time, ConnId, NodeId, NodeId) override { ++blocks; }
   void OnRelease(Time, ConnId) override { ++releases; }
   void OnLinkFail(Time, LinkId, int, int, int) override { ++fails; }
   void OnLinkRepair(Time, LinkId) override { ++repairs; }
+  void OnFailover(Time, ConnId, const routing::Path&) override {
+    ++failovers;
+  }
+  void OnDrop(Time, ConnId) override { ++drops; }
+  void OnBackupBreak(Time, ConnId) override { ++backup_breaks; }
+  void OnReestablish(Time, ConnId, const routing::Path&,
+                     BackupAplv) override {
+    ++reestablishes;
+  }
 
+  std::int64_t requests = 0;
   std::int64_t admits = 0;
   std::int64_t blocks = 0;
   std::int64_t releases = 0;
   std::int64_t fails = 0;
   std::int64_t repairs = 0;
+  std::int64_t failovers = 0;
+  std::int64_t drops = 0;
+  std::int64_t backup_breaks = 0;
+  std::int64_t reestablishes = 0;
 };
 
 }  // namespace drtp::sim

@@ -5,10 +5,13 @@
 //  - misc invariants (packet sizes, metrics helpers, log levels).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
+#include <limits>
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/table.h"
 #include "drtp/baselines.h"
 #include "drtp/bounded_flood.h"
 #include "drtp/dlsr.h"
@@ -156,10 +159,20 @@ TEST(Metrics, CapacityOverheadPercent) {
 
 TEST(Metrics, EnactedRecoveryRatio) {
   sim::RunMetrics m;
-  EXPECT_EQ(m.EnactedRecoveryRatio(), 0.0);
+  // No enacted failure hit a primary: "no evidence", not "all dropped".
+  EXPECT_TRUE(std::isnan(m.EnactedRecoveryRatio()));
   m.failover_recovered = 9;
   m.failover_dropped = 1;
   EXPECT_DOUBLE_EQ(m.EnactedRecoveryRatio(), 0.9);
+}
+
+TEST(Table, NanRendersAsDashes) {
+  TextTable t({"k", "v"});
+  t.BeginRow();
+  t.Cell(std::string("ratio"));
+  t.Cell(std::numeric_limits<double>::quiet_NaN(), 4);
+  EXPECT_NE(t.Render().find("--"), std::string::npos);
+  EXPECT_EQ(t.Render().find("nan"), std::string::npos);
 }
 
 TEST(Metrics, AcceptanceRatio) {

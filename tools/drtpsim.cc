@@ -16,6 +16,7 @@
 //       --failures=20 --out=run.scn
 //   drtpsim run --topo=net.topo --scenario=run.scn --scheme=D-LSR
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,9 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/obs_bridge.h"
 #include "drtp/drtp.h"
 #include "drtp/failure.h"
 #include "net/graphio.h"
@@ -149,13 +153,29 @@ int CmdRun(int argc, char** argv) {
       flags.Double("lsdb_refresh", 0.0, "advert interval s (0 = instant)");
   auto& seed = flags.Int64("seed", 1, "scheme seed (RandomBackup)");
   auto& trace_path =
-      flags.String("trace", "", "write an ns-style event trace to this file");
+      flags.String("trace", "", "write an event trace to this file");
+  auto& trace_format = flags.String(
+      "trace-format", "text",
+      "trace format: text (ns-style lines), jsonl (drtp.trace/1), or "
+      "chrome (chrome://tracing JSON)");
+  auto& metrics_out = flags.String(
+      "metrics-out", "",
+      "write a drtp.metrics/1 registry snapshot (JSON) to this file");
+  auto& metrics_timings = flags.Bool(
+      "metrics-timings", false,
+      "include wall-clock timing histograms in --metrics-out (breaks "
+      "byte-stability across runs)");
   auto& format = flags.String(
       "format", "table",
       "output format: table, or json (one schema-versioned object)");
   flags.Parse(argc, argv);
   if (format != "table" && format != "json") {
     return Fail("unknown --format '" + format + "' (table|json)");
+  }
+  if (trace_format != "text" && trace_format != "jsonl" &&
+      trace_format != "chrome") {
+    return Fail("unknown --trace-format '" + trace_format +
+                "' (text|jsonl|chrome)");
   }
 
   if (topo_path.empty()) return Fail("--topo is required");
@@ -174,19 +194,45 @@ int CmdRun(int argc, char** argv) {
   ec.lsdb_refresh_interval = refresh;
   std::ofstream trace_file;
   std::unique_ptr<sim::TextTraceSink> trace;
+  std::unique_ptr<obs::TraceSink> obs_trace;
+  std::unique_ptr<sim::ObsBridge> bridge;
   if (!trace_path.empty()) {
-    trace_file.open(trace_path);
-    if (!trace_file.good()) return Fail("cannot write '" + trace_path + "'");
-    trace = std::make_unique<sim::TextTraceSink>(trace_file);
-    ec.trace = trace.get();
+    if (trace_format == "text") {
+      trace_file.open(trace_path);
+      if (!trace_file.good()) {
+        return Fail("cannot write '" + trace_path + "'");
+      }
+      trace = std::make_unique<sim::TextTraceSink>(trace_file);
+      ec.trace = trace.get();
+    } else {
+      if (trace_format == "jsonl") {
+        obs_trace = std::make_unique<obs::JsonlTraceSink>(trace_path);
+      } else {
+        obs_trace = std::make_unique<obs::ChromeTraceSink>(trace_path);
+      }
+      bridge = std::make_unique<sim::ObsBridge>(*obs_trace, scheme_name);
+      ec.trace = bridge.get();
+    }
   }
   auto scheme = sim::MakeScheme(scheme_name, topo,
                                 static_cast<std::uint64_t>(seed));
   const sim::RunMetrics m = sim::RunScenario(topo, sc, *scheme, ec);
+  if (obs_trace != nullptr) obs_trace->Finish();
   if (trace != nullptr) {
     std::fprintf(stderr, "wrote %lld trace lines to %s\n",
                  static_cast<long long>(trace->lines_written()),
                  trace_path.c_str());
+  } else if (obs_trace != nullptr) {
+    std::fprintf(stderr, "wrote %s trace to %s\n", trace_format.c_str(),
+                 trace_path.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+    runner::JsonWriter w;
+    snap.WriteJson(w, metrics_timings);
+    std::ofstream os(metrics_out, std::ios::trunc);
+    if (!os.good()) return Fail("cannot write '" + metrics_out + "'");
+    os << w.str() << '\n';
   }
 
   if (format == "json") {
@@ -212,6 +258,7 @@ int CmdRun(int argc, char** argv) {
   };
   char buf[64];
   const auto num = [&](double x, int prec) {
+    if (std::isnan(x)) return std::string("--");
     std::snprintf(buf, sizeof buf, "%.*f", prec, x);
     return std::string(buf);
   };

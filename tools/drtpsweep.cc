@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -22,6 +23,8 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/sweep.h"
 
 using namespace drtp;
@@ -90,6 +93,18 @@ int main(int argc, char** argv) {
       flags.Int64("jobs", 1, "worker threads (0 = hardware concurrency)");
   auto& out = flags.String(
       "out", "", "append one JSON object per cell to this .jsonl file");
+  auto& trace_path = flags.String(
+      "trace", "", "write every cell's lifecycle events to this file");
+  auto& trace_format = flags.String(
+      "trace-format", "jsonl",
+      "trace format: jsonl (drtp.trace/1) or chrome (chrome://tracing)");
+  auto& metrics_out = flags.String(
+      "metrics-out", "",
+      "write a drtp.metrics/1 registry snapshot (JSON) after the sweep");
+  auto& metrics_timings = flags.Bool(
+      "metrics-timings", false,
+      "include wall-clock timing histograms in --metrics-out (breaks "
+      "byte-stability across runs)");
   auto& table = flags.Bool("table", true, "render the result table");
   auto& progress = flags.Bool("progress", true,
                               "progress to stderr (only when it is a tty)");
@@ -145,12 +160,39 @@ int main(int argc, char** argv) {
       tsink = std::make_unique<runner::TableSink>(std::cout);
       ro.sinks.push_back(tsink.get());
     }
+    std::unique_ptr<obs::TraceSink> trace;
+    if (!trace_path.empty()) {
+      if (trace_format == "jsonl") {
+        trace = std::make_unique<obs::JsonlTraceSink>(trace_path);
+      } else if (trace_format == "chrome") {
+        trace = std::make_unique<obs::ChromeTraceSink>(trace_path);
+      } else {
+        std::fprintf(stderr,
+                     "drtpsweep: unknown --trace-format '%s' "
+                     "(jsonl|chrome)\n",
+                     trace_format.c_str());
+        return 2;
+      }
+      ro.trace = trace.get();
+    }
 
     const auto results = engine.Run(ro);
     if (jsonl != nullptr) {
       std::fprintf(stderr, "wrote %lld JSONL lines to %s\n",
                    static_cast<long long>(jsonl->lines_written()),
                    out.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::fprintf(stderr, "wrote %s trace to %s\n", trace_format.c_str(),
+                   trace_path.c_str());
+    }
+    if (!metrics_out.empty()) {
+      const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+      runner::JsonWriter w;
+      snap.WriteJson(w, metrics_timings);
+      std::ofstream os(metrics_out, std::ios::trunc);
+      DRTP_CHECK_MSG(os.good(), "cannot write '" << metrics_out << "'");
+      os << w.str() << '\n';
     }
     (void)results;
     return 0;

@@ -1,0 +1,226 @@
+// drtptrace — summarize a drtp.trace/1 JSONL file.
+//
+// Reads one schema-versioned JSON object per line (the output of
+// `drtpsim run --trace-format=jsonl` or `drtpsweep --trace=...`) and
+// prints:
+//   - a per-scheme × event-kind count table,
+//   - failover-cost percentiles: the hop count of each promoted backup
+//     (the paper's proxy for switchover delay — the longer the activated
+//     backup, the longer the new primary), and
+//   - reestablish gaps: sim-time from a connection's failover or
+//     backup-break to its next fresh backup registration.
+//
+// The parser is deliberately small: it extracts only the fields the
+// summary needs from the writer's known one-line layout; unknown keys
+// and unrelated lines are skipped.
+//
+// Usage:
+//   drtptrace --in=run.jsonl
+//   drtpsim run ... --trace=- --trace-format=jsonl | drtptrace
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "common/types.h"
+
+using namespace drtp;
+
+namespace {
+
+/// Event kinds in drtp.trace/1, in reporting order.
+const char* const kKinds[] = {"request",     "admit",       "block",
+                              "release",     "link_fail",   "link_repair",
+                              "failover",    "drop",        "backup_break",
+                              "reestablish"};
+constexpr int kNumKinds = static_cast<int>(std::size(kKinds));
+
+/// Extracts the string value of `"key":"..."` from a one-line JSON
+/// object; empty when absent. Handles escaped characters by stopping at
+/// the first unescaped quote (keys written by JsonWriter are unescaped
+/// ASCII in practice).
+std::string FindString(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  std::string out;
+  for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      out += line[++i];
+    } else if (c == '"') {
+      break;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Extracts the numeric value of `"key":<number>`; `def` when absent.
+double FindNumber(const std::string& line, const std::string& key,
+                  double def) {
+  const std::string needle = "\"" + key + "\":";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return def;
+  pos += needle.size();
+  if (pos >= line.size() || line[pos] == '"' || line[pos] == '[' ||
+      line[pos] == '{') {
+    return def;
+  }
+  try {
+    return std::stod(line.substr(pos));
+  } catch (const std::exception&) {
+    return def;
+  }
+}
+
+/// Number of elements in the flat array `"key":[a,b,...]`; -1 when
+/// absent. Counts depth-1 commas, so it is only correct for arrays of
+/// scalars (the `primary` / `backup` node lists).
+int FindArrayLen(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":[";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return -1;
+  pos += needle.size();
+  if (pos < line.size() && line[pos] == ']') return 0;
+  int depth = 1;
+  int count = 1;
+  for (std::size_t i = pos; i < line.size() && depth > 0; ++i) {
+    const char c = line[i];
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      --depth;
+    } else if (c == ',' && depth == 1) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Quantile(std::vector<double>& values, double q, int prec) {
+  if (values.empty()) return "--";
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, values[idx]);
+  return buf;
+}
+
+struct SchemeStats {
+  std::int64_t counts[kNumKinds] = {};
+  std::vector<double> promoted_hops;
+  std::vector<double> reestablish_gaps;
+  /// conn -> time its backup was consumed or broken (awaiting step 4).
+  std::map<std::int64_t, double> awaiting_backup;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("drtptrace");
+  auto& in_path =
+      flags.String("in", "-", "drtp.trace/1 JSONL file, '-' for stdin");
+  flags.Parse(argc, argv);
+
+  std::ifstream file;
+  if (in_path != "-") {
+    file.open(in_path);
+    if (!file.good()) {
+      std::fprintf(stderr, "drtptrace: cannot open '%s'\n", in_path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = in_path == "-" ? std::cin : file;
+
+  std::map<std::string, SchemeStats> schemes;
+  std::int64_t lines = 0;
+  std::int64_t skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    if (FindString(line, "schema") != "drtp.trace/1") {
+      ++skipped;
+      continue;
+    }
+    const std::string ev = FindString(line, "ev");
+    const auto kind =
+        std::find(std::begin(kKinds), std::end(kKinds), ev) -
+        std::begin(kKinds);
+    if (kind == kNumKinds) {
+      ++skipped;
+      continue;
+    }
+    std::string scheme = FindString(line, "scheme");
+    if (scheme.empty()) scheme = "?";
+    SchemeStats& s = schemes[scheme];
+    ++s.counts[kind];
+
+    const double t = FindNumber(line, "t", 0.0);
+    const auto conn =
+        static_cast<std::int64_t>(FindNumber(line, "conn", -1.0));
+    if (ev == "failover") {
+      const int nodes = FindArrayLen(line, "primary");
+      if (nodes >= 2) s.promoted_hops.push_back(nodes - 1);
+      if (conn >= 0) s.awaiting_backup.emplace(conn, t);
+    } else if (ev == "backup_break") {
+      if (conn >= 0) s.awaiting_backup.emplace(conn, t);
+    } else if (ev == "reestablish") {
+      if (conn >= 0) {
+        const auto it = s.awaiting_backup.find(conn);
+        if (it != s.awaiting_backup.end()) {
+          s.reestablish_gaps.push_back(t - it->second);
+          s.awaiting_backup.erase(it);
+        }
+      }
+    }
+  }
+  if (lines == 0) {
+    std::fprintf(stderr, "drtptrace: no input lines\n");
+    return 2;
+  }
+
+  TextTable counts([] {
+    std::vector<std::string> headers{"scheme"};
+    for (const char* k : kKinds) headers.emplace_back(k);
+    return headers;
+  }());
+  for (auto& [name, s] : schemes) {
+    counts.BeginRow();
+    counts.Cell(name);
+    for (int k = 0; k < kNumKinds; ++k) counts.Cell(s.counts[k]);
+  }
+  std::printf("Event counts (%lld lines, %lld skipped):\n",
+              static_cast<long long>(lines), static_cast<long long>(skipped));
+  std::fputs(counts.Render().c_str(), stdout);
+
+  TextTable fo({"scheme", "failovers", "promoted hops p50", "p90", "p99",
+                "reestablish gap p50", "p90"});
+  bool any = false;
+  for (auto& [name, s] : schemes) {
+    if (s.promoted_hops.empty() && s.reestablish_gaps.empty()) continue;
+    any = true;
+    fo.BeginRow();
+    fo.Cell(name);
+    fo.Cell(static_cast<std::int64_t>(s.promoted_hops.size()));
+    fo.Cell(Quantile(s.promoted_hops, 0.5, 0));
+    fo.Cell(Quantile(s.promoted_hops, 0.9, 0));
+    fo.Cell(Quantile(s.promoted_hops, 0.99, 0));
+    fo.Cell(Quantile(s.reestablish_gaps, 0.5, 3));
+    fo.Cell(Quantile(s.reestablish_gaps, 0.9, 3));
+  }
+  if (any) {
+    std::printf("\nFailover cost (promoted-backup hops, step-4 gaps):\n");
+    std::fputs(fo.Render().c_str(), stdout);
+  }
+  return 0;
+}
