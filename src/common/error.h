@@ -1,0 +1,37 @@
+// Structured error types for external input.
+//
+// CheckError (check.h) means *our* state broke; ParseError means *their*
+// bytes did. Loaders of operator-supplied files (net::graphio,
+// sim::Scenario) throw ParseError with the 1-based input line so CLIs can
+// report "file:line: what" instead of an invariant stack, and so callers
+// can distinguish bad input from a corrupted program.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace drtp {
+
+/// Malformed or truncated external input (scenario/topology files).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what, std::int64_t line = -1)
+      : std::runtime_error(Format(what, line)), line_(line) {}
+
+  /// 1-based line of the offending input, or -1 when unknown.
+  std::int64_t line() const { return line_; }
+
+ private:
+  static std::string Format(const std::string& what, std::int64_t line) {
+    if (line < 0) return what;
+    std::ostringstream os;
+    os << "line " << line << ": " << what;
+    return os.str();
+  }
+
+  std::int64_t line_ = -1;
+};
+
+}  // namespace drtp

@@ -1,0 +1,106 @@
+// Line-oriented parsing helpers for the text file formats (topology,
+// scenario). Loaders built on these report malformed, truncated, or
+// out-of-range input as drtp::ParseError with the offending 1-based line
+// — never a CHECK failure, never silently skipped tokens.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace drtp {
+
+/// Counts over this bound are treated as corrupted headers rather than
+/// honored with a multi-gigabyte allocation.
+inline constexpr int kMaxLineIoCount = 10'000'000;
+
+/// Sequential reader tracking the 1-based line number for diagnostics.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next non-blank line; throws when the input ends before one appears.
+  std::string Next(const char* expected) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++lineno_;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") != std::string::npos) return line;
+    }
+    throw ParseError(std::string("truncated input; expected ") + expected,
+                     lineno_);
+  }
+
+  /// True iff any non-blank line remains (consumes blanks).
+  bool HasTrailing() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++lineno_;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  std::int64_t lineno() const { return lineno_; }
+
+ private:
+  std::istream& is_;
+  std::int64_t lineno_ = 0;
+};
+
+namespace lineio {
+
+/// Parses `line` as `<keyword> <fields...>` with nothing left over.
+template <typename... Fields>
+void ParseLine(const std::string& line, std::int64_t lineno,
+               const char* keyword, Fields&... fields) {
+  std::istringstream ls(line);
+  std::string kw;
+  ls >> kw;
+  if (kw != keyword) {
+    throw ParseError(
+        "expected '" + std::string(keyword) + "', got '" + kw + "'", lineno);
+  }
+  if (!(ls >> ... >> fields)) {
+    throw ParseError("malformed '" + std::string(keyword) + "' line", lineno);
+  }
+  std::string extra;
+  if (ls >> extra) {
+    throw ParseError("trailing garbage '" + extra + "' after '" +
+                         std::string(keyword) + "'",
+                     lineno);
+  }
+}
+
+/// Parses the remainder of an already-keyword-matched line.
+template <typename... Fields>
+void ParseFields(std::istringstream& ls, std::int64_t lineno,
+                 const std::string& keyword, Fields&... fields) {
+  if (!(ls >> ... >> fields)) {
+    throw ParseError("malformed '" + keyword + "' line", lineno);
+  }
+  std::string extra;
+  if (ls >> extra) {
+    throw ParseError(
+        "trailing garbage '" + extra + "' after '" + keyword + "'", lineno);
+  }
+}
+
+/// Parses `<keyword> <count>` with a plausibility bound.
+inline int ParseCount(LineReader& in, const char* keyword) {
+  int count = 0;
+  ParseLine(in.Next(keyword), in.lineno(), keyword, count);
+  if (count < 0 || count > kMaxLineIoCount) {
+    throw ParseError("implausible " + std::string(keyword) + " count " +
+                         std::to_string(count),
+                     in.lineno());
+  }
+  return count;
+}
+
+}  // namespace lineio
+}  // namespace drtp

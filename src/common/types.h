@@ -17,6 +17,11 @@ using NodeId = std::int32_t;
 /// between two nodes is represented by two LinkIds.
 using LinkId = std::int32_t;
 
+/// Identifies a shared-risk link group: a set of links expected to fail
+/// together (same conduit, same line card, same fiber span). Dense,
+/// 0-based per topology; kInvalidSrlg marks a link outside any group.
+using SrlgId = std::int32_t;
+
 /// Identifies a DR-connection. Unique over a simulation run.
 using ConnId = std::int64_t;
 
@@ -28,6 +33,7 @@ using Time = double;
 
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr LinkId kInvalidLink = -1;
+inline constexpr SrlgId kInvalidSrlg = -1;
 inline constexpr ConnId kInvalidConn = -1;
 
 inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();

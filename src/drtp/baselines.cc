@@ -5,6 +5,29 @@
 #include "routing/dijkstra.h"
 
 namespace drtp::core {
+namespace {
+
+// Both baselines price a link as base cost plus the Eq. 4/5 disqualifier
+// penalty for primary/avoided links and bandwidth-short links; only the
+// base cost (1.0 vs random noise) distinguishes them.
+std::optional<routing::Path> CheapestBackup(
+    const net::Topology& topo, const lsdb::LinkStateDb& db,
+    const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
+    std::span<const routing::Path> avoid, const std::vector<double>* noise) {
+  return routing::CheapestPath(topo, src, dst, [&](LinkId l) {
+    const lsdb::LinkRecord& rec = db.record(l);
+    if (!rec.up) return routing::kInfiniteCost;
+    double cost =
+        noise != nullptr ? (*noise)[static_cast<std::size_t>(l)] + kEpsilon
+                         : 1.0;
+    bool shunned = routing::SetContains(primary, l);
+    for (const routing::Path& p : avoid) shunned = shunned || p.Contains(l);
+    if (shunned || rec.available_for_backup < bw) cost += kPenaltyQ;
+    return cost;
+  });
+}
+
+}  // namespace
 
 RouteSelection NoBackup::SelectRoutes(const DrtpNetwork& net,
                                       const lsdb::LinkStateDb& db, NodeId src,
@@ -28,19 +51,20 @@ RouteSelection RandomBackup::SelectRoutes(const DrtpNetwork& net,
   std::vector<double> noise(
       static_cast<std::size_t>(net.topology().num_links()));
   for (auto& x : noise) x = rng_.UniformReal(0.0, 1.0);
-
-  sel.backup = routing::CheapestPath(
-      net.topology(), src, dst, [&](LinkId l) {
-        const lsdb::LinkRecord& rec = db.record(l);
-        if (!rec.up) return routing::kInfiniteCost;
-        double cost = noise[static_cast<std::size_t>(l)] + kEpsilon;
-        if (routing::SetContains(primary_lset, l) ||
-            rec.available_for_backup < bw) {
-          cost += kPenaltyQ;
-        }
-        return cost;
-      });
+  sel.backup = CheapestBackup(net.topology(), db, primary_lset, src, dst, bw,
+                              {}, &noise);
   return sel;
+}
+
+std::optional<routing::Path> RandomBackup::SelectBackupFor(
+    const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+    const routing::Path& primary, Bandwidth bw,
+    std::span<const routing::Path> avoid) {
+  std::vector<double> noise(
+      static_cast<std::size_t>(net.topology().num_links()));
+  for (auto& x : noise) x = rng_.UniformReal(0.0, 1.0);
+  return CheapestBackup(net.topology(), db, primary.ToLinkSet(),
+                        primary.src(), primary.dst(), bw, avoid, &noise);
 }
 
 RouteSelection ShortestDisjointBackup::SelectRoutes(
@@ -51,18 +75,17 @@ RouteSelection ShortestDisjointBackup::SelectRoutes(
   if (!sel.primary.has_value()) return sel;
   const routing::LinkSet primary_lset = sel.primary->ToLinkSet();
 
-  sel.backup = routing::CheapestPath(
-      net.topology(), src, dst, [&](LinkId l) {
-        const lsdb::LinkRecord& rec = db.record(l);
-        if (!rec.up) return routing::kInfiniteCost;
-        double cost = 1.0;
-        if (routing::SetContains(primary_lset, l) ||
-            rec.available_for_backup < bw) {
-          cost += kPenaltyQ;
-        }
-        return cost;
-      });
+  sel.backup = CheapestBackup(net.topology(), db, primary_lset, src, dst, bw,
+                              {}, nullptr);
   return sel;
+}
+
+std::optional<routing::Path> ShortestDisjointBackup::SelectBackupFor(
+    const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+    const routing::Path& primary, Bandwidth bw,
+    std::span<const routing::Path> avoid) {
+  return CheapestBackup(net.topology(), db, primary.ToLinkSet(),
+                        primary.src(), primary.dst(), bw, avoid, nullptr);
 }
 
 }  // namespace drtp::core

@@ -40,6 +40,11 @@ class RandomBackup : public RoutingScheme {
                               const lsdb::LinkStateDb& db, NodeId src,
                               NodeId dst, Bandwidth bw) override;
 
+  std::optional<routing::Path> SelectBackupFor(
+      const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+      const routing::Path& primary, Bandwidth bw,
+      std::span<const routing::Path> avoid = {}) override;
+
  private:
   Rng rng_;
 };
@@ -53,6 +58,11 @@ class ShortestDisjointBackup : public RoutingScheme {
   RouteSelection SelectRoutes(const DrtpNetwork& net,
                               const lsdb::LinkStateDb& db, NodeId src,
                               NodeId dst, Bandwidth bw) override;
+
+  std::optional<routing::Path> SelectBackupFor(
+      const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+      const routing::Path& primary, Bandwidth bw,
+      std::span<const routing::Path> avoid = {}) override;
 };
 
 }  // namespace drtp::core

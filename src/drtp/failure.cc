@@ -63,7 +63,8 @@ void CollectAffectedPrimaries(const DrtpNetwork& net,
 
 FailureImpact EvaluateLinkFailureWith(const DrtpNetwork& net,
                                       std::span<const LinkId> failed_set,
-                                      EvalScratch& scratch) {
+                                      EvalScratch& scratch,
+                                      FailureImpactDetail* detail = nullptr) {
   // Affected connections in id order; the paper leaves contention order
   // unspecified, id order keeps it deterministic across schemes.
   FailureImpact impact;
@@ -88,6 +89,7 @@ FailureImpact EvaluateLinkFailureWith(const DrtpNetwork& net,
     ++impact.attempts;
     // Try the backups in preference order; the first that avoids the
     // failure and fits activates (and consumes its capacity).
+    bool did_activate = false;
     for (const routing::Path& backup : conn->backups) {
       if (UsesAny(backup, failed_set)) continue;
       bool fits = true;
@@ -100,7 +102,11 @@ FailureImpact EvaluateLinkFailureWith(const DrtpNetwork& net,
       if (!fits) continue;
       for (LinkId l : backup.links()) available(l) -= conn->bw;
       ++impact.activated;
+      did_activate = true;
       break;
+    }
+    if (detail != nullptr) {
+      (did_activate ? detail->activated : detail->dropped).push_back(id);
     }
   }
   return impact;
@@ -112,6 +118,15 @@ FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed) {
   const std::vector<LinkId> failed_set = FailedSet(net, failed);
   EvalScratch scratch(net.topology().num_links());
   return EvaluateLinkFailureWith(net, failed_set, scratch);
+}
+
+FailureImpactDetail EvaluateLinkFailureDetailed(const DrtpNetwork& net,
+                                                LinkId failed) {
+  const std::vector<LinkId> failed_set = FailedSet(net, failed);
+  EvalScratch scratch(net.topology().num_links());
+  FailureImpactDetail detail;
+  detail.impact = EvaluateLinkFailureWith(net, failed_set, scratch, &detail);
+  return detail;
 }
 
 Ratio EvaluateAllSingleLinkFailures(const DrtpNetwork& net) {
@@ -189,10 +204,34 @@ Ratio EvaluateAllSingleLinkFailuresScan(const DrtpNetwork& net) {
 SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
                                   RoutingScheme* reroute,
                                   lsdb::LinkStateDb* db) {
+  const LinkId one[1] = {failed};
+  return ApplyLinkSetFailure(net, one, now, reroute, db);
+}
+
+SwitchoverReport ApplyLinkSetFailure(DrtpNetwork& net,
+                                     std::span<const LinkId> links, Time now,
+                                     RoutingScheme* reroute,
+                                     lsdb::LinkStateDb* db) {
   DRTP_OBS_SPAN("drtp.kernel.apply_failure");
   SwitchoverReport report;
-  const std::vector<LinkId> failed_set = FailedSet(net, failed);
-  net.SetLinkDown(failed);
+  // Expand duplex reverses and drop members already down: the correlated
+  // set is whatever actually transitions up->down at `now`.
+  std::vector<LinkId> failed_set;
+  failed_set.reserve(links.size() * 2);
+  for (LinkId l : links) {
+    DRTP_CHECK(l >= 0 && l < net.topology().num_links());
+    if (!net.IsLinkUp(l)) continue;
+    failed_set.push_back(l);
+    if (net.config().duplex_failures) {
+      const LinkId rev = net.topology().link(l).reverse;
+      if (rev != kInvalidLink && net.IsLinkUp(rev)) failed_set.push_back(rev);
+    }
+  }
+  std::sort(failed_set.begin(), failed_set.end());
+  failed_set.erase(std::unique(failed_set.begin(), failed_set.end()),
+                   failed_set.end());
+  if (failed_set.empty()) return report;
+  for (LinkId l : failed_set) net.SetLinkDown(l);
   // Topology-derived caches (BF distance tables) must reflect the failure
   // before any step-4 reroute floods.
   if (reroute != nullptr) reroute->OnTopologyChanged(net);
@@ -272,13 +311,47 @@ SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
       net.PublishTo(*db, now);
       auto backup =
           reroute->SelectBackupFor(net, *db, conn->primary, conn->bw);
-      if (backup.has_value() && !UsesAny(*backup, net.down_links())) {
+      // Schemes shun rather than forbid primary links, so under scarcity
+      // the cheapest "backup" can be the promoted primary itself. Partial
+      // overlap is the usual penalized tradeoff, but a backup covering
+      // every primary link protects nothing — degrade instead and let the
+      // retry loop re-protect once a real alternative appears.
+      if (backup.has_value() &&
+          backup->OverlapCount(conn->primary) < conn->primary.hops() &&
+          !UsesAny(*backup, net.down_links())) {
         net.RegisterBackup(id, *backup);
         report.rerouted.push_back(id);
       }
     }
   }
   return report;
+}
+
+std::vector<LinkId> IncidentLinks(const net::Topology& topo, NodeId node) {
+  DRTP_CHECK(node >= 0 && node < topo.num_nodes());
+  std::vector<LinkId> incident;
+  const net::Node& n = topo.node(node);
+  incident.reserve(n.out_links.size() + n.in_links.size());
+  incident.insert(incident.end(), n.out_links.begin(), n.out_links.end());
+  incident.insert(incident.end(), n.in_links.begin(), n.in_links.end());
+  std::sort(incident.begin(), incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end()),
+                 incident.end());
+  return incident;
+}
+
+SwitchoverReport ApplyNodeFailure(DrtpNetwork& net, NodeId node, Time now,
+                                  RoutingScheme* reroute,
+                                  lsdb::LinkStateDb* db) {
+  return ApplyLinkSetFailure(net, IncidentLinks(net.topology(), node), now,
+                             reroute, db);
+}
+
+SwitchoverReport ApplySrlgFailure(DrtpNetwork& net, SrlgId srlg, Time now,
+                                  RoutingScheme* reroute,
+                                  lsdb::LinkStateDb* db) {
+  return ApplyLinkSetFailure(net, net.topology().LinksInSrlg(srlg), now,
+                             reroute, db);
 }
 
 }  // namespace drtp::core

@@ -7,6 +7,7 @@
 // failure reporting, channel switching and resource reconfiguration.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
@@ -32,6 +33,18 @@ struct FailureImpact {
 /// network's link→connection reverse index reports on the failed links,
 /// not the whole connection table.
 FailureImpact EvaluateLinkFailure(const DrtpNetwork& net, LinkId failed);
+
+/// EvaluateLinkFailure plus the per-connection outcome, for cross-checking
+/// the what-if analysis against what ApplyLinkFailure enacts.
+struct FailureImpactDetail {
+  FailureImpact impact;
+  /// Connections that would activate a backup, ascending id.
+  std::vector<ConnId> activated;
+  /// Affected connections with no activatable backup, ascending id.
+  std::vector<ConnId> dropped;
+};
+FailureImpactDetail EvaluateLinkFailureDetailed(const DrtpNetwork& net,
+                                                LinkId failed);
 
 /// Aggregates EvaluateLinkFailure over every link; links that disable no
 /// primary contribute nothing. The Ratio's value() is P_bk. Reuses one
@@ -66,5 +79,31 @@ struct SwitchoverReport {
 SwitchoverReport ApplyLinkFailure(DrtpNetwork& net, LinkId failed, Time now,
                                   RoutingScheme* reroute,
                                   lsdb::LinkStateDb* db);
+
+/// Fails every up link in `links` as ONE correlated event: the whole set
+/// goes down before any backup is released or promoted, so a connection
+/// crossing several failed links is switched exactly once and never onto a
+/// co-failed backup. Links already down are ignored; duplex reverses are
+/// included under duplex_failures. This is the primitive behind node and
+/// SRLG failures.
+SwitchoverReport ApplyLinkSetFailure(DrtpNetwork& net,
+                                     std::span<const LinkId> links, Time now,
+                                     RoutingScheme* reroute,
+                                     lsdb::LinkStateDb* db);
+
+/// Fails `node`: atomically takes down every incident link (both
+/// directions), dropping connections that terminate there and switching
+/// the rest.
+SwitchoverReport ApplyNodeFailure(DrtpNetwork& net, NodeId node, Time now,
+                                  RoutingScheme* reroute,
+                                  lsdb::LinkStateDb* db);
+
+/// Fails shared-risk group `srlg`: every member link goes down together.
+SwitchoverReport ApplySrlgFailure(DrtpNetwork& net, SrlgId srlg, Time now,
+                                  RoutingScheme* reroute,
+                                  lsdb::LinkStateDb* db);
+
+/// All directed links incident to `node` (out + in), ascending.
+std::vector<LinkId> IncidentLinks(const net::Topology& topo, NodeId node);
 
 }  // namespace drtp::core

@@ -1,0 +1,101 @@
+// Runtime invariant auditor (the "flight recorder" for fault campaigns).
+//
+// After every simulator or protocol-engine event the auditor re-derives
+// ground truth from the connection table alone and compares it with the
+// incrementally maintained state:
+//   - bandwidth-ledger conservation per link (prime == Σ bw of primaries
+//     crossing the link; pools non-negative; total == capacity),
+//   - spare-pool sufficiency (spare == target unless free bandwidth is
+//     exhausted, with the §5 target max_j demand[j] rebuilt from scratch),
+//   - APLV bit-equality against a from-scratch rebuild,
+//   - reverse-index ↔ connection-table agreement,
+//   - down-link mirror integrity (and the duplex pairing when enabled),
+//   - switchover-report sanity (no connection both recovered and dropped,
+//     dropped connections gone, recovered ones present).
+//
+// Unlike DrtpNetwork::CheckConsistency (which throws CheckError at the
+// first mismatch) the auditor records *every* violation, optionally
+// streams them as `drtp.audit/1` JSONL records, and lets the caller
+// decide how to fail — tools exit nonzero when violations() is nonempty.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "drtp/failure.h"
+#include "drtp/network.h"
+
+namespace drtp::fault {
+
+/// One observed invariant violation.
+struct AuditViolation {
+  /// Stable dotted identifier, e.g. "ledger.prime_conservation",
+  /// "spare.exceeds_target", "aplv.mismatch", "index.primary",
+  /// "links.down_mirror", "report.recovered_missing".
+  std::string invariant;
+  /// Human-readable specifics (expected vs actual).
+  std::string detail;
+  Time t = 0.0;
+  /// Label of the event after which the audit ran.
+  std::string event;
+  LinkId link = kInvalidLink;
+  ConnId conn = kInvalidConn;
+};
+
+struct AuditorOptions {
+  /// Audit every `stride`-th event (>= 1). Failure events (those carrying
+  /// a switchover report) and the final audit always run regardless.
+  int stride = 1;
+  /// Stamped into every JSONL record (-1 for single runs).
+  std::int64_t cell = -1;
+  /// When non-null, every violation is appended as one `drtp.audit/1`
+  /// JSONL line. Not owned; must outlive the auditor.
+  std::ostream* out = nullptr;
+  /// Recording cap: further violations are still *counted* but not stored
+  /// or emitted (a corrupt network trips thousands of identical lines).
+  std::size_t max_recorded = 256;
+};
+
+/// Re-derives network ground truth and accumulates violations. Not
+/// thread-safe; make one per replay (sweeps: one per cell).
+class Auditor {
+ public:
+  explicit Auditor(AuditorOptions options = {});
+
+  /// The sim::ExperimentConfig::after_event-compatible hook. `event` is
+  /// the replay-event label; `report` is non-null for enacted failures
+  /// and triggers the report sanity checks.
+  void Check(const core::DrtpNetwork& net, Time t, std::string_view event,
+             const core::SwitchoverReport* report);
+
+  /// The proto::ProtocolEngine::set_after_action-compatible hook.
+  void Check(const core::DrtpNetwork& net, Time t) {
+    Check(net, t, "action", nullptr);
+  }
+
+  /// Full audits actually performed (stride-skipped calls not counted).
+  std::int64_t checks() const { return checks_; }
+  /// Total violations observed, including ones past the recording cap.
+  std::int64_t violation_count() const { return violation_count_; }
+  const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+  bool ok() const { return violation_count_ == 0; }
+
+ private:
+  void Audit(const core::DrtpNetwork& net, Time t, std::string_view event,
+             const core::SwitchoverReport* report);
+  void Record(AuditViolation v);
+
+  AuditorOptions options_;
+  std::int64_t calls_ = 0;
+  std::int64_t checks_ = 0;
+  std::int64_t violation_count_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace drtp::fault

@@ -1,0 +1,165 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace drtp::fault {
+namespace {
+
+sim::ScenarioEvent FaultEvent(sim::ScenarioEvent::Type type, Time t,
+                              const FaultSpec& spec) {
+  sim::ScenarioEvent e;
+  e.type = type;
+  e.time = t;
+  e.link = spec.link;
+  e.node = spec.node;
+  e.srlg = spec.srlg;
+  return e;
+}
+
+}  // namespace
+
+void FaultPlan::InjectInto(sim::Scenario& scenario) const {
+  using Type = sim::ScenarioEvent::Type;
+  std::vector<sim::ScenarioEvent> events;
+  for (const FaultSpec& spec : faults) {
+    DRTP_CHECK_MSG(spec.at >= 0.0, "fault scheduled before t=0");
+    DRTP_CHECK(spec.mttr >= 0.0);
+    switch (spec.kind) {
+      case FaultSpec::Kind::kLink:
+        events.push_back(FaultEvent(Type::kLinkFail, spec.at, spec));
+        if (spec.mttr > 0.0) {
+          events.push_back(
+              FaultEvent(Type::kLinkRepair, spec.at + spec.mttr, spec));
+        }
+        break;
+      case FaultSpec::Kind::kNode:
+        events.push_back(FaultEvent(Type::kNodeFail, spec.at, spec));
+        if (spec.mttr > 0.0) {
+          events.push_back(
+              FaultEvent(Type::kNodeRepair, spec.at + spec.mttr, spec));
+        }
+        break;
+      case FaultSpec::Kind::kSrlg:
+        events.push_back(FaultEvent(Type::kSrlgFail, spec.at, spec));
+        if (spec.mttr > 0.0) {
+          events.push_back(
+              FaultEvent(Type::kSrlgRepair, spec.at + spec.mttr, spec));
+        }
+        break;
+      case FaultSpec::Kind::kBurst: {
+        // Identical timestamps replay back-to-back: the whole burst is
+        // down before the next (later-timestamped) event runs.
+        FaultSpec member = spec;
+        for (const LinkId l : spec.burst) {
+          member.link = l;
+          events.push_back(FaultEvent(Type::kLinkFail, spec.at, member));
+          if (spec.mttr > 0.0) {
+            events.push_back(
+                FaultEvent(Type::kLinkRepair, spec.at + spec.mttr, member));
+          }
+        }
+        break;
+      }
+    }
+  }
+  scenario.events.insert(scenario.events.end(), events.begin(),
+                         events.end());
+  std::stable_sort(scenario.events.begin(), scenario.events.end(),
+                   [](const sim::ScenarioEvent& a,
+                      const sim::ScenarioEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+FaultPlan MakeCampaign(const net::Topology& topo,
+                       const CampaignConfig& config) {
+  DRTP_CHECK(config.link_failures >= 0 && config.node_failures >= 0 &&
+             config.srlg_failures >= 0 && config.bursts >= 0);
+  DRTP_CHECK(config.burst_size >= 2);
+  DRTP_CHECK(config.t_begin >= 0.0 && config.t_end > config.t_begin);
+  DRTP_CHECK(config.mttr > 0.0);
+  DRTP_CHECK_MSG(config.srlg_failures == 0 || topo.has_srlgs(),
+                 "SRLG faults requested on a topology without risk groups");
+  DRTP_CHECK_MSG(config.burst_size <= topo.num_links(),
+                 "burst larger than the topology");
+
+  Rng rng(config.seed);
+  FaultPlan plan;
+  const auto draw_time = [&] {
+    return rng.UniformReal(config.t_begin, config.t_end);
+  };
+
+  for (int i = 0; i < config.link_failures; ++i) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kLink;
+    spec.at = draw_time();
+    spec.mttr = config.mttr;
+    spec.link = static_cast<LinkId>(
+        rng.Index(static_cast<std::size_t>(topo.num_links())));
+    plan.faults.push_back(std::move(spec));
+  }
+  for (int i = 0; i < config.node_failures; ++i) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kNode;
+    spec.at = draw_time();
+    spec.mttr = config.mttr;
+    spec.node = static_cast<NodeId>(
+        rng.Index(static_cast<std::size_t>(topo.num_nodes())));
+    plan.faults.push_back(std::move(spec));
+  }
+  for (int i = 0; i < config.srlg_failures; ++i) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kSrlg;
+    spec.at = draw_time();
+    spec.mttr = config.mttr;
+    spec.srlg = static_cast<SrlgId>(
+        rng.Index(static_cast<std::size_t>(topo.num_srlgs())));
+    plan.faults.push_back(std::move(spec));
+  }
+  for (int i = 0; i < config.bursts; ++i) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kBurst;
+    spec.at = draw_time();
+    spec.mttr = config.mttr;
+    std::unordered_set<LinkId> picked;
+    while (static_cast<int>(picked.size()) < config.burst_size) {
+      picked.insert(static_cast<LinkId>(
+          rng.Index(static_cast<std::size_t>(topo.num_links()))));
+    }
+    spec.burst.assign(picked.begin(), picked.end());
+    std::sort(spec.burst.begin(), spec.burst.end());
+    plan.faults.push_back(std::move(spec));
+  }
+
+  // Deterministic campaign order regardless of draw order above.
+  std::stable_sort(plan.faults.begin(), plan.faults.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+void InjectMidRecoveryPair(proto::ProtocolEngine& engine,
+                           sim::EventQueue& queue, LinkId first,
+                           LinkId second, proto::RecoveryMode mode,
+                           double fraction) {
+  DRTP_CHECK(fraction >= 0.0);
+  const Time t0 = queue.now();
+  const Time gap = engine.config().detection_delay * fraction;
+  queue.Schedule(t0, [&engine, first, mode] {
+    engine.InjectLinkFailure(first, mode);
+  });
+  // Lands between the first failure's detection and the arrival of its
+  // recovery messages: backups are being promoted while the network
+  // changes underneath them.
+  queue.Schedule(t0 + gap, [&engine, second, mode] {
+    const LinkId links[1] = {second};
+    engine.InjectLinkSetFailure(links, mode);
+  });
+}
+
+}  // namespace drtp::fault

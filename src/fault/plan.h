@@ -1,0 +1,85 @@
+// Fault-injection campaigns.
+//
+// A FaultPlan is a structured list of faults — single links, whole nodes,
+// SRLGs (shared-risk link groups) and simultaneous bursts — that compiles
+// into scenario events (schema v2), so a campaign replays through the
+// ordinary deterministic RunScenario path and every routing scheme sees
+// the identical fault sequence. MakeCampaign draws a seeded random
+// campaign; InjectMidRecoveryPair drives the timed protocol engine into
+// the failure-during-recovery window that atomic replay cannot reach.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+#include "proto/engine.h"
+#include "sim/event_queue.h"
+#include "sim/scenario.h"
+
+namespace drtp::fault {
+
+/// One scheduled fault.
+struct FaultSpec {
+  enum class Kind {
+    kLink,   // one directed link
+    kNode,   // every link incident to a node
+    kSrlg,   // every link in a shared-risk group
+    kBurst,  // an explicit set of links failing at the same instant
+  };
+  Kind kind = Kind::kLink;
+  Time at = 0.0;
+  /// Repair delay; 0 = never repaired.
+  Time mttr = 0.0;
+  LinkId link = kInvalidLink;
+  NodeId node = kInvalidNode;
+  SrlgId srlg = kInvalidSrlg;
+  /// kBurst members (each expands to its own fail/repair event pair at
+  /// the shared instant — the correlated set a simultaneous-timestamp
+  /// replay enacts back-to-back).
+  std::vector<LinkId> burst;
+};
+
+/// An ordered fault campaign.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  /// Compiles the faults into scenario events and merges them into
+  /// `scenario`'s event list in time order. Node/SRLG faults make the
+  /// scenario require schema v2.
+  void InjectInto(sim::Scenario& scenario) const;
+};
+
+/// Knobs for a seeded random campaign.
+struct CampaignConfig {
+  int link_failures = 0;
+  int node_failures = 0;
+  int srlg_failures = 0;
+  /// Simultaneous multi-link bursts of `burst_size` distinct links each.
+  int bursts = 0;
+  int burst_size = 3;
+  /// Fault instants are drawn uniformly in [t_begin, t_end].
+  Time t_begin = 0.0;
+  Time t_end = 1.0;
+  /// Mean time to repair applied to every fault.
+  Time mttr = 300.0;
+  std::uint64_t seed = 1;
+};
+
+/// Draws a deterministic random campaign over `topo`. SRLG faults require
+/// the topology to carry risk groups (topo.has_srlgs()); requesting them
+/// on an untagged topology is a checked error.
+FaultPlan MakeCampaign(const net::Topology& topo,
+                       const CampaignConfig& config);
+
+/// Adversarial mid-recovery timing for the message-level engine: injects
+/// `first` at the queue's current time and `second` a fraction of the
+/// failure-detection delay later — inside the window where `first` has
+/// been detected but its recovery choreography is still in flight.
+void InjectMidRecoveryPair(proto::ProtocolEngine& engine,
+                           sim::EventQueue& queue, LinkId first,
+                           LinkId second, proto::RecoveryMode mode,
+                           double fraction = 0.5);
+
+}  // namespace drtp::fault

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -133,6 +134,41 @@ Topology MakeWaxman(const WaxmanConfig& config) {
   }
 
   DRTP_CHECK(topo.IsConnected());
+
+  if (config.srlg_groups > 0) {
+    // Drawn after all topology randomness so srlg_groups == 0 reproduces
+    // the exact pre-SRLG graphs for any given seed.
+    struct Center {
+      double x, y;
+    };
+    std::vector<Center> centers;
+    centers.reserve(static_cast<std::size_t>(config.srlg_groups));
+    for (int g = 0; g < config.srlg_groups; ++g) {
+      centers.push_back(
+          Center{rng.UniformReal(0.0, 1.0), rng.UniformReal(0.0, 1.0)});
+    }
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      const Link& link = topo.link(l);
+      if (link.reverse != kInvalidLink && link.reverse < l) continue;
+      const Node& a = topo.node(link.src);
+      const Node& b = topo.node(link.dst);
+      const double mx = (a.x + b.x) / 2.0;
+      const double my = (a.y + b.y) / 2.0;
+      SrlgId best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (int g = 0; g < config.srlg_groups; ++g) {
+        const double dx = mx - centers[static_cast<std::size_t>(g)].x;
+        const double dy = my - centers[static_cast<std::size_t>(g)].y;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = g;
+        }
+      }
+      topo.AssignSrlg(l, best);
+      if (link.reverse != kInvalidLink) topo.AssignSrlg(link.reverse, best);
+    }
+  }
   return topo;
 }
 

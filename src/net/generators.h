@@ -27,6 +27,11 @@ struct WaxmanConfig {
   /// backup route exists; 1 allows single-homed stubs.
   int min_degree = 2;
   Bandwidth link_capacity = Mbps(30);
+  /// When > 0, every duplex pair is tagged with one of this many shared-risk
+  /// link groups by geographic clustering: group centers are drawn uniformly
+  /// in the unit square and each pair joins the center nearest its midpoint
+  /// (conduits in the same area share fate). 0 leaves links untagged.
+  int srlg_groups = 0;
   std::uint64_t seed = 1;
 };
 

@@ -5,12 +5,17 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/error.h"
+#include "common/lineio.h"
 
 namespace drtp::net {
 
+using lineio::ParseCount;
+using lineio::ParseLine;
+
 void WriteTopology(const Topology& topo, std::ostream& os) {
   os.precision(17);  // coordinates must round-trip exactly
-  os << "drtp-topology 1\n";
+  os << "drtp-topology " << (topo.has_srlgs() ? 2 : 1) << "\n";
   os << "nodes " << topo.num_nodes() << "\n";
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     const Node& node = topo.node(n);
@@ -22,38 +27,69 @@ void WriteTopology(const Topology& topo, std::ostream& os) {
     os << "link " << l << " " << link.src << " " << link.dst << " "
        << link.capacity << " " << link.reverse << "\n";
   }
+  if (topo.has_srlgs()) {
+    int tagged = 0;
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      if (topo.srlg(l) != kInvalidSrlg) ++tagged;
+    }
+    os << "srlgs " << tagged << "\n";
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      if (topo.srlg(l) != kInvalidSrlg) {
+        os << "srlg " << l << " " << topo.srlg(l) << "\n";
+      }
+    }
+  }
 }
 
 Topology ReadTopology(std::istream& is) {
-  std::string word;
+  LineReader in(is);
   int version = 0;
-  DRTP_CHECK_MSG(is >> word >> version && word == "drtp-topology" &&
-                     version == 1,
-                 "bad topology header");
-  int n = 0;
-  DRTP_CHECK(is >> word >> n && word == "nodes" && n >= 0);
+  ParseLine(in.Next("header"), in.lineno(), "drtp-topology", version);
+  if (version != 1 && version != 2) {
+    throw ParseError("unsupported topology version " + std::to_string(version),
+                     in.lineno());
+  }
+  const int n = ParseCount(in, "nodes");
   Topology topo;
   for (int i = 0; i < n; ++i) {
     int id = 0;
     double x = 0, y = 0;
-    DRTP_CHECK(is >> word >> id >> x >> y && word == "node" && id == i);
+    ParseLine(in.Next("node"), in.lineno(), "node", id, x, y);
+    if (id != i) {
+      throw ParseError("node ids must be dense and ascending; expected " +
+                           std::to_string(i) + ", got " + std::to_string(id),
+                       in.lineno());
+    }
     topo.AddNode(x, y);
   }
-  int m = 0;
-  DRTP_CHECK(is >> word >> m && word == "links" && m >= 0);
+  const int m = ParseCount(in, "links");
   // Links must be re-added in id order; reverse pointers are re-derived and
   // validated against the file.
   struct Row {
     LinkId id, src, dst, reverse;
     Bandwidth capacity;
+    std::int64_t lineno;
   };
   std::vector<Row> rows;
   rows.reserve(static_cast<std::size_t>(m));
   for (int i = 0; i < m; ++i) {
     Row r{};
-    DRTP_CHECK(is >> word >> r.id >> r.src >> r.dst >> r.capacity >>
-                   r.reverse &&
-               word == "link" && r.id == i);
+    ParseLine(in.Next("link"), in.lineno(), "link", r.id, r.src, r.dst,
+              r.capacity, r.reverse);
+    r.lineno = in.lineno();
+    if (r.id != i) {
+      throw ParseError("link ids must be dense and ascending; expected " +
+                           std::to_string(i) + ", got " + std::to_string(r.id),
+                       r.lineno);
+    }
+    if (r.src < 0 || r.src >= n || r.dst < 0 || r.dst >= n) {
+      throw ParseError("link endpoint out of range", r.lineno);
+    }
+    if (r.src == r.dst) throw ParseError("self-loop link", r.lineno);
+    if (r.capacity <= 0) throw ParseError("non-positive capacity", r.lineno);
+    if (r.reverse != kInvalidLink && (r.reverse < 0 || r.reverse >= m)) {
+      throw ParseError("reverse link out of range", r.lineno);
+    }
     rows.push_back(r);
   }
   // Duplex pairs appear as (ab, ba) with mutual reverse ids; AddDuplexLink
@@ -61,20 +97,47 @@ Topology ReadTopology(std::istream& is) {
   std::vector<char> added(rows.size(), 0);
   for (const Row& r : rows) {
     if (added[static_cast<std::size_t>(r.id)]) continue;
-    if (r.reverse == kInvalidLink) {
-      const LinkId got = topo.AddLink(r.src, r.dst, r.capacity);
-      DRTP_CHECK(got == r.id);
-      added[static_cast<std::size_t>(r.id)] = 1;
-    } else {
-      DRTP_CHECK_MSG(r.reverse == r.id + 1, "duplex halves must be adjacent");
-      const Row& rev = rows[static_cast<std::size_t>(r.reverse)];
-      DRTP_CHECK(rev.reverse == r.id && rev.src == r.dst && rev.dst == r.src &&
-                 rev.capacity == r.capacity);
-      const auto [ab, ba] = topo.AddDuplexLink(r.src, r.dst, r.capacity);
-      DRTP_CHECK(ab == r.id && ba == rev.id);
-      added[static_cast<std::size_t>(r.id)] = 1;
-      added[static_cast<std::size_t>(rev.id)] = 1;
+    try {
+      if (r.reverse == kInvalidLink) {
+        const LinkId got = topo.AddLink(r.src, r.dst, r.capacity);
+        DRTP_CHECK(got == r.id);
+        added[static_cast<std::size_t>(r.id)] = 1;
+      } else {
+        if (r.reverse != r.id + 1) {
+          throw ParseError("duplex halves must be adjacent", r.lineno);
+        }
+        const Row& rev = rows[static_cast<std::size_t>(r.reverse)];
+        if (rev.reverse != r.id || rev.src != r.dst || rev.dst != r.src ||
+            rev.capacity != r.capacity) {
+          throw ParseError("mismatched duplex halves", rev.lineno);
+        }
+        const auto [ab, ba] = topo.AddDuplexLink(r.src, r.dst, r.capacity);
+        DRTP_CHECK(ab == r.id && ba == rev.id);
+        added[static_cast<std::size_t>(r.id)] = 1;
+        added[static_cast<std::size_t>(rev.id)] = 1;
+      }
+    } catch (const CheckError& e) {
+      // AddLink rejects duplicates and self-loops by invariant; in a loader
+      // those are input defects, not ours.
+      throw ParseError(std::string("invalid link structure: ") + e.what(),
+                       r.lineno);
     }
+  }
+  if (version >= 2) {
+    const int k = ParseCount(in, "srlgs");
+    for (int i = 0; i < k; ++i) {
+      LinkId l = kInvalidLink;
+      SrlgId g = kInvalidSrlg;
+      ParseLine(in.Next("srlg"), in.lineno(), "srlg", l, g);
+      if (l < 0 || l >= m) throw ParseError("srlg link out of range", in.lineno());
+      if (g < 0 || g > kMaxLineIoCount) {
+        throw ParseError("srlg group out of range", in.lineno());
+      }
+      topo.AssignSrlg(l, g);
+    }
+  }
+  if (in.HasTrailing()) {
+    throw ParseError("trailing content after topology", in.lineno());
   }
   return topo;
 }

@@ -11,14 +11,18 @@ namespace drtp::net {
 
 /// Writes the topology in the text format below; ReadTopology inverts it.
 ///
-///   drtp-topology 1
+///   drtp-topology <version>      (1, or 2 when any SRLG tag is present)
 ///   nodes <n>
 ///   node <id> <x> <y>            (n lines)
 ///   links <m>
 ///   link <id> <src> <dst> <capacity_kbps> <reverse>
+///   srlgs <k>                    (version 2 only)
+///   srlg <link> <group>          (k lines, ascending link id)
 void WriteTopology(const Topology& topo, std::ostream& os);
 
-/// Parses the text format; throws CheckError on malformed input.
+/// Parses the text format (either version); throws drtp::ParseError with
+/// the offending 1-based line on malformed, truncated, or out-of-range
+/// input — never a CHECK failure, never silent garbage.
 Topology ReadTopology(std::istream& is);
 
 /// Round-trip helpers via std::string.

@@ -1,5 +1,6 @@
 #include "net/topology.h"
 
+#include <algorithm>
 #include <queue>
 
 namespace drtp::net {
@@ -22,6 +23,7 @@ LinkId Topology::AddLink(NodeId src, NodeId dst, Bandwidth capacity) {
                         .capacity = capacity, .reverse = kInvalidLink});
   nodes_[static_cast<std::size_t>(src)].out_links.push_back(id);
   nodes_[static_cast<std::size_t>(dst)].in_links.push_back(id);
+  if (!srlg_of_.empty()) srlg_of_.push_back(kInvalidSrlg);
   return id;
 }
 
@@ -75,6 +77,24 @@ bool Topology::IsConnected() const {
     return count == num_nodes();
   };
   return reaches_all(true) && reaches_all(false);
+}
+
+void Topology::AssignSrlg(LinkId l, SrlgId g) {
+  DRTP_CHECK(l >= 0 && l < num_links());
+  DRTP_CHECK_MSG(g >= 0, "srlg group must be non-negative, got " << g);
+  if (srlg_of_.empty()) {
+    srlg_of_.assign(static_cast<std::size_t>(num_links()), kInvalidSrlg);
+  }
+  SrlgId& slot = srlg_of_[static_cast<std::size_t>(l)];
+  if (slot == g) return;
+  if (slot != kInvalidSrlg) {
+    auto& old = srlg_links_[static_cast<std::size_t>(slot)];
+    old.erase(std::remove(old.begin(), old.end(), l), old.end());
+  }
+  slot = g;
+  if (g >= num_srlgs()) srlg_links_.resize(static_cast<std::size_t>(g) + 1);
+  auto& members = srlg_links_[static_cast<std::size_t>(g)];
+  members.insert(std::lower_bound(members.begin(), members.end(), l), l);
 }
 
 std::vector<NodeId> Topology::Neighbors(NodeId id) const {

@@ -84,9 +84,38 @@ class Topology {
   /// Nodes adjacent via outgoing links.
   std::vector<NodeId> Neighbors(NodeId id) const;
 
+  // --- shared-risk link groups ---------------------------------------------
+  // Correlated-failure metadata: links in the same group fail together
+  // (fault::ApplySrlgFailure). Groups are dense 0-based ids; assignment is
+  // optional and typically covers duplex pairs symmetrically.
+
+  /// Tags `l` as a member of group `g` (g >= 0). Re-assigning moves the
+  /// link between groups.
+  void AssignSrlg(LinkId l, SrlgId g);
+
+  /// Group of `l`, or kInvalidSrlg when untagged.
+  SrlgId srlg(LinkId l) const {
+    DRTP_DCHECK(l >= 0 && l < num_links());
+    return srlg_of_.empty() ? kInvalidSrlg
+                            : srlg_of_[static_cast<std::size_t>(l)];
+  }
+
+  /// 1 + highest assigned group id (0 when no link is tagged).
+  int num_srlgs() const { return static_cast<int>(srlg_links_.size()); }
+
+  bool has_srlgs() const { return num_srlgs() > 0; }
+
+  /// Members of group `g`, ascending by link id.
+  std::span<const LinkId> LinksInSrlg(SrlgId g) const {
+    DRTP_CHECK(g >= 0 && g < num_srlgs());
+    return srlg_links_[static_cast<std::size_t>(g)];
+  }
+
  private:
   std::vector<Node> nodes_;
   std::vector<Link> links_;
+  std::vector<SrlgId> srlg_of_;              // empty until first AssignSrlg
+  std::vector<std::vector<LinkId>> srlg_links_;
 };
 
 }  // namespace drtp::net

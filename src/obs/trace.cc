@@ -29,6 +29,16 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "backup_break";
     case TraceEventKind::kReestablish:
       return "reestablish";
+    case TraceEventKind::kNodeFail:
+      return "node_fail";
+    case TraceEventKind::kNodeRepair:
+      return "node_repair";
+    case TraceEventKind::kSrlgFail:
+      return "srlg_fail";
+    case TraceEventKind::kSrlgRepair:
+      return "srlg_repair";
+    case TraceEventKind::kDegrade:
+      return "degrade";
   }
   return "?";
 }
@@ -71,6 +81,9 @@ std::string EventToJson(const TraceEvent& e) {
   if (e.recovered >= 0) w.Key("recovered").Int(e.recovered);
   if (e.dropped >= 0) w.Key("dropped").Int(e.dropped);
   if (e.broken >= 0) w.Key("broken").Int(e.broken);
+  if (e.node != kInvalidNode) w.Key("node").Int(e.node);
+  if (e.srlg != kInvalidSrlg) w.Key("srlg").Int(e.srlg);
+  if (e.retries_left >= 0) w.Key("retries_left").Int(e.retries_left);
   w.EndObject();
   return w.str();
 }
@@ -139,6 +152,9 @@ std::string ChromeInstant(const TraceEvent& e) {
   if (e.recovered >= 0) w.Key("recovered").Int(e.recovered);
   if (e.dropped >= 0) w.Key("dropped").Int(e.dropped);
   if (e.broken >= 0) w.Key("broken").Int(e.broken);
+  if (e.node != kInvalidNode) w.Key("node").Int(e.node);
+  if (e.srlg != kInvalidSrlg) w.Key("srlg").Int(e.srlg);
+  if (e.retries_left >= 0) w.Key("retries_left").Int(e.retries_left);
   w.EndObject();
   w.EndObject();
   return w.str();

@@ -44,6 +44,11 @@ enum class TraceEventKind {
   kDrop,         ///< one connection was lost (no activatable backup)
   kBackupBreak,  ///< one connection's backup was broken and released
   kReestablish,  ///< step-4 reconfiguration registered a fresh backup
+  kNodeFail,     ///< a node failed (all incident links down atomically)
+  kNodeRepair,   ///< a failed node came back
+  kSrlgFail,     ///< a shared-risk link group failed together
+  kSrlgRepair,   ///< a failed SRLG came back
+  kDegrade,      ///< step 4 found no backup; connection runs unprotected
 };
 
 /// Stable lowercase token used in drtp.trace/1 ("admit", "link_fail", ...).
@@ -70,10 +75,16 @@ struct TraceEvent {
   /// Post-event APLV maxima on the backup route's links: the per-link
   /// spare-pool pressure this admission/re-registration left behind.
   std::span<const std::pair<LinkId, std::int32_t>> aplv;
-  /// kLinkFail aggregate impact (absent: -1).
+  /// kLinkFail / kNodeFail / kSrlgFail aggregate impact (absent: -1).
   int recovered = -1;
   int dropped = -1;
   int broken = -1;
+  /// kNodeFail / kNodeRepair subject (absent: kInvalidNode).
+  NodeId node = kInvalidNode;
+  /// kSrlgFail / kSrlgRepair subject (absent: kInvalidSrlg).
+  SrlgId srlg = kInvalidSrlg;
+  /// kDegrade: remaining re-protection retries (absent: -1).
+  int retries_left = -1;
 };
 
 class TraceSink {

@@ -1,8 +1,11 @@
 #include "proto/engine.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "drtp/failure.h"
 
 namespace drtp::proto {
 namespace {
@@ -30,6 +33,12 @@ ProtocolEngine::ProtocolEngine(core::DrtpNetwork& net, sim::EventQueue& queue,
   DRTP_CHECK(config_.detection_delay >= 0.0);
   DRTP_CHECK(config_.reactive_max_retries >= 0);
   DRTP_CHECK(config_.reactive_backoff > 0.0);
+  DRTP_CHECK(config_.reprotect_max_retries >= 0);
+  DRTP_CHECK(config_.reprotect_backoff > 0.0);
+}
+
+void ProtocolEngine::NotifyAction() {
+  if (after_action_) after_action_(net_, queue_.now());
 }
 
 void ProtocolEngine::SetupConnection(ConnId id, const routing::Path& primary,
@@ -44,12 +53,14 @@ void ProtocolEngine::SetupConnection(ConnId id, const routing::Path& primary,
   queue_.Schedule(t0 + forward, [this, id, primary, backup, bw, t0,
                                  done = std::move(done)] {
     if (net_.EstablishConnection(id, primary, bw, queue_.now())) {
+      NotifyAction();
       const Time confirm = primary.hops() * config_.link_delay;
       queue_.Schedule(queue_.now() + confirm, [this, id, backup, done] {
         // The backup-register packet is sent right after the confirm
         // (steps 2–3); registration never rejects.
         if (backup.has_value() && net_.Find(id) != nullptr) {
           net_.RegisterBackup(id, *backup);
+          NotifyAction();
         }
         done(id, true);
       });
@@ -72,23 +83,67 @@ void ProtocolEngine::SetupConnection(ConnId id, const routing::Path& primary,
 }
 
 void ProtocolEngine::TearDown(ConnId id) {
-  if (net_.Find(id) != nullptr) net_.ReleaseConnection(id);
+  if (net_.Find(id) != nullptr) {
+    net_.ReleaseConnection(id);
+    NotifyAction();
+  }
 }
 
 void ProtocolEngine::InjectLinkFailure(LinkId link, RecoveryMode mode) {
   DRTP_CHECK_MSG(net_.IsLinkUp(link), "link " << link << " already down");
-  const Time t0 = queue_.now();
-  net_.SetLinkDown(link);
-  if (scheme_ != nullptr) scheme_->OnTopologyChanged(net_);
+  const LinkId one[1] = {link};
+  InjectLinkSetFailure(one, mode);
+}
 
-  // Affected sets, before any recovery mutates the table.
+void ProtocolEngine::InjectNodeFailure(NodeId node, RecoveryMode mode) {
+  InjectLinkSetFailure(core::IncidentLinks(net_.topology(), node), mode);
+}
+
+void ProtocolEngine::InjectSrlgFailure(SrlgId srlg, RecoveryMode mode) {
+  const auto members = net_.topology().LinksInSrlg(srlg);
+  InjectLinkSetFailure({members.data(), members.size()}, mode);
+}
+
+void ProtocolEngine::InjectLinkSetFailure(std::span<const LinkId> links,
+                                          RecoveryMode mode) {
+  const Time t0 = queue_.now();
+  // Expand duplex reverses and drop members already down, then take the
+  // whole set down before computing any affected set: a backup sharing a
+  // risk group with its primary must be seen dead at activation time.
+  std::vector<LinkId> failed_set;
+  failed_set.reserve(links.size() * 2);
+  for (const LinkId l : links) {
+    DRTP_CHECK(l >= 0 && l < net_.topology().num_links());
+    if (!net_.IsLinkUp(l)) continue;
+    failed_set.push_back(l);
+    if (net_.config().duplex_failures) {
+      const LinkId rev = net_.topology().link(l).reverse;
+      if (rev != kInvalidLink && net_.IsLinkUp(rev)) {
+        failed_set.push_back(rev);
+      }
+    }
+  }
+  std::sort(failed_set.begin(), failed_set.end());
+  failed_set.erase(std::unique(failed_set.begin(), failed_set.end()),
+                   failed_set.end());
+  if (failed_set.empty()) return;
+  for (const LinkId l : failed_set) net_.SetLinkDown(l);
+  if (scheme_ != nullptr) scheme_->OnTopologyChanged(net_);
+  NotifyAction();
+
+  const auto in_set = [&](LinkId l) {
+    return std::binary_search(failed_set.begin(), failed_set.end(), l);
+  };
+
+  // Affected sets, before any recovery mutates the table. A primary hit
+  // at several member links detects at the hop closest to its source.
   std::vector<ConnId> primary_hit;
   std::vector<std::pair<ConnId, int>> hops_to_fault;  // along the primary
   std::vector<ConnId> backup_hit;
   for (const auto& [id, conn] : net_.connections()) {
     bool on_primary = false;
     for (int i = 0; i < conn.primary.hops(); ++i) {
-      if (conn.primary.links()[static_cast<std::size_t>(i)] == link) {
+      if (in_set(conn.primary.links()[static_cast<std::size_t>(i)])) {
         primary_hit.push_back(id);
         hops_to_fault.emplace_back(id, i);
         on_primary = true;
@@ -97,7 +152,7 @@ void ProtocolEngine::InjectLinkFailure(LinkId link, RecoveryMode mode) {
     }
     if (on_primary) continue;
     for (const routing::Path& b : conn.backups) {
-      if (b.Contains(link)) {
+      if (std::any_of(b.links().begin(), b.links().end(), in_set)) {
         backup_hit.push_back(id);
         break;
       }
@@ -109,11 +164,26 @@ void ProtocolEngine::InjectLinkFailure(LinkId link, RecoveryMode mode) {
   // Broken backups are withdrawn when the detecting router's report
   // reaches the backup's source (one detection delay is a fair bound).
   for (const ConnId id : backup_hit) {
-    queue_.Schedule(t_detect, [this, id, link] {
+    queue_.Schedule(t_detect, [this, id, failed_set] {
       const core::DrConnection* conn = net_.Find(id);
       if (conn == nullptr) return;
+      bool released = false;
       for (std::size_t i = conn->backups.size(); i-- > 0;) {
-        if (conn->backups[i].Contains(link)) net_.ReleaseBackupAt(id, i);
+        const auto& b = conn->backups[i];
+        if (std::any_of(b.links().begin(), b.links().end(), [&](LinkId l) {
+              return std::binary_search(failed_set.begin(),
+                                        failed_set.end(), l);
+            })) {
+          net_.ReleaseBackupAt(id, i);
+          released = true;
+        }
+      }
+      if (released) {
+        NotifyAction();
+        // Losing the backup leaves the connection exposed just like a
+        // failed step-4 re-protection: degrade and retry.
+        const core::DrConnection* left = net_.Find(id);
+        if (left != nullptr && !left->has_backup()) Degrade(id);
       }
     });
   }
@@ -139,6 +209,11 @@ void ProtocolEngine::ProactiveRecovery(ConnId id, Time failed_at,
                                        Time report_time) {
   const core::DrConnection* conn = net_.Find(id);
   if (conn == nullptr) return;  // already gone
+  // Stale report: an earlier overlapping failure's recovery already moved
+  // this connection onto a healthy primary (the channel switch beat this
+  // report to the source). Acting on it would tear down a live connection
+  // — the mid-recovery double-failure hazard.
+  if (!UsesAnyDown(net_, conn->primary)) return;
   RecoveryRecord record;
   record.conn = id;
   record.failed_at = failed_at;
@@ -154,6 +229,7 @@ void ProtocolEngine::ProactiveRecovery(ConnId id, Time failed_at,
   if (usable == conn->backups.size() ||
       !net_.ActivateBackup(id, usable, report_time)) {
     if (net_.Find(id) != nullptr) net_.ReleaseConnection(id);
+    NotifyAction();
     record.success = false;
     record.recovered_at = report_time;
     recoveries_.push_back(record);
@@ -163,13 +239,15 @@ void ProtocolEngine::ProactiveRecovery(ConnId id, Time failed_at,
   // resumes when it reaches the destination.
   const core::DrConnection* promoted = net_.Find(id);
   DRTP_CHECK(promoted != nullptr);
+  NotifyAction();
   const Time resume =
       report_time + promoted->primary.hops() * config_.link_delay;
   record.success = true;
   record.recovered_at = resume;
   queue_.Schedule(resume, [this, record] { recoveries_.push_back(record); });
 
-  // Step 4: re-protect right after service resumes.
+  // Step 4: re-protect right after service resumes; no feasible backup
+  // degrades the connection to unprotected with backoff retries.
   if (scheme_ != nullptr && db_ != nullptr) {
     queue_.Schedule(resume, [this, id] {
       const core::DrConnection* conn = net_.Find(id);
@@ -177,11 +255,56 @@ void ProtocolEngine::ProactiveRecovery(ConnId id, Time failed_at,
       net_.PublishTo(*db_, queue_.now());
       auto backup =
           scheme_->SelectBackupFor(net_, *db_, conn->primary, conn->bw);
-      if (backup.has_value() && !UsesAnyDown(net_, *backup)) {
+      if (backup.has_value() &&
+          backup->OverlapCount(conn->primary) < conn->primary.hops() &&
+          !UsesAnyDown(net_, *backup)) {
         net_.RegisterBackup(id, *backup);
+        NotifyAction();
+      } else {
+        Degrade(id);
       }
     });
   }
+}
+
+void ProtocolEngine::Degrade(ConnId id) {
+  ++degraded_;
+  if (scheme_ == nullptr || db_ == nullptr ||
+      config_.reprotect_max_retries <= 0) {
+    ++reprotect_exhausted_;
+    return;
+  }
+  const double jitter = rng_.UniformReal(0.5, 1.5);
+  queue_.Schedule(queue_.now() + config_.reprotect_backoff * jitter,
+                  [this, id] { ReprotectAttempt(id, 1); });
+}
+
+void ProtocolEngine::ReprotectAttempt(ConnId id, int attempt) {
+  const core::DrConnection* conn = net_.Find(id);
+  // Released, dropped, or re-protected by a later failure's step 4.
+  if (conn == nullptr || conn->has_backup()) return;
+  ++reprotect_retries_;
+  net_.PublishTo(*db_, queue_.now());
+  auto backup =
+      scheme_->SelectBackupFor(net_, *db_, conn->primary, conn->bw);
+  if (backup.has_value() &&
+      backup->OverlapCount(conn->primary) < conn->primary.hops() &&
+      !UsesAnyDown(net_, *backup)) {
+    net_.RegisterBackup(id, *backup);
+    ++reprotect_recovered_;
+    NotifyAction();
+    return;
+  }
+  if (attempt >= config_.reprotect_max_retries) {
+    ++reprotect_exhausted_;
+    return;
+  }
+  const double jitter = rng_.UniformReal(0.5, 1.5);
+  const Time backoff =
+      config_.reprotect_backoff * (1 << attempt) * jitter;
+  queue_.Schedule(queue_.now() + backoff, [this, id, attempt] {
+    ReprotectAttempt(id, attempt + 1);
+  });
 }
 
 void ProtocolEngine::ReactiveRecovery(ConnId id, Time failed_at) {
@@ -192,6 +315,7 @@ void ProtocolEngine::ReactiveRecovery(ConnId id, Time failed_at) {
   const Bandwidth bw = conn->bw;
   // The source tears down the broken connection and starts over.
   net_.ReleaseConnection(id);
+  NotifyAction();
   ReactiveAttempt(id, src, dst, bw, failed_at, 0);
 }
 

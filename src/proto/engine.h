@@ -16,8 +16,10 @@
 // arrival order exactly as racing packets would.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -44,6 +46,14 @@ struct ProtocolConfig {
   Time reactive_backoff = 0.100;
   /// Seed for the retry jitter.
   std::uint64_t seed = 1;
+  /// Proactive step 4: when immediate re-protection finds no feasible
+  /// backup the connection degrades to *unprotected* and retries with
+  /// jittered exponential backoff (same shape as the reactive retries).
+  /// 0 disables the retries — degraded connections stay exposed.
+  int reprotect_max_retries = 6;
+  /// Base backoff before the k-th re-protection retry; doubles each time,
+  /// jittered by a uniform factor in [0.5, 1.5).
+  Time reprotect_backoff = 0.500;
 };
 
 /// How a connection is restored after a failure.
@@ -93,8 +103,38 @@ class ProtocolEngine {
   /// Recovery outcomes are appended to recoveries() as they complete.
   void InjectLinkFailure(LinkId link, RecoveryMode mode);
 
+  /// Correlated failure: every member of `links` (plus duplex reverses
+  /// when the network is configured for duplex failures) goes down at the
+  /// same instant, before any affected set is computed — a backup sharing
+  /// a risk group with the primary is found dead at activation time, not
+  /// after. Members already down are ignored.
+  void InjectLinkSetFailure(std::span<const LinkId> links,
+                            RecoveryMode mode);
+
+  /// Node failure: atomically fails every link incident to `node`.
+  void InjectNodeFailure(NodeId node, RecoveryMode mode);
+
+  /// SRLG failure: atomically fails every link tagged with risk group
+  /// `srlg` in the topology.
+  void InjectSrlgFailure(SrlgId srlg, RecoveryMode mode);
+
   const std::vector<RecoveryRecord>& recoveries() const {
     return recoveries_;
+  }
+
+  /// Graceful-degradation counters: connections that lost protection with
+  /// no immediate replacement, the backoff retries made for them, and how
+  /// those retries ended.
+  std::int64_t degraded() const { return degraded_; }
+  std::int64_t reprotect_retries() const { return reprotect_retries_; }
+  std::int64_t reprotect_recovered() const { return reprotect_recovered_; }
+  std::int64_t reprotect_exhausted() const { return reprotect_exhausted_; }
+
+  /// Invoked after every state-mutating engine action with the network
+  /// and the simulated time — the fault::Auditor hook. Null = disabled.
+  void set_after_action(
+      std::function<void(const core::DrtpNetwork&, Time)> hook) {
+    after_action_ = std::move(hook);
   }
 
   /// Latency statistics over successful recoveries.
@@ -110,6 +150,13 @@ class ProtocolEngine {
   void ReactiveRecovery(ConnId id, Time failed_at);
   void ReactiveAttempt(ConnId id, NodeId src, NodeId dst, Bandwidth bw,
                        Time failed_at, int attempt);
+  /// Step-4 re-protection for a degraded connection; reschedules itself
+  /// with exponential backoff until a backup registers or retries run out.
+  void ReprotectAttempt(ConnId id, int attempt);
+  /// Marks `id` degraded (no backup after recovery) and schedules the
+  /// first re-protection retry.
+  void Degrade(ConnId id);
+  void NotifyAction();
 
   core::DrtpNetwork& net_;
   sim::EventQueue& queue_;
@@ -118,6 +165,11 @@ class ProtocolEngine {
   lsdb::LinkStateDb* db_;
   Rng rng_;
   std::vector<RecoveryRecord> recoveries_;
+  std::function<void(const core::DrtpNetwork&, Time)> after_action_;
+  std::int64_t degraded_ = 0;
+  std::int64_t reprotect_retries_ = 0;
+  std::int64_t reprotect_recovered_ = 0;
+  std::int64_t reprotect_exhausted_ = 0;
 };
 
 }  // namespace drtp::proto

@@ -59,6 +59,10 @@ void WriteRunMetrics(JsonWriter& w, const sim::RunMetrics& m) {
   w.Key("failover_dropped").Int(m.failover_dropped);
   w.Key("backups_broken").Int(m.backups_broken);
   w.Key("backups_reestablished").Int(m.backups_reestablished);
+  w.Key("degraded").Int(m.degraded);
+  w.Key("reprotect_retries").Int(m.reprotect_retries);
+  w.Key("reprotect_recovered").Int(m.reprotect_recovered);
+  w.Key("reprotect_exhausted").Int(m.reprotect_exhausted);
   w.Key("enacted_recovery_ratio").Double(m.EnactedRecoveryRatio());
   w.Key("measure_start").Double(m.measure_start);
   w.Key("measure_end").Double(m.measure_end);
@@ -76,6 +80,12 @@ std::string CellResultToJson(const CellResult& r) {
   w.Key("lambda").Double(r.cell.lambda);
   w.Key("scheme").String(r.cell.scheme);
   w.Key("wall_s").Double(r.wall_seconds);
+  if (r.audit_checks > 0) {
+    w.Key("audit").BeginObject();
+    w.Key("checks").Int(r.audit_checks);
+    w.Key("violations").Int(r.audit_violations);
+    w.EndObject();
+  }
   if (!r.obs_counters.empty()) {
     w.Key("obs").BeginObject();
     for (const auto& [name, count] : r.obs_counters) w.Key(name).Int(count);
@@ -97,12 +107,14 @@ JsonlSink::JsonlSink(const std::string& path)
 }
 
 void JsonlSink::Consume(const CellResult& result) {
-  // Render outside the lock; append + flush atomically under it so lines
-  // from concurrent cells never interleave and crash-truncated files lose
-  // at most the line in flight.
-  const std::string line = CellResultToJson(result);
+  // Render outside the lock, newline included, then push the whole line
+  // as ONE write + flush under it: lines from concurrent cells never
+  // interleave, and a crash-truncated file loses at most the (partial)
+  // line in flight — every preceding line is complete and parseable.
+  std::string line = CellResultToJson(result);
+  line += '\n';
   std::lock_guard<std::mutex> lk(mu_);
-  (*os_) << line << '\n';
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
   os_->flush();
   ++lines_;
 }

@@ -51,6 +51,12 @@ struct CellResult {
   /// the replay. Deterministic — a cell runs single-threaded, so the
   /// thread-shard delta is exactly the cell's own event counts.
   std::vector<std::pair<std::string, std::int64_t>> obs_counters;
+  /// fault::Auditor results when the sweep ran with audit enabled:
+  /// full audits performed, invariant violations observed, and the
+  /// cell's drtp.audit/1 JSONL lines (empty when the cell is clean).
+  std::int64_t audit_checks = 0;
+  std::int64_t audit_violations = 0;
+  std::string audit_jsonl;
 };
 
 class ResultSink {

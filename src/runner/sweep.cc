@@ -1,8 +1,12 @@
 #include "runner/sweep.h"
 
 #include <chrono>
+#include <exception>
+#include <sstream>
 
 #include "common/check.h"
+#include "fault/auditor.h"
+#include "fault/plan.h"
 #include "obs/metrics.h"
 #include "sim/obs_bridge.h"
 
@@ -91,7 +95,8 @@ const net::Topology& SweepEngine::TopologyFor(std::uint64_t base_seed,
     // produces the value every other thread would have.
     it = topos_
              .emplace(key, std::make_unique<net::Topology>(
-                               sim::MakePaperTopology(degree, base_seed)))
+                               sim::MakePaperTopology(degree, base_seed,
+                                                      spec_.srlg_groups)))
              .first;
   }
   return *it->second;
@@ -128,6 +133,19 @@ const sim::Scenario& SweepEngine::ScenarioFor(std::uint64_t base_seed,
       sim::InjectLinkFailures(*sc, topo, spec_.failures, duration_ * 0.4,
                               duration_ * 0.95, spec_.mttr, base_seed + 55);
     }
+    if (spec_.node_failures > 0 || spec_.srlg_failures > 0 ||
+        spec_.bursts > 0) {
+      fault::CampaignConfig cc;
+      cc.node_failures = spec_.node_failures;
+      cc.srlg_failures = spec_.srlg_failures;
+      cc.bursts = spec_.bursts;
+      cc.burst_size = spec_.burst_size;
+      cc.t_begin = duration_ * 0.4;
+      cc.t_end = duration_ * 0.95;
+      cc.mttr = spec_.mttr;
+      cc.seed = base_seed + 77;  // distinct stream from link failures
+      fault::MakeCampaign(topo, cc).InjectInto(*sc);
+    }
     it = scenarios_.emplace(key, std::move(sc)).first;
   }
   return *it->second;
@@ -145,6 +163,24 @@ CellResult SweepEngine::RunCell(const Cell& cell, obs::TraceSink* trace) {
         *trace, cell.scheme, static_cast<std::int64_t>(cell.index));
     ec.trace = bridge.get();
   }
+  std::unique_ptr<fault::Auditor> auditor;
+  std::ostringstream audit_os;
+  if (spec_.audit) {
+    // Full audits are O(links · connections); cap the periodic ones at
+    // ~256 per cell (forced audits — failures and the final event — run
+    // regardless). The stride depends only on the scenario, so results
+    // stay deterministic for any --jobs.
+    fault::AuditorOptions ao;
+    ao.stride = 1 + static_cast<int>(scenario.events.size() / 256);
+    ao.cell = static_cast<std::int64_t>(cell.index);
+    ao.out = &audit_os;
+    auditor = std::make_unique<fault::Auditor>(ao);
+    ec.after_event = [&auditor](const core::DrtpNetwork& net, Time t,
+                                std::string_view event,
+                                const core::SwitchoverReport* report) {
+      auditor->Check(net, t, event, report);
+    };
+  }
   const double t0 = MonotonicSeconds();
   CellResult r;
   r.cell = cell;
@@ -155,6 +191,11 @@ CellResult SweepEngine::RunCell(const Cell& cell, obs::TraceSink* trace) {
   r.metrics = sim::RunScenario(topo, scenario, *scheme, ec);
   r.obs_counters = baseline.Delta();
   r.wall_seconds = MonotonicSeconds() - t0;
+  if (auditor != nullptr) {
+    r.audit_checks = auditor->checks();
+    r.audit_violations = auditor->violation_count();
+    r.audit_jsonl = audit_os.str();
+  }
   return r;
 }
 
@@ -179,12 +220,25 @@ std::vector<CellResult> SweepEngine::Run(const RunOptions& options) {
         results[cell.index] = std::move(r);
       });
     }
-    pool.Wait();  // rethrows the first failed cell
-    pool.Shutdown();
+    // Crash safety: even when a cell throws, every completed cell has
+    // already been pushed to the sinks — drain the pool, Finish() the
+    // sinks so buffered output (tables, final flushes) reaches disk, and
+    // only then propagate the failure.
+    std::exception_ptr failure;
+    try {
+      pool.Wait();  // rethrows the first failed cell
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    try {
+      pool.Shutdown();  // queued cells still finish (and reach the sinks)
+    } catch (...) {
+      if (failure == nullptr) failure = std::current_exception();
+    }
+    for (ResultSink* sink : sinks) sink->Finish();
+    if (options.trace != nullptr) options.trace->Finish();
+    if (failure != nullptr) std::rethrow_exception(failure);
   }
-
-  for (ResultSink* sink : sinks) sink->Finish();
-  if (options.trace != nullptr) options.trace->Finish();
   return results;
 }
 

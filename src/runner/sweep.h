@@ -64,6 +64,23 @@ struct SweepSpec {
   int failures = 0;
   double mttr = 300.0;
 
+  /// Structured fault campaign (fault::MakeCampaign) layered on top of the
+  /// plain link failures above, drawn in the same window: whole-node
+  /// failures, shared-risk-group failures, and simultaneous multi-link
+  /// bursts of `burst_size` links. SRLG failures require srlg_groups > 0.
+  int node_failures = 0;
+  int srlg_failures = 0;
+  int bursts = 0;
+  int burst_size = 3;
+  /// Geographic SRLG clusters tagged onto every generated topology
+  /// (0 = untagged, bit-identical to historical sweeps).
+  int srlg_groups = 0;
+
+  /// Run the fault::Auditor after every replay event of every cell and
+  /// carry its check/violation counts (plus drtp.audit/1 lines) in the
+  /// CellResult. Violations never abort a sweep — tools decide the exit.
+  bool audit = false;
+
   std::size_t NumCells() const {
     return seeds.size() * degrees.size() * patterns.size() * lambdas.size() *
            schemes.size();
@@ -100,7 +117,9 @@ class SweepEngine {
   };
 
   /// Runs every cell and returns results ordered by Cell::index.
-  /// A cell that throws aborts the sweep with that exception.
+  /// A cell that throws aborts the sweep with that exception — but only
+  /// after the remaining queued cells drain and every sink's Finish()
+  /// runs, so results completed before the failure are never lost.
   std::vector<CellResult> Run(const RunOptions& options);
 
   /// Shared-input caches (also used by harnesses that need the raw

@@ -1,11 +1,15 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "drtp/failure.h"
 #include "obs/metrics.h"
 
@@ -27,11 +31,41 @@ struct SimCounters {
   obs::Counter backup_breaks = obs::GetCounter("drtp.sim.backup_breaks");
   obs::Counter reestablishes =
       obs::GetCounter("drtp.sim.backups_reestablished");
+  obs::Counter node_fails = obs::GetCounter("drtp.sim.node_fails");
+  obs::Counter node_repairs = obs::GetCounter("drtp.sim.node_repairs");
+  obs::Counter srlg_fails = obs::GetCounter("drtp.sim.srlg_fails");
+  obs::Counter srlg_repairs = obs::GetCounter("drtp.sim.srlg_repairs");
+  obs::Counter degraded = obs::GetCounter("drtp.sim.degraded");
+  obs::Counter reprotect_retries =
+      obs::GetCounter("drtp.sim.reprotect_retries");
+  obs::Counter reprotects = obs::GetCounter("drtp.sim.reprotects");
 };
 
 const SimCounters& Counters() {
   static const SimCounters counters;
   return counters;
+}
+
+std::string_view EventLabel(ScenarioEvent::Type type) {
+  switch (type) {
+    case ScenarioEvent::Type::kRequest:
+      return "request";
+    case ScenarioEvent::Type::kRelease:
+      return "release";
+    case ScenarioEvent::Type::kLinkFail:
+      return "link_fail";
+    case ScenarioEvent::Type::kLinkRepair:
+      return "link_repair";
+    case ScenarioEvent::Type::kNodeFail:
+      return "node_fail";
+    case ScenarioEvent::Type::kNodeRepair:
+      return "node_repair";
+    case ScenarioEvent::Type::kSrlgFail:
+      return "srlg_fail";
+    case ScenarioEvent::Type::kSrlgRepair:
+      return "srlg_repair";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -104,11 +138,190 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
     }
   };
 
+  const bool protecting = scheme.wants_backup() && config.num_backups > 0;
+  core::RoutingScheme* reroute =
+      config.num_backups > 0 ? &scheme : nullptr;
+
+  // --- graceful degradation: bounded jittered-backoff re-protection --------
+  // Connections whose step-4 re-protection found no feasible backup keep
+  // running *unprotected* and retry with exponential backoff; the jitter
+  // decorrelates retries after a burst without losing determinism.
+  Rng reprotect_rng(config.reprotect_seed ^ scenario.traffic.seed);
+  struct Reprotect {
+    Time at = 0.0;
+    std::int64_t seq = 0;  // FIFO tie-break at equal times
+    ConnId conn = kInvalidConn;
+    int attempt = 1;
+  };
+  const auto retry_after = [](const Reprotect& a, const Reprotect& b) {
+    return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+  };
+  std::vector<Reprotect> retries;  // min-heap on (at, seq)
+  std::int64_t retry_seq = 0;
+  // Connections currently degraded (admitted, protection wanted, no
+  // backup). Guards against double-counting when overlapping failures hit
+  // the same connection again while it is still exposed.
+  std::unordered_set<ConnId> degraded_pending;
+
+  const auto schedule_retry = [&](ConnId id, int attempt, Time from) {
+    const double nominal =
+        config.reprotect_backoff * std::ldexp(1.0, attempt - 1);
+    retries.push_back(
+        Reprotect{.at = from + nominal * reprotect_rng.UniformReal(0.5, 1.5),
+                  .seq = retry_seq++,
+                  .conn = id,
+                  .attempt = attempt});
+    std::push_heap(retries.begin(), retries.end(), retry_after);
+  };
+
+  const auto handle_retry = [&](const Reprotect& r) {
+    const core::DrConnection* conn = net.Find(r.conn);
+    if (conn == nullptr || conn->has_backup()) {
+      // Released, dropped, or re-protected by a later failure's step 4.
+      degraded_pending.erase(r.conn);
+      return;
+    }
+    ++m.reprotect_retries;
+    Counters().reprotect_retries.Add();
+    net.PublishTo(db, r.at);
+    auto backup = scheme.SelectBackupFor(net, db, conn->primary, conn->bw);
+    const bool usable =
+        backup.has_value() &&
+        backup->OverlapCount(conn->primary) < conn->primary.hops() &&
+        std::all_of(backup->links().begin(), backup->links().end(),
+                    [&](LinkId l) { return net.IsLinkUp(l); });
+    if (usable) {
+      m.overbooked_hops += net.RegisterBackup(r.conn, *backup);
+      ++m.reprotect_recovered;
+      Counters().reprotects.Add();
+      degraded_pending.erase(r.conn);
+      if (config.trace != nullptr) {
+        config.trace->OnReestablish(r.at, r.conn, *backup,
+                                    backup_aplv(*backup));
+      }
+    } else if (r.attempt < config.reprotect_max_retries) {
+      schedule_retry(r.conn, r.attempt + 1, r.at);
+    } else {
+      ++m.reprotect_exhausted;
+      degraded_pending.erase(r.conn);
+    }
+    if (config.after_event) {
+      config.after_event(net, r.at, "reprotect_retry", nullptr);
+    }
+  };
+
+  // Marks every connection the failure left admitted-but-unprotected and
+  // schedules its first re-protection retry.
+  const auto mark_degraded = [&](Time t,
+                                 const core::SwitchoverReport& report) {
+    if (!protecting) return;
+    for (const std::vector<ConnId>* ids :
+         {&report.recovered, &report.backups_lost}) {
+      for (const ConnId id : *ids) {
+        const core::DrConnection* conn = net.Find(id);
+        if (conn == nullptr || conn->has_backup()) continue;
+        if (!degraded_pending.insert(id).second) continue;
+        ++m.degraded;
+        Counters().degraded.Add();
+        if (config.trace != nullptr) {
+          config.trace->OnDegrade(t, id, config.reprotect_max_retries);
+        }
+        if (config.reprotect_max_retries > 0) {
+          schedule_retry(id, 1, t);
+        }
+      }
+    }
+  };
+
+  // Shared failure bookkeeping: metrics, counters, per-connection trace
+  // fan-out, degradation marking, scheme + LSDB refresh. The caller has
+  // already emitted the aggregate trace line for its failure kind.
+  const auto fanout_failure = [&](Time t,
+                                  const core::SwitchoverReport& report) {
+    m.failover_recovered +=
+        static_cast<std::int64_t>(report.recovered.size());
+    m.failover_dropped += static_cast<std::int64_t>(report.dropped.size());
+    m.backups_broken +=
+        static_cast<std::int64_t>(report.backups_lost.size());
+    m.backups_reestablished +=
+        static_cast<std::int64_t>(report.rerouted.size());
+    for (const ConnId id : report.dropped) {
+      admitted_ids.erase(id);
+      degraded_pending.erase(id);
+    }
+    for (const ConnId id : report.rerouted) degraded_pending.erase(id);
+    note_active(t, net.ActiveCount());
+    Counters().failovers.Add(
+        static_cast<std::int64_t>(report.recovered.size()));
+    Counters().drops.Add(static_cast<std::int64_t>(report.dropped.size()));
+    Counters().backup_breaks.Add(
+        static_cast<std::int64_t>(report.backups_lost.size()));
+    Counters().reestablishes.Add(
+        static_cast<std::int64_t>(report.rerouted.size()));
+    if (config.trace != nullptr) {
+      // Per-connection consequences, in the report's (deterministic)
+      // order, following the aggregate line.
+      for (const ConnId id : report.recovered) {
+        const core::DrConnection* conn = net.Find(id);
+        if (conn != nullptr) {
+          config.trace->OnFailover(t, id, conn->primary);
+        }
+      }
+      for (const ConnId id : report.dropped) {
+        config.trace->OnDrop(t, id);
+      }
+      for (const ConnId id : report.backups_lost) {
+        config.trace->OnBackupBreak(t, id);
+      }
+      for (const ConnId id : report.rerouted) {
+        const core::DrConnection* conn = net.Find(id);
+        const routing::Path* backup =
+            conn != nullptr ? conn->first_backup() : nullptr;
+        if (backup != nullptr) {
+          config.trace->OnReestablish(t, id, *backup, backup_aplv(*backup));
+        }
+      }
+    }
+    mark_degraded(t, report);
+    scheme.OnTopologyChanged(net);
+    if (instant) net.PublishTo(db, t);
+  };
+
+  // Links taken down by an enacted node / SRLG failure, so the matching
+  // repair restores exactly that set (members already down beforehand —
+  // e.g. from an overlapping link failure — keep their own repair event).
+  std::unordered_map<NodeId, std::vector<LinkId>> node_downed;
+  std::unordered_map<SrlgId, std::vector<LinkId>> srlg_downed;
+
+  // Restores whichever of `links` are still down; true if any came up.
+  const auto repair_links = [&](const std::vector<LinkId>& links) {
+    bool any = false;
+    for (const LinkId l : links) {
+      if (!net.IsLinkUp(l)) {
+        net.SetLinkUp(l);
+        any = true;
+      }
+    }
+    return any;
+  };
+
   for (const ScenarioEvent& e : scenario.events) {
     maybe_inspect(e.time);
-    while (next_sample <= e.time && next_sample <= duration) {
-      sample(next_sample);
-      next_sample += config.sample_interval;
+    // Interleave P_bk samples and due re-protection retries in time order
+    // up to this event.
+    while (true) {
+      const Time ts = next_sample <= duration ? next_sample : kTimeInfinity;
+      const Time tr = retries.empty() ? kTimeInfinity : retries.front().at;
+      if (ts > e.time && tr > e.time) break;
+      if (tr <= ts) {
+        std::pop_heap(retries.begin(), retries.end(), retry_after);
+        const Reprotect r = retries.back();
+        retries.pop_back();
+        handle_retry(r);
+      } else {
+        sample(next_sample);
+        next_sample += config.sample_interval;
+      }
     }
     while (next_refresh <= e.time) {
       // The periodic refresh is a full re-advertisement by construction
@@ -117,6 +330,9 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
       net.PublishFullTo(db, next_refresh);
       next_refresh += config.lsdb_refresh_interval;
     }
+
+    // Non-null for enacted failures when after_event fires below.
+    std::optional<core::SwitchoverReport> event_report;
 
     if (e.type == ScenarioEvent::Type::kRequest) {
       ++m.requests;
@@ -135,6 +351,13 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
         ++m.admitted;
         admitted_ids.insert(e.conn);
         m.primary_hops.Add(sel.primary->hops());
+        // A "backup" covering every primary link (the scheme shuns rather
+        // than forbids primary links) protects nothing; admit unprotected
+        // instead of booking spare for vacuous coverage.
+        if (sel.backup.has_value() &&
+            sel.backup->OverlapCount(*sel.primary) >= sel.primary->hops()) {
+          sel.backup.reset();
+        }
         if (scheme.wants_backup() && config.num_backups > 0 &&
             sel.backup.has_value()) {
           m.overbooked_hops += net.RegisterBackup(e.conn, *sel.backup);
@@ -178,62 +401,19 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
     } else if (e.type == ScenarioEvent::Type::kLinkFail) {
       if (net.IsLinkUp(e.link)) {
         ++m.failures_enacted;
-        const core::SwitchoverReport report = core::ApplyLinkFailure(
-            net, e.link, e.time, config.num_backups > 0 ? &scheme : nullptr,
-            &db);
-        m.failover_recovered += static_cast<std::int64_t>(
-            report.recovered.size());
-        m.failover_dropped += static_cast<std::int64_t>(
-            report.dropped.size());
-        m.backups_broken += static_cast<std::int64_t>(
-            report.backups_lost.size());
-        m.backups_reestablished += static_cast<std::int64_t>(
-            report.rerouted.size());
-        for (ConnId id : report.dropped) admitted_ids.erase(id);
-        note_active(e.time, net.ActiveCount());
+        event_report =
+            core::ApplyLinkFailure(net, e.link, e.time, reroute, &db);
         Counters().link_fails.Add();
-        Counters().failovers.Add(
-            static_cast<std::int64_t>(report.recovered.size()));
-        Counters().drops.Add(
-            static_cast<std::int64_t>(report.dropped.size()));
-        Counters().backup_breaks.Add(
-            static_cast<std::int64_t>(report.backups_lost.size()));
-        Counters().reestablishes.Add(
-            static_cast<std::int64_t>(report.rerouted.size()));
         if (config.trace != nullptr) {
-          config.trace->OnLinkFail(e.time, e.link,
-                                   static_cast<int>(report.recovered.size()),
-                                   static_cast<int>(report.dropped.size()),
-                                   static_cast<int>(
-                                       report.backups_lost.size()));
-          // The aggregate line is followed by the per-connection
-          // consequences, in the report's (deterministic) order.
-          for (const ConnId id : report.recovered) {
-            const core::DrConnection* conn = net.Find(id);
-            if (conn != nullptr) {
-              config.trace->OnFailover(e.time, id, conn->primary);
-            }
-          }
-          for (const ConnId id : report.dropped) {
-            config.trace->OnDrop(e.time, id);
-          }
-          for (const ConnId id : report.backups_lost) {
-            config.trace->OnBackupBreak(e.time, id);
-          }
-          for (const ConnId id : report.rerouted) {
-            const core::DrConnection* conn = net.Find(id);
-            const routing::Path* backup =
-                conn != nullptr ? conn->first_backup() : nullptr;
-            if (backup != nullptr) {
-              config.trace->OnReestablish(e.time, id, *backup,
-                                          backup_aplv(*backup));
-            }
-          }
+          config.trace->OnLinkFail(
+              e.time, e.link,
+              static_cast<int>(event_report->recovered.size()),
+              static_cast<int>(event_report->dropped.size()),
+              static_cast<int>(event_report->backups_lost.size()));
         }
-        scheme.OnTopologyChanged(net);
-        if (instant) net.PublishTo(db, e.time);
+        fanout_failure(e.time, *event_report);
       }
-    } else {  // kLinkRepair
+    } else if (e.type == ScenarioEvent::Type::kLinkRepair) {
       if (!net.IsLinkUp(e.link)) {
         net.SetLinkUp(e.link);
         Counters().link_repairs.Add();
@@ -243,14 +423,107 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
         }
         if (instant) net.PublishTo(db, e.time);
       }
+    } else if (e.type == ScenarioEvent::Type::kNodeFail) {
+      DRTP_CHECK_MSG(e.node >= 0 && e.node < topo.num_nodes(),
+                     "fail-node: node " << e.node << " out of range");
+      std::vector<LinkId> taking_down;
+      for (const LinkId l : core::IncidentLinks(topo, e.node)) {
+        if (net.IsLinkUp(l)) taking_down.push_back(l);
+      }
+      if (!taking_down.empty()) {
+        ++m.failures_enacted;
+        event_report = core::ApplyLinkSetFailure(net, taking_down, e.time,
+                                                 reroute, &db);
+        node_downed[e.node] = std::move(taking_down);
+        Counters().node_fails.Add();
+        if (config.trace != nullptr) {
+          config.trace->OnNodeFail(
+              e.time, e.node,
+              static_cast<int>(event_report->recovered.size()),
+              static_cast<int>(event_report->dropped.size()),
+              static_cast<int>(event_report->backups_lost.size()));
+        }
+        fanout_failure(e.time, *event_report);
+      }
+    } else if (e.type == ScenarioEvent::Type::kNodeRepair) {
+      const auto it = node_downed.find(e.node);
+      if (it != node_downed.end()) {
+        const bool any = repair_links(it->second);
+        node_downed.erase(it);
+        if (any) {
+          Counters().node_repairs.Add();
+          scheme.OnTopologyChanged(net);
+          if (config.trace != nullptr) {
+            config.trace->OnNodeRepair(e.time, e.node);
+          }
+          if (instant) net.PublishTo(db, e.time);
+        }
+      }
+    } else if (e.type == ScenarioEvent::Type::kSrlgFail) {
+      DRTP_CHECK_MSG(e.srlg >= 0 && e.srlg < topo.num_srlgs(),
+                     "fail-srlg: group " << e.srlg << " out of range");
+      std::vector<LinkId> taking_down;
+      for (const LinkId l : topo.LinksInSrlg(e.srlg)) {
+        if (net.IsLinkUp(l)) taking_down.push_back(l);
+      }
+      if (!taking_down.empty()) {
+        ++m.failures_enacted;
+        event_report = core::ApplyLinkSetFailure(net, taking_down, e.time,
+                                                 reroute, &db);
+        srlg_downed[e.srlg] = std::move(taking_down);
+        Counters().srlg_fails.Add();
+        if (config.trace != nullptr) {
+          config.trace->OnSrlgFail(
+              e.time, e.srlg,
+              static_cast<int>(event_report->recovered.size()),
+              static_cast<int>(event_report->dropped.size()),
+              static_cast<int>(event_report->backups_lost.size()));
+        }
+        fanout_failure(e.time, *event_report);
+      }
+    } else {  // kSrlgRepair
+      const auto it = srlg_downed.find(e.srlg);
+      if (it != srlg_downed.end()) {
+        const bool any = repair_links(it->second);
+        srlg_downed.erase(it);
+        if (any) {
+          Counters().srlg_repairs.Add();
+          scheme.OnTopologyChanged(net);
+          if (config.trace != nullptr) {
+            config.trace->OnSrlgRepair(e.time, e.srlg);
+          }
+          if (instant) net.PublishTo(db, e.time);
+        }
+      }
+    }
+
+    if (config.after_event) {
+      config.after_event(net, e.time, EventLabel(e.type),
+                         event_report.has_value() ? &*event_report
+                                                  : nullptr);
     }
   }
-  while (next_sample <= duration) {
-    sample(next_sample);
-    next_sample += config.sample_interval;
+  // Drain trailing samples and any retries scheduled before the horizon,
+  // still in time order.
+  while (true) {
+    const Time ts = next_sample <= duration ? next_sample : kTimeInfinity;
+    const Time tr = retries.empty() ? kTimeInfinity : retries.front().at;
+    if (ts > duration && tr > duration) break;
+    if (tr <= ts) {
+      std::pop_heap(retries.begin(), retries.end(), retry_after);
+      const Reprotect r = retries.back();
+      retries.pop_back();
+      handle_retry(r);
+    } else {
+      sample(next_sample);
+      next_sample += config.sample_interval;
+    }
   }
   if (!window.started()) window.Set(config.warmup, active_count);
   m.avg_active = window.Average(duration);
+  if (config.after_event) {
+    config.after_event(net, duration, "final", nullptr);
+  }
 
   DRTP_CHECK(m.admitted + m.blocked == m.requests);
   if (config.check_consistency) net.CheckConsistency();

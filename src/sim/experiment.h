@@ -8,8 +8,11 @@
 // failing every link at regular instants.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string_view>
 
+#include "drtp/failure.h"
 #include "drtp/network.h"
 #include "drtp/scheme.h"
 #include "net/topology.h"
@@ -35,6 +38,25 @@ struct ExperimentConfig {
   int num_backups = 1;
   /// Run DrtpNetwork::CheckConsistency at every sample (slow; tests only).
   bool check_consistency = false;
+  /// Bounded re-protection for connections that degraded to *unprotected*
+  /// (step 4 found no feasible backup): number of jittered
+  /// exponential-backoff retries before giving up. 0 leaves degraded
+  /// connections exposed until another failure's step 4 covers them.
+  int reprotect_max_retries = 6;
+  /// Nominal delay before the first re-protection retry; doubles per
+  /// attempt and is jittered uniformly in [0.5, 1.5) of nominal.
+  Time reprotect_backoff = 5.0;
+  /// Jitter seed; combined with the scenario's traffic seed so replays
+  /// stay deterministic while distinct cells decorrelate.
+  std::uint64_t reprotect_seed = 0x5eedf00dULL;
+  /// Invoked after every enacted replay event (and every re-protection
+  /// retry) with the network, the simulation time, a short event label
+  /// ("link_fail", "node_repair", "reprotect_retry", ...), and — for
+  /// failure events — the switchover report (else null). This is the
+  /// fault::Auditor hook; null = disabled.
+  std::function<void(const core::DrtpNetwork&, Time, std::string_view,
+                     const core::SwitchoverReport*)>
+      after_event;
   /// Invoked once with the network state at the end of the measurement
   /// window (before trailing releases drain it) — audits, custom metrics.
   /// Null = disabled.

@@ -30,6 +30,17 @@ struct RunMetrics {
   /// Backups re-established by step-4 resource reconfiguration.
   std::int64_t backups_reestablished = 0;
 
+  // --- graceful degradation --------------------------------------------------
+  /// Connections that entered the degraded (unprotected) state because
+  /// immediate step-4 re-protection found no feasible backup.
+  std::int64_t degraded = 0;
+  /// Jittered-backoff re-protection attempts made for degraded connections.
+  std::int64_t reprotect_retries = 0;
+  /// Degraded connections that regained a backup via a backoff retry.
+  std::int64_t reprotect_recovered = 0;
+  /// Degraded connections that exhausted every retry and stayed exposed.
+  std::int64_t reprotect_exhausted = 0;
+
   /// Recovery ratio actually achieved across enacted failures — the
   /// enacted counterpart of the what-if P_bk. NaN (rendered "--" by
   /// TextTable) when no enacted failure hit a primary: "no evidence" is

@@ -105,4 +105,43 @@ void ObsBridge::OnReestablish(Time t, ConnId conn,
   sink_.Write(e);
 }
 
+void ObsBridge::OnNodeFail(Time t, NodeId node, int recovered, int dropped,
+                           int backups_broken) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kNodeFail);
+  e.node = node;
+  e.recovered = recovered;
+  e.dropped = dropped;
+  e.broken = backups_broken;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnNodeRepair(Time t, NodeId node) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kNodeRepair);
+  e.node = node;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnSrlgFail(Time t, SrlgId srlg, int recovered, int dropped,
+                           int backups_broken) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kSrlgFail);
+  e.srlg = srlg;
+  e.recovered = recovered;
+  e.dropped = dropped;
+  e.broken = backups_broken;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnSrlgRepair(Time t, SrlgId srlg) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kSrlgRepair);
+  e.srlg = srlg;
+  sink_.Write(e);
+}
+
+void ObsBridge::OnDegrade(Time t, ConnId conn, int retries_left) {
+  obs::TraceEvent e = Stamp(t, obs::TraceEventKind::kDegrade);
+  e.conn = conn;
+  e.retries_left = retries_left;
+  sink_.Write(e);
+}
+
 }  // namespace drtp::sim

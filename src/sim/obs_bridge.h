@@ -38,6 +38,13 @@ class ObsBridge : public TraceSink {
   void OnBackupBreak(Time t, ConnId conn) override;
   void OnReestablish(Time t, ConnId conn, const routing::Path& backup,
                      BackupAplv backup_aplv) override;
+  void OnNodeFail(Time t, NodeId node, int recovered, int dropped,
+                  int backups_broken) override;
+  void OnNodeRepair(Time t, NodeId node) override;
+  void OnSrlgFail(Time t, SrlgId srlg, int recovered, int dropped,
+                  int backups_broken) override;
+  void OnSrlgRepair(Time t, SrlgId srlg) override;
+  void OnDegrade(Time t, ConnId conn, int retries_left) override;
 
  private:
   /// A TraceEvent pre-stamped with time, kind, cell and scheme.

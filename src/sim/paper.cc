@@ -8,12 +8,14 @@
 
 namespace drtp::sim {
 
-net::Topology MakePaperTopology(double avg_degree, std::uint64_t seed) {
+net::Topology MakePaperTopology(double avg_degree, std::uint64_t seed,
+                                int srlg_groups) {
   return net::MakeWaxman(net::WaxmanConfig{.nodes = kPaperNodes,
                                            .avg_degree = avg_degree,
                                            .alpha = 0.25,
                                            .beta = 0.8,
                                            .link_capacity = kPaperLinkCapacity,
+                                           .srlg_groups = srlg_groups,
                                            .seed = seed});
 }
 

@@ -23,8 +23,12 @@ inline constexpr Bandwidth kPaperConnBw = Mbps(1);
 inline constexpr Time kPaperDuration = 10000.0;
 inline constexpr Time kPaperWarmup = 4000.0;
 
-/// 60-node Waxman topology with the requested average degree.
-net::Topology MakePaperTopology(double avg_degree, std::uint64_t seed);
+/// 60-node Waxman topology with the requested average degree. When
+/// `srlg_groups` > 0 the links are additionally tagged with that many
+/// geographically clustered shared-risk groups (fault campaigns);
+/// srlg_groups = 0 is bit-identical to the historical two-arg call.
+net::Topology MakePaperTopology(double avg_degree, std::uint64_t seed,
+                                int srlg_groups = 0);
 
 /// Traffic config for one (pattern, λ) cell of Fig. 4/5.
 TrafficConfig MakePaperTraffic(TrafficPattern pattern, double lambda,

@@ -1,9 +1,12 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/error.h"
+#include "common/lineio.h"
 #include "common/rng.h"
 
 namespace drtp::sim {
@@ -47,7 +50,9 @@ std::int64_t Scenario::NumRequests() const {
 std::int64_t Scenario::NumFailures() const {
   return static_cast<std::int64_t>(
       std::count_if(events.begin(), events.end(), [](const ScenarioEvent& e) {
-        return e.type == ScenarioEvent::Type::kLinkFail;
+        return e.type == ScenarioEvent::Type::kLinkFail ||
+               e.type == ScenarioEvent::Type::kNodeFail ||
+               e.type == ScenarioEvent::Type::kSrlgFail;
       }));
 }
 
@@ -106,7 +111,11 @@ void InjectLinkFailures(Scenario& scenario, const net::Topology& topo,
 }
 
 void Scenario::Save(std::ostream& os) const {
-  os << "drtp-scenario 1\n";
+  const bool v2 = std::any_of(events.begin(), events.end(),
+                              [](const ScenarioEvent& e) {
+                                return e.RequiresV2();
+                              });
+  os << "drtp-scenario " << (v2 ? 2 : 1) << "\n";
   os << "traffic " << static_cast<int>(traffic.pattern) << " "
      << traffic.lambda << " " << traffic.duration << " " << traffic.bw << " "
      << traffic.bw_max << " " << traffic.lifetime_min << " "
@@ -129,51 +138,95 @@ void Scenario::Save(std::ostream& os) const {
       case ScenarioEvent::Type::kLinkRepair:
         os << "repair " << e.time << " " << e.link << "\n";
         break;
+      case ScenarioEvent::Type::kNodeFail:
+        os << "fail-node " << e.time << " " << e.node << "\n";
+        break;
+      case ScenarioEvent::Type::kNodeRepair:
+        os << "repair-node " << e.time << " " << e.node << "\n";
+        break;
+      case ScenarioEvent::Type::kSrlgFail:
+        os << "fail-srlg " << e.time << " " << e.srlg << "\n";
+        break;
+      case ScenarioEvent::Type::kSrlgRepair:
+        os << "repair-srlg " << e.time << " " << e.srlg << "\n";
+        break;
     }
   }
 }
 
 Scenario Scenario::Load(std::istream& is) {
-  std::string word;
+  using lineio::ParseFields;
+  LineReader in(is);
   int version = 0;
-  DRTP_CHECK_MSG(is >> word >> version && word == "drtp-scenario" &&
-                     version == 1,
-                 "bad scenario header");
+  lineio::ParseLine(in.Next("header"), in.lineno(), "drtp-scenario", version);
+  if (version != 1 && version != 2) {
+    throw ParseError("unsupported scenario version " + std::to_string(version),
+                     in.lineno());
+  }
   Scenario sc;
   int pattern = 0;
-  DRTP_CHECK(is >> word >> pattern >> sc.traffic.lambda >>
-                 sc.traffic.duration >> sc.traffic.bw >> sc.traffic.bw_max >>
-                 sc.traffic.lifetime_min >> sc.traffic.lifetime_max >>
-                 sc.traffic.hotspots >> sc.traffic.hotspot_fraction >>
-                 sc.traffic.seed &&
-             word == "traffic");
-  DRTP_CHECK(pattern == 0 || pattern == 1);
+  lineio::ParseLine(in.Next("traffic"), in.lineno(), "traffic", pattern,
+                    sc.traffic.lambda, sc.traffic.duration, sc.traffic.bw,
+                    sc.traffic.bw_max, sc.traffic.lifetime_min,
+                    sc.traffic.lifetime_max, sc.traffic.hotspots,
+                    sc.traffic.hotspot_fraction, sc.traffic.seed);
+  if (pattern != 0 && pattern != 1) {
+    throw ParseError("unknown traffic pattern " + std::to_string(pattern),
+                     in.lineno());
+  }
   sc.traffic.pattern = static_cast<TrafficPattern>(pattern);
-  std::size_t count = 0;
-  DRTP_CHECK(is >> word >> count && word == "events");
-  sc.events.reserve(count);
+  const int count = lineio::ParseCount(in, "events");
+  sc.events.reserve(static_cast<std::size_t>(count));
   Time prev = -kTimeInfinity;
-  for (std::size_t i = 0; i < count; ++i) {
+  for (int i = 0; i < count; ++i) {
+    const std::string line = in.Next("event");
+    const std::int64_t lineno = in.lineno();
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
     ScenarioEvent e;
-    DRTP_CHECK_MSG(static_cast<bool>(is >> word), "truncated scenario");
-    if (word == "req") {
+    if (kind == "req") {
       e.type = ScenarioEvent::Type::kRequest;
-      DRTP_CHECK(is >> e.time >> e.conn >> e.src >> e.dst >> e.bw);
-    } else if (word == "rel") {
+      ParseFields(ls, lineno, kind, e.time, e.conn, e.src, e.dst, e.bw);
+      if (e.conn < 0 || e.src < 0 || e.dst < 0 || e.src == e.dst || e.bw <= 0) {
+        throw ParseError("invalid request fields", lineno);
+      }
+    } else if (kind == "rel") {
       e.type = ScenarioEvent::Type::kRelease;
-      DRTP_CHECK(is >> e.time >> e.conn);
-    } else if (word == "fail") {
+      ParseFields(ls, lineno, kind, e.time, e.conn);
+      if (e.conn < 0) throw ParseError("invalid connection id", lineno);
+    } else if (kind == "fail") {
       e.type = ScenarioEvent::Type::kLinkFail;
-      DRTP_CHECK(is >> e.time >> e.link);
-    } else if (word == "repair") {
+      ParseFields(ls, lineno, kind, e.time, e.link);
+      if (e.link < 0) throw ParseError("invalid link id", lineno);
+    } else if (kind == "repair") {
       e.type = ScenarioEvent::Type::kLinkRepair;
-      DRTP_CHECK(is >> e.time >> e.link);
+      ParseFields(ls, lineno, kind, e.time, e.link);
+      if (e.link < 0) throw ParseError("invalid link id", lineno);
+    } else if (kind == "fail-node" || kind == "repair-node") {
+      e.type = kind == "fail-node" ? ScenarioEvent::Type::kNodeFail
+                                   : ScenarioEvent::Type::kNodeRepair;
+      ParseFields(ls, lineno, kind, e.time, e.node);
+      if (e.node < 0) throw ParseError("invalid node id", lineno);
+    } else if (kind == "fail-srlg" || kind == "repair-srlg") {
+      e.type = kind == "fail-srlg" ? ScenarioEvent::Type::kSrlgFail
+                                   : ScenarioEvent::Type::kSrlgRepair;
+      ParseFields(ls, lineno, kind, e.time, e.srlg);
+      if (e.srlg < 0) throw ParseError("invalid srlg id", lineno);
     } else {
-      DRTP_CHECK_MSG(false, "unknown event kind '" << word << "'");
+      throw ParseError("unknown event kind '" + kind + "'", lineno);
     }
-    DRTP_CHECK_MSG(e.time >= prev, "events out of order");
+    if (e.RequiresV2() && version < 2) {
+      throw ParseError("event '" + kind + "' requires scenario version 2",
+                       lineno);
+    }
+    if (!std::isfinite(e.time)) throw ParseError("non-finite time", lineno);
+    if (e.time < prev) throw ParseError("events out of order", lineno);
     prev = e.time;
     sc.events.push_back(e);
+  }
+  if (in.HasTrailing()) {
+    throw ParseError("trailing content after events", in.lineno());
   }
   return sc;
 }

@@ -17,9 +17,20 @@
 
 namespace drtp::sim {
 
-/// One replayable event.
+/// One replayable event. kNodeFail/kNodeRepair and kSrlgFail/kSrlgRepair
+/// are schema-v2 correlated faults: a node failure takes down every
+/// incident link atomically, an SRLG failure every link in the risk group.
 struct ScenarioEvent {
-  enum class Type { kRequest, kRelease, kLinkFail, kLinkRepair };
+  enum class Type {
+    kRequest,
+    kRelease,
+    kLinkFail,
+    kLinkRepair,
+    kNodeFail,
+    kNodeRepair,
+    kSrlgFail,
+    kSrlgRepair,
+  };
   Type type = Type::kRequest;
   Time time = 0.0;
   ConnId conn = kInvalidConn;
@@ -27,8 +38,18 @@ struct ScenarioEvent {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   Bandwidth bw = 0;
-  // Failure/repair events only.
+  // Link failure/repair events only.
   LinkId link = kInvalidLink;
+  // Node failure/repair events only.
+  NodeId node = kInvalidNode;
+  // SRLG failure/repair events only.
+  SrlgId srlg = kInvalidSrlg;
+
+  /// True for the fault kinds introduced by schema v2.
+  bool RequiresV2() const {
+    return type == Type::kNodeFail || type == Type::kNodeRepair ||
+           type == Type::kSrlgFail || type == Type::kSrlgRepair;
+  }
 };
 
 /// An immutable event trace plus the traffic parameters it came from.
@@ -42,13 +63,19 @@ struct Scenario {
   static Scenario Generate(const net::Topology& topo,
                            const TrafficConfig& config);
 
-  /// Line-oriented text round-trip.
+  /// Line-oriented text round-trip. Save writes `drtp-scenario 1` unless a
+  /// v2 fault event is present (then `drtp-scenario 2` with
+  /// `fail-node`/`repair-node`/`fail-srlg`/`repair-srlg` lines), so v1
+  /// files keep round-tripping byte-identically. Load accepts both
+  /// versions and throws drtp::ParseError on malformed, truncated, or
+  /// out-of-range input.
   void Save(std::ostream& os) const;
   static Scenario Load(std::istream& is);
   std::string ToString() const;
   static Scenario FromString(const std::string& text);
 
   std::int64_t NumRequests() const;
+  /// All enacted fault events (link, node, and SRLG failures).
   std::int64_t NumFailures() const;
 };
 

@@ -81,4 +81,34 @@ void TextTraceSink::OnReestablish(Time t, ConnId conn,
   ++lines_;
 }
 
+void TextTraceSink::OnNodeFail(Time t, NodeId node, int recovered,
+                               int dropped, int backups_broken) {
+  os_ << t << " N node " << node << " recovered " << recovered << " dropped "
+      << dropped << " broken " << backups_broken << '\n';
+  ++lines_;
+}
+
+void TextTraceSink::OnNodeRepair(Time t, NodeId node) {
+  os_ << t << " n node " << node << " repaired\n";
+  ++lines_;
+}
+
+void TextTraceSink::OnSrlgFail(Time t, SrlgId srlg, int recovered,
+                               int dropped, int backups_broken) {
+  os_ << t << " S srlg " << srlg << " recovered " << recovered << " dropped "
+      << dropped << " broken " << backups_broken << '\n';
+  ++lines_;
+}
+
+void TextTraceSink::OnSrlgRepair(Time t, SrlgId srlg) {
+  os_ << t << " s srlg " << srlg << " repaired\n";
+  ++lines_;
+}
+
+void TextTraceSink::OnDegrade(Time t, ConnId conn, int retries_left) {
+  os_ << t << " d conn " << conn << " degraded retries-left " << retries_left
+      << '\n';
+  ++lines_;
+}
+
 }  // namespace drtp::sim

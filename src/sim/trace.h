@@ -63,6 +63,20 @@ class TraceSink {
   virtual void OnReestablish(Time /*t*/, ConnId /*conn*/,
                              const routing::Path& /*backup*/,
                              BackupAplv /*backup_aplv*/) {}
+  /// Correlated faults (scenario schema v2): a node failure takes down all
+  /// incident links at once, an SRLG failure every link in the risk group.
+  /// Per-connection consequences follow as OnFailover / OnDrop /
+  /// OnBackupBreak / OnReestablish calls, exactly as after OnLinkFail.
+  virtual void OnNodeFail(Time /*t*/, NodeId /*node*/, int /*recovered*/,
+                          int /*dropped*/, int /*backups_broken*/) {}
+  virtual void OnNodeRepair(Time /*t*/, NodeId /*node*/) {}
+  virtual void OnSrlgFail(Time /*t*/, SrlgId /*srlg*/, int /*recovered*/,
+                          int /*dropped*/, int /*backups_broken*/) {}
+  virtual void OnSrlgRepair(Time /*t*/, SrlgId /*srlg*/) {}
+  /// Step 4 found no feasible backup: the connection keeps running
+  /// *unprotected* and enters jittered-backoff re-protection (a later
+  /// OnReestablish marks success).
+  virtual void OnDegrade(Time /*t*/, ConnId /*conn*/, int /*retries_left*/) {}
 };
 
 /// Renders one line per event to a stream:
@@ -75,6 +89,11 @@ class TraceSink {
 ///   9.1000 b conn 4 backup broken
 ///   9.1000 = conn 12 backup 3-5-22
 ///   9.5000 ~ link 45 repaired
+///   9.1000 N node 6 recovered 2 dropped 1 broken 0
+///   9.5000 n node 6 repaired
+///   9.1000 S srlg 2 recovered 1 dropped 0 broken 3
+///   9.5000 s srlg 2 repaired
+///   9.1000 d conn 12 degraded retries-left 6
 /// Requests are not rendered (each is immediately followed by its admit
 /// or block line).
 class TextTraceSink : public TraceSink {
@@ -95,6 +114,13 @@ class TextTraceSink : public TraceSink {
   void OnBackupBreak(Time t, ConnId conn) override;
   void OnReestablish(Time t, ConnId conn, const routing::Path& backup,
                      BackupAplv backup_aplv) override;
+  void OnNodeFail(Time t, NodeId node, int recovered, int dropped,
+                  int backups_broken) override;
+  void OnNodeRepair(Time t, NodeId node) override;
+  void OnSrlgFail(Time t, SrlgId srlg, int recovered, int dropped,
+                  int backups_broken) override;
+  void OnSrlgRepair(Time t, SrlgId srlg) override;
+  void OnDegrade(Time t, ConnId conn, int retries_left) override;
 
   std::int64_t lines_written() const { return lines_; }
 
@@ -126,6 +152,11 @@ class CountingTraceSink : public TraceSink {
                      BackupAplv) override {
     ++reestablishes;
   }
+  void OnNodeFail(Time, NodeId, int, int, int) override { ++node_fails; }
+  void OnNodeRepair(Time, NodeId) override { ++node_repairs; }
+  void OnSrlgFail(Time, SrlgId, int, int, int) override { ++srlg_fails; }
+  void OnSrlgRepair(Time, SrlgId) override { ++srlg_repairs; }
+  void OnDegrade(Time, ConnId, int) override { ++degrades; }
 
   std::int64_t requests = 0;
   std::int64_t admits = 0;
@@ -137,6 +168,11 @@ class CountingTraceSink : public TraceSink {
   std::int64_t drops = 0;
   std::int64_t backup_breaks = 0;
   std::int64_t reestablishes = 0;
+  std::int64_t node_fails = 0;
+  std::int64_t node_repairs = 0;
+  std::int64_t srlg_fails = 0;
+  std::int64_t srlg_repairs = 0;
+  std::int64_t degrades = 0;
 };
 
 }  // namespace drtp::sim

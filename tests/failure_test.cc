@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "drtp/dlsr.h"
 #include "drtp/failure.h"
 #include "drtp/network.h"
@@ -236,6 +237,88 @@ TEST(Switchover, DuplexFailureHitsBothDirections) {
       net, net.topology().FindLink(0, 1), 1.0, nullptr, nullptr);
   // Both directions' primaries are hit and both recover disjointly.
   EXPECT_EQ(report.recovered.size(), 2u);
+  net.CheckConsistency();
+}
+
+// ---- what-if vs enacted cross-check --------------------------------------
+
+// Populates `net` with a deterministic D-LSR-routed load. Rebuilding with
+// the same seed yields an identical network, so the non-mutating analysis
+// on one instance can be compared with the enacted switchover on another.
+void LoadDeterministically(DrtpNetwork& net) {
+  const net::Topology& topo = net.topology();
+  lsdb::LinkStateDb db(topo.num_links(), topo.num_links());
+  net.PublishFullTo(db, 0.0);
+  Dlsr scheme;
+  Rng rng(21);
+  ConnId next = 1;
+  for (int i = 0; i < 60; ++i) {
+    const auto s = static_cast<NodeId>(
+        rng.Index(static_cast<std::size_t>(topo.num_nodes())));
+    const auto d = static_cast<NodeId>(
+        rng.Index(static_cast<std::size_t>(topo.num_nodes())));
+    if (s == d) continue;
+    const RouteSelection sel = scheme.SelectRoutes(net, db, s, d, Mbps(1));
+    if (!sel.primary.has_value()) continue;
+    if (!net.EstablishConnection(next, *sel.primary, Mbps(1), 0.0)) continue;
+    if (sel.backup.has_value()) net.RegisterBackup(next, *sel.backup);
+    ++next;
+    net.PublishTo(db, 0.0);
+  }
+}
+
+TEST(EvaluateApplyCrossCheck, WhatIfMatchesEnactedSwitchover) {
+  const net::Topology topo = net::MakeWaxman({.nodes = 20,
+                                              .avg_degree = 3.5,
+                                              .link_capacity = Mbps(10),
+                                              .seed = 13});
+  DrtpNetwork probe(topo);
+  LoadDeterministically(probe);
+  ASSERT_GT(probe.ActiveCount(), 10);
+  std::vector<LinkId> candidates;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (EvaluateLinkFailure(probe, l).attempts > 0) candidates.push_back(l);
+  }
+  ASSERT_GE(candidates.size(), 6u);
+  // Every affected connection the analysis says would activate must be
+  // exactly the set the enacted switchover recovers — and same for drops.
+  int tested = 0;
+  for (const LinkId l : candidates) {
+    if (++tested > 6) break;
+    DrtpNetwork net(topo);
+    LoadDeterministically(net);
+    const FailureImpactDetail detail = EvaluateLinkFailureDetailed(net, l);
+    const SwitchoverReport report =
+        ApplyLinkFailure(net, l, 1.0, nullptr, nullptr);
+    EXPECT_EQ(report.recovered, detail.activated) << "link " << l;
+    EXPECT_EQ(report.dropped, detail.dropped) << "link " << l;
+    EXPECT_EQ(detail.impact.activated,
+              static_cast<int>(report.recovered.size()));
+    net.CheckConsistency();
+  }
+}
+
+TEST(EvaluateApplyCrossCheck, AgreeUnderSpareContention) {
+  // The Fig. 1 under-provisioned situation: two activations compete for
+  // one spare slot on 0->3; both paths must report {recovered: 1,
+  // dropped: 2} (connection-id order breaks the tie).
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(2)));
+  ASSERT_TRUE(net.EstablishConnection(9, NodePath(net.topology(), {0, 3}),
+                                      Mbps(1), 0.0));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 4, 1}));
+  ASSERT_TRUE(net.EstablishConnection(2, NodePath(net.topology(), {0, 1, 2}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(2, NodePath(net.topology(), {0, 3, 4, 5, 2}));
+  const LinkId l01 = net.topology().FindLink(0, 1);
+  const FailureImpactDetail detail = EvaluateLinkFailureDetailed(net, l01);
+  EXPECT_EQ(detail.activated, std::vector<ConnId>{1});
+  EXPECT_EQ(detail.dropped, std::vector<ConnId>{2});
+  const SwitchoverReport report =
+      ApplyLinkFailure(net, l01, 1.0, nullptr, nullptr);
+  EXPECT_EQ(report.recovered, detail.activated);
+  EXPECT_EQ(report.dropped, detail.dropped);
   net.CheckConsistency();
 }
 

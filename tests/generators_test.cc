@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/error.h"
 #include "net/generators.h"
 #include "net/graphio.h"
 #include "net/transit_stub.h"
@@ -188,7 +189,44 @@ TEST(GraphIo, RoundTripsWaxmanWithCoordinates) {
 }
 
 TEST(GraphIo, RejectsGarbage) {
-  EXPECT_THROW(TopologyFromString("not a topology"), CheckError);
+  EXPECT_THROW(TopologyFromString("not a topology"), ParseError);
+}
+
+TEST(Waxman, SrlgGroupsTagEveryLinkAndShareDuplexFate) {
+  const WaxmanConfig base{.nodes = 30, .avg_degree = 3.5, .seed = 9};
+  WaxmanConfig tagged = base;
+  tagged.srlg_groups = 5;
+  const Topology t = MakeWaxman(tagged);
+  ASSERT_TRUE(t.has_srlgs());
+  EXPECT_LE(t.num_srlgs(), 5);
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    ASSERT_NE(t.srlg(l), kInvalidSrlg);
+    // A conduit cut severs both directions: duplex halves share a group.
+    EXPECT_EQ(t.srlg(l), t.srlg(t.link(l).reverse));
+  }
+  // Tagging must not perturb the generated graph itself.
+  const Topology plain = MakeWaxman(base);
+  ASSERT_EQ(plain.num_links(), t.num_links());
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_EQ(plain.link(l).src, t.link(l).src);
+    EXPECT_EQ(plain.link(l).dst, t.link(l).dst);
+  }
+}
+
+TEST(GraphIo, SrlgTagsRoundTripAsV2) {
+  const Topology t = MakeWaxman(
+      WaxmanConfig{.nodes = 25, .avg_degree = 3.0, .srlg_groups = 4,
+                   .seed = 3});
+  const Topology u = TopologyFromString(TopologyToString(t));
+  ASSERT_TRUE(u.has_srlgs());
+  EXPECT_EQ(u.num_srlgs(), t.num_srlgs());
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_EQ(u.srlg(l), t.srlg(l));
+  }
+  // Untagged topologies keep emitting the v1 format byte-for-byte.
+  const Topology v1 =
+      MakeWaxman(WaxmanConfig{.nodes = 25, .avg_degree = 3.0, .seed = 3});
+  EXPECT_EQ(TopologyToString(v1).find("srlg"), std::string::npos);
 }
 
 TEST(GraphIo, DotContainsEveryDuplexEdgeOnce) {

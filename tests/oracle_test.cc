@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/error.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "net/generators.h"
@@ -126,25 +127,25 @@ TEST(ScenarioFuzz, MalformedInputsThrowNotCrash) {
   // Truncations at every quarter of the file.
   for (std::size_t cut = 1; cut < 4; ++cut) {
     const std::string broken = good.substr(0, good.size() * cut / 4);
-    EXPECT_THROW(sim::Scenario::FromString(broken), CheckError)
+    EXPECT_THROW(sim::Scenario::FromString(broken), ParseError)
         << "cut " << cut;
   }
   // Token corruption.
   for (const char* bad : {"drtp-scenario x\n", "drtp-scenario 1\nevents -1\n",
                           "drtp-scenario 1\ntraffic 9 0 0\n"}) {
-    EXPECT_THROW(sim::Scenario::FromString(bad), CheckError) << bad;
+    EXPECT_THROW(sim::Scenario::FromString(bad), ParseError) << bad;
   }
   // Event-kind corruption inside a valid prefix.
   std::string mangled = good;
   const auto pos = mangled.find("\nreq ");
   ASSERT_NE(pos, std::string::npos);
   mangled.replace(pos, 5, "\nzzz ");
-  EXPECT_THROW(sim::Scenario::FromString(mangled), CheckError);
+  EXPECT_THROW(sim::Scenario::FromString(mangled), ParseError);
   // Out-of-order events.
   sim::Scenario reordered = sc;
   ASSERT_GE(reordered.events.size(), 2u);
   std::swap(reordered.events.front(), reordered.events.back());
-  EXPECT_THROW(sim::Scenario::FromString(reordered.ToString()), CheckError);
+  EXPECT_THROW(sim::Scenario::FromString(reordered.ToString()), ParseError);
 }
 
 TEST(FlagFuzz, TryParseReportsErrorsWithoutExiting) {

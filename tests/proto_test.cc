@@ -221,16 +221,28 @@ TEST(ProtoFailure, BrokenBackupsWithdrawnOnDetection) {
                            NodePath(h.net.topology(), {0, 3, 4, 5, 2}),
                            Mbps(1), [](ConnId, bool) {});
   h.queue.RunAll();
+  const LinkId dead = h.net.topology().FindLink(3, 4);
   h.queue.Schedule(1.0, [&] {
-    h.engine.InjectLinkFailure(h.net.topology().FindLink(3, 4),
-                               RecoveryMode::kProactive);
+    h.engine.InjectLinkFailure(dead, RecoveryMode::kProactive);
+  });
+  // Just past the detection delay the broken backup has been withdrawn
+  // and the connection is degraded (unprotected), awaiting its first
+  // re-protection retry.
+  h.queue.Schedule(1.0 + h.engine.config().detection_delay + 1e-6, [&] {
+    const core::DrConnection* conn = h.net.Find(1);
+    ASSERT_NE(conn, nullptr);
+    EXPECT_FALSE(conn->has_backup());
+    EXPECT_EQ(h.engine.degraded(), 1);
   });
   h.queue.RunAll();
   const core::DrConnection* conn = h.net.Find(1);
   ASSERT_NE(conn, nullptr);
-  // The broken backup was withdrawn; no failover happened.
+  // No failover happened (the primary never broke)...
   EXPECT_TRUE(h.engine.recoveries().empty());
-  EXPECT_FALSE(conn->has_backup());
+  // ...and the backoff retry re-protected around the dead link.
+  EXPECT_EQ(h.engine.reprotect_recovered(), 1);
+  ASSERT_TRUE(conn->has_backup());
+  EXPECT_FALSE(conn->first_backup()->Contains(dead));
   h.net.CheckConsistency();
 }
 

@@ -9,6 +9,7 @@
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -326,6 +327,96 @@ TEST(SweepEngineTest, FailingCellRethrowsFromRun) {
   SweepEngine::RunOptions ro;
   ro.jobs = 2;
   EXPECT_THROW(engine.Run(ro), std::exception);
+}
+
+// Records every Consume and whether Finish ran, like a results file would.
+class RecordingSink : public ResultSink {
+ public:
+  void Consume(const CellResult& result) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    cells_.push_back(result.cell.index);
+  }
+  void Finish() override { finished_ = true; }
+
+  std::vector<std::size_t> cells() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cells_;
+  }
+  bool finished() const { return finished_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::size_t> cells_;
+  bool finished_ = false;
+};
+
+TEST(SweepEngineTest, FailingCellStillFlushesCompletedCellsToSinks) {
+  // Two good cells and two that throw (unknown scheme). The sweep must
+  // rethrow — but only after the good cells reached the sinks AND every
+  // sink's Finish() ran, so a crashed sweep leaves a usable results file.
+  SweepSpec spec = TinySpec();
+  spec.schemes = {"D-LSR", "NoSuchScheme"};
+  SweepEngine engine(spec);
+  RecordingSink recorder;
+  std::ostringstream os;
+  JsonlSink jsonl(os);
+  SweepEngine::RunOptions ro;
+  ro.jobs = 2;
+  ro.sinks = {&recorder, &jsonl};
+  EXPECT_THROW(engine.Run(ro), std::exception);
+  EXPECT_TRUE(recorder.finished());
+  EXPECT_EQ(recorder.cells().size(), 2u);  // the two D-LSR cells
+  EXPECT_EQ(jsonl.lines_written(), 2);
+  // Every flushed line is complete (single-write line atomicity).
+  std::istringstream in(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(SweepEngineTest, CampaignAuditIsCleanAndDeterministicAcrossJobs) {
+  SweepSpec spec = TinySpec();
+  spec.lambdas = {0.4};
+  spec.schemes = {"D-LSR"};
+  spec.failures = 2;
+  spec.node_failures = 2;
+  spec.srlg_failures = 1;
+  spec.bursts = 1;
+  spec.burst_size = 3;
+  spec.srlg_groups = 8;
+  spec.mttr = 60.0;
+  spec.audit = true;
+
+  SweepEngine serial(spec);
+  SweepEngine threaded(spec);
+  SweepEngine::RunOptions one;
+  one.jobs = 1;
+  SweepEngine::RunOptions four;
+  four.jobs = 4;
+  const auto a = serial.Run(one);
+  const auto b = threaded.Run(four);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Every cell was audited, found clean, and the audit is reproducible
+    // for any thread count.
+    EXPECT_GT(a[i].audit_checks, 0);
+    EXPECT_EQ(a[i].audit_violations, 0) << a[i].audit_jsonl;
+    EXPECT_EQ(a[i].audit_checks, b[i].audit_checks);
+    EXPECT_EQ(a[i].audit_violations, b[i].audit_violations);
+    EXPECT_EQ(a[i].audit_jsonl, b[i].audit_jsonl);
+    EXPECT_GT(a[i].metrics.failures_enacted, 0);
+    ExpectBitIdentical(a[i].metrics, b[i].metrics);
+    // The JSONL line carries the audit block and degradation counters.
+    const std::string line = CellResultToJson(a[i]);
+    EXPECT_NE(line.find("\"audit\":{\"checks\":"), std::string::npos);
+    EXPECT_NE(line.find("\"degraded\":"), std::string::npos);
+    EXPECT_NE(line.find("\"reprotect_retries\":"), std::string::npos);
+    EXPECT_TRUE(JsonValidator(line).Valid());
+  }
 }
 
 // --- sinks -----------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/error.h"
 #include "net/generators.h"
 #include "sim/event_queue.h"
 #include "sim/paper.h"
@@ -237,8 +238,8 @@ TEST_F(TrafficFixture, HeterogeneousReplayKeepsInvariants) {
 }
 
 TEST(Scenario, LoadRejectsGarbage) {
-  EXPECT_THROW(Scenario::FromString("nonsense"), CheckError);
-  EXPECT_THROW(Scenario::FromString("drtp-scenario 2\n"), CheckError);
+  EXPECT_THROW(Scenario::FromString("nonsense"), ParseError);
+  EXPECT_THROW(Scenario::FromString("drtp-scenario 2\n"), ParseError);
 }
 
 }  // namespace

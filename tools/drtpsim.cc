@@ -25,6 +25,8 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "fault/auditor.h"
+#include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/obs_bridge.h"
@@ -59,6 +61,9 @@ int CmdTopo(int argc, char** argv) {
   auto& rows = flags.Int64("rows", 3, "grid rows");
   auto& cols = flags.Int64("cols", 3, "grid cols");
   auto& capacity = flags.Int64("capacity_mbps", 30, "link capacity, Mbps");
+  auto& srlg_groups = flags.Int64(
+      "srlg_groups", 0,
+      "tag links with this many shared-risk groups (waxman; 0 = none)");
   auto& seed = flags.Int64("seed", 1, "generator seed");
   auto& out = flags.String("out", "-", "output file, '-' for stdout");
   auto& dot = flags.Bool("dot", false, "emit Graphviz DOT instead of text");
@@ -70,6 +75,7 @@ int CmdTopo(int argc, char** argv) {
     topo = net::MakeWaxman({.nodes = static_cast<int>(nodes),
                             .avg_degree = degree,
                             .link_capacity = cap,
+                            .srlg_groups = static_cast<int>(srlg_groups),
                             .seed = static_cast<std::uint64_t>(seed)});
   } else if (kind == "grid") {
     topo = net::MakeGrid(static_cast<int>(rows), static_cast<int>(cols), cap);
@@ -104,6 +110,15 @@ int CmdScenario(int argc, char** argv) {
   auto& bw = flags.Int64("bw_mbps", 1, "per-connection bandwidth, Mbps");
   auto& seed = flags.Int64("seed", 1, "traffic seed");
   auto& failures = flags.Int64("failures", 0, "injected link failures");
+  auto& node_failures =
+      flags.Int64("node_failures", 0, "whole-node failures (schema v2)");
+  auto& srlg_failures = flags.Int64(
+      "srlg_failures", 0,
+      "shared-risk-group failures (needs an SRLG-tagged topology)");
+  auto& bursts =
+      flags.Int64("bursts", 0, "simultaneous multi-link failure bursts");
+  auto& burst_size =
+      flags.Int64("burst_size", 3, "distinct links per burst");
   auto& mttr = flags.Double("mttr", 300.0, "repair time, seconds");
   auto& out = flags.String("out", "-", "output file, '-' for stdout");
   flags.Parse(argc, argv);
@@ -122,6 +137,18 @@ int CmdScenario(int argc, char** argv) {
     sim::InjectLinkFailures(sc, topo, static_cast<int>(failures),
                             duration * 0.2, duration * 0.95, mttr,
                             static_cast<std::uint64_t>(seed) + 77);
+  }
+  if (node_failures > 0 || srlg_failures > 0 || bursts > 0) {
+    fault::CampaignConfig cc;
+    cc.node_failures = static_cast<int>(node_failures);
+    cc.srlg_failures = static_cast<int>(srlg_failures);
+    cc.bursts = static_cast<int>(bursts);
+    cc.burst_size = static_cast<int>(burst_size);
+    cc.t_begin = duration * 0.2;
+    cc.t_end = duration * 0.95;
+    cc.mttr = mttr;
+    cc.seed = static_cast<std::uint64_t>(seed) + 88;
+    fault::MakeCampaign(topo, cc).InjectInto(sc);
   }
   if (out == "-") {
     sc.Save(std::cout);
@@ -165,6 +192,13 @@ int CmdRun(int argc, char** argv) {
       "metrics-timings", false,
       "include wall-clock timing histograms in --metrics-out (breaks "
       "byte-stability across runs)");
+  auto& audit = flags.Bool(
+      "audit", false,
+      "run the fault::Auditor after every replay event; violations stream "
+      "as drtp.audit/1 JSONL and make the run exit 3");
+  auto& audit_out = flags.String(
+      "audit-out", "",
+      "write audit violations to this file instead of stderr");
   auto& format = flags.String(
       "format", "table",
       "output format: table, or json (one schema-versioned object)");
@@ -214,10 +248,37 @@ int CmdRun(int argc, char** argv) {
       ec.trace = bridge.get();
     }
   }
+  std::ofstream audit_file;
+  std::unique_ptr<fault::Auditor> auditor;
+  if (audit) {
+    fault::AuditorOptions ao;
+    if (!audit_out.empty()) {
+      audit_file.open(audit_out, std::ios::trunc);
+      if (!audit_file.good()) return Fail("cannot write '" + audit_out + "'");
+      ao.out = &audit_file;
+    } else {
+      ao.out = &std::cerr;
+    }
+    auditor = std::make_unique<fault::Auditor>(ao);
+    ec.after_event = [&auditor](const core::DrtpNetwork& net, Time t,
+                                std::string_view event,
+                                const core::SwitchoverReport* report) {
+      auditor->Check(net, t, event, report);
+    };
+  }
   auto scheme = sim::MakeScheme(scheme_name, topo,
                                 static_cast<std::uint64_t>(seed));
   const sim::RunMetrics m = sim::RunScenario(topo, sc, *scheme, ec);
   if (obs_trace != nullptr) obs_trace->Finish();
+  int exit_code = 0;
+  if (auditor != nullptr) {
+    std::fprintf(stderr,
+                 "audit: %lld checks, %lld violations%s\n",
+                 static_cast<long long>(auditor->checks()),
+                 static_cast<long long>(auditor->violation_count()),
+                 auditor->ok() ? "" : " — INVARIANTS BROKEN");
+    if (!auditor->ok()) exit_code = 3;
+  }
   if (trace != nullptr) {
     std::fprintf(stderr, "wrote %lld trace lines to %s\n",
                  static_cast<long long>(trace->lines_written()),
@@ -245,9 +306,15 @@ int CmdRun(int argc, char** argv) {
     w.Key("metrics").BeginObject();
     runner::WriteRunMetrics(w, m);
     w.EndObject();
+    if (auditor != nullptr) {
+      w.Key("audit").BeginObject();
+      w.Key("checks").Int(auditor->checks());
+      w.Key("violations").Int(auditor->violation_count());
+      w.EndObject();
+    }
     w.EndObject();
     std::printf("%s\n", w.str().c_str());
-    return 0;
+    return exit_code;
   }
 
   TextTable t({"metric", "value"});
@@ -284,8 +351,14 @@ int CmdRun(int argc, char** argv) {
     row("backups re-established", std::to_string(m.backups_reestablished));
     row("enacted recovery ratio", num(m.EnactedRecoveryRatio(), 4));
   }
+  if (m.degraded > 0) {
+    row("degraded (unprotected)", std::to_string(m.degraded));
+    row("re-protect retries", std::to_string(m.reprotect_retries));
+    row("re-protect recovered", std::to_string(m.reprotect_recovered));
+    row("re-protect exhausted", std::to_string(m.reprotect_exhausted));
+  }
   std::fputs(t.Render().c_str(), stdout);
-  return 0;
+  return exit_code;
 }
 
 // Replays a scenario, then audits the final network: which links would

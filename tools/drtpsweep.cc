@@ -88,7 +88,26 @@ int main(int argc, char** argv) {
       flags.Double("lsdb_refresh", 0.0, "advert interval s (0 = instant)");
   auto& failures =
       flags.Int64("failures", 0, "injected link failures per scenario");
+  auto& node_failures = flags.Int64(
+      "node-failures", 0, "whole-node failures per scenario (schema v2)");
+  auto& srlg_failures = flags.Int64(
+      "srlg-failures", 0,
+      "shared-risk-group failures per scenario (needs --srlg-groups)");
+  auto& bursts = flags.Int64(
+      "bursts", 0, "simultaneous multi-link failure bursts per scenario");
+  auto& burst_size = flags.Int64("burst-size", 3, "distinct links per burst");
+  auto& srlg_groups = flags.Int64(
+      "srlg-groups", 0,
+      "tag generated topologies with this many shared-risk groups");
   auto& mttr = flags.Double("mttr", 300.0, "failure repair time, seconds");
+  auto& audit = flags.Bool(
+      "audit", false,
+      "run the fault::Auditor in every cell; violations stream as "
+      "drtp.audit/1 JSONL (--audit-out) and make the sweep exit 3");
+  auto& audit_out = flags.String(
+      "audit-out", "",
+      "write per-cell audit violations (drtp.audit/1 JSONL, cell order) "
+      "to this file instead of stderr");
   auto& jobs =
       flags.Int64("jobs", 1, "worker threads (0 = hardware concurrency)");
   auto& out = flags.String(
@@ -144,7 +163,13 @@ int main(int argc, char** argv) {
                                 : core::SpareMode::kMultiplexed;
     spec.lsdb_refresh_interval = refresh;
     spec.failures = static_cast<int>(failures);
+    spec.node_failures = static_cast<int>(node_failures);
+    spec.srlg_failures = static_cast<int>(srlg_failures);
+    spec.bursts = static_cast<int>(bursts);
+    spec.burst_size = static_cast<int>(burst_size);
+    spec.srlg_groups = static_cast<int>(srlg_groups);
     spec.mttr = mttr;
+    spec.audit = audit;
 
     runner::SweepEngine engine(spec);
     runner::SweepEngine::RunOptions ro;
@@ -194,9 +219,35 @@ int main(int argc, char** argv) {
       DRTP_CHECK_MSG(os.good(), "cannot write '" << metrics_out << "'");
       os << w.str() << '\n';
     }
-    (void)results;
+    if (audit) {
+      // Per-cell violation lines, concatenated in cell order so the file
+      // is deterministic for any --jobs value.
+      std::int64_t checks = 0;
+      std::int64_t violations = 0;
+      std::string lines;
+      for (const runner::CellResult& r : results) {
+        checks += r.audit_checks;
+        violations += r.audit_violations;
+        lines += r.audit_jsonl;
+      }
+      if (!audit_out.empty()) {
+        std::ofstream os(audit_out, std::ios::trunc);
+        DRTP_CHECK_MSG(os.good(), "cannot write '" << audit_out << "'");
+        os << lines;
+      } else {
+        std::fputs(lines.c_str(), stderr);
+      }
+      std::fprintf(stderr,
+                   "audit: %lld checks, %lld violations across %zu cells%s\n",
+                   static_cast<long long>(checks),
+                   static_cast<long long>(violations), results.size(),
+                   violations == 0 ? "" : " — INVARIANTS BROKEN");
+      if (violations != 0) return 3;
+    }
     return 0;
   } catch (const std::exception& e) {
+    // Completed cells were already flushed by the engine's sinks before
+    // the failure propagated here.
     std::fprintf(stderr, "drtpsweep: %s\n", e.what());
     return 2;
   }
