@@ -1,0 +1,67 @@
+// Stable 64-bit content digests for journaled files.
+//
+// The checkpoint journal (runner/checkpoint.h) stores one digest per
+// result line so a resumed sweep can verify that the bytes on disk are
+// exactly the bytes a completed cell wrote. FNV-1a is used deliberately:
+// the digest guards against torn writes and file mixups, not adversaries,
+// and its one-multiply-per-byte loop keeps journaling off the profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace drtp {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x00000100000001B3ULL;
+
+/// Folds `bytes` into a running FNV-1a state (seed with kFnv1aOffset).
+constexpr std::uint64_t Fnv1aExtend(std::uint64_t state,
+                                    std::string_view bytes) {
+  for (const char c : bytes) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+/// One-shot FNV-1a over `bytes`.
+constexpr std::uint64_t Fnv1a(std::string_view bytes) {
+  return Fnv1aExtend(kFnv1aOffset, bytes);
+}
+
+/// Fixed-width lowercase hex rendering (16 chars), the journal encoding.
+inline std::string DigestHex(std::uint64_t digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+/// Inverse of DigestHex; throws ParseError on anything but 16 hex chars.
+inline std::uint64_t ParseDigestHex(std::string_view hex) {
+  if (hex.size() != 16) {
+    throw ParseError("digest '" + std::string(hex) + "' is not 16 hex chars");
+  }
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw ParseError("digest '" + std::string(hex) +
+                       "' contains a non-hex character");
+    }
+  }
+  return value;
+}
+
+}  // namespace drtp

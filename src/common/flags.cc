@@ -1,8 +1,10 @@
 #include "common/flags.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 namespace drtp {
 
@@ -11,6 +13,15 @@ std::int64_t& FlagSet::Int64(const std::string& name, std::int64_t def,
   int_pool_.push_back(std::make_unique<std::int64_t>(def));
   flags_.push_back({name, help, Type::kInt64, int_pool_.size() - 1});
   return *int_pool_.back();
+}
+
+std::int64_t& FlagSet::Int64(const std::string& name, std::int64_t def,
+                             const std::string& help, std::int64_t min,
+                             std::int64_t max) {
+  std::int64_t& ref = Int64(name, def, help);
+  flags_.back().min = min;
+  flags_.back().max = max;
+  return ref;
 }
 
 double& FlagSet::Double(const std::string& name, double def,
@@ -41,32 +52,63 @@ FlagSet::Flag* FlagSet::Find(const std::string& name) {
   return nullptr;
 }
 
-bool FlagSet::SetValue(Flag& flag, const std::string& text) {
-  try {
-    switch (flag.type) {
-      case Type::kInt64:
-        *int_pool_[flag.index] = std::stoll(text);
-        return true;
-      case Type::kDouble:
-        *double_pool_[flag.index] = std::stod(text);
-        return true;
-      case Type::kString:
-        *string_pool_[flag.index] = text;
-        return true;
-      case Type::kBool:
-        if (text == "true" || text == "1") {
-          *bool_pool_[flag.index] = true;
-        } else if (text == "false" || text == "0") {
-          *bool_pool_[flag.index] = false;
-        } else {
-          return false;
-        }
-        return true;
+std::string FlagSet::SetValue(Flag& flag, const std::string& text) {
+  // Strict parsing throughout: the whole token must be consumed, so
+  // "--jobs=4x", "--jobs=" and "--lambda=0.5.5" are rejected rather than
+  // silently truncated the way stoll/stod would.
+  std::string_view body = text;
+  if (!body.empty() && body.front() == '+') body.remove_prefix(1);
+  switch (flag.type) {
+    case Type::kInt64: {
+      std::int64_t value = 0;
+      const auto res =
+          std::from_chars(body.data(), body.data() + body.size(), value);
+      if (res.ec == std::errc::result_out_of_range) {
+        return "flag --" + flag.name + ": '" + text +
+               "' overflows a 64-bit integer";
+      }
+      if (body.empty() || res.ec != std::errc() ||
+          res.ptr != body.data() + body.size()) {
+        return "flag --" + flag.name + ": '" + text + "' is not an integer";
+      }
+      if (value < flag.min || value > flag.max) {
+        return "flag --" + flag.name + ": " + std::to_string(value) +
+               " is out of range [" + std::to_string(flag.min) + ", " +
+               std::to_string(flag.max) + "]";
+      }
+      *int_pool_[flag.index] = value;
+      return "";
     }
-  } catch (const std::exception&) {
-    return false;
+    case Type::kDouble: {
+      double value = 0.0;
+      const auto res =
+          std::from_chars(body.data(), body.data() + body.size(), value);
+      if (res.ec == std::errc::result_out_of_range) {
+        return "flag --" + flag.name + ": '" + text +
+               "' is out of double range";
+      }
+      if (body.empty() || res.ec != std::errc() ||
+          res.ptr != body.data() + body.size()) {
+        return "flag --" + flag.name + ": '" + text + "' is not a number";
+      }
+      *double_pool_[flag.index] = value;
+      return "";
+    }
+    case Type::kString:
+      *string_pool_[flag.index] = text;
+      return "";
+    case Type::kBool:
+      if (text == "true" || text == "1") {
+        *bool_pool_[flag.index] = true;
+      } else if (text == "false" || text == "0") {
+        *bool_pool_[flag.index] = false;
+      } else {
+        return "flag --" + flag.name + ": '" + text +
+               "' is not a boolean (true|false|1|0)";
+      }
+      return "";
   }
-  return false;
+  return "flag --" + flag.name + ": unsupported flag type";
 }
 
 std::string FlagSet::TryParse(int argc, char** argv) {
@@ -97,9 +139,8 @@ std::string FlagSet::TryParse(int argc, char** argv) {
         return "flag --" + name + " needs a value";
       }
     }
-    if (!SetValue(*flag, value)) {
-      return "bad value '" + value + "' for flag --" + name;
-    }
+    const std::string error = SetValue(*flag, value);
+    if (!error.empty()) return error;
   }
   return "";
 }
@@ -123,6 +164,10 @@ std::string FlagSet::Usage() const {
     switch (f.type) {
       case Type::kInt64:
         os << "=<int>   (default " << *int_pool_[f.index] << ")";
+        if (f.min != std::numeric_limits<std::int64_t>::min() ||
+            f.max != std::numeric_limits<std::int64_t>::max()) {
+          os << " in [" << f.min << ", " << f.max << "]";
+        }
         break;
       case Type::kDouble:
         os << "=<float> (default " << *double_pool_[f.index] << ")";

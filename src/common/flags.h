@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,12 @@ class FlagSet {
 
   std::int64_t& Int64(const std::string& name, std::int64_t def,
                       const std::string& help);
+  /// Range-checked variant: values outside [min, max] are rejected at
+  /// parse time with an error naming the accepted range, instead of
+  /// wrapping or being clamped somewhere downstream.
+  std::int64_t& Int64(const std::string& name, std::int64_t def,
+                      const std::string& help, std::int64_t min,
+                      std::int64_t max);
   double& Double(const std::string& name, double def, const std::string& help);
   std::string& String(const std::string& name, const std::string& def,
                       const std::string& help);
@@ -51,10 +58,14 @@ class FlagSet {
     // Owned storage; stable addresses because flags are held by unique index
     // in deque-like vectors below.
     std::size_t index;
+    // Accepted range (kInt64 only); defaults to the full int64 domain.
+    std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    std::int64_t max = std::numeric_limits<std::int64_t>::max();
   };
 
   Flag* Find(const std::string& name);
-  bool SetValue(Flag& flag, const std::string& text);
+  /// Empty string on success, a human-readable rejection otherwise.
+  std::string SetValue(Flag& flag, const std::string& text);
 
   std::string program_;
   std::vector<Flag> flags_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/error.h"
 
 namespace drtp {
 
@@ -42,6 +43,52 @@ std::string JsonEscape(std::string_view text) {
         } else {
           out += c;
         }
+    }
+  }
+  return out;
+}
+
+std::string JsonUnescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= text.size()) throw ParseError("dangling backslash");
+    switch (text[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= text.size()) throw ParseError("truncated \\u escape");
+        unsigned value = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = text[++i];
+          value <<= 4;
+          if (h >= '0' && h <= '9') {
+            value |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            value |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            throw ParseError("malformed \\u escape");
+          }
+        }
+        if (value > 0xFF) throw ParseError("\\u escape beyond latin-1");
+        out += static_cast<char>(value);
+        break;
+      }
+      default:
+        throw ParseError(std::string("unknown escape '\\") + text[i] + "'");
     }
   }
   return out;

@@ -52,4 +52,10 @@ class JsonWriter {
 /// JSON string escaping (quotes not included).
 std::string JsonEscape(std::string_view text);
 
+/// Inverse of JsonEscape for machine-generated lines (checkpoint journal
+/// payloads): handles the short escapes and \u00XX. Throws
+/// drtp::ParseError on a dangling backslash or malformed \u sequence;
+/// \uXXXX above 0xFF (never produced by JsonEscape) is rejected too.
+std::string JsonUnescape(std::string_view text);
+
 }  // namespace drtp

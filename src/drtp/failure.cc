@@ -27,6 +27,43 @@ bool UsesAny(const routing::Path& path, std::span<const LinkId> links) {
                      [&](LinkId l) { return path.Contains(l); });
 }
 
+int Occurrences(const routing::Path& path, LinkId link) {
+  int n = 0;
+  for (LinkId l : path.links()) {
+    if (l == link) ++n;
+  }
+  return n;
+}
+
+/// True iff `links[i]` did not already appear at an earlier position —
+/// capacity checks visit each distinct link of a path exactly once.
+bool FirstOccurrence(std::span<const LinkId> links, std::size_t i) {
+  for (std::size_t k = 0; k < i; ++k) {
+    if (links[k] == links[i]) return false;
+  }
+  return true;
+}
+
+/// Whether promoting `backup` can succeed for a connection whose current
+/// primary is `primary`: ActivateBackup releases the old primary and then
+/// force-reserves the promoted route from spare+free (= total − prime),
+/// so per distinct link the pool plus the connection's own primary
+/// release must cover the promoted route's demand. `available` maps a
+/// link to its spare+free bandwidth (live ledger or what-if scratch).
+template <typename AvailableFn>
+bool ActivationFits(const routing::Path& backup, const routing::Path& primary,
+                    Bandwidth bw, AvailableFn&& available) {
+  const std::span<const LinkId> links = backup.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const LinkId l = links[i];
+    if (!FirstOccurrence(links, i)) continue;
+    const Bandwidth credit = bw * Occurrences(primary, l);
+    const Bandwidth need = bw * Occurrences(backup, l);
+    if (available(l) + credit < need) return false;
+  }
+  return true;
+}
+
 /// Reusable scratch for the failure sweep: per-link remaining-bandwidth
 /// array invalidated by epoch stamp (no O(num_links) clear between links)
 /// plus a merge buffer for affected connection ids.
@@ -87,26 +124,36 @@ FailureImpact EvaluateLinkFailureWith(const DrtpNetwork& net,
     const DrConnection* conn = net.Find(id);
     DRTP_DCHECK(conn != nullptr);
     ++impact.attempts;
-    // Try the backups in preference order; the first that avoids the
-    // failure and fits activates (and consumes its capacity).
-    bool did_activate = false;
+    // Mirror ApplyLinkSetFailure's channel switching exactly: a backup is
+    // chosen iff it avoids the failure, every link survives (including
+    // ones already down from earlier failures), and the promotion fits
+    // once the connection's own primary release is credited. Whether the
+    // connection switches or drops, its old primary's bandwidth returns
+    // to the pool before later connections contend, in id order.
+    const routing::Path* chosen = nullptr;
     for (const routing::Path& backup : conn->backups) {
       if (UsesAny(backup, failed_set)) continue;
-      bool fits = true;
+      bool up = true;
       for (LinkId l : backup.links()) {
-        if (available(l) < conn->bw) {
-          fits = false;
+        if (!net.IsLinkUp(l)) {
+          up = false;
           break;
         }
       }
-      if (!fits) continue;
-      for (LinkId l : backup.links()) available(l) -= conn->bw;
-      ++impact.activated;
-      did_activate = true;
+      if (!up) continue;
+      if (!ActivationFits(backup, conn->primary, conn->bw, available)) {
+        continue;
+      }
+      chosen = &backup;
       break;
     }
+    for (LinkId l : conn->primary.links()) available(l) += conn->bw;
+    if (chosen != nullptr) {
+      for (LinkId l : chosen->links()) available(l) -= conn->bw;
+      ++impact.activated;
+    }
     if (detail != nullptr) {
-      (did_activate ? detail->activated : detail->dropped).push_back(id);
+      (chosen != nullptr ? detail->activated : detail->dropped).push_back(id);
     }
   }
   return impact;
@@ -165,22 +212,33 @@ FailureImpact EvaluateLinkFailureScan(const DrtpNetwork& net, LinkId failed) {
     return it->second;
   };
 
+  // net.connections() is an ordered map, so this visits the affected
+  // connections in the same id order the indexed variant (and the enacted
+  // switchover) resolves contention in.
   for (const auto& [id, conn] : net.connections()) {
     if (!UsesAny(conn.primary, failed_set)) continue;
     ++impact.attempts;
+    const routing::Path* chosen = nullptr;
     for (const routing::Path& backup : conn.backups) {
       if (UsesAny(backup, failed_set)) continue;
-      bool fits = true;
+      bool up = true;
       for (LinkId l : backup.links()) {
-        if (available(l) < conn.bw) {
-          fits = false;
+        if (!net.IsLinkUp(l)) {
+          up = false;
           break;
         }
       }
-      if (!fits) continue;
-      for (LinkId l : backup.links()) available(l) -= conn.bw;
-      ++impact.activated;
+      if (!up) continue;
+      if (!ActivationFits(backup, conn.primary, conn.bw, available)) {
+        continue;
+      }
+      chosen = &backup;
       break;
+    }
+    for (LinkId l : conn.primary.links()) available(l) += conn.bw;
+    if (chosen != nullptr) {
+      for (LinkId l : chosen->links()) available(l) -= conn.bw;
+      ++impact.activated;
     }
   }
   return impact;
@@ -266,22 +324,31 @@ SwitchoverReport ApplyLinkSetFailure(DrtpNetwork& net,
     report.backups_lost.push_back(id);
   }
 
-  // Channel switching in id order: promote the first surviving backup.
-  // "Surviving" means every link is up — the just-failed set plus any link
-  // still down from earlier failures (registered backups normally never
-  // traverse down links, but the activation must not rely on that).
+  // Channel switching in id order: promote the first surviving backup
+  // that can actually be activated. "Surviving" means every link is up —
+  // the just-failed set plus any link still down from earlier failures
+  // (registered backups normally never traverse down links, but the
+  // activation must not rely on that). On top of that the promotion must
+  // fit: previously the first all-up backup was chosen blindly, and when
+  // its ActivateBackup lost the spare-pool contention the connection was
+  // dropped even though a later backup had room — an outcome the what-if
+  // evaluation (which does model capacity) could never predict.
   const auto all_links_up = [&](const routing::Path& path) {
     for (LinkId l : path.links()) {
       if (!net.IsLinkUp(l)) return false;
     }
     return true;
   };
+  const auto pool = [&](LinkId l) {
+    return net.ledger().spare(l) + net.ledger().free(l);
+  };
   for (ConnId id : primary_hit) {
     const DrConnection* conn = net.Find(id);
     DRTP_CHECK(conn != nullptr);
     std::size_t usable = conn->backups.size();
     for (std::size_t i = 0; i < conn->backups.size(); ++i) {
-      if (all_links_up(conn->backups[i])) {
+      if (all_links_up(conn->backups[i]) &&
+          ActivationFits(conn->backups[i], conn->primary, conn->bw, pool)) {
         usable = i;
         break;
       }

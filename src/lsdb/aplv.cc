@@ -19,10 +19,25 @@ void Aplv::AddPrimaryLset(const routing::LinkSet& lset) {
 }
 
 void Aplv::RemovePrimaryLset(const routing::LinkSet& lset) {
+  // Validate the whole LSET before touching anything: a mid-loop failure
+  // used to leave counts_/l1_/num_at_max_/cv_ partially decremented, so
+  // a caller that catches the CheckError (tests, defensive teardown)
+  // kept a torn vector. The multiplicity check runs over the prefix so a
+  // LSET that repeats a link needs that many registered occurrences, not
+  // just a nonzero count.
+  for (std::size_t i = 0; i < lset.size(); ++i) {
+    const LinkId j = lset[i];
+    DRTP_CHECK_MSG(j >= 0 && j < size(),
+                   "link " << j << " outside the " << size() << "-link APLV");
+    std::int32_t multiplicity = 1;
+    for (std::size_t k = 0; k < i; ++k) {
+      if (lset[k] == j) ++multiplicity;
+    }
+    DRTP_CHECK_MSG(counts_[static_cast<std::size_t>(j)] >= multiplicity,
+                   "removing absent primary link " << j);
+  }
   for (LinkId j : lset) {
-    DRTP_CHECK(j >= 0 && j < size());
     auto& c = counts_[static_cast<std::size_t>(j)];
-    DRTP_CHECK_MSG(c > 0, "removing absent primary link " << j);
     if (c == max_) --num_at_max_;
     --c;
     --l1_;

@@ -41,11 +41,17 @@ class Aplv {
   /// under a single link failure.
   std::int32_t Max() const { return max_; }
 
+  /// How many elements currently equal Max() (0 when Max() is 0);
+  /// exposed so tests can cross-check the incremental max tracking.
+  std::int32_t num_at_max() const { return num_at_max_; }
+
   /// Registers a backup on this link whose primary has the given LSET:
   /// increments every element indexed by the primary's links.
   void AddPrimaryLset(const routing::LinkSet& lset);
 
-  /// Inverse of AddPrimaryLset. Requires the counts to be present.
+  /// Inverse of AddPrimaryLset. The whole LSET is validated (including
+  /// repeated-link multiplicity) before any element changes, so a failed
+  /// removal throws CheckError with the vector untouched.
   void RemovePrimaryLset(const routing::LinkSet& lset);
 
   /// Bit-vector abridgement (c_{i,j} = 1 iff a_{i,j} > 0), maintained

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/digest.h"
+#include "runner/checkpoint.h"
 #include "runner/json.h"
 
 namespace drtp::runner {
@@ -100,10 +102,20 @@ std::string CellResultToJson(const CellResult& r) {
 
 JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
 
-JsonlSink::JsonlSink(const std::string& path)
-    : owned_(std::make_unique<std::ofstream>(path, std::ios::app)) {
-  DRTP_CHECK_MSG(owned_->good(), "cannot open '" << path << "' for append");
+JsonlSink::JsonlSink(const std::string& path) : JsonlSink(path, true) {}
+
+JsonlSink::JsonlSink(const std::string& path, bool append)
+    : owned_(std::make_unique<std::ofstream>(
+          path, append ? (std::ios::out | std::ios::app)
+                       : (std::ios::out | std::ios::trunc))) {
+  DRTP_CHECK_MSG(owned_->good(), "cannot open '" << path << "' for "
+                                                 << (append ? "append"
+                                                            : "write"));
   os_ = owned_.get();
+}
+
+void JsonlSink::AttachJournal(CheckpointJournal* journal) {
+  journal_ = journal;
 }
 
 void JsonlSink::Consume(const CellResult& result) {
@@ -117,6 +129,19 @@ void JsonlSink::Consume(const CellResult& result) {
   os_->write(line.data(), static_cast<std::streamsize>(line.size()));
   os_->flush();
   ++lines_;
+  if (journal_ != nullptr) {
+    // Same mutex, strictly after the line's flush: on a kill the journal
+    // can only be missing the final line's entry, never ahead of the
+    // sink, which is the invariant RecoverCheckpoint rebuilds from.
+    CheckpointEntry entry;
+    entry.cell = result.cell.index;
+    entry.cell_seed = result.cell.cell_seed;
+    entry.digest = Fnv1a(line);
+    entry.audit_checks = result.audit_checks;
+    entry.audit_violations = result.audit_violations;
+    entry.audit_jsonl = result.audit_jsonl;
+    journal_->Append(entry);
+  }
 }
 
 void JsonlSink::Finish() {

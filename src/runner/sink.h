@@ -24,6 +24,8 @@
 
 namespace drtp::runner {
 
+class CheckpointJournal;  // runner/checkpoint.h
+
 /// JSONL schema tag; bump when the line layout changes incompatibly.
 inline constexpr char kJsonlSchema[] = "drtp.sweep/1";
 /// Schema tag for single-run JSON output (drtpsim run --format=json).
@@ -83,6 +85,16 @@ class JsonlSink : public ResultSink {
   explicit JsonlSink(std::ostream& os);
   /// Opens `path` for appending; throws CheckError when unwritable.
   explicit JsonlSink(const std::string& path);
+  /// Opens `path`, truncating unless `append`. Resume paths open with
+  /// append=true after RecoverCheckpoint has trimmed the file.
+  JsonlSink(const std::string& path, bool append);
+
+  /// Journals every subsequent line: immediately after a line's
+  /// write+flush — under the same mutex, so journal entry i always
+  /// describes sink line i — appends a checkpoint entry whose digest
+  /// covers the line's exact bytes including the newline. The journal is
+  /// not owned and must outlive the sink.
+  void AttachJournal(CheckpointJournal* journal);
 
   void Consume(const CellResult& result) override;
   void Finish() override;
@@ -92,6 +104,7 @@ class JsonlSink : public ResultSink {
  private:
   std::unique_ptr<std::ofstream> owned_;
   std::ostream* os_;
+  CheckpointJournal* journal_ = nullptr;
   std::mutex mu_;
   std::int64_t lines_ = 0;
 };

@@ -200,7 +200,24 @@ CellResult SweepEngine::RunCell(const Cell& cell, obs::TraceSink* trace) {
 }
 
 std::vector<CellResult> SweepEngine::Run(const RunOptions& options) {
-  const std::vector<Cell> cells = Cells();
+  std::vector<Cell> cells = Cells();
+  if (options.only.has_value()) {
+    // Narrow to the requested subset, keeping grid (index) order so the
+    // returned vector and any ordered sink output stay canonical.
+    std::vector<bool> wanted(cells.size(), false);
+    for (const std::size_t index : *options.only) {
+      DRTP_CHECK_MSG(index < cells.size(),
+                     "cell " << index << " outside the " << cells.size()
+                             << "-cell grid");
+      DRTP_CHECK_MSG(!wanted[index], "cell " << index << " selected twice");
+      wanted[index] = true;
+    }
+    std::size_t kept = 0;
+    for (const Cell& cell : cells) {
+      if (wanted[cell.index]) cells[kept++] = cell;
+    }
+    cells.resize(kept);
+  }
   std::vector<CellResult> results(cells.size());
 
   std::vector<ResultSink*> sinks = options.sinks;
@@ -212,12 +229,12 @@ std::vector<CellResult> SweepEngine::Run(const RunOptions& options) {
 
   {
     ThreadPool pool(ThreadPool::Options{.threads = options.jobs});
-    for (const Cell& cell : cells) {
-      pool.Submit([this, &cell, &results, &sinks, &options] {
-        CellResult r = RunCell(cell, options.trace);
+    for (std::size_t slot = 0; slot < cells.size(); ++slot) {
+      pool.Submit([this, slot, &cells, &results, &sinks, &options] {
+        CellResult r = RunCell(cells[slot], options.trace);
         for (ResultSink* sink : sinks) sink->Consume(r);
         // Cells own distinct slots; no lock needed.
-        results[cell.index] = std::move(r);
+        results[slot] = std::move(r);
       });
     }
     // Crash safety: even when a cell throws, every completed cell has

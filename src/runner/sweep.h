@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <tuple>
@@ -114,9 +115,16 @@ class SweepEngine {
     /// cell index and scheme); not owned, must be thread-safe. Finish()
     /// is called once after the sweep. Null = tracing off.
     obs::TraceSink* trace = nullptr;
+    /// When set, run only these cells (by Cell::index) — the
+    /// resume/shard path: a resumed sweep passes the cells its journal
+    /// lacks, a shard passes the indices it owns. Duplicates and
+    /// out-of-range indices trip a DRTP_CHECK. An empty list is honored
+    /// (runs nothing); leave unset to run the whole grid.
+    std::optional<std::vector<std::size_t>> only;
   };
 
-  /// Runs every cell and returns results ordered by Cell::index.
+  /// Runs every selected cell and returns their results ordered by
+  /// Cell::index (the whole grid unless options.only narrows it).
   /// A cell that throws aborts the sweep with that exception — but only
   /// after the remaining queued cells drain and every sink's Finish()
   /// runs, so results completed before the failure are never lost.

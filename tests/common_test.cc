@@ -208,6 +208,96 @@ TEST(FlagSet, UsageMentionsEveryFlag) {
   EXPECT_NE(usage.find("--beta"), std::string::npos);
 }
 
+// Each malformed value must be rejected with a message naming the flag —
+// never silently truncated (stoll-style "4x" -> 4) or wrapped around.
+TEST(FlagSet, RejectsValueBelowRange) {
+  FlagSet flags("prog");
+  flags.Int64("jobs", 1, "workers", 0, 4096);
+  const char* argv[] = {"prog", "--jobs=-1"};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("--jobs"), std::string::npos) << err;
+  EXPECT_NE(err.find("out of range [0, 4096]"), std::string::npos) << err;
+}
+
+TEST(FlagSet, RejectsValueAboveRange) {
+  FlagSet flags("prog");
+  flags.Int64("jobs", 1, "workers", 0, 4096);
+  const char* argv[] = {"prog", "--jobs=4097"};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(FlagSet, RejectsGarbageIntegerSuffix) {
+  FlagSet flags("prog");
+  flags.Int64("n", 1, "count");
+  const char* argv[] = {"prog", "--n=4x"};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("'4x' is not an integer"), std::string::npos) << err;
+}
+
+TEST(FlagSet, RejectsEmptyIntegerValue) {
+  FlagSet flags("prog");
+  flags.Int64("n", 1, "count");
+  const char* argv[] = {"prog", "--n="};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("is not an integer"), std::string::npos) << err;
+}
+
+TEST(FlagSet, RejectsIntegerOverflow) {
+  FlagSet flags("prog");
+  flags.Int64("n", 1, "count");
+  const char* argv[] = {"prog", "--n=99999999999999999999"};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("overflows"), std::string::npos) << err;
+}
+
+TEST(FlagSet, RejectsGarbageDouble) {
+  FlagSet flags("prog");
+  flags.Double("x", 0.5, "ratio");
+  const char* argv[] = {"prog", "--x=0.5.5"};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("'0.5.5' is not a number"), std::string::npos) << err;
+}
+
+TEST(FlagSet, RejectsGarbageBool) {
+  FlagSet flags("prog");
+  flags.Bool("b", false, "toggle");
+  const char* argv[] = {"prog", "--b=maybe"};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("is not a boolean"), std::string::npos) << err;
+}
+
+TEST(FlagSet, RejectsMissingValue) {
+  FlagSet flags("prog");
+  flags.Int64("n", 1, "count");
+  const char* argv[] = {"prog", "--n"};
+  const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+  EXPECT_NE(err.find("needs a value"), std::string::npos) << err;
+}
+
+TEST(FlagSet, AcceptsRangeBoundsAndPlusSign) {
+  FlagSet flags("prog");
+  auto& jobs = flags.Int64("jobs", 1, "workers", 0, 4096);
+  auto& n = flags.Int64("n", 1, "count");
+  const char* lo[] = {"prog", "--jobs=0", "--n=+42"};
+  EXPECT_EQ(flags.TryParse(3, const_cast<char**>(lo)), "");
+  EXPECT_EQ(jobs, 0);
+  EXPECT_EQ(n, 42);
+  const char* hi[] = {"prog", "--jobs=4096"};
+  EXPECT_EQ(flags.TryParse(2, const_cast<char**>(hi)), "");
+  EXPECT_EQ(jobs, 4096);
+}
+
+TEST(FlagSet, UsageShowsNarrowedRange) {
+  FlagSet flags("prog");
+  flags.Int64("jobs", 1, "workers", 0, 4096);
+  flags.Int64("n", 1, "count");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("in [0, 4096]"), std::string::npos) << usage;
+  // An unconstrained flag must not advertise the full int64 domain.
+  EXPECT_EQ(usage.find("9223372036854775807"), std::string::npos) << usage;
+}
+
 // ---- table -------------------------------------------------------------
 
 TEST(TextTable, RendersAlignedColumns) {

@@ -322,5 +322,106 @@ TEST(EvaluateApplyCrossCheck, AgreeUnderSpareContention) {
   net.CheckConsistency();
 }
 
+TEST(EvaluateApplyCrossCheck, FallsThroughToBackupThatFits) {
+  // Connection 1's first backup routes over the saturated 2->5 link; its
+  // second (link-disjoint) backup detours around it. The switchover must
+  // skip the unfit first choice instead of force-activating it
+  // (overbooking) or dropping the connection, and the what-if must
+  // predict the same outcome.
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(2)));
+  ASSERT_TRUE(net.EstablishConnection(9, NodePath(net.topology(), {2, 5}),
+                                      Mbps(2), 0.0));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {1, 4, 7}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {1, 2, 5, 8, 7}));
+  net.RegisterBackup(1, NodePath(net.topology(), {1, 0, 3, 6, 7}));
+  const LinkId l14 = net.topology().FindLink(1, 4);
+  const FailureImpactDetail detail = EvaluateLinkFailureDetailed(net, l14);
+  EXPECT_EQ(detail.activated, std::vector<ConnId>{1});
+  EXPECT_TRUE(detail.dropped.empty());
+  const SwitchoverReport report =
+      ApplyLinkFailure(net, l14, 1.0, nullptr, nullptr);
+  EXPECT_EQ(report.recovered, detail.activated);
+  EXPECT_EQ(report.dropped, detail.dropped);
+  EXPECT_TRUE(net.OverbookedLinks().empty());
+  net.CheckConsistency();
+}
+
+TEST(EvaluateApplyCrossCheck, BackupCreditsItsOwnPrimaryRelease) {
+  // Connection 1's backup re-uses link 1->2 from its own primary. The
+  // link is fully booked before the failure, but switching over releases
+  // the primary's slot on it first, so the activation fits exactly. Both
+  // the analysis and the enacted switchover must count that self-credit.
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(2)));
+  ASSERT_TRUE(net.EstablishConnection(8, NodePath(net.topology(), {4, 1, 2}),
+                                      Mbps(1), 0.0));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1, 2}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 4, 1, 2}));
+  const LinkId l01 = net.topology().FindLink(0, 1);
+  const LinkId l12 = net.topology().FindLink(1, 2);
+  ASSERT_EQ(net.ledger().spare(l12) + net.ledger().free(l12), Mbps(0));
+  const FailureImpactDetail detail = EvaluateLinkFailureDetailed(net, l01);
+  EXPECT_EQ(detail.activated, std::vector<ConnId>{1});
+  EXPECT_TRUE(detail.dropped.empty());
+  const SwitchoverReport report =
+      ApplyLinkFailure(net, l01, 1.0, nullptr, nullptr);
+  EXPECT_EQ(report.recovered, detail.activated);
+  EXPECT_EQ(report.dropped, detail.dropped);
+  EXPECT_TRUE(net.OverbookedLinks().empty());
+  net.CheckConsistency();
+}
+
+TEST(EvaluateApplyCrossCheck, ContentionWithFallThroughInIdOrder) {
+  // Three affected connections in id order under scarce capacity on 2->5:
+  // connection 1 takes the last 2->5 slot, connection 2's first backup no
+  // longer fits there but its link-disjoint detour does, and connection 3
+  // (same unfit route, no alternative) drops. Analysis and switchover
+  // must agree on the whole partition.
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(3)));
+  ASSERT_TRUE(net.EstablishConnection(9, NodePath(net.topology(), {2, 5}),
+                                      Mbps(2), 0.0));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {1, 4}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {1, 2, 5, 4}));
+  ASSERT_TRUE(net.EstablishConnection(2, NodePath(net.topology(), {1, 4, 7}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(2, NodePath(net.topology(), {1, 2, 5, 8, 7}));
+  net.RegisterBackup(2, NodePath(net.topology(), {1, 0, 3, 6, 7}));
+  ASSERT_TRUE(net.EstablishConnection(3, NodePath(net.topology(), {1, 4}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(3, NodePath(net.topology(), {1, 2, 5, 4}));
+  const LinkId l14 = net.topology().FindLink(1, 4);
+  const FailureImpactDetail detail = EvaluateLinkFailureDetailed(net, l14);
+  EXPECT_EQ(detail.activated, (std::vector<ConnId>{1, 2}));
+  EXPECT_EQ(detail.dropped, std::vector<ConnId>{3});
+  const SwitchoverReport report =
+      ApplyLinkFailure(net, l14, 1.0, nullptr, nullptr);
+  EXPECT_EQ(report.recovered, detail.activated);
+  EXPECT_EQ(report.dropped, detail.dropped);
+  EXPECT_TRUE(net.OverbookedLinks().empty());
+  net.CheckConsistency();
+}
+
+TEST(EvaluateApplyCrossCheck, ScanAgreesUnderContention) {
+  // The indexed evaluator and the full-scan evaluator must model the
+  // same contention ledger (id-order credits and debits).
+  DrtpNetwork net(net::MakeGrid(3, 3, Mbps(2)));
+  ASSERT_TRUE(net.EstablishConnection(9, NodePath(net.topology(), {0, 3}),
+                                      Mbps(1), 0.0));
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 4, 1}));
+  ASSERT_TRUE(net.EstablishConnection(2, NodePath(net.topology(), {0, 1, 2}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(2, NodePath(net.topology(), {0, 3, 4, 5, 2}));
+  const LinkId l01 = net.topology().FindLink(0, 1);
+  const FailureImpact indexed = EvaluateLinkFailure(net, l01);
+  const FailureImpact scanned = EvaluateLinkFailureScan(net, l01);
+  EXPECT_EQ(indexed.attempts, scanned.attempts);
+  EXPECT_EQ(indexed.activated, scanned.activated);
+  EXPECT_EQ(indexed.activated, 1);
+}
+
 }  // namespace
 }  // namespace drtp::core

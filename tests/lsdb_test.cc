@@ -152,6 +152,108 @@ TEST(AplvProperty, IncrementalMatchesRecompute) {
   }
 }
 
+/// Differential churn over RAW link lists — repeats and arbitrary order
+/// allowed, unlike MakeLinkSet's sorted/deduped output — comparing
+/// Max(), L1() and num_at_max() against a naive recount every step. A
+/// repeated link exercises the multiplicity accounting in both the
+/// decrement loop and the rescan.
+TEST(AplvProperty, DifferentialChurnWithRepeatedLinks) {
+  constexpr int kLinks = 16;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    Aplv a(kLinks);
+    std::vector<LinkSet> registered;
+    for (int step = 0; step < 600; ++step) {
+      if (registered.empty() || rng.Bernoulli(0.55)) {
+        LinkSet raw;
+        const int n = static_cast<int>(rng.UniformInt(1, 6));
+        for (int i = 0; i < n; ++i) {
+          // ~1/3 chance of repeating an earlier pick in the same LSET.
+          if (!raw.empty() && rng.Bernoulli(0.33)) {
+            raw.push_back(raw[rng.Index(raw.size())]);
+          } else {
+            raw.push_back(static_cast<LinkId>(rng.Index(kLinks)));
+          }
+        }
+        a.AddPrimaryLset(raw);
+        registered.push_back(std::move(raw));
+      } else {
+        const auto idx = rng.Index(registered.size());
+        a.RemovePrimaryLset(registered[idx]);
+        registered.erase(registered.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+      }
+      std::vector<std::int32_t> counts(kLinks, 0);
+      std::int64_t l1 = 0;
+      for (const LinkSet& s : registered) {
+        for (LinkId j : s) ++counts[static_cast<std::size_t>(j)];
+      }
+      std::int32_t mx = 0;
+      std::int32_t at_max = 0;
+      for (std::int32_t c : counts) {
+        l1 += c;
+        if (c > mx) {
+          mx = c;
+          at_max = 1;
+        } else if (c == mx && mx > 0) {
+          ++at_max;
+        }
+      }
+      ASSERT_EQ(a.L1(), l1) << "seed " << seed << " step " << step;
+      ASSERT_EQ(a.Max(), mx) << "seed " << seed << " step " << step;
+      ASSERT_EQ(a.num_at_max(), at_max)
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+/// A removal that fails validation must leave the vector untouched —
+/// the old code decremented mid-loop before throwing, leaving counts,
+/// L1, max tracking and the conflict vector torn for any caller that
+/// catches the CheckError.
+TEST(Aplv, FailedRemoveLeavesStateUntouched) {
+  Aplv a(8);
+  a.AddPrimaryLset(MakeLinkSet({1, 2, 3}));
+  a.AddPrimaryLset(MakeLinkSet({2, 5}));
+  const Aplv snapshot = a;
+
+  // Link 6 was never registered; 1 and 2 (present) precede it in the
+  // LSET, so the old code had already decremented them at throw time.
+  EXPECT_THROW(a.RemovePrimaryLset(MakeLinkSet({1, 2, 6})), CheckError);
+  EXPECT_EQ(a, snapshot);
+
+  // Repeated link beyond its multiplicity: link 5 is registered once but
+  // the LSET removes it twice.
+  EXPECT_THROW(a.RemovePrimaryLset(LinkSet{5, 5}), CheckError);
+  EXPECT_EQ(a, snapshot);
+
+  // Out-of-range link after valid ones.
+  EXPECT_THROW(a.RemovePrimaryLset(LinkSet{1, 99}), CheckError);
+  EXPECT_EQ(a, snapshot);
+
+  // The snapshot state is still fully functional afterwards.
+  a.RemovePrimaryLset(MakeLinkSet({1, 2, 3}));
+  a.RemovePrimaryLset(MakeLinkSet({2, 5}));
+  EXPECT_EQ(a, Aplv(8));
+}
+
+/// Repeated links in one LSET count with multiplicity through add,
+/// remove and the max rescan.
+TEST(Aplv, RepeatedLinkMultiplicity) {
+  Aplv a(4);
+  const LinkSet twice{2, 2};  // raw, not MakeLinkSet (which dedups)
+  a.AddPrimaryLset(twice);
+  EXPECT_EQ(a.count(2), 2);
+  EXPECT_EQ(a.Max(), 2);
+  EXPECT_EQ(a.num_at_max(), 1);
+  a.AddPrimaryLset(MakeLinkSet({1}));
+  a.RemovePrimaryLset(twice);
+  EXPECT_EQ(a.count(2), 0);
+  EXPECT_EQ(a.Max(), 1);  // link 1 survives
+  EXPECT_EQ(a.num_at_max(), 1);
+  EXPECT_FALSE(a.conflict_vector().Test(2));
+}
+
 // ---- ConflictVector ---------------------------------------------------------
 
 TEST(ConflictVector, SetTestClear) {

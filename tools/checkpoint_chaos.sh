@@ -1,0 +1,75 @@
+#!/bin/sh
+# Kill-and-resume + shard-merge chaos for the checkpointed sweep engine.
+#
+# Proves the two preemption contracts end-to-end, with the auditor on so
+# the journaled audit evidence is exercised too:
+#
+#   1. A sweep SIGKILLed at staggered points and then resumed emits the
+#      same result AND audit bytes as an uninterrupted --jobs=1 run.
+#   2. A 4-way shard split reassembled by drtpmerge equals the unsharded
+#      run, audit file included.
+#
+# "Same bytes" is modulo wall_s, the one nondeterministic result field
+# (stripped with the CI sed convention before cmp).
+#
+# Usage: tools/checkpoint_chaos.sh [BUILD_DIR] [WORK_DIR]
+set -eu
+
+BUILD=${1:-build}
+WORK=${2:-$(mktemp -d /tmp/drtp_ckpt_chaos.XXXXXX)}
+mkdir -p "$WORK"
+SWEEP=$BUILD/tools/drtpsweep
+MERGE=$BUILD/tools/drtpmerge
+
+# Small but non-trivial grid: 3 seeds x 2 lambdas x 2 schemes = 12 cells,
+# enacted failures + audit on every cell.
+SWEEP_FLAGS="--degrees=3 --patterns=UT --lambdas=0.4,0.6 \
+  --schemes=D-LSR,BF --duration=600 --seed=7 --replications=3 \
+  --failures=2 --mttr=120 --audit --jobs=1 --table=false --progress=false"
+
+strip_wall() {
+  sed -E 's/"wall_s":[0-9.e+-]+,//' "$1"
+}
+
+echo "== baseline (uninterrupted --jobs=1) =="
+$SWEEP $SWEEP_FLAGS --out="$WORK/base.jsonl" \
+  --audit-out="$WORK/base.audit.jsonl"
+
+echo "== kill-and-resume =="
+# Staggered SIGKILL points: early (journal barely started), mid-run, and
+# late (possibly after completion — resume must be a clean no-op then).
+first=1
+for delay in 0.2 0.6 1.2 2.5; do
+  if [ "$first" = 1 ]; then resume=""; first=0; else resume="--resume"; fi
+  $SWEEP $SWEEP_FLAGS $resume --out="$WORK/kr.jsonl" \
+    --audit-out="$WORK/kr.audit.jsonl" 2>"$WORK/kr.err" &
+  pid=$!
+  sleep "$delay"
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  echo "  killed after ${delay}s"
+done
+# Final resume runs to completion.
+$SWEEP $SWEEP_FLAGS --resume --out="$WORK/kr.jsonl" \
+  --audit-out="$WORK/kr.audit.jsonl"
+
+strip_wall "$WORK/base.jsonl" > "$WORK/base.strip"
+strip_wall "$WORK/kr.jsonl" > "$WORK/kr.strip"
+cmp "$WORK/base.strip" "$WORK/kr.strip"
+cmp "$WORK/base.audit.jsonl" "$WORK/kr.audit.jsonl"
+echo "  resume matches uninterrupted run (results + audit)"
+
+echo "== 4-way shard + merge =="
+for i in 0 1 2 3; do
+  $SWEEP $SWEEP_FLAGS --out="$WORK/sh.jsonl" --shard=$i/4
+done
+$MERGE --out="$WORK/merged.jsonl" --audit-out="$WORK/merged.audit.jsonl" \
+  "$WORK/sh.shard-0.jsonl" "$WORK/sh.shard-1.jsonl" \
+  "$WORK/sh.shard-2.jsonl" "$WORK/sh.shard-3.jsonl"
+
+strip_wall "$WORK/merged.jsonl" > "$WORK/merged.strip"
+cmp "$WORK/base.strip" "$WORK/merged.strip"
+cmp "$WORK/base.audit.jsonl" "$WORK/merged.audit.jsonl"
+echo "  merged shards match unsharded run (results + audit)"
+
+echo "checkpoint-chaos: PASS ($WORK)"

@@ -1,0 +1,69 @@
+// drtpmerge — reassemble drtpsweep shard outputs into the canonical
+// single-process byte order.
+//
+// Each positional argument is one shard's results file (out.shard-i.jsonl)
+// with its checkpoint journal beside it (<file>.ckpt). The merge verifies
+// every line against its journaled digest, demands the complete disjoint
+// shard set {0..N-1} of one spec, and writes the cells in index order —
+// the order an uninterrupted `drtpsweep --jobs=1` run produces — plus a
+// fresh journal beside the merged file. With --audit-out, the journaled
+// per-cell audit evidence (drtp.audit/1) is concatenated in the same
+// order, and --strict-audit makes recorded violations fail the merge the
+// way `drtpsweep --audit` would have.
+//
+// Example:
+//   drtpsweep --out=r.jsonl --shard=0/4 &   # ... 1/4, 2/4, 3/4
+//   drtpmerge --out=r.jsonl r.shard-0.jsonl r.shard-1.jsonl
+//       r.shard-2.jsonl r.shard-3.jsonl
+//
+// Exit 0 on success, 2 when the shards cannot be merged (mismatched
+// spec/schema, missing or duplicated cells, digest failures), 3 when
+// --strict-audit finds recorded violations.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "runner/checkpoint.h"
+
+int main(int argc, char** argv) {
+  using namespace drtp;
+  FlagSet flags("drtpmerge");
+  auto& out = flags.String("out", "",
+                           "merged results file (its journal is written "
+                           "beside it as <out>.ckpt)");
+  auto& audit_out = flags.String(
+      "audit-out", "",
+      "concatenate the shards' journaled drtp.audit/1 lines here, in "
+      "cell order");
+  auto& strict_audit = flags.Bool(
+      "strict-audit", false,
+      "exit 3 when the journals record any audit violation");
+  flags.Parse(argc, argv);
+
+  const std::vector<std::string>& shards = flags.positional();
+  if (out.empty() || shards.empty()) {
+    std::fprintf(stderr,
+                 "drtpmerge: need --out=FILE and at least one shard file\n");
+    return 2;
+  }
+
+  try {
+    const runner::MergeReport report =
+        runner::MergeShards(shards, out, audit_out);
+    std::fprintf(stderr, "merged %zu shards, %zu cells into %s\n",
+                 report.shards, report.cells, out.c_str());
+    if (report.audit_checks > 0) {
+      std::fprintf(stderr, "audit: %lld checks, %lld violations%s\n",
+                   static_cast<long long>(report.audit_checks),
+                   static_cast<long long>(report.audit_violations),
+                   report.audit_violations == 0 ? ""
+                                                : " — INVARIANTS BROKEN");
+    }
+    if (strict_audit && report.audit_violations != 0) return 3;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "drtpmerge: %s\n", e.what());
+    return 2;
+  }
+}

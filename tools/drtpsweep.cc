@@ -7,11 +7,19 @@
 // as one aligned table per sweep on stdout. Cell results are bit-identical
 // for every --jobs value.
 //
+// Sweeps with --out keep a checkpoint journal (<out>.ckpt) beside the
+// results file, so a killed run restarts where it left off with
+// --resume, and --shard=i/N partitions the grid across uncoordinated
+// processes whose outputs tools/drtpmerge reassembles byte-identically.
+//
 // Examples:
 //   drtpsweep --fast --jobs=4
 //   drtpsweep --degrees=3 --patterns=UT --lambdas=0.2,0.5,0.8
 //       --schemes=NoBackup,D-LSR --jobs=0 --out=results.jsonl
 //   drtpsweep --lambdas=paper --replications=5 --failures=60 --jobs=8
+//   drtpsweep --out=results.jsonl --resume        # continue a killed run
+//   drtpsweep --out=results.jsonl --shard=2/4     # writes
+//       results.shard-2.jsonl (+ .ckpt); merge with drtpmerge
 #include <unistd.h>
 
 #include <cstdio>
@@ -25,6 +33,7 @@
 #include "common/flags.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runner/checkpoint.h"
 #include "runner/sweep.h"
 
 using namespace drtp;
@@ -68,7 +77,8 @@ int main(int argc, char** argv) {
   FlagSet flags("drtpsweep");
   auto& seed = flags.Int64("seed", 1, "base experiment seed");
   auto& replications = flags.Int64(
-      "replications", 1, "independent topology+traffic seeds (seed + r*101)");
+      "replications", 1, "independent topology+traffic seeds (seed + r*101)",
+      1, 1'000'000);
   auto& degrees = flags.String("degrees", "3,4", "average node degrees");
   auto& patterns = flags.String("patterns", "UT,NT", "traffic patterns");
   auto& lambdas = flags.String(
@@ -81,24 +91,30 @@ int main(int argc, char** argv) {
                                 "scenario horizon in seconds");
   auto& fast = flags.Bool("fast", false,
                           "quartered horizon with matched offered load");
-  auto& backups = flags.Int64("backups", 1, "backups per connection");
+  auto& backups =
+      flags.Int64("backups", 1, "backups per connection", 0, 64);
   auto& dedicated =
       flags.Bool("dedicated_spares", false, "disable backup multiplexing");
   auto& refresh =
       flags.Double("lsdb_refresh", 0.0, "advert interval s (0 = instant)");
-  auto& failures =
-      flags.Int64("failures", 0, "injected link failures per scenario");
+  auto& failures = flags.Int64(
+      "failures", 0, "injected link failures per scenario", 0, 1'000'000);
   auto& node_failures = flags.Int64(
-      "node-failures", 0, "whole-node failures per scenario (schema v2)");
+      "node-failures", 0, "whole-node failures per scenario (schema v2)", 0,
+      1'000'000);
   auto& srlg_failures = flags.Int64(
       "srlg-failures", 0,
-      "shared-risk-group failures per scenario (needs --srlg-groups)");
+      "shared-risk-group failures per scenario (needs --srlg-groups)", 0,
+      1'000'000);
   auto& bursts = flags.Int64(
-      "bursts", 0, "simultaneous multi-link failure bursts per scenario");
-  auto& burst_size = flags.Int64("burst-size", 3, "distinct links per burst");
+      "bursts", 0, "simultaneous multi-link failure bursts per scenario", 0,
+      1'000'000);
+  auto& burst_size =
+      flags.Int64("burst-size", 3, "distinct links per burst", 1, 1'000);
   auto& srlg_groups = flags.Int64(
       "srlg-groups", 0,
-      "tag generated topologies with this many shared-risk groups");
+      "tag generated topologies with this many shared-risk groups", 0,
+      1'000'000);
   auto& mttr = flags.Double("mttr", 300.0, "failure repair time, seconds");
   auto& audit = flags.Bool(
       "audit", false,
@@ -108,10 +124,21 @@ int main(int argc, char** argv) {
       "audit-out", "",
       "write per-cell audit violations (drtp.audit/1 JSONL, cell order) "
       "to this file instead of stderr");
-  auto& jobs =
-      flags.Int64("jobs", 1, "worker threads (0 = hardware concurrency)");
+  auto& jobs = flags.Int64(
+      "jobs", 1, "worker threads (0 = hardware concurrency)", 0, 4096);
   auto& out = flags.String(
-      "out", "", "append one JSON object per cell to this .jsonl file");
+      "out", "",
+      "write one JSON object per cell to this .jsonl file (truncates "
+      "unless --resume) and keep a checkpoint journal (<out>.ckpt) beside "
+      "it");
+  auto& resume = flags.Bool(
+      "resume", false,
+      "continue an interrupted sweep: verify <out>.ckpt against the "
+      "partial results, drop any torn tail, rerun only missing cells");
+  auto& shard_flag = flags.String(
+      "shard", "",
+      "run only shard i of N (i/N, cells by index % N); writes "
+      "out.shard-i.jsonl + journal for tools/drtpmerge");
   auto& trace_path = flags.String(
       "trace", "", "write every cell's lifecycle events to this file");
   auto& trace_format = flags.String(
@@ -171,14 +198,62 @@ int main(int argc, char** argv) {
     spec.mttr = mttr;
     spec.audit = audit;
 
+    runner::ShardAssignment shard;
+    if (!shard_flag.empty()) shard = runner::ParseShard(shard_flag);
+    if (shard.num_shards > 1 && out.empty()) {
+      std::fprintf(stderr, "drtpsweep: --shard requires --out\n");
+      return 2;
+    }
+    if (resume && out.empty()) {
+      std::fprintf(stderr, "drtpsweep: --resume requires --out\n");
+      return 2;
+    }
+
     runner::SweepEngine engine(spec);
     runner::SweepEngine::RunOptions ro;
     ro.jobs = static_cast<int>(jobs);
     ro.progress = progress && isatty(fileno(stderr)) != 0;
+
+    runner::CheckpointHeader header;
+    header.spec_digest = runner::SpecDigest(spec);
+    header.num_cells = spec.NumCells();
+    header.shard = shard;
+
+    // Every --out sweep is checkpointed: the journal rides beside the
+    // sink and costs one extra line per cell, and it is what makes
+    // --resume and drtpmerge possible at all.
+    std::string sink_path;
+    runner::RecoveredCheckpoint recovered;
+    std::unique_ptr<runner::CheckpointJournal> journal;
     std::unique_ptr<runner::JsonlSink> jsonl;
     if (!out.empty()) {
-      jsonl = std::make_unique<runner::JsonlSink>(out);
+      sink_path = runner::ShardedPath(out, shard);
+      if (resume) {
+        recovered = runner::RecoverCheckpoint(sink_path, header);
+        journal = std::make_unique<runner::CheckpointJournal>(
+            runner::JournalPathFor(sink_path), /*append=*/!recovered.fresh);
+        if (recovered.fresh) journal->WriteHeader(header);
+      } else {
+        journal = std::make_unique<runner::CheckpointJournal>(
+            runner::JournalPathFor(sink_path), /*append=*/false);
+        journal->WriteHeader(header);
+      }
+      jsonl = std::make_unique<runner::JsonlSink>(sink_path,
+                                                  /*append=*/resume);
+      jsonl->AttachJournal(journal.get());
       ro.sinks.push_back(jsonl.get());
+    }
+    if (shard.num_shards > 1 || resume) {
+      std::vector<std::size_t> todo;
+      for (std::size_t k = 0; k < header.num_cells; ++k) {
+        if (shard.Owns(k) && !recovered.Done(k)) todo.push_back(k);
+      }
+      ro.only = std::move(todo);
+      if (resume) {
+        std::fprintf(stderr,
+                     "resume: %zu cells already checkpointed, %zu to run\n",
+                     recovered.entries.size(), ro.only->size());
+      }
     }
     std::unique_ptr<runner::TableSink> tsink;
     if (table) {
@@ -205,7 +280,7 @@ int main(int argc, char** argv) {
     if (jsonl != nullptr) {
       std::fprintf(stderr, "wrote %lld JSONL lines to %s\n",
                    static_cast<long long>(jsonl->lines_written()),
-                   out.c_str());
+                   sink_path.c_str());
     }
     if (!trace_path.empty()) {
       std::fprintf(stderr, "wrote %s trace to %s\n", trace_format.c_str(),
@@ -221,15 +296,26 @@ int main(int argc, char** argv) {
     }
     if (audit) {
       // Per-cell violation lines, concatenated in cell order so the file
-      // is deterministic for any --jobs value.
+      // is deterministic for any --jobs value. A resumed run pulls the
+      // already-done cells' evidence out of the journal, so its audit
+      // output covers the whole shard, not just the cells it reran.
       std::int64_t checks = 0;
       std::int64_t violations = 0;
-      std::string lines;
+      std::vector<std::string> by_cell(spec.NumCells());
+      std::size_t cells_seen = results.size();
+      for (const runner::CheckpointEntry& e : recovered.entries) {
+        checks += e.audit_checks;
+        violations += e.audit_violations;
+        by_cell[e.cell] = e.audit_jsonl;
+        ++cells_seen;
+      }
       for (const runner::CellResult& r : results) {
         checks += r.audit_checks;
         violations += r.audit_violations;
-        lines += r.audit_jsonl;
+        by_cell[r.cell.index] = r.audit_jsonl;
       }
+      std::string lines;
+      for (const std::string& cell_lines : by_cell) lines += cell_lines;
       if (!audit_out.empty()) {
         std::ofstream os(audit_out, std::ios::trunc);
         DRTP_CHECK_MSG(os.good(), "cannot write '" << audit_out << "'");
@@ -240,7 +326,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "audit: %lld checks, %lld violations across %zu cells%s\n",
                    static_cast<long long>(checks),
-                   static_cast<long long>(violations), results.size(),
+                   static_cast<long long>(violations), cells_seen,
                    violations == 0 ? "" : " — INVARIANTS BROKEN");
       if (violations != 0) return 3;
     }
