@@ -19,6 +19,7 @@
 
 #include "common/flags.h"
 #include "common/rng.h"
+#include "drtp/admission.h"
 #include "drtp/dlsr.h"
 #include "drtp/failure.h"
 #include "drtp/network.h"
@@ -252,6 +253,43 @@ std::vector<KernelResult> RunSuite(LoadedNet& fx, double min_time_s,
     }));
   }
 
+  // --- batched admission (the drtpd engine's amortization) ---------------
+  // 64 admissions per call, released again at the end so the fixture is
+  // unchanged. admit_one_by_one publishes the LSDB before every admission
+  // (the simulator's instant mode and drtpd --batch=1); admit_batch takes
+  // one snapshot for the whole batch (drtpd's default pipeline mode) —
+  // the before/after pair for the daemon's batching claim.
+  {
+    constexpr int kBatch = 64;
+    core::Dlsr scheme;
+    const auto admit_cycle = [&](const char* name, bool batched) {
+      Rng rng(seed + 5);
+      ConnId next = 1 << 21;
+      return timer.Measure(name, [&] {
+        if (batched) fx.net.PublishTo(fx.db, 0.0);
+        const ConnId base = next;
+        for (int i = 0; i < kBatch; ++i) {
+          if (!batched) fx.net.PublishTo(fx.db, 0.0);
+          const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+          NodeId dst = static_cast<NodeId>(rng.Index(nodes));
+          if (dst == src) dst = (dst + 1) % fx.topo.num_nodes();
+          DoNotOptimize(core::AdmitConnection(scheme, fx.net, fx.db,
+                                              base + i, src, dst, Mbps(1),
+                                              0.0));
+        }
+        for (int i = 0; i < kBatch; ++i) {
+          if (fx.net.Find(base + i) != nullptr) {
+            fx.net.ReleaseConnection(base + i);
+          }
+        }
+        next += kBatch;
+      });
+    };
+    out.push_back(admit_cycle("admit_one_by_one", false));
+    out.push_back(admit_cycle("admit_batch", true));
+    fx.net.PublishTo(fx.db, 0.0);  // leave the fixture's LSDB clean
+  }
+
   return out;
 }
 
@@ -289,7 +327,7 @@ int Validate(const std::vector<KernelResult>& results) {
       "dijkstra_workspace",  "backup_select_dlsr",  "backup_select_plsr",
       "failure_sweep_scan",  "failure_sweep_indexed", "aplv_update",
       "cv_count_in",         "cv_and_popcount",     "obs_span_overhead",
-      "request_cycle_dlsr",
+      "request_cycle_dlsr",  "admit_one_by_one",    "admit_batch",
   };
   int problems = 0;
   for (const char* name : kExpected) {

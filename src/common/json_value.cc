@@ -1,0 +1,369 @@
+#include "common/json_value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace drtp {
+namespace {
+
+[[noreturn]] void Bad(const std::string& what) { throw ParseError(what); }
+
+const char* KindName(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return "bool";
+    case JsonValue::Kind::kNumber:
+      return "number";
+    case JsonValue::Kind::kString:
+      return "string";
+    case JsonValue::Kind::kObject:
+      return "object";
+    case JsonValue::Kind::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+/// Recursive-descent parser over a bounded input. Depth is capped so a
+/// bracket bomb cannot exhaust the real stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue(0);
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Bad("trailing garbage after JSON value at byte " +
+          std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Bad("truncated JSON");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Bad(std::string("expected '") + c + "' at byte " +
+          std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) != kw) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  JsonValue ParseValue(int depth) {
+    if (depth > kMaxJsonDepth) Bad("JSON nested deeper than 64 levels");
+    SkipWs();
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return JsonValue::String(ParseString());
+      case 't':
+        if (ConsumeKeyword("true")) return JsonValue::Bool(true);
+        break;
+      case 'f':
+        if (ConsumeKeyword("false")) return JsonValue::Bool(false);
+        break;
+      case 'n':
+        if (ConsumeKeyword("null")) return JsonValue::Null();
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        break;
+    }
+    Bad(std::string("unexpected character '") + c + "' at byte " +
+        std::to_string(pos_));
+  }
+
+  JsonValue ParseObject(int depth) {
+    Expect('{');
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      if (Peek() != '"') Bad("object key must be a string");
+      std::string key = ParseString();
+      if (obj.Find(key) != nullptr) Bad("duplicate object key '" + key + "'");
+      SkipWs();
+      Expect(':');
+      obj.MutableObject().emplace_back(std::move(key),
+                                       ParseValue(depth + 1));
+      SkipWs();
+      const char c = Peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') Bad("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue ParseArray(int depth) {
+    Expect('[');
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.MutableArray().push_back(ParseValue(depth + 1));
+      SkipWs();
+      const char c = Peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') Bad("expected ',' or ']' in array");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Bad("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Bad("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Bad("dangling escape in string");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Bad("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Bad("non-hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point; surrogates are rejected (the
+          // writer never produces them and the protocol is ASCII-safe).
+          if (value >= 0xD800 && value <= 0xDFFF) {
+            Bad("surrogate \\u escape unsupported");
+          }
+          if (value < 0x80) {
+            out.push_back(static_cast<char>(value));
+          } else if (value < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (value >> 6)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (value >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Bad(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double d = 0.0;
+    const auto [dp, dec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (dec != std::errc() || dp != token.data() + token.size()) {
+      Bad("malformed number '" + std::string(token) + "'");
+    }
+    std::int64_t i = 0;
+    if (integral) {
+      const auto [ip, iec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (iec != std::errc() || ip != token.data() + token.size()) {
+        integral = false;  // out of int64 range; keep the double
+        i = 0;
+      }
+    }
+    return JsonValue::Number(d, i, integral);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool) {
+    Bad(std::string("expected bool, got ") + KindName(kind_));
+  }
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ != Kind::kNumber) {
+    Bad(std::string("expected number, got ") + KindName(kind_));
+  }
+  return num_;
+}
+
+std::int64_t JsonValue::AsInt64() const {
+  if (kind_ != Kind::kNumber) {
+    Bad(std::string("expected integer, got ") + KindName(kind_));
+  }
+  if (!integral_) Bad("expected integer, got non-integral number");
+  return int_;
+}
+
+const std::string& JsonValue::AsString() const {
+  if (kind_ != Kind::kString) {
+    Bad(std::string("expected string, got ") + KindName(kind_));
+  }
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (kind_ != Kind::kArray) {
+    Bad(std::string("expected array, got ") + KindName(kind_));
+  }
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject()
+    const {
+  if (kind_ != Kind::kObject) {
+    Bad(std::string("expected object, got ") + KindName(kind_));
+  }
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d, std::int64_t i, bool integral) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  v.int_ = i;
+  v.integral_ = integral;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace drtp

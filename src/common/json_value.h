@@ -1,0 +1,87 @@
+// Minimal JSON document parser — the read side of common/json.h's writer.
+//
+// Built for the drtp.rpc/1 wire protocol: payloads are small (bounded by
+// the frame limit), trusted only as far as a local client can be trusted,
+// and must fail *loudly* on malformed bytes. Parsing throws
+// drtp::ParseError on any grammar violation, trailing garbage, or nesting
+// deeper than kMaxJsonDepth; it never silently coerces.
+//
+// Numbers keep both renderings: every number gets the double value, and
+// integral tokens that fit additionally carry an exact int64 (AsInt64
+// refuses non-integral numbers rather than truncating).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace drtp {
+
+/// Nesting bound: a frame of legitimate drtp.rpc traffic is two levels
+/// deep; 64 leaves headroom without letting a bracket bomb exhaust the
+/// parser's stack.
+inline constexpr int kMaxJsonDepth = 64;
+
+/// One parsed JSON value. Object members preserve input order; duplicate
+/// keys are rejected at parse time.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw ParseError when the kind does not match (the
+  /// caller is still validating external bytes, not our own state).
+  bool AsBool() const;
+  double AsDouble() const;
+  /// The exact integer value; throws on non-numbers AND on numbers that
+  /// were not written as integers fitting int64 (1e3, 1.5, 2^63).
+  std::int64_t AsInt64() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Construction (used by the parser; handy for tests).
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d, std::int64_t i, bool integral);
+  static JsonValue String(std::string s);
+  static JsonValue Object();
+  static JsonValue Array();
+
+  // Mutable builders (valid only for the matching kind).
+  std::vector<JsonValue>& MutableArray() { return array_; }
+  std::vector<std::pair<std::string, JsonValue>>& MutableObject() {
+    return members_;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool integral_ = false;
+  std::string str_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (leading/trailing
+/// whitespace allowed, anything else is "trailing garbage"). Throws
+/// drtp::ParseError.
+JsonValue ParseJson(std::string_view text);
+
+}  // namespace drtp

@@ -1,5 +1,8 @@
 #include "common/log.h"
 
+#include <time.h>
+
+#include <atomic>
 #include <cstdio>
 
 namespace drtp {
@@ -23,15 +26,48 @@ const char* LevelName(LogLevel level) {
 
 namespace detail {
 
+int ThisThreadLogTag() {
+  static std::atomic<int> next{0};
+  thread_local const int tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+std::string FormatLogPrefix(LogLevel level, const char* file, int line) {
+  // Wall clock (not steady): log lines are correlated with external
+  // artifacts — trace files, CI logs — which carry wall time.
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  tm utc{};
+  gmtime_r(&ts.tv_sec, &utc);
+  char stamp[40];
+  std::snprintf(stamp, sizeof stamp, "%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, ts.tv_nsec / 1000000);
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::string out;
+  out.reserve(64);
+  out += '[';
+  out += LevelName(level);
+  out += ' ';
+  out += stamp;
+  out += " t";
+  out += std::to_string(ThisThreadLogTag());
+  out += ' ';
+  out += base;
+  out += ':';
+  out += std::to_string(line);
+  out += "] ";
+  return out;
+}
+
 LogLine::LogLine(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogLevel()), level_(level) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    os_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-  }
+  // Everything below the level check — including the clock read — is
+  // skipped for suppressed lines, preserving the cheap fast path.
+  if (enabled_) os_ << FormatLogPrefix(level_, file, line);
 }
 
 LogLine::~LogLine() {

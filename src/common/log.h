@@ -30,6 +30,17 @@ inline LogLevel GetLogLevel() {
 
 namespace detail {
 
+/// Small dense per-thread tag ("t0", "t1", ...) in first-log order — the
+/// daemon's decode workers and engine thread interleave on stderr, and
+/// correlating a log line with a drtp.trace/1 event needs to know which.
+int ThisThreadLogTag();
+
+/// Renders the bracketed line prefix: level, UTC wall-clock timestamp
+/// (millisecond ISO-8601, matching drtp.trace/1's time base), thread tag,
+/// and file:line. Exposed so tests can pin the format without scraping
+/// stderr.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
+
 /// Stream collector that emits on destruction.
 class LogLine {
  public:

@@ -1,0 +1,103 @@
+#include "common/socket.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace drtp {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::string(strerror(errno));
+}
+
+bool FillAddr(const std::string& path, sockaddr_un* addr,
+              std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    *error = "socket path '" + path + "' empty or longer than sun_path";
+    return false;
+  }
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UniqueFd ListenUnix(const std::string& path, int backlog,
+                    std::string* error) {
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = Errno("socket");
+    return UniqueFd();
+  }
+  // A previous daemon instance that crashed leaves the inode behind;
+  // binding over it needs the unlink. A *live* daemon is not protected
+  // against — the operator owns the socket directory.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = Errno("bind '" + path + "'");
+    return UniqueFd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    *error = Errno("listen '" + path + "'");
+    return UniqueFd();
+  }
+  return fd;
+}
+
+UniqueFd ConnectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = Errno("socket");
+    return UniqueFd();
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = Errno("connect '" + path + "'");
+    return UniqueFd();
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process-
+    // killing SIGPIPE.
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+long RecvSome(int fd, void* data, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r < 0 && errno == EINTR) continue;
+    return static_cast<long>(r);
+  }
+}
+
+}  // namespace drtp

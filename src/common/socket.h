@@ -1,0 +1,61 @@
+// Thin RAII wrappers over local (AF_UNIX) stream sockets.
+//
+// The daemon and its clients speak over a filesystem socket — no network
+// exposure, no address parsing, kernel-enforced same-host locality. All
+// helpers report failures as error strings (errno rendered in) rather
+// than exceptions: socket teardown races are ordinary events for a
+// server, not invariant violations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace drtp {
+
+/// Owning file descriptor; closes on destruction. -1 = empty.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a unix stream socket at `path`. An existing
+/// filesystem entry at `path` is unlinked first (stale socket from a
+/// crashed daemon). Invalid fd + `*error` on failure. Paths longer than
+/// sun_path (~107 bytes) are rejected.
+UniqueFd ListenUnix(const std::string& path, int backlog,
+                    std::string* error);
+
+/// Connects to a unix stream socket. Invalid fd + `*error` on failure.
+UniqueFd ConnectUnix(const std::string& path, std::string* error);
+
+/// Writes all `n` bytes, retrying short writes and EINTR. False on any
+/// hard error (peer gone).
+bool SendAll(int fd, const void* data, std::size_t n);
+
+/// Reads up to `n` bytes once (blocking), retrying EINTR. Returns the
+/// byte count, 0 on orderly EOF, -1 on error.
+long RecvSome(int fd, void* data, std::size_t n);
+
+}  // namespace drtp

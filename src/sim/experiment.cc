@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "drtp/admission.h"
 #include "drtp/failure.h"
 #include "obs/metrics.h"
 
@@ -340,34 +341,24 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
       if (config.trace != nullptr) {
         config.trace->OnRequest(e.time, e.conn, e.src, e.dst, e.bw);
       }
-      core::RouteSelection sel =
-          scheme.SelectRoutes(net, db, e.src, e.dst, e.bw);
-      m.control_messages += sel.control_messages;
-      m.control_bytes += sel.control_bytes;
-      bool ok = false;
-      if (sel.primary.has_value() &&
-          net.EstablishConnection(e.conn, *sel.primary, e.bw, e.time)) {
-        ok = true;
+      // The admission sequence itself (route discovery, establishment,
+      // vacuous-backup shun, backup registration) lives in
+      // core::AdmitConnection, shared with the daemon so that replaying a
+      // daemon request log here reproduces the same state.
+      const core::AdmitOutcome out = core::AdmitConnection(
+          scheme, net, db, e.conn, e.src, e.dst, e.bw, e.time,
+          core::AdmitOptions{.num_backups = config.num_backups});
+      m.control_messages += out.control_messages;
+      m.control_bytes += out.control_bytes;
+      if (out.admitted) {
         ++m.admitted;
         admitted_ids.insert(e.conn);
-        m.primary_hops.Add(sel.primary->hops());
-        // A "backup" covering every primary link (the scheme shuns rather
-        // than forbids primary links) protects nothing; admit unprotected
-        // instead of booking spare for vacuous coverage.
-        if (sel.backup.has_value() &&
-            sel.backup->OverlapCount(*sel.primary) >= sel.primary->hops()) {
-          sel.backup.reset();
-        }
-        if (scheme.wants_backup() && config.num_backups > 0 &&
-            sel.backup.has_value()) {
-          m.overbooked_hops += net.RegisterBackup(e.conn, *sel.backup);
+        m.primary_hops.Add(out.primary->hops());
+        if (out.backup.has_value()) {
+          m.overbooked_hops += out.overbooked_hops;
           ++m.with_backup;
-          m.backup_hops.Add(sel.backup->hops());
-          m.backup_overlap_links += sel.backup->OverlapCount(*sel.primary);
-          if (config.num_backups > 1) {
-            core::ProtectConnection(scheme, net, db, e.conn,
-                                    config.num_backups);
-          }
+          m.backup_hops.Add(out.backup->hops());
+          m.backup_overlap_links += out.backup->OverlapCount(*out.primary);
         }
         note_active(e.time, active_count + 1);
         Counters().admits.Add();
@@ -379,15 +370,14 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
                                 backup != nullptr ? backup_aplv(*backup)
                                                   : BackupAplv{});
         }
-      }
-      if (!ok) {
+        if (instant) net.PublishTo(db, e.time);
+      } else {
         ++m.blocked;
         Counters().blocks.Add();
         if (config.trace != nullptr) {
           config.trace->OnBlock(e.time, e.conn, e.src, e.dst);
         }
       }
-      if (ok && instant) net.PublishTo(db, e.time);
     } else if (e.type == ScenarioEvent::Type::kRelease) {
       // Releases of never-admitted (blocked) connections are no-ops;
       // connections dropped by an earlier failure were already erased.

@@ -1,0 +1,343 @@
+#include "svc/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/digest.h"
+#include "common/json.h"
+#include "drtp/admission.h"
+#include "drtp/failure.h"
+#include "obs/metrics.h"
+#include "sim/paper.h"
+
+namespace drtp::svc {
+namespace {
+
+/// Process-wide service counters (drtp.svc.*), resolved once.
+struct SvcCounters {
+  obs::Counter frames = obs::GetCounter("drtp.svc.frames");
+  obs::Counter errors = obs::GetCounter("drtp.svc.errors");
+  obs::Counter admits = obs::GetCounter("drtp.svc.admits");
+  obs::Counter blocks = obs::GetCounter("drtp.svc.blocks");
+  obs::Counter releases = obs::GetCounter("drtp.svc.releases");
+  obs::Counter link_fails = obs::GetCounter("drtp.svc.link_fails");
+  obs::Counter link_repairs = obs::GetCounter("drtp.svc.link_repairs");
+  obs::Counter batches = obs::GetCounter("drtp.svc.batches");
+};
+
+const SvcCounters& Counters() {
+  static const SvcCounters counters;
+  return counters;
+}
+
+/// Byte-order-independent int fold (explicit little-endian byte walk).
+std::uint64_t FoldInt(std::uint64_t d, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    d ^= (u >> (i * 8)) & 0xFF;
+    d *= kFnv1aPrime;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::uint64_t NetworkStateDigest(const core::DrtpNetwork& net) {
+  std::uint64_t d = kFnv1aOffset;
+  const net::Topology& topo = net.topology();
+  d = FoldInt(d, topo.num_nodes());
+  d = FoldInt(d, topo.num_links());
+  // Connection table (std::map — ascending, deterministic).
+  for (const auto& [id, conn] : net.connections()) {
+    d = FoldInt(d, id);
+    d = FoldInt(d, conn.src);
+    d = FoldInt(d, conn.dst);
+    d = FoldInt(d, conn.bw);
+    d = FoldInt(d, conn.primary.hops());
+    for (const LinkId l : conn.primary.links()) d = FoldInt(d, l);
+    d = FoldInt(d, static_cast<std::int64_t>(conn.backups.size()));
+    for (const routing::Path& b : conn.backups) {
+      d = FoldInt(d, b.hops());
+      for (const LinkId l : b.links()) d = FoldInt(d, l);
+    }
+  }
+  // Per-link dynamic state: up/down, ledger pools, APLV abridgements.
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    d = FoldInt(d, net.IsLinkUp(l) ? 1 : 0);
+    d = FoldInt(d, net.ledger().prime(l));
+    d = FoldInt(d, net.ledger().spare(l));
+    d = FoldInt(d, net.aplv(l).L1());
+    d = FoldInt(d, net.aplv(l).Max());
+  }
+  return d;
+}
+
+Engine::Engine(const net::Topology& topo, EngineOptions options)
+    : options_(std::move(options)),
+      net_(topo, core::NetworkConfig{.spare_mode = options_.spare_mode,
+                                     .duplex_failures = false}),
+      db_(topo.num_links(), topo.num_links()),
+      scheme_(sim::MakeScheme(options_.scheme, net_.topology(),
+                              options_.seed)) {
+  DRTP_CHECK(options_.num_backups >= 0);
+  if (options_.audit_interval > 0) {
+    auditor_ = std::make_unique<fault::Auditor>(
+        fault::AuditorOptions{.out = options_.audit_out});
+  }
+}
+
+Engine::~Engine() = default;
+
+Time Engine::NextEventTime() {
+  t_ += 1.0;
+  return t_;
+}
+
+void Engine::LogEvent(sim::ScenarioEvent event) {
+  if (options_.keep_request_log) log_.push_back(event);
+}
+
+std::vector<std::string> Engine::ExecuteBatch(
+    std::span<const DecodedRequest> batch) {
+  std::vector<std::string> out;
+  out.reserve(batch.size());
+  if (batch.empty()) return out;
+  // One snapshot per batch: every admission in the batch routes against
+  // this advertisement. Failure/repair events inside the batch
+  // re-publish immediately (see DoFailLink/DoRepairLink).
+  net_.PublishTo(db_, t_);
+  for (const DecodedRequest& d : batch) {
+    ++stats_.frames;
+    Counters().frames.Add();
+    if (!d.ok) {
+      ++stats_.errors;
+      Counters().errors.Add();
+      out.push_back(
+          RenderErrorResponse(d.id, d.error_code, d.error_detail));
+      continue;
+    }
+    out.push_back(Execute(d.request));
+  }
+  ++stats_.batches;
+  Counters().batches.Add();
+  if (auditor_ != nullptr && options_.audit_interval > 0 &&
+      stats_.batches % options_.audit_interval == 0) {
+    auditor_->Check(net_, t_, "batch_commit", nullptr);
+  }
+  return out;
+}
+
+std::string Engine::Execute(const Request& req) {
+  switch (req.method) {
+    case Method::kAdmit:
+      return DoAdmit(req);
+    case Method::kRelease:
+      return DoRelease(req);
+    case Method::kFailLink:
+      return DoFailLink(req);
+    case Method::kRepairLink:
+      return DoRepairLink(req);
+    case Method::kStats:
+      return DoStats(req);
+  }
+  DRTP_CHECK_MSG(false, "unreachable method");
+  return {};
+}
+
+namespace {
+
+/// Renders an error and counts it — all handler failures route through
+/// here so stats_.errors matches the ok=false responses on the wire.
+std::string CountedError(EngineStats& stats, std::int64_t id,
+                         std::string_view code, const std::string& detail) {
+  ++stats.errors;
+  Counters().errors.Add();
+  return RenderErrorResponse(id, code, detail);
+}
+
+}  // namespace
+
+std::string Engine::DoAdmit(const Request& req) {
+  const int nodes = net_.topology().num_nodes();
+  if (req.src >= nodes || req.dst >= nodes) {
+    return CountedError(stats_, req.id, kErrOutOfRange,
+                        "node id out of range [0, " +
+                            std::to_string(nodes) + ")");
+  }
+  if (net_.Find(req.conn) != nullptr) {
+    return CountedError(stats_, req.id, kErrConnExists,
+                        "connection " + std::to_string(req.conn) +
+                            " already active");
+  }
+  const Time now = NextEventTime();
+  LogEvent({.type = sim::ScenarioEvent::Type::kRequest,
+            .time = now,
+            .conn = req.conn,
+            .src = req.src,
+            .dst = req.dst,
+            .bw = req.bw});
+  const core::AdmitOutcome out = core::AdmitConnection(
+      *scheme_, net_, db_, req.conn, req.src, req.dst, req.bw, now,
+      core::AdmitOptions{.num_backups = options_.num_backups});
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("admitted").Bool(out.admitted);
+  w.Key("conn").Int(req.conn);
+  if (out.admitted) {
+    ++stats_.admitted;
+    Counters().admits.Add();
+    w.Key("primary_hops").Int(out.primary->hops());
+    w.Key("protected").Bool(out.has_backup());
+    w.Key("backup_hops").Int(out.backup.has_value() ? out.backup->hops() : 0);
+    w.Key("overbooked_hops").Int(out.overbooked_hops);
+    w.Key("extra_backups").Int(out.extra_backups);
+  } else {
+    ++stats_.blocked;
+    Counters().blocks.Add();
+  }
+  w.EndObject();
+  return RenderOkResponse(req.id, w.str());
+}
+
+std::string Engine::DoRelease(const Request& req) {
+  if (net_.Find(req.conn) == nullptr) {
+    return CountedError(stats_, req.id, kErrNotFound,
+                        "no active connection " + std::to_string(req.conn));
+  }
+  const Time now = NextEventTime();
+  LogEvent({.type = sim::ScenarioEvent::Type::kRelease,
+            .time = now,
+            .conn = req.conn});
+  net_.ReleaseConnection(req.conn);
+  ++stats_.released;
+  Counters().releases.Add();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("released").Bool(true);
+  w.Key("conn").Int(req.conn);
+  w.Key("active").Int(net_.ActiveCount());
+  w.EndObject();
+  return RenderOkResponse(req.id, w.str());
+}
+
+std::string Engine::DoFailLink(const Request& req) {
+  const int links = net_.topology().num_links();
+  if (req.link >= links) {
+    return CountedError(stats_, req.id, kErrOutOfRange,
+                        "link id out of range [0, " +
+                            std::to_string(links) + ")");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("link").Int(req.link);
+  if (!net_.IsLinkUp(req.link)) {
+    w.Key("changed").Bool(false);
+    w.EndObject();
+    return RenderOkResponse(req.id, w.str());
+  }
+  const Time now = NextEventTime();
+  LogEvent({.type = sim::ScenarioEvent::Type::kLinkFail,
+            .time = now,
+            .link = req.link});
+  core::RoutingScheme* reroute =
+      options_.num_backups > 0 ? scheme_.get() : nullptr;
+  const core::SwitchoverReport report =
+      core::ApplyLinkFailure(net_, req.link, now, reroute, &db_);
+  scheme_->OnTopologyChanged(net_);
+  // Failures re-advertise immediately even mid-batch: later admissions in
+  // this batch must not route onto a dead link.
+  net_.PublishTo(db_, now);
+  ++stats_.link_fails;
+  Counters().link_fails.Add();
+  if (auditor_ != nullptr) auditor_->Check(net_, now, "link_fail", &report);
+  w.Key("changed").Bool(true);
+  w.Key("recovered").Int(static_cast<std::int64_t>(report.recovered.size()));
+  w.Key("dropped").Int(static_cast<std::int64_t>(report.dropped.size()));
+  w.Key("backups_lost")
+      .Int(static_cast<std::int64_t>(report.backups_lost.size()));
+  w.Key("rerouted").Int(static_cast<std::int64_t>(report.rerouted.size()));
+  w.EndObject();
+  return RenderOkResponse(req.id, w.str());
+}
+
+std::string Engine::DoRepairLink(const Request& req) {
+  const int links = net_.topology().num_links();
+  if (req.link >= links) {
+    return CountedError(stats_, req.id, kErrOutOfRange,
+                        "link id out of range [0, " +
+                            std::to_string(links) + ")");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("link").Int(req.link);
+  if (net_.IsLinkUp(req.link)) {
+    w.Key("changed").Bool(false);
+    w.EndObject();
+    return RenderOkResponse(req.id, w.str());
+  }
+  const Time now = NextEventTime();
+  LogEvent({.type = sim::ScenarioEvent::Type::kLinkRepair,
+            .time = now,
+            .link = req.link});
+  net_.SetLinkUp(req.link);
+  scheme_->OnTopologyChanged(net_);
+  net_.PublishTo(db_, now);
+  ++stats_.link_repairs;
+  Counters().link_repairs.Add();
+  w.Key("changed").Bool(true);
+  w.EndObject();
+  return RenderOkResponse(req.id, w.str());
+}
+
+std::string Engine::DoStats(const Request& req) {
+  const Ratio pbk = core::EvaluateAllSingleLinkFailures(net_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("nodes").Int(net_.topology().num_nodes());
+  w.Key("links").Int(net_.topology().num_links());
+  w.Key("active").Int(net_.ActiveCount());
+  w.Key("frames").Int(stats_.frames);
+  w.Key("errors").Int(stats_.errors);
+  w.Key("admitted").Int(stats_.admitted);
+  w.Key("blocked").Int(stats_.blocked);
+  w.Key("released").Int(stats_.released);
+  w.Key("link_fails").Int(stats_.link_fails);
+  w.Key("link_repairs").Int(stats_.link_repairs);
+  w.Key("batches").Int(stats_.batches);
+  w.Key("prime_kbps").Int(net_.ledger().TotalPrime());
+  w.Key("spare_kbps").Int(net_.ledger().TotalSpare());
+  w.Key("overbooked_links")
+      .Int(static_cast<std::int64_t>(net_.OverbookedLinks().size()));
+  w.Key("pbk_hits").Int(pbk.hits);
+  w.Key("pbk_trials").Int(pbk.trials);
+  w.Key("pbk").Double(pbk.value());
+  w.Key("digest").String(DigestHex(NetworkStateDigest(net_)));
+  w.Key("audit_checks").Int(audit_checks());
+  w.Key("audit_violations").Int(audit_violations());
+  w.EndObject();
+  return RenderOkResponse(req.id, w.str());
+}
+
+std::int64_t Engine::FinalAudit() {
+  if (auditor_ != nullptr) auditor_->Check(net_, t_, "drain", nullptr);
+  return audit_violations();
+}
+
+sim::Scenario Engine::RequestLog() const {
+  DRTP_CHECK_MSG(options_.keep_request_log,
+                 "request log was not enabled on this engine");
+  sim::Scenario s;
+  s.traffic.duration = t_ + 1.0;
+  s.events = log_;
+  return s;
+}
+
+std::int64_t Engine::audit_checks() const {
+  return auditor_ != nullptr ? auditor_->checks() : 0;
+}
+
+std::int64_t Engine::audit_violations() const {
+  return auditor_ != nullptr ? auditor_->violation_count() : 0;
+}
+
+}  // namespace drtp::svc

@@ -1,0 +1,131 @@
+// svc::Engine — the daemon's single-threaded admission core.
+//
+// Owns the authoritative network state (DrtpNetwork), the advertised
+// link-state database, and the routing scheme; executes decoded requests
+// in batches. One LSDB snapshot (DrtpNetwork::PublishTo) is taken per
+// batch, so every admission in the batch routes against the same
+// advertisement — the amortization the admit_batch microbenchmark
+// measures. Failures and repairs re-publish immediately inside the batch
+// (they are rare and correctness-critical; only admit/release publishes
+// are amortized).
+//
+// Replay equivalence: admissions run through core::AdmitConnection — the
+// same code sim::RunScenario uses — and the engine can keep a replayable
+// request log (sim::Scenario with virtual times 1.0, 2.0, ...). With
+// batch_max=1 the per-batch snapshot degenerates to publish-per-request,
+// which is exactly the simulator's instant-advertisement mode, so
+// replaying the log through drtpsim reproduces the live ledger/APLV state
+// bit-for-bit (svc_test pins this via NetworkStateDigest).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "drtp/manager.h"
+#include "drtp/network.h"
+#include "drtp/scheme.h"
+#include "fault/auditor.h"
+#include "lsdb/link_state_db.h"
+#include "net/topology.h"
+#include "sim/scenario.h"
+#include "svc/rpc.h"
+
+namespace drtp::svc {
+
+/// FNV-1a digest over the authoritative state a replay must reproduce:
+/// connection table (id, endpoints, bandwidth, primary and backup links),
+/// per-link up/down + prime/spare ledger pools, and per-link APLV
+/// abridgements (L1, max). Deterministic iteration order; stable across
+/// processes.
+std::uint64_t NetworkStateDigest(const core::DrtpNetwork& net);
+
+struct EngineOptions {
+  /// Routing scheme label (sim::MakeScheme's vocabulary).
+  std::string scheme = "D-LSR";
+  /// Scheme seed (RandomBackup).
+  std::uint64_t seed = 1;
+  int num_backups = 1;
+  core::SpareMode spare_mode = core::SpareMode::kMultiplexed;
+  /// Audit every N committed batches (0 = off). Failure events and the
+  /// final drain audit always run when auditing is on.
+  int audit_interval = 0;
+  /// drtp.audit/1 JSONL sink for violations; null = keep them in memory
+  /// only. Must outlive the engine.
+  std::ostream* audit_out = nullptr;
+  /// Record a replayable request log (RequestLog()).
+  bool keep_request_log = false;
+};
+
+/// Cumulative request accounting (all-time, monotone).
+struct EngineStats {
+  std::int64_t frames = 0;       ///< decoded frames seen (incl. errors)
+  std::int64_t errors = 0;       ///< frames answered with ok=false
+  std::int64_t admitted = 0;
+  std::int64_t blocked = 0;
+  std::int64_t released = 0;
+  std::int64_t link_fails = 0;   ///< enacted (link was up)
+  std::int64_t link_repairs = 0; ///< enacted (link was down)
+  std::int64_t batches = 0;
+};
+
+/// Not thread-safe: the pipeline serializes every batch through one
+/// engine thread, which is precisely what makes responses deterministic.
+class Engine {
+ public:
+  Engine(const net::Topology& topo, EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes `batch` in order; returns one rendered drtp.rpc/1 response
+  /// per entry, same order. Takes the batch's LSDB snapshot first.
+  std::vector<std::string> ExecuteBatch(std::span<const DecodedRequest> batch);
+
+  /// The drain audit (always runs when auditing is on). Returns the
+  /// total violation count observed over the engine's lifetime.
+  std::int64_t FinalAudit();
+
+  std::uint64_t StateDigest() const { return NetworkStateDigest(net_); }
+
+  /// The replayable request log (requires keep_request_log). Contains
+  /// only events sim::RunScenario would enact identically: admits
+  /// (including blocked ones), releases of live connections, and enacted
+  /// link failures/repairs — error-answered frames and no-ops are
+  /// excluded.
+  sim::Scenario RequestLog() const;
+
+  const EngineStats& stats() const { return stats_; }
+  const net::Topology& topology() const { return net_.topology(); }
+  const core::DrtpNetwork& network() const { return net_; }
+  std::int64_t audit_checks() const;
+  std::int64_t audit_violations() const;
+
+ private:
+  std::string Execute(const Request& req);
+  std::string DoAdmit(const Request& req);
+  std::string DoRelease(const Request& req);
+  std::string DoFailLink(const Request& req);
+  std::string DoRepairLink(const Request& req);
+  std::string DoStats(const Request& req);
+  /// Advances virtual time and appends a log event when logging is on.
+  Time NextEventTime();
+  void LogEvent(sim::ScenarioEvent event);
+
+  EngineOptions options_;
+  core::DrtpNetwork net_;
+  lsdb::LinkStateDb db_;
+  std::unique_ptr<core::RoutingScheme> scheme_;
+  std::unique_ptr<fault::Auditor> auditor_;
+  EngineStats stats_;
+  /// Virtual clock: 1.0 per state-changing event, so the request log is
+  /// a well-formed scenario (strictly increasing times).
+  Time t_ = 0.0;
+  std::vector<sim::ScenarioEvent> log_;
+};
+
+}  // namespace drtp::svc

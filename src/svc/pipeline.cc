@@ -1,0 +1,159 @@
+#include "svc/pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace drtp::svc {
+namespace {
+
+obs::Histogram RequestLatency() {
+  static const obs::Histogram h =
+      obs::GetTimingHistogram("drtp.svc.request_ns");
+  return h;
+}
+
+}  // namespace
+
+Pipeline::Pipeline(Engine& engine, PipelineOptions options,
+                   Responder responder)
+    : engine_(engine),
+      options_(options),
+      respond_(std::move(responder)) {
+  DRTP_CHECK(options_.threads >= 1);
+  DRTP_CHECK(options_.batch_max >= 1);
+  decoders_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    decoders_.emplace_back([this] { DecodeLoop(); });
+  }
+  engine_thread_ = std::thread([this] { EngineLoop(); });
+}
+
+Pipeline::~Pipeline() { Drain(); }
+
+std::uint64_t Pipeline::Submit(std::uint64_t client, std::string payload) {
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    DRTP_CHECK_MSG(!draining_, "Submit after Drain");
+    seq = next_seq_++;
+    in_.push_back(InItem{.seq = seq,
+                         .client = client,
+                         .payload = std::move(payload),
+                         .submit_ns = MonotonicClock::Instance().NowNs()});
+  }
+  decode_cv_.notify_one();
+  return seq;
+}
+
+void Pipeline::Drain() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (drained_) return;
+    draining_ = true;
+  }
+  decode_cv_.notify_all();
+  engine_cv_.notify_all();
+  for (std::thread& t : decoders_) t.join();
+  engine_cv_.notify_all();
+  engine_thread_.join();
+  std::lock_guard<std::mutex> l(mu_);
+  drained_ = true;
+}
+
+std::uint64_t Pipeline::submitted() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return next_seq_;
+}
+
+std::uint64_t Pipeline::responded() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return responded_;
+}
+
+void Pipeline::DecodeLoop() {
+  for (;;) {
+    InItem item;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      decode_cv_.wait(l, [this] { return !in_.empty() || draining_; });
+      if (in_.empty()) return;  // draining and intake exhausted
+      item = std::move(in_.front());
+      in_.pop_front();
+    }
+    DecodedRequest decoded = DecodeRequest(item.payload);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      decoded_.emplace(item.seq, Decoded{.client = item.client,
+                                         .submit_ns = item.submit_ns,
+                                         .request = std::move(decoded)});
+    }
+    engine_cv_.notify_one();
+  }
+}
+
+std::size_t Pipeline::ContiguousLocked() const {
+  std::size_t n = 0;
+  for (auto it = decoded_.lower_bound(engine_seq_);
+       it != decoded_.end() && it->first == engine_seq_ + n; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+void Pipeline::EngineLoop() {
+  const auto batch_max = static_cast<std::size_t>(options_.batch_max);
+  std::vector<DecodedRequest> requests;
+  std::vector<std::uint64_t> clients;
+  std::vector<std::int64_t> stamps;
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    const std::size_t avail = ContiguousLocked();
+    const bool all_in = draining_ && engine_seq_ + avail == next_seq_;
+    std::size_t take = 0;
+    if (avail >= batch_max || (all_in && avail > 0)) {
+      take = std::min(avail, batch_max);
+    } else if (all_in) {
+      return;  // everything answered
+    } else if (options_.linger_us >= 0 && avail > 0) {
+      // Partial batch mode: give stragglers one linger to join, then run
+      // with whatever is contiguous.
+      engine_cv_.wait_for(l, std::chrono::microseconds(options_.linger_us));
+      take = std::min(ContiguousLocked(), batch_max);
+      if (take == 0) continue;
+    } else {
+      engine_cv_.wait(l);
+      continue;
+    }
+
+    requests.clear();
+    clients.clear();
+    stamps.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      auto it = decoded_.find(engine_seq_);
+      requests.push_back(std::move(it->second.request));
+      clients.push_back(it->second.client);
+      stamps.push_back(it->second.submit_ns);
+      decoded_.erase(it);
+      ++engine_seq_;
+    }
+    const std::uint64_t first_seq = engine_seq_ - take;
+    l.unlock();
+
+    std::vector<std::string> responses = engine_.ExecuteBatch(requests);
+    DRTP_CHECK(responses.size() == take);
+    const std::int64_t done_ns = MonotonicClock::Instance().NowNs();
+    for (std::size_t i = 0; i < take; ++i) {
+      respond_(first_seq + i, clients[i], std::move(responses[i]));
+      RequestLatency().Observe(done_ns - stamps[i]);
+    }
+
+    l.lock();
+    responded_ += take;
+  }
+}
+
+}  // namespace drtp::svc

@@ -1,0 +1,116 @@
+// svc::Pipeline — the daemon's request pipeline.
+//
+// Click-style composition of three stages with explicit queues:
+//
+//   Submit(payload)            [server thread, assigns a global seq]
+//     -> decode pool           [N workers: JSON parse + validation]
+//     -> reorder buffer        [seq-ordered map]
+//     -> engine thread         [forms batches, Engine::ExecuteBatch]
+//     -> responder callback    [invoked in seq order]
+//
+// Parsing parallelizes freely because DecodeRequest touches no shared
+// state; everything stateful funnels through the single engine thread,
+// which consumes the reorder buffer strictly in submission order. That
+// single serialization point is the determinism contract: for a fixed
+// submission sequence and linger_us = -1 (batches form only when
+// batch_max contiguous requests are ready, or at drain), the response
+// bytes are identical for any decode-pool size — svc_test pins
+// --threads=1 against --threads=4 byte-for-byte.
+//
+// With linger_us >= 0 (the daemon's default mode) a partial batch is
+// executed after at most that linger once work is available — lower
+// latency, but batch boundaries then depend on arrival timing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/engine.h"
+#include "svc/rpc.h"
+
+namespace drtp::svc {
+
+struct PipelineOptions {
+  /// Decode workers (>= 1).
+  int threads = 1;
+  /// Largest batch handed to the engine (>= 1).
+  int batch_max = 64;
+  /// How long the engine waits for more work before executing a partial
+  /// batch, in microseconds. -1 = never: only full batches run, plus one
+  /// final partial batch at drain (deterministic mode).
+  long linger_us = 500;
+};
+
+/// Owns the worker threads. Submit is single-producer (the server's poll
+/// loop); the responder fires on the engine thread, in seq order.
+class Pipeline {
+ public:
+  /// `client` is an opaque token passed through to the responder.
+  using Responder = std::function<void(std::uint64_t seq,
+                                       std::uint64_t client,
+                                       std::string response)>;
+
+  Pipeline(Engine& engine, PipelineOptions options, Responder responder);
+  /// Drains if the caller has not already.
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Enqueues one frame payload for decoding; returns its seq. Must not
+  /// be called after Drain.
+  std::uint64_t Submit(std::uint64_t client, std::string payload);
+
+  /// Stops intake, answers everything submitted, joins all threads.
+  /// Idempotent.
+  void Drain();
+
+  std::uint64_t submitted() const;
+  std::uint64_t responded() const;
+
+ private:
+  struct InItem {
+    std::uint64_t seq = 0;
+    std::uint64_t client = 0;
+    std::string payload;
+    std::int64_t submit_ns = 0;
+  };
+  struct Decoded {
+    std::uint64_t client = 0;
+    std::int64_t submit_ns = 0;
+    DecodedRequest request;
+  };
+
+  void DecodeLoop();
+  void EngineLoop();
+  /// Contiguous decoded requests starting at engine_seq_ (mu_ held).
+  std::size_t ContiguousLocked() const;
+
+  Engine& engine_;
+  PipelineOptions options_;
+  Responder respond_;
+
+  mutable std::mutex mu_;
+  std::condition_variable decode_cv_;
+  std::condition_variable engine_cv_;
+  std::deque<InItem> in_;
+  std::map<std::uint64_t, Decoded> decoded_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t engine_seq_ = 0;
+  std::uint64_t responded_ = 0;
+  bool draining_ = false;
+  bool drained_ = false;
+
+  std::vector<std::thread> decoders_;
+  std::thread engine_thread_;
+};
+
+}  // namespace drtp::svc

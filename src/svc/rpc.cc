@@ -1,0 +1,137 @@
+#include "svc/rpc.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/json_value.h"
+
+namespace drtp::svc {
+namespace {
+
+/// Looks up a required integral field of `params`, rejecting negatives.
+std::int64_t RequireNonNegInt(const JsonValue& params, const char* key) {
+  const JsonValue* v = params.Find(key);
+  if (v == nullptr) {
+    throw ParseError(std::string("missing param '") + key + "'");
+  }
+  const std::int64_t n = v->AsInt64();
+  if (n < 0) {
+    throw ParseError(std::string("param '") + key + "' must be >= 0");
+  }
+  return n;
+}
+
+std::int32_t RequireId32(const JsonValue& params, const char* key) {
+  const std::int64_t n = RequireNonNegInt(params, key);
+  if (n > std::numeric_limits<std::int32_t>::max()) {
+    throw ParseError(std::string("param '") + key + "' out of 32-bit range");
+  }
+  return static_cast<std::int32_t>(n);
+}
+
+const JsonValue& Params(const JsonValue& root) {
+  static const JsonValue kEmpty = JsonValue::Object();
+  const JsonValue* p = root.Find("params");
+  if (p == nullptr) return kEmpty;  // methods without params may omit it
+  if (!p->is_object()) throw ParseError("'params' must be an object");
+  return *p;
+}
+
+}  // namespace
+
+DecodedRequest DecodeRequest(std::string_view payload) {
+  DecodedRequest out;
+  JsonValue root;
+  try {
+    root = ParseJson(payload);
+  } catch (const ParseError& e) {
+    out.error_code = kErrBadJson;
+    out.error_detail = e.what();
+    return out;
+  }
+
+  try {
+    if (!root.is_object()) throw ParseError("request is not a JSON object");
+    // Recover the id first so every later failure can still correlate.
+    const JsonValue* id = root.Find("id");
+    if (id == nullptr) throw ParseError("missing 'id'");
+    out.id = id->AsInt64();
+    if (out.id < 0) throw ParseError("'id' must be >= 0");
+
+    const JsonValue* schema = root.Find("schema");
+    if (schema == nullptr || schema->AsString() != kRpcSchema) {
+      throw ParseError("missing or unsupported 'schema' (want drtp.rpc/1)");
+    }
+    const JsonValue* method = root.Find("method");
+    if (method == nullptr) throw ParseError("missing 'method'");
+    const std::string& name = method->AsString();
+
+    Request req;
+    req.id = out.id;
+    const JsonValue& params = Params(root);
+    if (name == "admit") {
+      req.method = Method::kAdmit;
+      req.conn = RequireNonNegInt(params, "conn");
+      req.src = RequireId32(params, "src");
+      req.dst = RequireId32(params, "dst");
+      req.bw = RequireNonNegInt(params, "bw_kbps");
+      if (req.bw == 0) throw ParseError("param 'bw_kbps' must be > 0");
+      if (req.src == req.dst) {
+        throw ParseError("params 'src' and 'dst' must differ");
+      }
+    } else if (name == "release") {
+      req.method = Method::kRelease;
+      req.conn = RequireNonNegInt(params, "conn");
+    } else if (name == "fail-link") {
+      req.method = Method::kFailLink;
+      req.link = RequireId32(params, "link");
+    } else if (name == "repair-link") {
+      req.method = Method::kRepairLink;
+      req.link = RequireId32(params, "link");
+    } else if (name == "stats") {
+      req.method = Method::kStats;
+    } else {
+      out.error_code = kErrUnknownMethod;
+      out.error_detail = "unknown method '" + name + "'";
+      return out;
+    }
+    out.ok = true;
+    out.request = req;
+    return out;
+  } catch (const ParseError& e) {
+    out.error_code = kErrBadRequest;
+    out.error_detail = e.what();
+    return out;
+  }
+}
+
+std::string RenderErrorResponse(std::int64_t id, std::string_view code,
+                                std::string_view detail) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("ok").Bool(false);
+  w.Key("error").BeginObject();
+  w.Key("code").String(code);
+  w.Key("detail").String(detail);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string RenderOkResponse(std::int64_t id, std::string_view result_object) {
+  std::string out;
+  out.reserve(64 + result_object.size());
+  out += "{\"schema\":\"";
+  out += kRpcSchema;
+  out += "\",\"id\":";
+  out += std::to_string(id);
+  out += ",\"ok\":true,\"result\":";
+  out += result_object;
+  out += "}";
+  return out;
+}
+
+}  // namespace drtp::svc

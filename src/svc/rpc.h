@@ -1,0 +1,84 @@
+// drtp.rpc/1 — the daemon's request/response envelope.
+//
+// One request per frame:
+//   {"schema":"drtp.rpc/1","id":<int>,"method":"<m>","params":{...}}
+// One response per request, same id:
+//   {"schema":"drtp.rpc/1","id":<int>,"ok":true,"result":{...}}
+//   {"schema":"drtp.rpc/1","id":<int>,"ok":false,
+//    "error":{"code":"<c>","detail":"<text>"}}
+//
+// Responses are rendered with a fixed field order so a fixed request
+// sequence yields byte-identical response bytes regardless of daemon
+// thread count — the determinism contract svc_test pins. Parsing is
+// strict (drtp::ParseError taxonomy surfaces as bad_json / bad_request),
+// but a parse failure still answers: the error response carries the
+// request id when one could be recovered, -1 otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace drtp::svc {
+
+inline constexpr char kRpcSchema[] = "drtp.rpc/1";
+
+// Error codes (stable wire strings; see docs/DRTPD.md).
+inline constexpr char kErrBadFrame[] = "bad_frame";
+inline constexpr char kErrBadJson[] = "bad_json";
+inline constexpr char kErrBadRequest[] = "bad_request";
+inline constexpr char kErrUnknownMethod[] = "unknown_method";
+inline constexpr char kErrConnExists[] = "conn_exists";
+inline constexpr char kErrNotFound[] = "not_found";
+inline constexpr char kErrOutOfRange[] = "out_of_range";
+inline constexpr char kErrDraining[] = "draining";
+
+enum class Method {
+  kAdmit,
+  kRelease,
+  kFailLink,
+  kRepairLink,
+  kStats,
+};
+
+/// A validated request. Only the fields of the named method are
+/// meaningful (admit: conn/src/dst/bw; release: conn; fail/repair: link;
+/// stats: none).
+struct Request {
+  std::int64_t id = -1;
+  Method method = Method::kStats;
+  ConnId conn = kInvalidConn;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth bw = 0;
+  LinkId link = kInvalidLink;
+};
+
+/// Outcome of decoding one frame payload. Exactly one of `ok` /
+/// `error_code` paths holds; `id` is always the best-known request id for
+/// response correlation (-1 when even that was unrecoverable).
+struct DecodedRequest {
+  bool ok = false;
+  Request request;
+  std::int64_t id = -1;
+  std::string error_code;
+  std::string error_detail;
+};
+
+/// Parses and validates one frame payload: JSON shape, schema tag, id,
+/// method name, per-method parameter presence/types/signs. Range checks
+/// against the live topology (node/link ids) are the engine's job —
+/// the decoder runs in the parallel pool and sees no network state.
+DecodedRequest DecodeRequest(std::string_view payload);
+
+/// Renders an error response (fixed field order).
+std::string RenderErrorResponse(std::int64_t id, std::string_view code,
+                                std::string_view detail);
+
+/// Wraps an already-rendered result object (`{...}`) in the ok envelope
+/// (fixed field order).
+std::string RenderOkResponse(std::int64_t id, std::string_view result_object);
+
+}  // namespace drtp::svc

@@ -1,0 +1,204 @@
+#include "svc/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "svc/wire.h"
+
+namespace drtp::svc {
+namespace {
+
+struct ServerCounters {
+  obs::Counter conns = obs::GetCounter("drtp.svc.connections");
+  obs::Counter rx_bytes = obs::GetCounter("drtp.svc.rx_bytes");
+  obs::Counter tx_bytes = obs::GetCounter("drtp.svc.tx_bytes");
+  obs::Counter bad_frames = obs::GetCounter("drtp.svc.bad_frames");
+  obs::Counter torn_frames = obs::GetCounter("drtp.svc.torn_frames");
+};
+
+const ServerCounters& Counters() {
+  static const ServerCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+Server::Server(Engine& engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      pipeline_(engine_, options_.pipeline,
+                [this](std::uint64_t /*seq*/, std::uint64_t client,
+                       std::string response) {
+                  std::shared_ptr<ClientConn> c;
+                  {
+                    std::lock_guard<std::mutex> l(clients_mu_);
+                    const auto it = clients_.find(client);
+                    if (it != clients_.end()) c = it->second;
+                  }
+                  // Client already gone: the response dies with it.
+                  if (c != nullptr) SendToClient(c, response);
+                }) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    wake_r_ = UniqueFd(fds[0]);
+    wake_w_ = UniqueFd(fds[1]);
+  }
+}
+
+Server::~Server() {
+  Shutdown();
+  pipeline_.Drain();
+}
+
+bool Server::Start(std::string* error) {
+  if (!wake_r_.valid()) {
+    *error = "self-pipe creation failed";
+    return false;
+  }
+  listen_ = ListenUnix(options_.socket_path, /*backlog=*/64, error);
+  return listen_.valid();
+}
+
+void Server::Shutdown() {
+  // One byte on the self-pipe; write() is async-signal-safe and extra
+  // bytes are harmless (Run only reads the pipe to terminate).
+  if (wake_w_.valid()) {
+    const char b = 1;
+    [[maybe_unused]] const auto n = ::write(wake_w_.get(), &b, 1);
+  }
+}
+
+void Server::SendToClient(const std::shared_ptr<ClientConn>& c,
+                          std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  std::lock_guard<std::mutex> l(c->write_mu);
+  if (!c->fd.valid()) return;
+  if (!SendAll(c->fd.get(), frame.data(), frame.size())) {
+    // Peer vanished between request and response; reads on this fd will
+    // hit EOF and reap the client shortly.
+    return;
+  }
+  Counters().tx_bytes.Add(static_cast<std::int64_t>(frame.size()));
+}
+
+void Server::RemoveClient(std::uint64_t id) {
+  std::shared_ptr<ClientConn> c;
+  {
+    std::lock_guard<std::mutex> l(clients_mu_);
+    const auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    c = it->second;
+    clients_.erase(it);
+  }
+  // Close under the write mutex so an in-flight response never writes to
+  // a recycled descriptor.
+  std::lock_guard<std::mutex> l(c->write_mu);
+  c->fd.Reset();
+}
+
+void Server::HandleReadable(std::uint64_t id,
+                            const std::shared_ptr<ClientConn>& c) {
+  char buf[64 * 1024];
+  const long r = RecvSome(c->fd.get(), buf, sizeof buf);
+  if (r <= 0) {
+    if (r == 0 && c->reader.pending_bytes() > 0) {
+      Counters().torn_frames.Add();
+      DRTP_LOG_WARN << "client " << id << " closed mid-frame ("
+                    << c->reader.pending_bytes() << " bytes pending)";
+    }
+    RemoveClient(id);
+    return;
+  }
+  Counters().rx_bytes.Add(r);
+  c->reader.Feed(std::string_view(buf, static_cast<std::size_t>(r)));
+  while (auto payload = c->reader.Next()) {
+    pipeline_.Submit(id, std::move(*payload));
+  }
+  if (!c->reader.error().empty()) {
+    // Framing violation: answer once (id -1 — no request id exists at
+    // the framing layer), then drop the connection.
+    Counters().bad_frames.Add();
+    DRTP_LOG_WARN << "client " << id
+                  << " framing violation: " << c->reader.error();
+    SendToClient(c, RenderErrorResponse(-1, kErrBadFrame,
+                                        c->reader.error()));
+    RemoveClient(id);
+  }
+}
+
+void Server::Run() {
+  DRTP_CHECK_MSG(listen_.valid(), "Run() before successful Start()");
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> ids;  // parallel to pfds from index 2 on
+  bool running = true;
+  while (running) {
+    pfds.clear();
+    ids.clear();
+    pfds.push_back(pollfd{.fd = wake_r_.get(), .events = POLLIN,
+                          .revents = 0});
+    pfds.push_back(pollfd{.fd = listen_.get(), .events = POLLIN,
+                          .revents = 0});
+    {
+      std::lock_guard<std::mutex> l(clients_mu_);
+      for (const auto& [id, c] : clients_) {
+        pfds.push_back(pollfd{.fd = c->fd.get(), .events = POLLIN,
+                              .revents = 0});
+        ids.push_back(id);
+      }
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      DRTP_LOG_ERROR << "poll failed, shutting down";
+      break;
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      running = false;  // drain below; already-read frames still answer
+      continue;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+      UniqueFd conn(::accept(listen_.get(), nullptr, nullptr));
+      if (conn.valid()) {
+        auto c = std::make_shared<ClientConn>();
+        c->fd = std::move(conn);
+        std::lock_guard<std::mutex> l(clients_mu_);
+        clients_.emplace(next_client_++, std::move(c));
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        Counters().conns.Add();
+      }
+    }
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      std::shared_ptr<ClientConn> c;
+      {
+        std::lock_guard<std::mutex> l(clients_mu_);
+        const auto it = clients_.find(ids[i - 2]);
+        if (it == clients_.end()) continue;
+        c = it->second;
+      }
+      HandleReadable(ids[i - 2], c);
+    }
+  }
+  // Graceful drain: everything submitted gets decoded, executed, and its
+  // response written to the (still-open) client sockets.
+  pipeline_.Drain();
+  {
+    std::lock_guard<std::mutex> l(clients_mu_);
+    for (auto& [id, c] : clients_) {
+      std::lock_guard<std::mutex> wl(c->write_mu);
+      c->fd.Reset();
+    }
+    clients_.clear();
+  }
+  listen_.Reset();
+  ::unlink(options_.socket_path.c_str());
+}
+
+}  // namespace drtp::svc

@@ -1,0 +1,55 @@
+#include "svc/wire.h"
+
+#include "common/check.h"
+
+namespace drtp::svc {
+
+void EncodeFrameHeader(std::size_t n, char out[4]) {
+  out[0] = static_cast<char>((n >> 24) & 0xFF);
+  out[1] = static_cast<char>((n >> 16) & 0xFF);
+  out[2] = static_cast<char>((n >> 8) & 0xFF);
+  out[3] = static_cast<char>(n & 0xFF);
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  DRTP_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                 "frame payload " << payload.size() << " exceeds cap");
+  std::string out;
+  out.resize(4);
+  EncodeFrameHeader(payload.size(), out.data());
+  out.append(payload);
+  return out;
+}
+
+bool FrameReader::Feed(std::string_view bytes) {
+  if (!error_.empty()) return false;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow the buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+  return true;
+}
+
+std::optional<std::string> FrameReader::Next() {
+  if (!error_.empty()) return std::nullopt;
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::size_t>(
+        static_cast<unsigned char>(buf_[pos_ + i]));
+  };
+  const std::size_t n = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  if (n > kMaxFrameBytes) {
+    error_ = "frame header declares " + std::to_string(n) +
+             " bytes (cap " + std::to_string(kMaxFrameBytes) + ")";
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4 + n) return std::nullopt;
+  std::string payload = buf_.substr(pos_ + 4, n);
+  pos_ += 4 + n;
+  return payload;
+}
+
+}  // namespace drtp::svc

@@ -1,0 +1,57 @@
+// drtpd wire framing: 4-byte big-endian length prefix + payload.
+//
+// The daemon speaks length-prefixed JSON over a local stream socket. The
+// prefix makes message boundaries explicit (JSON itself is not
+// self-delimiting on a stream) and lets the server reject runaway frames
+// before buffering them: a header declaring more than kMaxFrameBytes is a
+// protocol violation and the connection is dropped after one bad_frame
+// response. See docs/DRTPD.md for the full wire contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace drtp::svc {
+
+/// Largest accepted payload. Requests are small (one JSON object); the
+/// cap exists so a corrupt or hostile header cannot make the server
+/// buffer gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;  // 1 MiB
+
+/// Renders the 4-byte big-endian header for a payload of `n` bytes.
+void EncodeFrameHeader(std::size_t n, char out[4]);
+
+/// Header + payload in one buffer (DRTP_CHECKs the size cap — callers
+/// frame only payloads they rendered themselves).
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder for one connection: feed whatever the socket
+/// delivered, pop complete payloads. A header exceeding kMaxFrameBytes
+/// poisons the reader (error() non-empty, Next() stays empty); the caller
+/// must drop the connection. Bytes of an incomplete ("torn") frame simply
+/// wait for more input — EOF with leftover bytes is the caller's signal
+/// that the peer died mid-frame.
+class FrameReader {
+ public:
+  /// Appends received bytes. False once the reader is poisoned.
+  bool Feed(std::string_view bytes);
+
+  /// Extracts the next complete payload, if any.
+  std::optional<std::string> Next();
+
+  /// Non-empty after an oversized header.
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet returned (torn-frame detection at EOF).
+  std::size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_, compacted lazily
+  std::string error_;
+};
+
+}  // namespace drtp::svc

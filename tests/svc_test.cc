@@ -1,0 +1,681 @@
+// Tests for the drtpd service layer (src/svc): wire framing, the
+// drtp.rpc/1 decoder, the batched admission engine, pipeline determinism
+// across decode-pool sizes, the unix-socket server end to end, and the
+// replay-equivalence contract that pins a live daemon's final state to an
+// offline sim::RunScenario replay of its request log.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/json_value.h"
+#include "common/log.h"
+#include "common/socket.h"
+#include "net/generators.h"
+#include "sim/experiment.h"
+#include "sim/paper.h"
+#include "sim/scenario.h"
+#include "sim/traffic.h"
+#include "svc/engine.h"
+#include "svc/pipeline.h"
+#include "svc/rpc.h"
+#include "svc/server.h"
+#include "svc/wire.h"
+
+namespace drtp {
+namespace {
+
+using svc::DecodedRequest;
+using svc::DecodeRequest;
+using svc::Engine;
+using svc::EngineOptions;
+using svc::FrameReader;
+
+// ---- payload builders -------------------------------------------------
+
+std::string AdmitPayload(std::int64_t id, ConnId conn, NodeId src, NodeId dst,
+                         Bandwidth bw) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(svc::kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("method").String("admit");
+  w.Key("params").BeginObject();
+  w.Key("conn").Int(conn);
+  w.Key("src").Int(src);
+  w.Key("dst").Int(dst);
+  w.Key("bw_kbps").Int(bw);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ReleasePayload(std::int64_t id, ConnId conn) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(svc::kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("method").String("release");
+  w.Key("params").BeginObject();
+  w.Key("conn").Int(conn);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string LinkPayload(std::int64_t id, const char* method, LinkId link) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(svc::kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("method").String(method);
+  w.Key("params").BeginObject();
+  w.Key("link").Int(link);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string StatsPayload(std::int64_t id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(svc::kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("method").String("stats");
+  w.EndObject();
+  return w.str();
+}
+
+/// Runs one payload through the engine as a single-request batch and
+/// returns the parsed response.
+JsonValue Run1(Engine& engine, const std::string& payload) {
+  const DecodedRequest d = DecodeRequest(payload);
+  const std::vector<std::string> out = engine.ExecuteBatch({&d, 1});
+  EXPECT_EQ(out.size(), 1u);
+  return ParseJson(out[0]);
+}
+
+const JsonValue& Get(const JsonValue& v, std::string_view key) {
+  const JsonValue* f = v.Find(key);
+  EXPECT_NE(f, nullptr) << "missing field " << key;
+  return *f;
+}
+
+std::string ErrorCode(const JsonValue& resp) {
+  EXPECT_FALSE(Get(resp, "ok").AsBool());
+  return Get(Get(resp, "error"), "code").AsString();
+}
+
+// ---- wire framing -----------------------------------------------------
+
+TEST(WireTest, RoundTripsByteAtATime) {
+  const std::string frame =
+      svc::EncodeFrame("hello") + svc::EncodeFrame("") + svc::EncodeFrame("x");
+  FrameReader reader;
+  std::vector<std::string> got;
+  for (const char c : frame) {
+    ASSERT_TRUE(reader.Feed(std::string_view(&c, 1)));
+    while (auto p = reader.Next()) got.push_back(*p);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "hello");
+  EXPECT_EQ(got[1], "");
+  EXPECT_EQ(got[2], "x");
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+  EXPECT_TRUE(reader.error().empty());
+}
+
+TEST(WireTest, ManyFramesInOneFeed) {
+  std::string stream;
+  for (int i = 0; i < 100; ++i) {
+    stream += svc::EncodeFrame("payload-" + std::to_string(i));
+  }
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(stream));
+  int n = 0;
+  while (auto p = reader.Next()) {
+    EXPECT_EQ(*p, "payload-" + std::to_string(n));
+    ++n;
+  }
+  EXPECT_EQ(n, 100);
+}
+
+TEST(WireTest, TornFrameStaysPending) {
+  const std::string frame = svc::EncodeFrame("truncated payload");
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(std::string_view(frame).substr(0, frame.size() - 3)));
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_GT(reader.pending_bytes(), 0u);  // the EOF torn-frame signal
+  EXPECT_TRUE(reader.error().empty());
+  // The rest arrives: the frame completes normally.
+  ASSERT_TRUE(reader.Feed(std::string_view(frame).substr(frame.size() - 3)));
+  const auto p = reader.Next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, "truncated payload");
+}
+
+TEST(WireTest, OversizedHeaderPoisonsReader) {
+  // Header declaring kMaxFrameBytes + 1: rejected before buffering.
+  char header[4];
+  svc::EncodeFrameHeader(svc::kMaxFrameBytes, header);  // max itself is ok
+  FrameReader ok_reader;
+  EXPECT_TRUE(ok_reader.Feed(std::string_view(header, 4)));
+  EXPECT_TRUE(ok_reader.error().empty());
+
+  const std::uint32_t too_big =
+      static_cast<std::uint32_t>(svc::kMaxFrameBytes) + 1;
+  const char bad[4] = {static_cast<char>(too_big >> 24),
+                       static_cast<char>(too_big >> 16),
+                       static_cast<char>(too_big >> 8),
+                       static_cast<char>(too_big)};
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(std::string_view(bad, 4)));
+  EXPECT_FALSE(reader.Next().has_value());  // detection happens on Next()
+  EXPECT_FALSE(reader.error().empty());
+  EXPECT_FALSE(reader.Feed("more"));  // poisoned for good
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+// ---- drtp.rpc/1 decoding ----------------------------------------------
+
+TEST(RpcTest, MalformedJsonIsBadJson) {
+  const DecodedRequest d = DecodeRequest("{not json");
+  EXPECT_FALSE(d.ok);
+  EXPECT_EQ(d.error_code, svc::kErrBadJson);
+  EXPECT_EQ(d.id, -1);
+}
+
+TEST(RpcTest, WrongSchemaIsBadRequest) {
+  const DecodedRequest d = DecodeRequest(
+      R"({"schema":"drtp.rpc/99","id":7,"method":"stats"})");
+  EXPECT_FALSE(d.ok);
+  EXPECT_EQ(d.error_code, svc::kErrBadRequest);
+  EXPECT_EQ(d.id, 7) << "id must be recovered for response correlation";
+}
+
+TEST(RpcTest, UnknownMethod) {
+  const DecodedRequest d = DecodeRequest(
+      R"({"schema":"drtp.rpc/1","id":3,"method":"frobnicate"})");
+  EXPECT_FALSE(d.ok);
+  EXPECT_EQ(d.error_code, svc::kErrUnknownMethod);
+  EXPECT_EQ(d.id, 3);
+}
+
+TEST(RpcTest, AdmitParameterValidation) {
+  // Missing params object.
+  EXPECT_EQ(DecodeRequest(R"({"schema":"drtp.rpc/1","id":1,"method":"admit"})")
+                .error_code,
+            svc::kErrBadRequest);
+  // src == dst.
+  EXPECT_EQ(
+      DecodeRequest(
+          R"({"schema":"drtp.rpc/1","id":1,"method":"admit",)"
+          R"("params":{"conn":5,"src":2,"dst":2,"bw_kbps":100}})")
+          .error_code,
+      svc::kErrBadRequest);
+  // Non-positive bandwidth.
+  EXPECT_EQ(
+      DecodeRequest(
+          R"({"schema":"drtp.rpc/1","id":1,"method":"admit",)"
+          R"("params":{"conn":5,"src":2,"dst":3,"bw_kbps":0}})")
+          .error_code,
+      svc::kErrBadRequest);
+}
+
+TEST(RpcTest, GoodAdmitDecodes) {
+  const DecodedRequest d = DecodeRequest(AdmitPayload(42, 7, 1, 9, Mbps(2)));
+  ASSERT_TRUE(d.ok) << d.error_code << ": " << d.error_detail;
+  EXPECT_EQ(d.request.id, 42);
+  EXPECT_EQ(d.request.method, svc::Method::kAdmit);
+  EXPECT_EQ(d.request.conn, 7);
+  EXPECT_EQ(d.request.src, 1);
+  EXPECT_EQ(d.request.dst, 9);
+  EXPECT_EQ(d.request.bw, Mbps(2));
+}
+
+// ---- engine -----------------------------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : topo_(net::MakeWaxman(
+            net::WaxmanConfig{.nodes = 20, .avg_degree = 4.0, .seed = 3})) {}
+
+  net::Topology topo_;
+};
+
+TEST_F(EngineTest, AdmitReleaseLifecycle) {
+  Engine engine(topo_, EngineOptions{});
+  const JsonValue admit = Run1(engine, AdmitPayload(1, 100, 0, 5, Mbps(1)));
+  ASSERT_TRUE(Get(admit, "ok").AsBool());
+  const JsonValue& result = Get(admit, "result");
+  ASSERT_TRUE(Get(result, "admitted").AsBool());
+  EXPECT_GT(Get(result, "primary_hops").AsInt64(), 0);
+  EXPECT_TRUE(Get(result, "protected").AsBool());  // D-LSR finds a backup
+  EXPECT_EQ(engine.network().ActiveCount(), 1);
+
+  const JsonValue release = Run1(engine, ReleasePayload(2, 100));
+  ASSERT_TRUE(Get(release, "ok").AsBool());
+  EXPECT_TRUE(Get(Get(release, "result"), "released").AsBool());
+  EXPECT_EQ(engine.network().ActiveCount(), 0);
+  EXPECT_EQ(engine.stats().admitted, 1);
+  EXPECT_EQ(engine.stats().released, 1);
+}
+
+TEST_F(EngineTest, DuplicateConnectionIdRejected) {
+  Engine engine(topo_, EngineOptions{});
+  ASSERT_TRUE(Get(Run1(engine, AdmitPayload(1, 7, 0, 5, Mbps(1))), "ok")
+                  .AsBool());
+  const JsonValue dup = Run1(engine, AdmitPayload(2, 7, 3, 9, Mbps(1)));
+  EXPECT_EQ(ErrorCode(dup), svc::kErrConnExists);
+  EXPECT_EQ(Get(dup, "id").AsInt64(), 2);
+  EXPECT_EQ(engine.network().ActiveCount(), 1);
+}
+
+TEST_F(EngineTest, ReleaseUnknownConnectionIsNotFound) {
+  Engine engine(topo_, EngineOptions{});
+  EXPECT_EQ(ErrorCode(Run1(engine, ReleasePayload(1, 999))),
+            svc::kErrNotFound);
+}
+
+TEST_F(EngineTest, NodeAndLinkRangeChecks) {
+  Engine engine(topo_, EngineOptions{});
+  EXPECT_EQ(ErrorCode(Run1(
+                engine, AdmitPayload(1, 1, 0, topo_.num_nodes(), Mbps(1)))),
+            svc::kErrOutOfRange);
+  EXPECT_EQ(
+      ErrorCode(Run1(engine, LinkPayload(2, "fail-link", topo_.num_links()))),
+      svc::kErrOutOfRange);
+}
+
+TEST_F(EngineTest, FailAndRepairLinkReportEnactment) {
+  Engine engine(topo_, EngineOptions{});
+  ASSERT_TRUE(Get(Run1(engine, AdmitPayload(1, 1, 0, 5, Mbps(1))), "ok")
+                  .AsBool());
+
+  const JsonValue fail = Run1(engine, LinkPayload(2, "fail-link", 0));
+  ASSERT_TRUE(Get(fail, "ok").AsBool());
+  EXPECT_TRUE(Get(Get(fail, "result"), "changed").AsBool());
+  // Failing an already-down link is a no-op, not an error.
+  const JsonValue again = Run1(engine, LinkPayload(3, "fail-link", 0));
+  ASSERT_TRUE(Get(again, "ok").AsBool());
+  EXPECT_FALSE(Get(Get(again, "result"), "changed").AsBool());
+
+  const JsonValue repair = Run1(engine, LinkPayload(4, "repair-link", 0));
+  ASSERT_TRUE(Get(repair, "ok").AsBool());
+  EXPECT_TRUE(Get(Get(repair, "result"), "changed").AsBool());
+  EXPECT_EQ(engine.stats().link_fails, 1);
+  EXPECT_EQ(engine.stats().link_repairs, 1);
+}
+
+TEST_F(EngineTest, StatsReportStateAndDigest) {
+  Engine engine(topo_, EngineOptions{});
+  const JsonValue before = Run1(engine, StatsPayload(1));
+  const std::string digest0 = Get(Get(before, "result"), "digest").AsString();
+  EXPECT_EQ(Get(Get(before, "result"), "active").AsInt64(), 0);
+
+  ASSERT_TRUE(Get(Run1(engine, AdmitPayload(2, 1, 0, 5, Mbps(1))), "ok")
+                  .AsBool());
+  const JsonValue after = Run1(engine, StatsPayload(3));
+  const JsonValue& r = Get(after, "result");
+  EXPECT_EQ(Get(r, "active").AsInt64(), 1);
+  EXPECT_EQ(Get(r, "nodes").AsInt64(), topo_.num_nodes());
+  EXPECT_GT(Get(r, "prime_kbps").AsInt64(), 0);
+  EXPECT_NE(Get(r, "digest").AsString(), digest0)
+      << "digest must reflect table/ledger changes";
+}
+
+TEST_F(EngineTest, BatchedAdmissionsShareOneSnapshot) {
+  // A whole batch admits against the snapshot taken at batch start; the
+  // responses must be ok and the table must hold every admission.
+  Engine engine(topo_, EngineOptions{});
+  std::vector<std::string> payloads;
+  std::vector<DecodedRequest> batch;
+  for (int i = 0; i < 32; ++i) {
+    payloads.push_back(AdmitPayload(i, i, i % topo_.num_nodes(),
+                                    (i + 7) % topo_.num_nodes(), Mbps(1)));
+  }
+  for (const std::string& p : payloads) batch.push_back(DecodeRequest(p));
+  const std::vector<std::string> out = engine.ExecuteBatch(batch);
+  ASSERT_EQ(out.size(), batch.size());
+  std::int64_t admitted = 0;
+  for (const std::string& resp : out) {
+    const JsonValue v = ParseJson(resp);
+    ASSERT_TRUE(Get(v, "ok").AsBool());
+    if (Get(Get(v, "result"), "admitted").AsBool()) ++admitted;
+  }
+  EXPECT_EQ(admitted, engine.network().ActiveCount());
+  EXPECT_GT(admitted, 0);
+  EXPECT_EQ(engine.stats().batches, 1);
+}
+
+TEST_F(EngineTest, AuditIntervalRunsAndStaysClean) {
+  std::ostringstream audit;
+  EngineOptions eo;
+  eo.audit_interval = 2;
+  eo.audit_out = &audit;
+  Engine engine(topo_, eo);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        Get(Run1(engine, AdmitPayload(i, i, 0, 5 + i % 5, Mbps(1))), "ok")
+            .AsBool());
+  }
+  EXPECT_EQ(engine.FinalAudit(), 0) << audit.str();
+  // 8 single-request batches at interval 2 -> 4 batch audits + drain.
+  EXPECT_GE(engine.audit_checks(), 5);
+  EXPECT_EQ(engine.audit_violations(), 0);
+}
+
+// ---- pipeline determinism ---------------------------------------------
+
+/// Submits `payloads` through a pipeline with the given decode-pool size
+/// and returns the responses in seq order.
+std::vector<std::string> RunPipeline(const net::Topology& topo,
+                                     const std::vector<std::string>& payloads,
+                                     int threads) {
+  Engine engine(topo, EngineOptions{});
+  std::mutex mu;
+  std::map<std::uint64_t, std::string> by_seq;
+  svc::PipelineOptions po;
+  po.threads = threads;
+  po.batch_max = 8;
+  po.linger_us = -1;  // deterministic batch formation
+  svc::Pipeline pipeline(engine, po,
+                         [&](std::uint64_t seq, std::uint64_t /*client*/,
+                             std::string response) {
+                           std::lock_guard<std::mutex> l(mu);
+                           by_seq.emplace(seq, std::move(response));
+                         });
+  for (const std::string& p : payloads) pipeline.Submit(1, p);
+  pipeline.Drain();
+  EXPECT_EQ(pipeline.responded(), payloads.size());
+  std::vector<std::string> out;
+  out.reserve(by_seq.size());
+  for (auto& [seq, resp] : by_seq) out.push_back(std::move(resp));
+  return out;
+}
+
+TEST(PipelineTest, ResponsesAreByteIdenticalAcrossThreadCounts) {
+  const net::Topology topo = net::MakeWaxman(
+      net::WaxmanConfig{.nodes = 30, .avg_degree = 4.0, .seed = 5});
+  // A mixed sequence: admits, releases, errors, failures, stats — enough
+  // to cross several batch boundaries (batch_max = 8).
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 60; ++i) {
+    switch (i % 6) {
+      case 0:
+      case 1:
+      case 2:
+        payloads.push_back(AdmitPayload(i, i, (3 * i) % 30, (3 * i + 11) % 30,
+                                        Mbps(1)));
+        break;
+      case 3:
+        payloads.push_back(ReleasePayload(i, i - 3));
+        break;
+      case 4:
+        payloads.push_back(i % 12 == 4 ? LinkPayload(i, "fail-link", i % 40)
+                                       : LinkPayload(i, "repair-link", i % 40));
+        break;
+      default:
+        payloads.push_back(i % 12 == 5 ? StatsPayload(i)
+                                       : "{\"broken\":");  // bad_json
+        break;
+    }
+  }
+  const std::vector<std::string> single = RunPipeline(topo, payloads, 1);
+  const std::vector<std::string> pooled = RunPipeline(topo, payloads, 4);
+  ASSERT_EQ(single.size(), pooled.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i], pooled[i]) << "response " << i << " diverged";
+  }
+}
+
+TEST(PipelineTest, DrainAnswersEverySubmittedFrame) {
+  const net::Topology topo = net::MakeWaxman(
+      net::WaxmanConfig{.nodes = 12, .avg_degree = 3.0, .seed = 2});
+  Engine engine(topo, EngineOptions{});
+  std::mutex mu;
+  int responses = 0;
+  svc::PipelineOptions po;
+  po.threads = 2;
+  po.batch_max = 64;
+  po.linger_us = -1;  // nothing runs until drain: all 5 are in flight
+  svc::Pipeline pipeline(engine, po,
+                         [&](std::uint64_t, std::uint64_t, std::string) {
+                           std::lock_guard<std::mutex> l(mu);
+                           ++responses;
+                         });
+  for (int i = 0; i < 5; ++i) {
+    pipeline.Submit(1, AdmitPayload(i, i, 0, 5, Mbps(1)));
+  }
+  pipeline.Drain();
+  EXPECT_EQ(responses, 5);
+  EXPECT_EQ(pipeline.submitted(), 5u);
+  EXPECT_EQ(pipeline.responded(), 5u);
+}
+
+// ---- replay equivalence -----------------------------------------------
+
+// The acceptance demo: drive a live engine (60-node Waxman, batch = 1 so
+// the per-batch snapshot degenerates to the simulator's instant
+// advertisement mode), capture its request log, replay the log through
+// sim::RunScenario — the offline drtpsim path — and require the exact
+// same final network state digest.
+TEST(ReplayTest, LiveEngineMatchesOfflineScenarioReplay) {
+  const net::Topology topo = net::MakeWaxman(
+      net::WaxmanConfig{.nodes = 60, .avg_degree = 4.0, .seed = 11});
+
+  EngineOptions eo;
+  eo.scheme = "D-LSR";
+  eo.num_backups = 1;
+  eo.keep_request_log = true;
+  Engine engine(topo, eo);
+
+  sim::TrafficConfig tc;
+  tc.lambda = 0.4;
+  tc.duration = 400.0;
+  tc.seed = 11;
+  const std::vector<sim::Request> requests = sim::GenerateRequests(topo, tc);
+  ASSERT_GT(requests.size(), 50u);
+
+  // Interleave admits with releases of roughly half the earlier
+  // connections, plus a couple of link failures and one repair so the
+  // replay exercises switchover state too.
+  std::int64_t id = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const sim::Request& r = requests[i];
+    Run1(engine, AdmitPayload(id++, r.id, r.src, r.dst, r.bw));
+    if (i % 2 == 1 && i >= 2) {
+      Run1(engine, ReleasePayload(id++, requests[i - 2].id));
+    }
+    if (i == 20) Run1(engine, LinkPayload(id++, "fail-link", 3));
+    if (i == 40) Run1(engine, LinkPayload(id++, "fail-link", 17));
+    if (i == 60) Run1(engine, LinkPayload(id++, "repair-link", 3));
+  }
+  ASSERT_GT(engine.stats().admitted, 0);
+  ASSERT_GT(engine.network().ActiveCount(), 0);
+  const std::uint64_t live_digest = engine.StateDigest();
+
+  // Round-trip the log through the scenario file format — the same bytes
+  // `drtpd --request-log` writes and `drtpsim run --scenario` loads.
+  std::stringstream file;
+  engine.RequestLog().Save(file);
+  const sim::Scenario log = sim::Scenario::Load(file);
+  ASSERT_EQ(log.events.size(), static_cast<std::size_t>(id));
+
+  sim::ExperimentConfig cfg;
+  cfg.warmup = 0.0;
+  cfg.num_backups = 1;
+  cfg.reprotect_max_retries = 0;  // the daemon schedules no retries
+  std::uint64_t replay_digest = 0;
+  cfg.inspect_final = [&](const core::DrtpNetwork& net) {
+    replay_digest = svc::NetworkStateDigest(net);
+  };
+  const auto scheme = sim::MakeScheme("D-LSR", topo, 1);
+  sim::RunScenario(topo, log, *scheme, cfg);
+
+  EXPECT_EQ(replay_digest, live_digest)
+      << "offline replay must reproduce the live daemon's table, ledger, "
+         "and APLV state bit-for-bit";
+}
+
+// ---- server end to end ------------------------------------------------
+
+class TestClient {
+ public:
+  explicit TestClient(const std::string& path) {
+    std::string error;
+    fd_ = ConnectUnix(path, &error);
+    EXPECT_TRUE(fd_.valid()) << error;
+  }
+
+  void Send(const std::string& payload) {
+    const std::string frame = svc::EncodeFrame(payload);
+    ASSERT_TRUE(SendAll(fd_.get(), frame.data(), frame.size()));
+  }
+
+  void SendRaw(const std::string& bytes) {
+    ASSERT_TRUE(SendAll(fd_.get(), bytes.data(), bytes.size()));
+  }
+
+  /// Blocks for the next response payload; empty on EOF.
+  std::string ReadOne() {
+    for (;;) {
+      if (auto p = reader_.Next()) return *p;
+      char buf[4096];
+      const long r = RecvSome(fd_.get(), buf, sizeof buf);
+      if (r <= 0) return "";
+      reader_.Feed(std::string_view(buf, static_cast<std::size_t>(r)));
+    }
+  }
+
+  bool AtEof() {
+    char buf[64];
+    return RecvSome(fd_.get(), buf, sizeof buf) <= 0;
+  }
+
+ private:
+  UniqueFd fd_;
+  FrameReader reader_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : topo_(net::MakeWaxman(
+            net::WaxmanConfig{.nodes = 16, .avg_degree = 3.5, .seed = 9})),
+        engine_(topo_, EngineOptions{}),
+        path_(::testing::TempDir() + "/svc_test.sock") {
+    svc::ServerOptions so;
+    so.socket_path = path_;
+    so.pipeline.threads = 2;
+    so.pipeline.batch_max = 8;
+    so.pipeline.linger_us = 1000;
+    server_ = std::make_unique<svc::Server>(engine_, so);
+    std::string error;
+    EXPECT_TRUE(server_->Start(&error)) << error;
+    run_ = std::thread([this] { server_->Run(); });
+  }
+
+  ~ServerTest() override {
+    server_->Shutdown();
+    run_.join();
+  }
+
+  net::Topology topo_;
+  Engine engine_;
+  std::string path_;
+  std::unique_ptr<svc::Server> server_;
+  std::thread run_;
+};
+
+TEST_F(ServerTest, AdmitOverRealSocket) {
+  TestClient client(path_);
+  client.Send(AdmitPayload(1, 50, 0, 7, Mbps(1)));
+  const JsonValue resp = ParseJson(client.ReadOne());
+  EXPECT_EQ(Get(resp, "id").AsInt64(), 1);
+  ASSERT_TRUE(Get(resp, "ok").AsBool());
+  EXPECT_TRUE(Get(Get(resp, "result"), "admitted").AsBool());
+
+  client.Send(StatsPayload(2));
+  const JsonValue stats = ParseJson(client.ReadOne());
+  EXPECT_EQ(Get(Get(stats, "result"), "active").AsInt64(), 1);
+}
+
+TEST_F(ServerTest, ResponsesArriveInSubmissionOrder) {
+  TestClient client(path_);
+  for (int i = 0; i < 20; ++i) {
+    client.Send(AdmitPayload(i, i, i % 16, (i + 5) % 16, Mbps(1)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    const JsonValue resp = ParseJson(client.ReadOne());
+    EXPECT_EQ(Get(resp, "id").AsInt64(), i);
+  }
+}
+
+TEST_F(ServerTest, OversizedFrameAnsweredThenDropped) {
+  TestClient client(path_);
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(svc::kMaxFrameBytes) + 1;
+  const char bad[4] = {static_cast<char>(huge >> 24),
+                       static_cast<char>(huge >> 16),
+                       static_cast<char>(huge >> 8), static_cast<char>(huge)};
+  client.SendRaw(std::string(bad, 4));
+  const JsonValue resp = ParseJson(client.ReadOne());
+  EXPECT_FALSE(Get(resp, "ok").AsBool());
+  EXPECT_EQ(ErrorCode(resp), svc::kErrBadFrame);
+  EXPECT_EQ(Get(resp, "id").AsInt64(), -1);
+  EXPECT_TRUE(client.AtEof());  // connection dropped after the answer
+
+  // The server survives and keeps serving new connections.
+  TestClient next(path_);
+  next.Send(StatsPayload(1));
+  EXPECT_TRUE(Get(ParseJson(next.ReadOne()), "ok").AsBool());
+}
+
+// ---- log prefix (satellite) -------------------------------------------
+
+TEST(LogTest, PrefixCarriesWallClockAndThreadTag) {
+  const std::string prefix =
+      detail::FormatLogPrefix(LogLevel::kWarn, "src/svc/server.cc", 123);
+  // "[WARN 2026-08-08T12:34:56.789Z t0 server.cc:123] "
+  ASSERT_GE(prefix.size(), 20u);
+  EXPECT_EQ(prefix.rfind("[WARN ", 0), 0u) << prefix;
+  EXPECT_NE(prefix.find("Z t"), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find(" server.cc:123] "), std::string::npos)
+      << "file must be basename'd: " << prefix;
+  EXPECT_EQ(prefix.find("src/svc"), std::string::npos) << prefix;
+  // ISO-8601 UTC timestamp: YYYY-MM-DDTHH:MM:SS.mmmZ after "[WARN ".
+  const std::string ts = prefix.substr(6, 24);
+  EXPECT_EQ(ts[4], '-') << ts;
+  EXPECT_EQ(ts[10], 'T') << ts;
+  EXPECT_EQ(ts[19], '.') << ts;
+  EXPECT_EQ(ts[23], 'Z') << ts;
+  for (const int i : {0, 1, 2, 3, 5, 6, 8, 9, 11, 12, 14, 15, 17, 18}) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(ts[i])))
+        << i << " in " << ts;
+  }
+  // Two calls from this thread agree on the tag; a fresh thread gets a
+  // different one.
+  const auto tag_of = [](const std::string& p) {
+    const std::size_t at = p.find("Z t");
+    return p.substr(at + 2, p.find(' ', at + 2) - at - 2);
+  };
+  EXPECT_EQ(tag_of(prefix),
+            tag_of(detail::FormatLogPrefix(LogLevel::kWarn, "x.cc", 1)));
+  std::string other_tag;
+  std::thread([&] {
+    other_tag = tag_of(detail::FormatLogPrefix(LogLevel::kWarn, "x.cc", 1));
+  }).join();
+  EXPECT_NE(tag_of(prefix), other_tag);
+}
+
+}  // namespace
+}  // namespace drtp

@@ -1,0 +1,77 @@
+#!/bin/sh
+# End-to-end daemon smoke: start drtpd on a Waxman topology, drive it with
+# a seeded closed-loop drtpload run, assert nonzero admissions and a clean
+# audit, then SIGTERM and require a graceful drain (exit 0).
+#
+#   daemon_smoke.sh <drtpsim> <drtpd> <drtpload> <workdir> [bench-out]
+#
+# Used both as a ctest (tools/CMakeLists.txt) and by the CI daemon-smoke
+# job, which additionally uploads the drtpload report as an artifact.
+set -eu
+
+DRTPSIM=$1
+DRTPD=$2
+DRTPLOAD=$3
+WORK=$4
+BENCH_OUT=${5:-"$WORK/bench_drtpd.json"}
+
+mkdir -p "$WORK"
+SOCK="$WORK/drtpd.sock"
+TOPO="$WORK/smoke60.topo"
+rm -f "$SOCK"
+
+"$DRTPSIM" topo --kind=waxman --nodes=60 --degree=4 --seed=11 --out="$TOPO"
+
+"$DRTPD" --socket="$SOCK" --topo="$TOPO" --scheme=D-LSR \
+  --threads=2 --batch=64 --audit-interval=4 \
+  --audit-out="$WORK/drtpd.audit.jsonl" &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true' EXIT
+
+# Wait for the socket to appear (the daemon binds before serving).
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "daemon_smoke: socket never appeared" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$DRTPLOAD" --socket="$SOCK" --mode=closed --workers=4 \
+  --lambda=0.5 --duration=600 --seed=11 --out="$BENCH_OUT"
+
+# The report must show actual admissions and a violation-free audit.
+python3 - "$BENCH_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "drtp.bench.drtpd/1", r["schema"]
+assert r["totals"]["admitted"] > 0, "no admissions"
+assert r["totals"]["errors"] == 0, f"{r['totals']['errors']} rpc errors"
+assert r["totals"]["transport_failures"] == 0, "transport failures"
+assert r["throughput"]["admissions_per_s"] > 0, "zero admissions/sec"
+assert r["daemon"]["audit_violations"] == 0, "audit violations"
+print(f"daemon_smoke: {r['totals']['admitted']} admitted, "
+      f"{r['throughput']['admissions_per_s']:.0f} admissions/s, "
+      f"P_bk={r['daemon']['pbk']:.3f}")
+EOF
+
+# Graceful drain: SIGTERM must answer everything in flight and exit 0.
+kill -TERM "$DPID"
+if wait "$DPID"; then
+  STATUS=0
+else
+  STATUS=$?
+fi
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+  echo "daemon_smoke: drtpd exited $STATUS after SIGTERM" >&2
+  exit 1
+fi
+if [ -S "$SOCK" ]; then
+  echo "daemon_smoke: socket file not removed on drain" >&2
+  exit 1
+fi
+echo "daemon_smoke: graceful drain OK"

@@ -1,0 +1,157 @@
+// drtpd — the online DR-connection admission daemon.
+//
+// Loads a topology, owns the authoritative network state (connection
+// table, bandwidth ledger, link-state database), and serves drtp.rpc/1
+// requests (admit / release / fail-link / repair-link / stats) over a
+// local unix stream socket with length-prefixed JSON frames. Requests are
+// decoded by a parallel pool and executed in batches by a single engine
+// thread — one LSDB snapshot per batch. See docs/DRTPD.md.
+//
+//   drtpd --socket=/tmp/drtpd.sock --topo=net.topo --scheme=D-LSR
+//
+// SIGTERM / SIGINT trigger a graceful drain: every frame already received
+// is answered, the final audit runs, and the process exits 0 (3 when the
+// auditor recorded violations, matching drtpsim/drtpsweep conventions;
+// 2 on startup/usage errors).
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "drtp/manager.h"
+#include "net/graphio.h"
+#include "svc/engine.h"
+#include "svc/server.h"
+
+using namespace drtp;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "drtpd: %s\n", message.c_str());
+  return 2;
+}
+
+svc::Server* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("drtpd");
+  auto& socket_path =
+      flags.String("socket", "", "unix socket path to serve on (required)");
+  auto& topo_path = flags.String("topo", "", "topology file (required)");
+  auto& scheme = flags.String(
+      "scheme", "D-LSR", "routing scheme (D-LSR|P-LSR|BF|NoBackup|...)");
+  auto& seed = flags.Int64("seed", 1, "scheme seed (RandomBackup)");
+  auto& backups = flags.Int64("backups", 1, "backups per connection", 0, 8);
+  auto& dedicated =
+      flags.Bool("dedicated_spares", false, "disable backup multiplexing");
+  auto& threads =
+      flags.Int64("threads", 1, "request decode workers", 1, 64);
+  auto& batch = flags.Int64("batch", 64, "max admissions per LSDB snapshot",
+                            1, 4096);
+  auto& linger_us = flags.Int64(
+      "linger_us", 500,
+      "engine wait for a fuller batch, microseconds (-1 = only full "
+      "batches; deterministic mode)",
+      -1, 1000000);
+  auto& audit_interval = flags.Int64(
+      "audit-interval", 0,
+      "audit invariants every N committed batches (0 = off); failure "
+      "events and the drain audit always run when enabled",
+      0, 1000000);
+  auto& audit_out = flags.String(
+      "audit-out", "", "drtp.audit/1 JSONL file (default: stderr)");
+  auto& request_log = flags.String(
+      "request-log", "",
+      "write the replayable request log (scenario file) here on drain");
+  auto& verbose = flags.Bool("verbose", false, "log at info level");
+  flags.Parse(argc, argv);
+
+  if (socket_path.empty()) return Fail("--socket is required");
+  if (topo_path.empty()) return Fail("--topo is required");
+  if (verbose) SetLogLevel(LogLevel::kInfo);
+
+  try {
+    std::ifstream in(topo_path);
+    if (!in.good()) {
+      return Fail("cannot open topology file '" + topo_path + "'");
+    }
+    const net::Topology topo = net::ReadTopology(in);
+
+    std::ofstream audit_file;
+    svc::EngineOptions eo;
+    eo.scheme = scheme;
+    eo.seed = static_cast<std::uint64_t>(seed);
+    eo.num_backups = static_cast<int>(backups);
+    eo.spare_mode = dedicated ? core::SpareMode::kDedicated
+                              : core::SpareMode::kMultiplexed;
+    eo.audit_interval = static_cast<int>(audit_interval);
+    if (audit_interval > 0) {
+      if (!audit_out.empty()) {
+        audit_file.open(audit_out, std::ios::trunc);
+        if (!audit_file.good()) {
+          return Fail("cannot write '" + audit_out + "'");
+        }
+        eo.audit_out = &audit_file;
+      } else {
+        eo.audit_out = &std::cerr;
+      }
+    }
+    eo.keep_request_log = !request_log.empty();
+    svc::Engine engine(topo, std::move(eo));
+
+    svc::ServerOptions so;
+    so.socket_path = socket_path;
+    so.pipeline.threads = static_cast<int>(threads);
+    so.pipeline.batch_max = static_cast<int>(batch);
+    so.pipeline.linger_us = static_cast<long>(linger_us);
+    svc::Server server(engine, so);
+    std::string error;
+    if (!server.Start(&error)) return Fail(error);
+
+    g_server = &server;
+    std::signal(SIGTERM, HandleSignal);
+    std::signal(SIGINT, HandleSignal);
+    // A client that vanishes mid-response must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    DRTP_LOG_INFO << "drtpd serving on " << socket_path << " ("
+                  << topo.num_nodes() << " nodes, " << topo.num_links()
+                  << " links, scheme " << scheme << ")";
+    server.Run();
+    g_server = nullptr;
+
+    const std::int64_t violations = engine.FinalAudit();
+    if (!request_log.empty()) {
+      std::ofstream os(request_log, std::ios::trunc);
+      if (!os.good()) return Fail("cannot write '" + request_log + "'");
+      engine.RequestLog().Save(os);
+    }
+    const svc::EngineStats& s = engine.stats();
+    std::fprintf(stderr,
+                 "drtpd: drained; %lld frames (%lld errors), %lld admitted, "
+                 "%lld blocked, %lld released, %lld batches, "
+                 "%lld audit checks, %lld violations%s\n",
+                 static_cast<long long>(s.frames),
+                 static_cast<long long>(s.errors),
+                 static_cast<long long>(s.admitted),
+                 static_cast<long long>(s.blocked),
+                 static_cast<long long>(s.released),
+                 static_cast<long long>(s.batches),
+                 static_cast<long long>(engine.audit_checks()),
+                 static_cast<long long>(violations),
+                 violations > 0 ? " — INVARIANTS BROKEN" : "");
+    return violations > 0 ? 3 : 0;
+  } catch (const std::exception& e) {
+    return Fail(e.what());
+  }
+}

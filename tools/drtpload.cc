@@ -1,0 +1,466 @@
+// drtpload — load generator for drtpd.
+//
+// Drives a running daemon over its unix socket with a deterministic
+// seeded workload derived from the simulator's own traffic model
+// (sim::GenerateRequests): Poisson arrivals, uniform lifetimes, UT/NT
+// endpoint patterns. Each generated connection becomes an admit and a
+// release event, replayed either closed-loop (N workers, each waits for
+// every response — measures service latency) or open-loop (one firehose
+// connection, optionally paced — measures throughput under overload).
+//
+// Events are partitioned across workers by connection id, so a release is
+// only ever sent by the worker that already saw its admit answered.
+//
+// Reports admissions/sec, client-observed latency percentiles, and the
+// daemon's own stats (P_bk of the admitted set, state digest) as one JSON
+// object — the format stored in results/BENCH_drtpd.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/json_value.h"
+#include "common/socket.h"
+#include "net/topology.h"
+#include "sim/traffic.h"
+#include "svc/rpc.h"
+#include "svc/wire.h"
+
+using namespace drtp;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "drtpload: %s\n", message.c_str());
+  return 2;
+}
+
+/// Field lookup that throws (caught by main's handler) instead of
+/// returning nullptr — stats responses come from our own daemon, so a
+/// missing field is a protocol bug worth a loud exit.
+const JsonValue& Field(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("daemon response missing field '" +
+                             std::string(key) + "'");
+  }
+  return *v;
+}
+
+/// One admit or release to send.
+struct LoadEvent {
+  bool admit = false;
+  ConnId conn = kInvalidConn;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth bw = 0;
+};
+
+/// Blocking request/response client over one daemon connection.
+class RpcClient {
+ public:
+  bool Connect(const std::string& path, std::string* error) {
+    fd_ = ConnectUnix(path, error);
+    return fd_.valid();
+  }
+
+  /// Sends one payload and waits for the matching response payload.
+  bool Call(const std::string& payload, std::string* response) {
+    const std::string frame = svc::EncodeFrame(payload);
+    if (!SendAll(fd_.get(), frame.data(), frame.size())) return false;
+    return ReadOne(response);
+  }
+
+  bool Send(const std::string& payload) {
+    const std::string frame = svc::EncodeFrame(payload);
+    return SendAll(fd_.get(), frame.data(), frame.size());
+  }
+
+  bool ReadOne(std::string* response) {
+    for (;;) {
+      if (auto p = reader_.Next()) {
+        *response = std::move(*p);
+        return true;
+      }
+      char buf[64 * 1024];
+      const long r = RecvSome(fd_.get(), buf, sizeof buf);
+      if (r <= 0) return false;
+      reader_.Feed(std::string_view(buf, static_cast<std::size_t>(r)));
+    }
+  }
+
+ private:
+  UniqueFd fd_;
+  svc::FrameReader reader_;
+};
+
+std::string AdmitPayload(std::int64_t id, const LoadEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(svc::kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("method").String("admit");
+  w.Key("params").BeginObject();
+  w.Key("conn").Int(e.conn);
+  w.Key("src").Int(e.src);
+  w.Key("dst").Int(e.dst);
+  w.Key("bw_kbps").Int(e.bw);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ReleasePayload(std::int64_t id, ConnId conn) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(svc::kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("method").String("release");
+  w.Key("params").BeginObject();
+  w.Key("conn").Int(conn);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string StatsPayload(std::int64_t id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(svc::kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("method").String("stats");
+  w.EndObject();
+  return w.str();
+}
+
+/// Shared tallies across workers.
+struct Tally {
+  std::mutex mu;
+  std::int64_t ok = 0;
+  std::int64_t errors = 0;
+  std::int64_t admitted = 0;
+  std::int64_t blocked = 0;
+  std::int64_t released = 0;
+  std::int64_t transport_failures = 0;
+  std::vector<std::int64_t> latency_ns;
+};
+
+/// Counts one response payload into the tally (mu held by caller).
+void CountResponse(const std::string& payload, Tally& t) {
+  try {
+    const JsonValue v = ParseJson(payload);
+    const JsonValue* ok = v.Find("ok");
+    if (ok == nullptr || !ok->AsBool()) {
+      ++t.errors;
+      return;
+    }
+    ++t.ok;
+    const JsonValue* result = v.Find("result");
+    if (result == nullptr) return;
+    if (const JsonValue* admitted = result->Find("admitted")) {
+      if (admitted->AsBool()) {
+        ++t.admitted;
+      } else {
+        ++t.blocked;
+      }
+    } else if (const JsonValue* released = result->Find("released")) {
+      if (released->AsBool()) ++t.released;
+    }
+  } catch (const ParseError&) {
+    ++t.errors;
+  }
+}
+
+std::int64_t Percentile(const std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("drtpload");
+  auto& socket_path =
+      flags.String("socket", "", "daemon socket path (required)");
+  auto& mode = flags.String("mode", "closed", "closed|open");
+  auto& workers =
+      flags.Int64("workers", 2, "closed-loop worker connections", 1, 64);
+  auto& lambda = flags.Double("lambda", 0.5, "arrival rate /s (workload)");
+  auto& duration =
+      flags.Double("duration", 200.0, "workload horizon, seconds (virtual)");
+  auto& pattern = flags.String("pattern", "UT", "UT|NT");
+  auto& bw = flags.Int64("bw_mbps", 1, "per-connection bandwidth, Mbps");
+  auto& seed = flags.Int64("seed", 1, "workload seed");
+  auto& rate = flags.Int64(
+      "rate", 0, "open-loop send pacing, requests/s (0 = unpaced)", 0,
+      1000000);
+  auto& out = flags.String("out", "-", "JSON report file, '-' for stdout");
+  flags.Parse(argc, argv);
+
+  if (socket_path.empty()) return Fail("--socket is required");
+  if (mode != "closed" && mode != "open") {
+    return Fail("unknown --mode '" + mode + "' (closed|open)");
+  }
+
+  try {
+    // The daemon knows the topology; ask it for the node count so the
+    // workload generator needs no topology file.
+    RpcClient control;
+    std::string error;
+    if (!control.Connect(socket_path, &error)) return Fail(error);
+    std::string stats0;
+    if (!control.Call(StatsPayload(0), &stats0)) {
+      return Fail("stats request failed (daemon gone?)");
+    }
+    const JsonValue v0 = ParseJson(stats0);
+    const int nodes =
+        static_cast<int>(Field(Field(v0, "result"), "nodes").AsInt64());
+
+    // Same traffic model the simulator replays; the placeholder topology
+    // only contributes its node count.
+    net::Topology shape;
+    for (int i = 0; i < nodes; ++i) shape.AddNode();
+    sim::TrafficConfig tc;
+    tc.pattern = pattern == "NT" ? sim::TrafficPattern::kHotspot
+                                 : sim::TrafficPattern::kUniform;
+    tc.lambda = lambda;
+    tc.duration = duration;
+    tc.bw = Mbps(bw);
+    tc.seed = static_cast<std::uint64_t>(seed);
+    const std::vector<sim::Request> requests =
+        sim::GenerateRequests(shape, tc);
+
+    // Expand to time-ordered admit/release events (the simulator's
+    // interleaving), then partition by connection id.
+    struct Timed {
+      double t;
+      LoadEvent e;
+    };
+    std::vector<Timed> timeline;
+    timeline.reserve(requests.size() * 2);
+    for (const sim::Request& r : requests) {
+      timeline.push_back({r.arrival,
+                          {.admit = true,
+                           .conn = r.id,
+                           .src = r.src,
+                           .dst = r.dst,
+                           .bw = r.bw}});
+      // Releases past the horizon are not sent — connections still alive
+      // at the end of the run stay in the daemon's table, so the final
+      // stats (P_bk of the admitted set) describe a loaded network, the
+      // simulator's measurement-window convention.
+      if (r.arrival + r.lifetime < duration) {
+        timeline.push_back(
+            {r.arrival + r.lifetime, {.admit = false, .conn = r.id}});
+      }
+    }
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const Timed& a, const Timed& b) { return a.t < b.t; });
+
+    Tally tally;
+    const std::int64_t start_ns = MonotonicClock::Instance().NowNs();
+
+    if (mode == "closed") {
+      const int w = static_cast<int>(workers);
+      std::vector<std::vector<LoadEvent>> shards(
+          static_cast<std::size_t>(w));
+      for (const Timed& te : timeline) {
+        shards[static_cast<std::size_t>(te.e.conn % w)].push_back(te.e);
+      }
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(w));
+      for (int i = 0; i < w; ++i) {
+        threads.emplace_back([&, i] {
+          RpcClient client;
+          std::string err;
+          if (!client.Connect(socket_path, &err)) {
+            std::lock_guard<std::mutex> l(tally.mu);
+            ++tally.transport_failures;
+            return;
+          }
+          std::int64_t next_id = 1;
+          std::string response;
+          for (const LoadEvent& e : shards[static_cast<std::size_t>(i)]) {
+            const std::string payload = e.admit
+                                            ? AdmitPayload(next_id, e)
+                                            : ReleasePayload(next_id, e.conn);
+            ++next_id;
+            const std::int64_t t0 = MonotonicClock::Instance().NowNs();
+            if (!client.Call(payload, &response)) {
+              std::lock_guard<std::mutex> l(tally.mu);
+              ++tally.transport_failures;
+              return;
+            }
+            const std::int64_t t1 = MonotonicClock::Instance().NowNs();
+            std::lock_guard<std::mutex> l(tally.mu);
+            tally.latency_ns.push_back(t1 - t0);
+            CountResponse(response, tally);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      // Open loop: one connection; a reader thread collects responses
+      // while the main thread fires (optionally paced) requests.
+      RpcClient client;
+      if (!client.Connect(socket_path, &error)) return Fail(error);
+      std::mutex stamp_mu;
+      std::vector<std::int64_t> stamps(timeline.size() + 1, 0);
+      std::thread reader([&] {
+        std::string response;
+        for (std::size_t i = 0; i < timeline.size(); ++i) {
+          if (!client.ReadOne(&response)) {
+            std::lock_guard<std::mutex> l(tally.mu);
+            ++tally.transport_failures;
+            return;
+          }
+          const std::int64_t t1 = MonotonicClock::Instance().NowNs();
+          std::int64_t sent_ns = 0;
+          try {
+            const std::int64_t id =
+                Field(ParseJson(response), "id").AsInt64();
+            std::lock_guard<std::mutex> sl(stamp_mu);
+            if (id >= 1 && static_cast<std::size_t>(id) < stamps.size()) {
+              sent_ns = stamps[static_cast<std::size_t>(id)];
+            }
+          } catch (const std::exception&) {
+          }
+          std::lock_guard<std::mutex> l(tally.mu);
+          if (sent_ns > 0) tally.latency_ns.push_back(t1 - sent_ns);
+          CountResponse(response, tally);
+        }
+      });
+      const double gap_ns = rate > 0 ? 1e9 / static_cast<double>(rate) : 0.0;
+      std::int64_t next_id = 1;
+      std::int64_t next_send = MonotonicClock::Instance().NowNs();
+      for (const Timed& te : timeline) {
+        if (gap_ns > 0) {
+          while (MonotonicClock::Instance().NowNs() < next_send) {
+            std::this_thread::yield();
+          }
+          next_send += static_cast<std::int64_t>(gap_ns);
+        }
+        const std::string payload =
+            te.e.admit ? AdmitPayload(next_id, te.e)
+                       : ReleasePayload(next_id, te.e.conn);
+        {
+          std::lock_guard<std::mutex> sl(stamp_mu);
+          stamps[static_cast<std::size_t>(next_id)] =
+              MonotonicClock::Instance().NowNs();
+        }
+        ++next_id;
+        if (!client.Send(payload)) {
+          std::lock_guard<std::mutex> l(tally.mu);
+          ++tally.transport_failures;
+          break;
+        }
+      }
+      reader.join();
+    }
+
+    const std::int64_t wall_ns =
+        MonotonicClock::Instance().NowNs() - start_ns;
+    const double wall_s = static_cast<double>(wall_ns) / 1e9;
+
+    // Final daemon-side view: P_bk of the admitted set + state digest.
+    std::string stats1;
+    if (!control.Call(StatsPayload(1), &stats1)) {
+      return Fail("final stats request failed");
+    }
+    const JsonValue v1 = ParseJson(stats1);
+    const JsonValue& r1 = Field(v1, "result");
+
+    std::sort(tally.latency_ns.begin(), tally.latency_ns.end());
+    const auto us = [](std::int64_t ns) {
+      return static_cast<double>(ns) / 1e3;
+    };
+    double mean_ns = 0.0;
+    for (const std::int64_t ns : tally.latency_ns) {
+      mean_ns += static_cast<double>(ns);
+    }
+    if (!tally.latency_ns.empty()) {
+      mean_ns /= static_cast<double>(tally.latency_ns.size());
+    }
+
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("drtp.bench.drtpd/1");
+    w.Key("mode").String(mode);
+    w.Key("workers").Int(mode == "closed" ? workers : 1);
+    w.Key("workload").BeginObject();
+    w.Key("pattern").String(pattern);
+    w.Key("lambda").Double(lambda);
+    w.Key("duration").Double(duration);
+    w.Key("bw_mbps").Int(bw);
+    w.Key("seed").Int(seed);
+    w.Key("requests").Int(static_cast<std::int64_t>(requests.size()));
+    w.Key("events").Int(static_cast<std::int64_t>(timeline.size()));
+    w.EndObject();
+    w.Key("totals").BeginObject();
+    w.Key("ok").Int(tally.ok);
+    w.Key("errors").Int(tally.errors);
+    w.Key("admitted").Int(tally.admitted);
+    w.Key("blocked").Int(tally.blocked);
+    w.Key("released").Int(tally.released);
+    w.Key("transport_failures").Int(tally.transport_failures);
+    w.EndObject();
+    w.Key("throughput").BeginObject();
+    w.Key("wall_s").Double(wall_s);
+    w.Key("requests_per_s")
+        .Double(wall_s > 0.0
+                    ? static_cast<double>(tally.ok + tally.errors) / wall_s
+                    : 0.0);
+    w.Key("admissions_per_s")
+        .Double(wall_s > 0.0 ? static_cast<double>(tally.admitted) / wall_s
+                             : 0.0);
+    w.EndObject();
+    w.Key("latency_us").BeginObject();
+    w.Key("count").Int(static_cast<std::int64_t>(tally.latency_ns.size()));
+    w.Key("mean").Double(us(static_cast<std::int64_t>(mean_ns)));
+    w.Key("p50").Double(us(Percentile(tally.latency_ns, 0.50)));
+    w.Key("p90").Double(us(Percentile(tally.latency_ns, 0.90)));
+    w.Key("p99").Double(us(Percentile(tally.latency_ns, 0.99)));
+    w.Key("max").Double(us(tally.latency_ns.empty()
+                               ? 0
+                               : tally.latency_ns.back()));
+    w.EndObject();
+    w.Key("daemon").BeginObject();
+    w.Key("active").Int(Field(r1, "active").AsInt64());
+    w.Key("admitted").Int(Field(r1, "admitted").AsInt64());
+    w.Key("blocked").Int(Field(r1, "blocked").AsInt64());
+    w.Key("batches").Int(Field(r1, "batches").AsInt64());
+    w.Key("pbk").Double(Field(r1, "pbk").AsDouble());
+    w.Key("digest").String(Field(r1, "digest").AsString());
+    w.Key("audit_violations").Int(Field(r1, "audit_violations").AsInt64());
+    w.EndObject();
+    w.EndObject();
+
+    if (out == "-") {
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::ofstream os(out, std::ios::trunc);
+      if (!os.good()) return Fail("cannot write '" + out + "'");
+      os << w.str() << '\n';
+      std::fprintf(stderr,
+                   "drtpload: %lld responses (%lld admitted) in %.2fs -> %s\n",
+                   static_cast<long long>(tally.ok + tally.errors),
+                   static_cast<long long>(tally.admitted), wall_s,
+                   out.c_str());
+    }
+    return tally.transport_failures > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    return Fail(e.what());
+  }
+}
