@@ -293,8 +293,148 @@ std::vector<KernelResult> RunSuite(LoadedNet& fx, double min_time_s,
   return out;
 }
 
+/// One large-N fixture summary for the JSON document.
+struct LargeTopo {
+  std::string tag;
+  int nodes = 0;
+  int links = 0;
+};
+
+/// Large-N rows: the CSR/radix-heap engine measured against the retained
+/// reference kernels on hierarchical ISP graphs. The layouts only
+/// separate at scale — 60 nodes fits any cache level — so these rows are
+/// what the ROADMAP item-1 speedup claims are read from. At the 10k size
+/// (≈26k duplex links > lsdb::kWideLinkThreshold) the APLV/CV rows run
+/// the wide sparse/lazy storage; at 1k they run the dense path.
+std::vector<KernelResult> RunLargeSuite(double min_time_s,
+                                        std::uint64_t seed,
+                                        std::vector<LargeTopo>& topos) {
+  Timer timer(min_time_s);
+  std::vector<KernelResult> out;
+  struct Size {
+    const char* tag;
+    net::HierConfig cfg;
+  };
+  const Size sizes[] = {
+      {"1k",
+       {.backbone = 10, .pops_per_backbone = 3, .metro_per_pop = 32,
+        .seed = 7}},
+      {"10k",
+       {.backbone = 16, .pops_per_backbone = 6, .metro_per_pop = 103,
+        .seed = 7}},
+  };
+  for (const Size& s : sizes) {
+    const net::Topology topo = net::MakeHierarchical(s.cfg);
+    const auto nodes = static_cast<std::size_t>(topo.num_nodes());
+    const int num_links = topo.num_links();
+    topos.push_back(LargeTopo{s.tag, topo.num_nodes(), num_links});
+    core::DrtpNetwork net(topo);
+    lsdb::LinkStateDb db(num_links, num_links);
+    net.PublishTo(db, 0.0);
+    const auto name = [&](const char* kernel) {
+      return std::string(kernel) + "_" + s.tag;
+    };
+
+    // --- single-source trees: adjacency-list vs CSR vs bucket queue ------
+    const auto unit_cost = [&](LinkId l) {
+      return db.record(l).up ? 1.0 : routing::kInfiniteCost;
+    };
+    const auto unit_int_cost = [&](LinkId l) {
+      return db.record(l).up ? std::int64_t{1} : routing::kInfiniteIntCost;
+    };
+    {
+      Rng rng(seed + 11);
+      routing::DijkstraWorkspace ws;
+      out.push_back(timer.Measure(name("dijkstra_adjlist"), [&] {
+        const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+        routing::detail::RunDijkstraLoopAdjList(topo, src, unit_cost, ws);
+        DoNotOptimize(ws.Reached(0));
+      }));
+    }
+    {
+      Rng rng(seed + 11);
+      routing::DijkstraWorkspace ws;
+      out.push_back(timer.Measure(name("dijkstra_csr"), [&] {
+        const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+        routing::RunDijkstra(topo, src, unit_cost, ws);
+        DoNotOptimize(ws.Reached(0));
+      }));
+    }
+    {
+      Rng rng(seed + 11);
+      routing::DijkstraWorkspace ws;
+      out.push_back(timer.Measure(name("dijkstra_radix"), [&] {
+        const NodeId src = static_cast<NodeId>(rng.Index(nodes));
+        routing::RunDijkstraInt(topo, src, unit_int_cost, ws);
+        DoNotOptimize(ws.Reached(0));
+      }));
+    }
+
+    // --- admission primary selection: the before/after pair ---------------
+    const auto rand_pair = [&](Rng& rng, NodeId& src, NodeId& dst) {
+      src = static_cast<NodeId>(rng.Index(nodes));
+      dst = static_cast<NodeId>(rng.Index(nodes));
+      if (dst == src) dst = (dst + 1) % topo.num_nodes();
+    };
+    {
+      Rng rng(seed + 12);
+      out.push_back(timer.Measure(name("minhop_binary"), [&] {
+        NodeId src, dst;
+        rand_pair(rng, src, dst);
+        DoNotOptimize(core::detail::SelectPrimaryMinHopBinaryHeap(
+            topo, db, src, dst, Mbps(1)));
+      }));
+    }
+    {
+      Rng rng(seed + 12);
+      out.push_back(timer.Measure(name("minhop_radix"), [&] {
+        NodeId src, dst;
+        rand_pair(rng, src, dst);
+        DoNotOptimize(core::SelectPrimaryMinHop(topo, db, src, dst, Mbps(1)));
+      }));
+    }
+
+    // --- protection-state primitives at width num_links -------------------
+    const routing::LinkSet probe_lset = routing::MakeLinkSet(
+        {num_links / 8, num_links / 4, num_links / 2, (num_links * 3) / 4,
+         num_links - 1});
+    {
+      lsdb::Aplv aplv(num_links);
+      out.push_back(timer.Measure(name("aplv_update"), [&] {
+        aplv.AddPrimaryLset(probe_lset);
+        aplv.RemovePrimaryLset(probe_lset);
+        DoNotOptimize(aplv);
+      }));
+    }
+    {
+      lsdb::ConflictVector cv(num_links);
+      Rng rng(seed + 13);
+      for (int i = 0; i < num_links / 4; ++i) {
+        cv.Set(static_cast<LinkId>(
+                   rng.Index(static_cast<std::size_t>(num_links))),
+               true);
+      }
+      std::vector<std::uint64_t> mask(
+          static_cast<std::size_t>((num_links + 63) / 64), 0);
+      for (LinkId l : probe_lset) {
+        mask[static_cast<std::size_t>(l) / 64] |= std::uint64_t{1}
+                                                  << (l % 64);
+      }
+      out.push_back(timer.Measure(name("cv_count_in"), [&] {
+        DoNotOptimize(cv.CountIn(probe_lset));
+      }));
+      out.push_back(timer.Measure(name("cv_and_popcount"), [&] {
+        DoNotOptimize(cv.AndPopCount(mask));
+      }));
+    }
+  }
+  return out;
+}
+
 std::string RenderJson(const std::vector<KernelResult>& results,
-                       const LoadedNet& fx, bool quick, double min_time_s) {
+                       const LoadedNet& fx,
+                       const std::vector<LargeTopo>& large, bool quick,
+                       double min_time_s) {
   runner::JsonWriter w;
   w.BeginObject();
   w.Key("schema").String(kSchema);
@@ -305,6 +445,15 @@ std::string RenderJson(const std::vector<KernelResult>& results,
   w.Key("links").Int(fx.topo.num_links());
   w.Key("connections").Int(static_cast<std::int64_t>(fx.conn_ids.size()));
   w.EndObject();
+  w.Key("large_topologies").BeginArray();
+  for (const LargeTopo& t : large) {
+    w.BeginObject();
+    w.Key("tag").String(t.tag);
+    w.Key("nodes").Int(t.nodes);
+    w.Key("links").Int(t.links);
+    w.EndObject();
+  }
+  w.EndArray();
   w.Key("kernels").BeginArray();
   for (const KernelResult& r : results) {
     w.BeginObject();
@@ -328,6 +477,12 @@ int Validate(const std::vector<KernelResult>& results) {
       "failure_sweep_scan",  "failure_sweep_indexed", "aplv_update",
       "cv_count_in",         "cv_and_popcount",     "obs_span_overhead",
       "request_cycle_dlsr",  "admit_one_by_one",    "admit_batch",
+      "dijkstra_adjlist_1k", "dijkstra_csr_1k",     "dijkstra_radix_1k",
+      "minhop_binary_1k",    "minhop_radix_1k",     "aplv_update_1k",
+      "cv_count_in_1k",      "cv_and_popcount_1k",
+      "dijkstra_adjlist_10k", "dijkstra_csr_10k",   "dijkstra_radix_10k",
+      "minhop_binary_10k",   "minhop_radix_10k",    "aplv_update_10k",
+      "cv_count_in_10k",     "cv_and_popcount_10k",
   };
   int problems = 0;
   for (const char* name : kExpected) {
@@ -375,8 +530,15 @@ int Main(int argc, char** argv) {
 
   const double min_time_s = min_time > 0.0 ? min_time : (quick ? 0.02 : 0.5);
   LoadedNet fx(static_cast<std::uint64_t>(seed));
-  const std::vector<KernelResult> results =
+  std::vector<KernelResult> results =
       RunSuite(fx, min_time_s, static_cast<std::uint64_t>(seed));
+  std::vector<LargeTopo> large;
+  {
+    std::vector<KernelResult> rows =
+        RunLargeSuite(min_time_s, static_cast<std::uint64_t>(seed), large);
+    results.insert(results.end(), std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+  }
 
   std::printf("%-24s %12s %14s\n", "kernel", "iters", "ns/op");
   for (const KernelResult& r : results) {
@@ -384,7 +546,7 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(r.iters), r.ns_per_op);
   }
 
-  const std::string json = RenderJson(results, fx, quick, min_time_s);
+  const std::string json = RenderJson(results, fx, large, quick, min_time_s);
   if (!out.empty()) {
     std::ofstream f(out, std::ios::trunc);
     if (!f) {

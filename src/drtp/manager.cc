@@ -6,13 +6,31 @@
 
 namespace drtp::core {
 
+Bandwidth DemandVector::at(LinkId j) const {
+  DRTP_DCHECK(j >= 0 && j < num_links_);
+  if (!wide()) return demand_[static_cast<std::size_t>(j)];
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), j);
+  if (it == keys_.end() || *it != j) return 0;
+  return vals_[static_cast<std::size_t>(it - keys_.begin())];
+}
+
 void DemandVector::Add(const routing::LinkSet& lset, Bandwidth bw) {
   DRTP_CHECK(bw > 0);
   for (LinkId j : lset) {
-    DRTP_CHECK(j >= 0 &&
-               j < static_cast<LinkId>(demand_.size()));
-    auto& d = demand_[static_cast<std::size_t>(j)];
-    d += bw;
+    DRTP_CHECK(j >= 0 && j < num_links_);
+    Bandwidth d;
+    if (!wide()) {
+      d = demand_[static_cast<std::size_t>(j)] += bw;
+    } else {
+      const auto it = std::lower_bound(keys_.begin(), keys_.end(), j);
+      if (it != keys_.end() && *it == j) {
+        d = vals_[static_cast<std::size_t>(it - keys_.begin())] += bw;
+      } else {
+        vals_.insert(vals_.begin() + (it - keys_.begin()), bw);
+        keys_.insert(it, j);
+        d = bw;
+      }
+    }
     if (d > max_) max_ = d;
   }
 }
@@ -20,16 +38,34 @@ void DemandVector::Add(const routing::LinkSet& lset, Bandwidth bw) {
 void DemandVector::Remove(const routing::LinkSet& lset, Bandwidth bw) {
   bool touched_max = false;
   for (LinkId j : lset) {
-    DRTP_CHECK(j >= 0 &&
-               j < static_cast<LinkId>(demand_.size()));
-    auto& d = demand_[static_cast<std::size_t>(j)];
-    DRTP_CHECK_MSG(d >= bw, "removing more demand than present on " << j);
-    if (d == max_) touched_max = true;
-    d -= bw;
+    DRTP_CHECK(j >= 0 && j < num_links_);
+    if (!wide()) {
+      auto& d = demand_[static_cast<std::size_t>(j)];
+      DRTP_CHECK_MSG(d >= bw, "removing more demand than present on " << j);
+      if (d == max_) touched_max = true;
+      d -= bw;
+    } else {
+      const auto it = std::lower_bound(keys_.begin(), keys_.end(), j);
+      DRTP_CHECK_MSG(it != keys_.end() && *it == j &&
+                         vals_[static_cast<std::size_t>(it - keys_.begin())] >=
+                             bw,
+                     "removing more demand than present on " << j);
+      const auto idx = static_cast<std::size_t>(it - keys_.begin());
+      if (vals_[idx] == max_) touched_max = true;
+      vals_[idx] -= bw;
+      if (vals_[idx] == 0) {  // canonical: no zero entries
+        keys_.erase(it);
+        vals_.erase(vals_.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+    }
   }
   if (touched_max) {
     max_ = 0;
-    for (Bandwidth d : demand_) max_ = std::max(max_, d);
+    if (!wide()) {
+      for (Bandwidth d : demand_) max_ = std::max(max_, d);
+    } else {
+      for (Bandwidth d : vals_) max_ = std::max(max_, d);
+    }
   }
 }
 

@@ -41,11 +41,15 @@ enum class SpareMode {
 /// sizing rule generalizes from `max(APLV) × bw` (identical-bandwidth
 /// connections, the paper's simplification) to `max_j demand[j]` for
 /// heterogeneous bandwidths.
+///
+/// Same hybrid storage as lsdb::Aplv: dense at paper scale, a sorted
+/// nonzero-only struct-of-arrays pair above kWideLinkThreshold links.
 class DemandVector {
  public:
   DemandVector() = default;
-  explicit DemandVector(int num_links)
-      : demand_(static_cast<std::size_t>(num_links), 0) {}
+  explicit DemandVector(int num_links) : num_links_(num_links) {
+    if (!wide()) demand_.assign(static_cast<std::size_t>(num_links), 0);
+  }
 
   void Add(const routing::LinkSet& lset, Bandwidth bw);
   void Remove(const routing::LinkSet& lset, Bandwidth bw);
@@ -54,12 +58,15 @@ class DemandVector {
   /// failure.
   Bandwidth Max() const { return max_; }
 
-  Bandwidth at(LinkId j) const {
-    return demand_[static_cast<std::size_t>(j)];
-  }
+  Bandwidth at(LinkId j) const;
 
  private:
-  std::vector<Bandwidth> demand_;
+  bool wide() const { return num_links_ > lsdb::kWideLinkThreshold; }
+
+  int num_links_ = 0;
+  std::vector<Bandwidth> demand_;  // dense mode only
+  std::vector<LinkId> keys_;       // wide mode: sorted nonzero indices
+  std::vector<Bandwidth> vals_;    // wide mode: demands, parallel to keys_
   Bandwidth max_ = 0;
 };
 

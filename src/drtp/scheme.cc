@@ -23,9 +23,10 @@ struct LsrScratch {
   routing::DijkstraWorkspace dijkstra;
   routing::MaxHopsWorkspace max_hops;
 
-  void Prepare(int num_links) {
-    const auto words = static_cast<std::size_t>((num_links + 63) / 64);
-    primary_mask.assign(words, 0);
+  /// mask_words == 0 skips the mask rebuild (sparse CV scoring, or a
+  /// scheme that never reads it).
+  void Prepare(int num_links, int mask_words) {
+    primary_mask.assign(static_cast<std::size_t>(mask_words), 0);
     if (shun_stamp.size() < static_cast<std::size_t>(num_links)) {
       shun_stamp.resize(static_cast<std::size_t>(num_links), 0);
     }
@@ -49,6 +50,22 @@ std::optional<routing::Path> SelectPrimaryMinHop(const net::Topology& topo,
                                                  const lsdb::LinkStateDb& db,
                                                  NodeId src, NodeId dst,
                                                  Bandwidth bw) {
+  return routing::CheapestPathInt(
+      topo, src, dst,
+      [&](LinkId l) {
+        const lsdb::LinkRecord& rec = db.record(l);
+        return rec.up && rec.free_for_primary >= bw
+                   ? std::int64_t{1}
+                   : routing::kInfiniteIntCost;
+      },
+      Scratch().dijkstra);
+}
+
+namespace detail {
+
+std::optional<routing::Path> SelectPrimaryMinHopBinaryHeap(
+    const net::Topology& topo, const lsdb::LinkStateDb& db, NodeId src,
+    NodeId dst, Bandwidth bw) {
   return routing::CheapestPath(
       topo, src, dst,
       [&](LinkId l) {
@@ -59,6 +76,8 @@ std::optional<routing::Path> SelectPrimaryMinHop(const net::Topology& topo,
       Scratch().dijkstra);
 }
 
+}  // namespace detail
+
 std::optional<routing::Path> RoutingScheme::SelectBackupFor(
     const DrtpNetwork&, const lsdb::LinkStateDb&, const routing::Path&,
     Bandwidth, std::span<const routing::Path>) {
@@ -68,16 +87,24 @@ std::optional<routing::Path> RoutingScheme::SelectBackupFor(
 std::optional<routing::Path> SelectBackupLsr(
     const net::Topology& topo, const lsdb::LinkStateDb& db,
     const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
-    bool deterministic, std::span<const routing::Path> avoid, int max_hops) {
+    bool deterministic, std::span<const routing::Path> avoid, int max_hops,
+    CvScoring scoring) {
   // Sampled 1-in-4: runs once per admission at a few µs per call, where a
   // full span's clock reads are a measurable fraction of the kernel (the
   // CI obs-overhead gate budget; see docs/OBSERVABILITY.md).
   DRTP_OBS_SPAN_SAMPLED("drtp.kernel.backup_select", 2);
+  const int words = (topo.num_links() + 63) / 64;
+  const bool use_mask =
+      deterministic && (scoring == CvScoring::kMask ||
+                        (scoring == CvScoring::kAuto &&
+                         words <= kCvMaskMaxWords));
   LsrScratch& scratch = Scratch();
-  scratch.Prepare(topo.num_links());
+  scratch.Prepare(topo.num_links(), use_mask ? words : 0);
   for (LinkId l : primary) {
-    scratch.primary_mask[static_cast<std::size_t>(l) / 64] |=
-        std::uint64_t{1} << (static_cast<unsigned>(l) % 64);
+    if (use_mask) {
+      scratch.primary_mask[static_cast<std::size_t>(l) / 64] |=
+          std::uint64_t{1} << (static_cast<unsigned>(l) % 64);
+    }
     scratch.Shun(l);
   }
   for (const routing::Path& path : avoid) {
@@ -87,11 +114,13 @@ std::optional<routing::Path> SelectBackupLsr(
   const auto cost = [&](LinkId l) {
     const lsdb::LinkRecord& rec = db.record(l);
     if (!rec.up) return routing::kInfiniteCost;
-    // Eq. 5's conflict count as one AND+popcount sweep over the mask —
-    // identical to rec.cv.CountIn(primary), ~64 links per instruction.
+    // Eq. 5's conflict count, by whichever access pattern fits the width:
+    // one AND+popcount sweep over the mask (~64 links per instruction) or
+    // |LSET| bit probes — the same exact integer either way.
     double c = deterministic
                    ? static_cast<double>(
-                         rec.cv.AndPopCount(scratch.primary_mask))
+                         use_mask ? rec.cv.AndPopCount(scratch.primary_mask)
+                                  : rec.cv.CountIn(primary))
                    : static_cast<double>(rec.aplv_l1);
     c += kEpsilon;
     if (scratch.Shunned(l) || rec.available_for_backup < bw) {

@@ -71,6 +71,29 @@ class RoutingScheme {
   virtual void OnTopologyChanged(const DrtpNetwork& net) { (void)net; }
 };
 
+/// How D-LSR's Eq. 5 conflict term is evaluated per candidate link.
+/// Both strategies compute the same exact integer (hence the same cost,
+/// hence the same route); they differ only in access pattern.
+enum class CvScoring {
+  /// Pick by width: the word-wise mask sweep up to kCvMaskMaxWords words,
+  /// the per-bit probe beyond that.
+  kAuto,
+  /// cv.AndPopCount against the primary's precomputed bitmask — O(words)
+  /// per candidate, ~64 links per instruction. Wins when the whole mask
+  /// fits in a few cache lines (paper-scale graphs).
+  kMask,
+  /// cv.CountIn over the primary's LSET — O(|LSET|) probes per candidate,
+  /// independent of network width. Wins on wide graphs where a full-width
+  /// mask sweep would stream kilobytes per candidate.
+  kSparse,
+};
+
+/// kAuto switches from kMask to kSparse above this many 64-bit mask words
+/// (16 words = 1024 links — the mask still fits in two cache lines' worth
+/// of reads per candidate at that point, and a 60-node run stays on the
+/// exact pre-hybrid code path).
+inline constexpr int kCvMaskMaxWords = 16;
+
 /// Backup selection shared by the two link-state schemes: Dijkstra over
 /// Eq. 4 (deterministic == false, cost ||APLV||_1) or Eq. 5
 /// (deterministic == true, cost Σ c_{i,j} over the primary's LSET).
@@ -82,7 +105,7 @@ std::optional<routing::Path> SelectBackupLsr(
     const net::Topology& topo, const lsdb::LinkStateDb& db,
     const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
     bool deterministic, std::span<const routing::Path> avoid = {},
-    int max_hops = 0);
+    int max_hops = 0, CvScoring scoring = CvScoring::kAuto);
 
 /// Registers up to `count` pairwise-disjoint backups for the connection's
 /// primary using scheme.SelectBackupFor, stopping early when no further
@@ -91,11 +114,21 @@ int ProtectConnection(RoutingScheme& scheme, DrtpNetwork& net,
                       const lsdb::LinkStateDb& db, ConnId id, int count);
 
 /// Shared helper: minimum-hop primary over links advertising enough free
-/// bandwidth (used by both LSR schemes; §2.2 step 1).
+/// bandwidth (used by both LSR schemes; §2.2 step 1). Unit costs are
+/// integers, so this runs on the bucket-queue Dijkstra with early exit at
+/// the destination — the identical route the binary-heap kernel picks.
 std::optional<routing::Path> SelectPrimaryMinHop(const net::Topology& topo,
                                                  const lsdb::LinkStateDb& db,
                                                  NodeId src, NodeId dst,
                                                  Bandwidth bw);
+
+namespace detail {
+/// Pre-radix reference: the double-cost binary-heap formulation of
+/// SelectPrimaryMinHop, kept as the differential-test oracle.
+std::optional<routing::Path> SelectPrimaryMinHopBinaryHeap(
+    const net::Topology& topo, const lsdb::LinkStateDb& db, NodeId src,
+    NodeId dst, Bandwidth bw);
+}  // namespace detail
 
 /// Large-but-finite penalty for disqualified links (Eq. 4/5's Q): a
 /// penalized link can still be used when nothing better exists, mirroring

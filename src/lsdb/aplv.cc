@@ -1,12 +1,33 @@
 #include "lsdb/aplv.h"
 
+#include <algorithm>
+
 namespace drtp::lsdb {
+
+std::int32_t Aplv::count(LinkId j) const {
+  DRTP_DCHECK(j >= 0 && j < size());
+  if (!wide()) return counts_[static_cast<std::size_t>(j)];
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), j);
+  if (it == keys_.end() || *it != j) return 0;
+  return cnts_[static_cast<std::size_t>(it - keys_.begin())];
+}
 
 void Aplv::AddPrimaryLset(const routing::LinkSet& lset) {
   for (LinkId j : lset) {
     DRTP_CHECK(j >= 0 && j < size());
-    auto& c = counts_[static_cast<std::size_t>(j)];
-    ++c;
+    std::int32_t c;
+    if (!wide()) {
+      c = ++counts_[static_cast<std::size_t>(j)];
+    } else {
+      const auto it = std::lower_bound(keys_.begin(), keys_.end(), j);
+      if (it != keys_.end() && *it == j) {
+        c = ++cnts_[static_cast<std::size_t>(it - keys_.begin())];
+      } else {
+        cnts_.insert(cnts_.begin() + (it - keys_.begin()), 1);
+        keys_.insert(it, j);
+        c = 1;
+      }
+    }
     ++l1_;
     if (c == 1) cv_.Set(j, true);
     if (c > max_) {
@@ -20,7 +41,7 @@ void Aplv::AddPrimaryLset(const routing::LinkSet& lset) {
 
 void Aplv::RemovePrimaryLset(const routing::LinkSet& lset) {
   // Validate the whole LSET before touching anything: a mid-loop failure
-  // used to leave counts_/l1_/num_at_max_/cv_ partially decremented, so
+  // used to leave counts/l1_/num_at_max_/cv_ partially decremented, so
   // a caller that catches the CheckError (tests, defensive teardown)
   // kept a torn vector. The multiplicity check runs over the prefix so a
   // LSET that repeats a link needs that many registered occurrences, not
@@ -33,13 +54,25 @@ void Aplv::RemovePrimaryLset(const routing::LinkSet& lset) {
     for (std::size_t k = 0; k < i; ++k) {
       if (lset[k] == j) ++multiplicity;
     }
-    DRTP_CHECK_MSG(counts_[static_cast<std::size_t>(j)] >= multiplicity,
+    DRTP_CHECK_MSG(count(j) >= multiplicity,
                    "removing absent primary link " << j);
   }
   for (LinkId j : lset) {
-    auto& c = counts_[static_cast<std::size_t>(j)];
-    if (c == max_) --num_at_max_;
-    --c;
+    std::int32_t c;
+    if (!wide()) {
+      auto& slot = counts_[static_cast<std::size_t>(j)];
+      if (slot == max_) --num_at_max_;
+      c = --slot;
+    } else {
+      const auto it = std::lower_bound(keys_.begin(), keys_.end(), j);
+      const auto idx = static_cast<std::size_t>(it - keys_.begin());
+      if (cnts_[idx] == max_) --num_at_max_;
+      c = --cnts_[idx];
+      if (c == 0) {  // keep the sparse form canonical (no zero entries)
+        keys_.erase(it);
+        cnts_.erase(cnts_.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+    }
     --l1_;
     if (c == 0) cv_.Set(j, false);
   }
@@ -48,13 +81,18 @@ void Aplv::RemovePrimaryLset(const routing::LinkSet& lset) {
   if (max_ > 0 && num_at_max_ == 0) {
     max_ = 0;
     num_at_max_ = 0;
-    for (std::int32_t c : counts_) {
+    const auto scan = [&](std::int32_t c) {
       if (c > max_) {
         max_ = c;
         num_at_max_ = 1;
       } else if (c == max_ && max_ > 0) {
         ++num_at_max_;
       }
+    };
+    if (!wide()) {
+      for (std::int32_t c : counts_) scan(c);
+    } else {
+      for (std::int32_t c : cnts_) scan(c);
     }
   }
 }

@@ -19,20 +19,26 @@ namespace drtp::lsdb {
 
 /// One link's APLV with incrementally maintained L1 norm, maximum and
 /// conflict-vector abridgement.
+///
+/// Storage is hybrid: at paper scale (size() <= kWideLinkThreshold) the
+/// counts live in a dense array exactly as before. Wide vectors switch to
+/// a sorted struct-of-arrays pair (keys_, cnts_) holding only the nonzero
+/// elements — an ISP-scale link crosses a few hundred primaries, not all
+/// 30k, so the working set stays cache-resident instead of costing
+/// O(links) per instance across O(links) instances. Entries are erased
+/// when they hit zero, keeping the sparse form canonical so the defaulted
+/// equality below stays semantic.
 class Aplv {
  public:
   Aplv() = default;
-  explicit Aplv(int num_links)
-      : counts_(static_cast<std::size_t>(num_links), 0), cv_(num_links) {
+  explicit Aplv(int num_links) : num_links_(num_links), cv_(num_links) {
     DRTP_CHECK(num_links >= 0);
+    if (!wide()) counts_.assign(static_cast<std::size_t>(num_links), 0);
   }
 
-  int size() const { return static_cast<int>(counts_.size()); }
+  int size() const { return num_links_; }
 
-  std::int32_t count(LinkId j) const {
-    DRTP_DCHECK(j >= 0 && j < size());
-    return counts_[static_cast<std::size_t>(j)];
-  }
+  std::int32_t count(LinkId j) const;
 
   /// ||APLV||_1 — total number of (primary link, backup) incidences.
   std::int64_t L1() const { return l1_; }
@@ -68,7 +74,12 @@ class Aplv {
   friend bool operator==(const Aplv&, const Aplv&) = default;
 
  private:
-  std::vector<std::int32_t> counts_;
+  bool wide() const { return num_links_ > kWideLinkThreshold; }
+
+  int num_links_ = 0;
+  std::vector<std::int32_t> counts_;  // dense mode only
+  std::vector<LinkId> keys_;          // wide mode: sorted nonzero indices
+  std::vector<std::int32_t> cnts_;    // wide mode: counts, parallel to keys_
   ConflictVector cv_;
   std::int64_t l1_ = 0;
   std::int32_t max_ = 0;

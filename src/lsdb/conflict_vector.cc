@@ -28,4 +28,17 @@ int ConflictVector::AndPopCount(std::span<const std::uint64_t> mask) const {
   return count;
 }
 
+bool operator==(const ConflictVector& a, const ConflictVector& b) {
+  if (a.num_links_ != b.num_links_) return false;
+  const std::size_t common = std::min(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.words_[i] != b.words_[i]) return false;
+  }
+  const auto& longer = a.words_.size() > b.words_.size() ? a.words_ : b.words_;
+  for (std::size_t i = common; i < longer.size(); ++i) {
+    if (longer[i] != 0) return false;
+  }
+  return true;
+}
+
 }  // namespace drtp::lsdb

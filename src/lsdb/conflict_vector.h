@@ -16,13 +16,31 @@
 
 namespace drtp::lsdb {
 
+/// Link-count threshold above which per-link protection state switches
+/// from dense eager layouts to sparse/lazy ones. At or below it (every
+/// paper-scale topology: 60 nodes ≈ 200 links) the containers behave
+/// exactly as they always have — full-width allocation up front — so
+/// word spans, digests and figure outputs are bit-stable. Above it, an
+/// eagerly dense per-link vector costs O(links) each across O(links)
+/// instances (terabytes at 10k nodes), so storage allocates on demand.
+inline constexpr int kWideLinkThreshold = 4096;
+
 /// Fixed-width bit vector indexed by LinkId.
+///
+/// Wide vectors (size() > kWideLinkThreshold) elide trailing zero words:
+/// construction allocates nothing and Set(j, true) grows the word array
+/// just far enough to hold bit j. All read operations treat the missing
+/// tail as zero, and equality is semantic — a never-touched wide vector
+/// equals one whose bits were set and cleared again.
 class ConflictVector {
  public:
   ConflictVector() = default;
   explicit ConflictVector(int num_links)
       : num_links_(num_links),
-        words_(static_cast<std::size_t>((num_links + 63) / 64), 0) {
+        words_(num_links <= kWideLinkThreshold
+                   ? static_cast<std::size_t>((num_links + 63) / 64)
+                   : 0,
+               0) {
     DRTP_CHECK(num_links >= 0);
   }
 
@@ -30,15 +48,18 @@ class ConflictVector {
 
   bool Test(LinkId j) const {
     Bounds(j);
-    return (words_[Word(j)] >> Bit(j)) & 1u;
+    const std::size_t w = Word(j);
+    return w < words_.size() && ((words_[w] >> Bit(j)) & 1u);
   }
 
   void Set(LinkId j, bool value) {
     Bounds(j);
+    const std::size_t w = Word(j);
     if (value) {
-      words_[Word(j)] |= std::uint64_t{1} << Bit(j);
-    } else {
-      words_[Word(j)] &= ~(std::uint64_t{1} << Bit(j));
+      if (w >= words_.size()) words_.resize(w + 1, 0);
+      words_[w] |= std::uint64_t{1} << Bit(j);
+    } else if (w < words_.size()) {
+      words_[w] &= ~(std::uint64_t{1} << Bit(j));
     }
   }
 
@@ -56,14 +77,17 @@ class ConflictVector {
   /// every candidate link with this.
   int AndPopCount(std::span<const std::uint64_t> mask) const;
 
-  /// The raw bit words, least-significant bit of word 0 = link 0.
+  /// The raw bit words, least-significant bit of word 0 = link 0. Wide
+  /// vectors may return fewer than (size()+63)/64 words — the elided tail
+  /// is all-zero.
   std::span<const std::uint64_t> words() const { return words_; }
 
   /// Wire size of the advertisement payload in bytes (N bits, rounded up).
   int AdvertBytes() const { return (num_links_ + 7) / 8; }
 
-  friend bool operator==(const ConflictVector&,
-                         const ConflictVector&) = default;
+  /// Semantic equality: same width and same bits; allocated-but-zero tail
+  /// words compare equal to elided ones.
+  friend bool operator==(const ConflictVector& a, const ConflictVector& b);
 
  private:
   void Bounds(LinkId j) const { DRTP_DCHECK(j >= 0 && j < num_links_); }

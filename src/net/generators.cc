@@ -138,38 +138,43 @@ Topology MakeWaxman(const WaxmanConfig& config) {
   if (config.srlg_groups > 0) {
     // Drawn after all topology randomness so srlg_groups == 0 reproduces
     // the exact pre-SRLG graphs for any given seed.
-    struct Center {
-      double x, y;
-    };
-    std::vector<Center> centers;
-    centers.reserve(static_cast<std::size_t>(config.srlg_groups));
-    for (int g = 0; g < config.srlg_groups; ++g) {
-      centers.push_back(
-          Center{rng.UniformReal(0.0, 1.0), rng.UniformReal(0.0, 1.0)});
-    }
-    for (LinkId l = 0; l < topo.num_links(); ++l) {
-      const Link& link = topo.link(l);
-      if (link.reverse != kInvalidLink && link.reverse < l) continue;
-      const Node& a = topo.node(link.src);
-      const Node& b = topo.node(link.dst);
-      const double mx = (a.x + b.x) / 2.0;
-      const double my = (a.y + b.y) / 2.0;
-      SrlgId best = 0;
-      double best_d2 = std::numeric_limits<double>::infinity();
-      for (int g = 0; g < config.srlg_groups; ++g) {
-        const double dx = mx - centers[static_cast<std::size_t>(g)].x;
-        const double dy = my - centers[static_cast<std::size_t>(g)].y;
-        const double d2 = dx * dx + dy * dy;
-        if (d2 < best_d2) {
-          best_d2 = d2;
-          best = g;
-        }
-      }
-      topo.AssignSrlg(l, best);
-      if (link.reverse != kInvalidLink) topo.AssignSrlg(link.reverse, best);
-    }
+    AssignGeoSrlgs(topo, config.srlg_groups, rng);
   }
   return topo;
+}
+
+void AssignGeoSrlgs(Topology& topo, int groups, Rng& rng) {
+  DRTP_CHECK(groups > 0);
+  struct Center {
+    double x, y;
+  };
+  std::vector<Center> centers;
+  centers.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    centers.push_back(
+        Center{rng.UniformReal(0.0, 1.0), rng.UniformReal(0.0, 1.0)});
+  }
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(l);
+    if (link.reverse != kInvalidLink && link.reverse < l) continue;
+    const Node& a = topo.node(link.src);
+    const Node& b = topo.node(link.dst);
+    const double mx = (a.x + b.x) / 2.0;
+    const double my = (a.y + b.y) / 2.0;
+    SrlgId best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (int g = 0; g < groups; ++g) {
+      const double dx = mx - centers[static_cast<std::size_t>(g)].x;
+      const double dy = my - centers[static_cast<std::size_t>(g)].y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = g;
+      }
+    }
+    topo.AssignSrlg(l, best);
+    if (link.reverse != kInvalidLink) topo.AssignSrlg(link.reverse, best);
+  }
 }
 
 Topology MakeGrid(int rows, int cols, Bandwidth link_capacity) {
@@ -213,6 +218,100 @@ Topology MakeStar(int leaves, Bandwidth link_capacity) {
         topo.AddNode(0.5 + 0.4 * std::cos(angle), 0.5 + 0.4 * std::sin(angle));
     topo.AddDuplexLink(hub, leaf, link_capacity);
   }
+  return topo;
+}
+
+Topology MakeHierarchical(const HierConfig& config) {
+  const int B = config.backbone;
+  DRTP_CHECK(B >= 3);
+  DRTP_CHECK(config.pops_per_backbone >= 0);
+  DRTP_CHECK(config.metro_per_pop >= 0);
+  DRTP_CHECK(config.chord_frac >= 0.0);
+  DRTP_CHECK(config.backbone_capacity > 0 && config.pop_capacity > 0 &&
+             config.metro_capacity > 0);
+  Rng rng(config.seed);
+  Topology topo;
+
+  // Tier 1: backbone ring on an inner circle, plus random non-adjacent
+  // chords (long-haul express links).
+  for (int b = 0; b < B; ++b) {
+    const double angle = 2.0 * M_PI * b / B;
+    topo.AddNode(0.5 + 0.2 * std::cos(angle), 0.5 + 0.2 * std::sin(angle));
+  }
+  for (int b = 0; b < B; ++b) {
+    topo.AddDuplexLink(b, (b + 1) % B, config.backbone_capacity);
+  }
+  const auto chords = static_cast<int>(std::llround(config.chord_frac * B));
+  if (chords > 0) {
+    std::vector<std::pair<NodeId, NodeId>> candidates;
+    for (NodeId u = 0; u < B; ++u) {
+      for (NodeId v = u + 1; v < B; ++v) {
+        if (topo.FindLink(u, v) == kInvalidLink) candidates.emplace_back(u, v);
+      }
+    }
+    rng.Shuffle(candidates);
+    const auto take = std::min<std::size_t>(static_cast<std::size_t>(chords),
+                                            candidates.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      topo.AddDuplexLink(candidates[i].first, candidates[i].second,
+                         config.backbone_capacity);
+    }
+  }
+
+  // Tier 2: dual-homed PoPs on a middle circle. PoP p homes to backbone
+  // router p % B and its ring successor, so each backbone router serves
+  // pops_per_backbone PoPs and no single backbone failure strands one.
+  const int num_pops = B * config.pops_per_backbone;
+  std::vector<NodeId> pops;
+  pops.reserve(static_cast<std::size_t>(num_pops));
+  for (int p = 0; p < num_pops; ++p) {
+    const NodeId h1 = p % B;
+    const NodeId h2 = (h1 + 1) % B;
+    const int slot = p / B;  // position among h1's PoPs
+    const double angle =
+        2.0 * M_PI *
+        (h1 + (slot + 1.0) / (config.pops_per_backbone + 1.0)) / B;
+    const NodeId pop = topo.AddNode(0.5 + 0.35 * std::cos(angle),
+                                    0.5 + 0.35 * std::sin(angle));
+    topo.AddDuplexLink(pop, h1, config.pop_capacity);
+    topo.AddDuplexLink(pop, h2, config.pop_capacity);
+    pops.push_back(pop);
+  }
+
+  // Tier 3: metro access ring per PoP, closing through the PoP so every
+  // access node keeps two disjoint uplink paths.
+  const int M = config.metro_per_pop;
+  for (int p = 0; p < num_pops; ++p) {
+    if (M == 0) break;
+    const NodeId pop = pops[static_cast<std::size_t>(p)];
+    const double px = topo.node(pop).x;
+    const double py = topo.node(pop).y;
+    std::vector<NodeId> metro;
+    metro.reserve(static_cast<std::size_t>(M));
+    for (int m = 0; m < M; ++m) {
+      const double angle = 2.0 * M_PI * m / M;
+      metro.push_back(topo.AddNode(px + 0.06 * std::cos(angle),
+                                   py + 0.06 * std::sin(angle)));
+    }
+    if (M == 1) {
+      // A one-node "ring" would need a parallel pop link; dual-home the
+      // lone access node to the PoP and the PoP's first backbone home.
+      topo.AddDuplexLink(pop, metro[0], config.metro_capacity);
+      topo.AddDuplexLink(metro[0], p % B, config.metro_capacity);
+    } else {
+      topo.AddDuplexLink(pop, metro[0], config.metro_capacity);
+      for (int m = 0; m + 1 < M; ++m) {
+        topo.AddDuplexLink(metro[static_cast<std::size_t>(m)],
+                           metro[static_cast<std::size_t>(m) + 1],
+                           config.metro_capacity);
+      }
+      topo.AddDuplexLink(metro[static_cast<std::size_t>(M) - 1], pop,
+                         config.metro_capacity);
+    }
+  }
+
+  DRTP_CHECK(topo.IsConnected());
+  if (config.srlg_groups > 0) AssignGeoSrlgs(topo, config.srlg_groups, rng);
   return topo;
 }
 

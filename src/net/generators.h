@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "net/topology.h"
 
@@ -52,5 +53,49 @@ Topology MakeStar(int leaves, Bandwidth link_capacity);
 /// Two nodes joined by `paths` >= 1 parallel two-hop routes through
 /// distinct relay nodes; the simplest shape with tunable path diversity.
 Topology MakeParallelPaths(int paths, Bandwidth link_capacity);
+
+/// Parameters for the hierarchical ISP model: a chorded backbone ring,
+/// dual-homed PoPs, and metro access rings — the three-tier transit-stub
+/// shape of real carrier maps. Unlike Waxman (O(N^2) pair scans, flat
+/// degree distribution) it builds in O(N) and keeps the sparse,
+/// tiered structure ISP-scale graphs actually have, so it is the
+/// generator of choice for the 1k-10k-node engine benchmarks.
+struct HierConfig {
+  /// Backbone routers on the core ring (>= 3).
+  int backbone = 10;
+  /// PoPs homed per backbone router (>= 0). Each PoP is dual-homed: one
+  /// uplink to its backbone router, one to that router's ring successor,
+  /// so no single backbone failure strands a PoP.
+  int pops_per_backbone = 3;
+  /// Metro/access nodes per PoP (>= 0), joined in a ring that closes
+  /// through the PoP so every access node keeps two disjoint uplink
+  /// paths (min degree 2, matching the paper's backup-exists premise).
+  int metro_per_pop = 32;
+  /// Extra backbone chords as a fraction of the ring size:
+  /// round(chord_frac * backbone) random non-adjacent chords are added,
+  /// standing in for long-haul express waves.
+  double chord_frac = 0.25;
+  Bandwidth backbone_capacity = Mbps(120);
+  Bandwidth pop_capacity = Mbps(60);
+  Bandwidth metro_capacity = Mbps(30);
+  /// Same geographic SRLG clustering as WaxmanConfig::srlg_groups; 0
+  /// leaves links untagged.
+  int srlg_groups = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the three-tier hierarchy. Node ids are dense by tier: backbone
+/// first, then PoPs, then metro nodes. Deterministic for a given config;
+/// randomness only selects backbone chords and SRLG centers. Every node
+/// has degree >= 2 and the result is connected.
+Topology MakeHierarchical(const HierConfig& config);
+
+/// Tags every duplex pair with one of `groups` shared-risk groups by
+/// geographic clustering: centers are drawn uniformly in the unit square
+/// and each pair joins the center nearest its midpoint (conduits in the
+/// same area share fate). Consumes exactly 2 * groups uniform draws from
+/// `rng`, nothing else — callers relying on byte-stable generation with
+/// srlg_groups == 0 can order this after all other randomness.
+void AssignGeoSrlgs(Topology& topo, int groups, Rng& rng);
 
 }  // namespace drtp::net

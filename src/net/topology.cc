@@ -8,6 +8,7 @@ namespace drtp::net {
 NodeId Topology::AddNode(double x, double y) {
   const NodeId id = num_nodes();
   nodes_.push_back(Node{.id = id, .x = x, .y = y, .out_links = {}, .in_links = {}});
+  InvalidateCsr();
   return id;
 }
 
@@ -24,7 +25,55 @@ LinkId Topology::AddLink(NodeId src, NodeId dst, Bandwidth capacity) {
   nodes_[static_cast<std::size_t>(src)].out_links.push_back(id);
   nodes_[static_cast<std::size_t>(dst)].in_links.push_back(id);
   if (!srlg_of_.empty()) srlg_of_.push_back(kInvalidSrlg);
+  InvalidateCsr();
   return id;
+}
+
+const Csr& Topology::csr() const {
+  if (const Csr* published = csr_published_.load(std::memory_order_acquire)) {
+    return *published;
+  }
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (!csr_cache_) {
+    auto csr = std::make_unique<Csr>();
+    const auto n = static_cast<std::size_t>(num_nodes());
+    const auto e = static_cast<std::size_t>(num_links());
+    csr->out_offsets.resize(n + 1);
+    csr->in_offsets.resize(n + 1);
+    csr->out_link_ids.resize(e);
+    csr->out_heads.resize(e);
+    csr->in_link_ids.resize(e);
+    csr->in_tails.resize(e);
+    csr->link_src.resize(e);
+    csr->link_dst.resize(e);
+    std::int32_t out_at = 0;
+    std::int32_t in_at = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      csr->out_offsets[u] = out_at;
+      csr->in_offsets[u] = in_at;
+      for (LinkId l : nodes_[u].out_links) {
+        csr->out_link_ids[static_cast<std::size_t>(out_at)] = l;
+        csr->out_heads[static_cast<std::size_t>(out_at)] =
+            links_[static_cast<std::size_t>(l)].dst;
+        ++out_at;
+      }
+      for (LinkId l : nodes_[u].in_links) {
+        csr->in_link_ids[static_cast<std::size_t>(in_at)] = l;
+        csr->in_tails[static_cast<std::size_t>(in_at)] =
+            links_[static_cast<std::size_t>(l)].src;
+        ++in_at;
+      }
+    }
+    csr->out_offsets[n] = out_at;
+    csr->in_offsets[n] = in_at;
+    for (std::size_t l = 0; l < e; ++l) {
+      csr->link_src[l] = links_[l].src;
+      csr->link_dst[l] = links_[l].dst;
+    }
+    csr_cache_ = std::move(csr);
+  }
+  csr_published_.store(csr_cache_.get(), std::memory_order_release);
+  return *csr_cache_;
 }
 
 std::pair<LinkId, LinkId> Topology::AddDuplexLink(NodeId a, NodeId b,

@@ -5,6 +5,9 @@
 // pair and cross-references the two halves.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -35,11 +38,91 @@ struct Link {
   LinkId reverse = kInvalidLink;
 };
 
+/// Compressed-sparse-row view of the adjacency: the per-node link lists
+/// flattened into contiguous arrays, plus struct-of-arrays mirrors of every
+/// link's endpoints. Kernels that walk the whole graph (Dijkstra,
+/// hop-bounded DP, Bellman-Ford) read this instead of chasing
+/// Node::out_links -> Link, which at 10k nodes is two dependent cache
+/// misses per edge. Row order is exactly the out_links/in_links insertion
+/// order, so a kernel ported from the pointer layout visits edges in the
+/// identical sequence (and therefore breaks ties identically).
+struct Csr {
+  /// out_offsets[u]..out_offsets[u+1] index the outgoing rows.
+  std::vector<std::int32_t> out_offsets;
+  std::vector<LinkId> out_link_ids;
+  std::vector<NodeId> out_heads;  // dst of the matching out_link_ids entry
+
+  /// in_offsets[u]..in_offsets[u+1] index the incoming rows.
+  std::vector<std::int32_t> in_offsets;
+  std::vector<LinkId> in_link_ids;
+  std::vector<NodeId> in_tails;  // src of the matching in_link_ids entry
+
+  /// Per-link endpoint mirrors (indexed by LinkId).
+  std::vector<NodeId> link_src;
+  std::vector<NodeId> link_dst;
+
+  int num_nodes() const { return static_cast<int>(out_offsets.size()) - 1; }
+  int num_links() const { return static_cast<int>(link_src.size()); }
+
+  std::span<const LinkId> out_links(NodeId u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {out_link_ids.data() + out_offsets[i],
+            out_link_ids.data() + out_offsets[i + 1]};
+  }
+  std::span<const NodeId> out_heads_of(NodeId u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {out_heads.data() + out_offsets[i],
+            out_heads.data() + out_offsets[i + 1]};
+  }
+  std::span<const LinkId> in_links(NodeId u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {in_link_ids.data() + in_offsets[i],
+            in_link_ids.data() + in_offsets[i + 1]};
+  }
+};
+
 /// Immutable-after-build graph structure. Bandwidth *state* lives in
 /// net::BandwidthLedger; Topology only records capacities.
 class Topology {
  public:
   Topology() = default;
+
+  // Copies and moves carry the graph but never the cached CSR view: the
+  // cache holds a raw pointer handed out by csr(), so sharing it across
+  // objects would dangle. Each copy rebuilds lazily on first use.
+  Topology(const Topology& other)
+      : nodes_(other.nodes_),
+        links_(other.links_),
+        srlg_of_(other.srlg_of_),
+        srlg_links_(other.srlg_links_) {}
+  Topology(Topology&& other) noexcept
+      : nodes_(std::move(other.nodes_)),
+        links_(std::move(other.links_)),
+        srlg_of_(std::move(other.srlg_of_)),
+        srlg_links_(std::move(other.srlg_links_)) {
+    other.InvalidateCsr();
+  }
+  Topology& operator=(const Topology& other) {
+    if (this != &other) {
+      nodes_ = other.nodes_;
+      links_ = other.links_;
+      srlg_of_ = other.srlg_of_;
+      srlg_links_ = other.srlg_links_;
+      InvalidateCsr();
+    }
+    return *this;
+  }
+  Topology& operator=(Topology&& other) noexcept {
+    if (this != &other) {
+      nodes_ = std::move(other.nodes_);
+      links_ = std::move(other.links_);
+      srlg_of_ = std::move(other.srlg_of_);
+      srlg_links_ = std::move(other.srlg_links_);
+      InvalidateCsr();
+      other.InvalidateCsr();
+    }
+    return *this;
+  }
 
   /// Adds a node at (x, y); returns its dense id.
   NodeId AddNode(double x = 0.0, double y = 0.0);
@@ -73,6 +156,12 @@ class Topology {
 
   /// Link id of src->dst, or kInvalidLink.
   LinkId FindLink(NodeId src, NodeId dst) const;
+
+  /// The flat CSR view, built once on first use and cached. Safe to call
+  /// concurrently from reader threads (the sweep runner shares one const
+  /// Topology across its pool); any AddNode/AddLink invalidates the cache,
+  /// so build fully before routing — which the generators all do.
+  const Csr& csr() const;
 
   /// Directed links per node (== undirected degree when all links are
   /// duplex pairs) — the paper's "average node degree E".
@@ -112,10 +201,21 @@ class Topology {
   }
 
  private:
+  void InvalidateCsr() {
+    csr_published_.store(nullptr, std::memory_order_release);
+    csr_cache_.reset();
+  }
+
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<SrlgId> srlg_of_;              // empty until first AssignSrlg
   std::vector<std::vector<LinkId>> srlg_links_;
+
+  // Lazily built CSR view: double-checked publication so concurrent
+  // readers pay one acquire load after the first build.
+  mutable std::atomic<const Csr*> csr_published_{nullptr};
+  mutable std::unique_ptr<const Csr> csr_cache_;
+  mutable std::mutex csr_mutex_;
 };
 
 }  // namespace drtp::net

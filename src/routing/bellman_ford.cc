@@ -8,21 +8,26 @@ namespace drtp::routing {
 std::vector<double> BellmanFordDistances(const net::Topology& topo,
                                          NodeId src, const LinkCostFn& cost) {
   DRTP_CHECK(src >= 0 && src < topo.num_nodes());
+  const net::Csr& csr = topo.csr();
   const auto n = static_cast<std::size_t>(topo.num_nodes());
   std::vector<double> dist(n, kInfiniteCost);
   dist[static_cast<std::size_t>(src)] = 0.0;
-  // At most V-1 relaxation rounds; stop early on a quiet round.
+  // At most V-1 relaxation rounds; stop early on a quiet round. Endpoints
+  // come from the CSR link mirrors — the edge scan is the whole algorithm
+  // here, and the flat arrays stream where the Link records stride.
   for (int round = 0; round + 1 < topo.num_nodes(); ++round) {
     bool changed = false;
     for (LinkId l = 0; l < topo.num_links(); ++l) {
       const double c = cost(l);
       if (c == kInfiniteCost) continue;
       DRTP_CHECK(c >= 0.0);
-      const net::Link& link = topo.link(l);
-      const double du = dist[static_cast<std::size_t>(link.src)];
+      const double du = dist[static_cast<std::size_t>(
+          csr.link_src[static_cast<std::size_t>(l)])];
       if (du == kInfiniteCost) continue;
-      if (du + c < dist[static_cast<std::size_t>(link.dst)]) {
-        dist[static_cast<std::size_t>(link.dst)] = du + c;
+      const auto v = static_cast<std::size_t>(
+          csr.link_dst[static_cast<std::size_t>(l)]);
+      if (du + c < dist[v]) {
+        dist[v] = du + c;
         changed = true;
       }
     }

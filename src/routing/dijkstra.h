@@ -31,13 +31,37 @@ using LinkCostFn = FunctionRef<double(LinkId)>;
 inline constexpr double kInfiniteCost =
     std::numeric_limits<double>::infinity();
 
+/// Integer link costs for the monotone bucket-queue kernel. Return
+/// kInfiniteIntCost to forbid the link.
+using IntLinkCostFn = FunctionRef<std::int64_t(LinkId)>;
+
+inline constexpr std::int64_t kInfiniteIntCost =
+    std::numeric_limits<std::int64_t>::max();
+
+/// The bucket-queue kernel indexes a bucket per distinct distance value;
+/// a relaxation past this many buckets is refused (CHECK) — scale the
+/// costs down or use the double/binary-heap kernel for wide-range costs.
+inline constexpr std::int64_t kMaxDijkstraBuckets = std::int64_t{1} << 22;
+
 class DijkstraWorkspace;
 
 namespace detail {
 /// Internal: the Dijkstra hot loop, shared by the obs-timed and untimed
 /// entry paths of RunDijkstra (see dijkstra.cc for why it is split out).
+/// Walks the topology's CSR rows.
 void RunDijkstraLoop(const net::Topology& topo, NodeId src, LinkCostFn cost,
                      DijkstraWorkspace& ws);
+
+/// Reference implementation over the pointer-chasing Node::out_links
+/// adjacency — the pre-CSR layout, kept as the differential-test oracle
+/// for RunDijkstraLoop (identical edge order, identical tree).
+void RunDijkstraLoopAdjList(const net::Topology& topo, NodeId src,
+                            LinkCostFn cost, DijkstraWorkspace& ws);
+
+/// Integer-cost bucket-queue hot loop; see RunDijkstraInt.
+void RunDijkstraLoopInt(const net::Topology& topo, NodeId src,
+                        IntLinkCostFn cost, DijkstraWorkspace& ws,
+                        NodeId settle_until);
 }  // namespace detail
 
 /// Single-source shortest path tree.
@@ -87,6 +111,13 @@ class DijkstraWorkspace {
   friend void detail::RunDijkstraLoop(const net::Topology& topo, NodeId src,
                                       LinkCostFn cost,
                                       DijkstraWorkspace& ws);
+  friend void detail::RunDijkstraLoopAdjList(const net::Topology& topo,
+                                             NodeId src, LinkCostFn cost,
+                                             DijkstraWorkspace& ws);
+  friend void detail::RunDijkstraLoopInt(const net::Topology& topo,
+                                         NodeId src, IntLinkCostFn cost,
+                                         DijkstraWorkspace& ws,
+                                         NodeId settle_until);
 
   void Prepare(int num_nodes);
   void Relax(NodeId v, double d, LinkId parent) {
@@ -101,6 +132,12 @@ class DijkstraWorkspace {
   std::vector<std::uint64_t> stamp_;
   std::uint64_t epoch_ = 0;
   std::vector<std::pair<double, NodeId>> heap_;
+  /// Bucket arena for the integer kernel: buckets_[d] holds the frontier
+  /// at distance d (sorted descending by node id while being drained).
+  /// Buckets are drained empty by every run (including early-exit runs),
+  /// so the arena's inner vectors keep their capacity across calls — zero
+  /// steady-state allocation.
+  std::vector<std::vector<NodeId>> buckets_;
 };
 
 /// Runs Dijkstra from `src`. Costs must be non-negative (checked).
@@ -112,6 +149,23 @@ DijkstraTree RunDijkstra(const net::Topology& topo, NodeId src,
 void RunDijkstra(const net::Topology& topo, NodeId src, LinkCostFn cost,
                  DijkstraWorkspace& ws);
 
+/// Integer-cost Dijkstra on a monotone bucket queue (Dial's algorithm) —
+/// O(V + E + max_dist) with no log factor and no per-run allocation once
+/// the workspace is warm. Produces the exact tree RunDijkstra builds for
+/// the same costs: the binary heap pops (dist, node) in ascending
+/// lexicographic order (duplicates never reach the heap — relaxation is
+/// strict), and draining each distance bucket in ascending node id
+/// replays that order, zero-cost edges included. Callers with
+/// non-integer costs (e.g. the kEpsilon backup tie-break) must stay on
+/// RunDijkstra; this kernel is for unit/hop-style metrics.
+///
+/// `settle_until` != kInvalidNode stops the run once that node is settled
+/// (its dist/parent chain is final at pop time); distances beyond it are
+/// then unspecified — only PathTo(settle_until) may be read.
+void RunDijkstraInt(const net::Topology& topo, NodeId src, IntLinkCostFn cost,
+                    DijkstraWorkspace& ws,
+                    NodeId settle_until = kInvalidNode);
+
 /// Convenience: cheapest src->dst path, nullopt when disconnected (or when
 /// every route has infinite cost).
 std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
@@ -121,6 +175,13 @@ std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
 std::optional<Path> CheapestPath(const net::Topology& topo, NodeId src,
                                  NodeId dst, LinkCostFn cost,
                                  DijkstraWorkspace& ws);
+
+/// Cheapest path under integer costs via the bucket-queue kernel, with
+/// early exit once `dst` settles. Identical route to CheapestPath over
+/// the same (integerized) costs.
+std::optional<Path> CheapestPathInt(const net::Topology& topo, NodeId src,
+                                    NodeId dst, IntLinkCostFn cost,
+                                    DijkstraWorkspace& ws);
 
 /// Min-hop path using unit costs, restricted to links where `usable`
 /// returns true (pass nullptr for no restriction).

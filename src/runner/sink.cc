@@ -78,6 +78,9 @@ std::string CellResultToJson(const CellResult& r) {
   w.Key("seed").Uint(r.cell.base_seed);
   w.Key("cell_seed").Uint(r.cell.cell_seed);
   w.Key("degree").Double(r.cell.degree);
+  if (r.cell.topo_model != "waxman") {
+    w.Key("model").String(r.cell.topo_model);
+  }
   w.Key("pattern").String(sim::PatternName(r.cell.pattern));
   w.Key("lambda").Double(r.cell.lambda);
   w.Key("scheme").String(r.cell.scheme);

@@ -41,6 +41,10 @@ struct Cell {
   std::string scheme;
   /// splitmix64(base_seed, index); seeds per-cell randomness.
   std::uint64_t cell_seed = 0;
+  /// Topology model the cell's graph came from ("waxman" or "hier").
+  /// JSONL lines carry it only when != "waxman" so historical sweep
+  /// outputs stay byte-identical.
+  std::string topo_model = "waxman";
 };
 
 struct CellResult {

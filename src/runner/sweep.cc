@@ -41,6 +41,8 @@ SweepEngine::SweepEngine(SweepSpec spec)
     : spec_(std::move(spec)),
       duration_(spec_.fast ? spec_.duration / 4 : spec_.duration) {
   DRTP_CHECK_MSG(spec_.NumCells() > 0, "empty sweep grid");
+  DRTP_CHECK_MSG(spec_.topo_model == "waxman" || spec_.topo_model == "hier",
+                 "unknown topology model '" << spec_.topo_model << "'");
 }
 
 std::vector<Cell> SweepEngine::Cells() const {
@@ -60,6 +62,7 @@ std::vector<Cell> SweepEngine::Cells() const {
             c.lambda = lambda;
             c.scheme = scheme;
             c.cell_seed = CellSeed(seed, static_cast<std::uint64_t>(index));
+            c.topo_model = spec_.topo_model;
             cells.push_back(std::move(c));
             ++index;
           }
@@ -93,10 +96,16 @@ const net::Topology& SweepEngine::TopologyFor(std::uint64_t base_seed,
   if (it == topos_.end()) {
     // Deterministic in (degree, seed): whichever thread generates first
     // produces the value every other thread would have.
-    it = topos_
-             .emplace(key, std::make_unique<net::Topology>(
-                               sim::MakePaperTopology(degree, base_seed,
-                                                      spec_.srlg_groups)))
+    net::Topology topo;
+    if (spec_.topo_model == "hier") {
+      net::HierConfig hc = spec_.hier;
+      hc.seed = base_seed;
+      hc.srlg_groups = spec_.srlg_groups;
+      topo = net::MakeHierarchical(hc);
+    } else {
+      topo = sim::MakePaperTopology(degree, base_seed, spec_.srlg_groups);
+    }
+    it = topos_.emplace(key, std::make_unique<net::Topology>(std::move(topo)))
              .first;
   }
   return *it->second;

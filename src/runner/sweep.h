@@ -21,6 +21,7 @@
 #include <tuple>
 #include <vector>
 
+#include "net/generators.h"
 #include "net/topology.h"
 #include "obs/trace.h"
 #include "runner/sink.h"
@@ -76,6 +77,17 @@ struct SweepSpec {
   /// Geographic SRLG clusters tagged onto every generated topology
   /// (0 = untagged, bit-identical to historical sweeps).
   int srlg_groups = 0;
+
+  /// Topology model: "waxman" (the paper's §6.1 graphs; the `degrees`
+  /// axis selects density) or "hier" (three-tier ISP hierarchy sized by
+  /// `hier`; the degrees axis is carried through the grid but the graph
+  /// shape comes from `hier` alone). Waxman sweeps are byte-identical to
+  /// historical ones: the model only enters JSONL lines and the spec
+  /// digest when != "waxman".
+  std::string topo_model = "waxman";
+  /// Shape of the "hier" model; seed and srlg_groups are taken from the
+  /// cell's base seed and `srlg_groups` above, not from this struct.
+  net::HierConfig hier;
 
   /// Run the fault::Auditor after every replay event of every cell and
   /// carry its check/violation counts (plus drtp.audit/1 lines) in the

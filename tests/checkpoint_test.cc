@@ -175,6 +175,25 @@ TEST(SpecDigestTest, StableAndSensitive) {
   EXPECT_NE(SpecDigest(a), SpecDigest(changed));
 }
 
+TEST(SpecDigestTest, WaxmanDigestUnchangedByHierFields) {
+  // Historical waxman journals must keep verifying: the hierarchical
+  // topology knobs enter the digest only when the model is selected, so
+  // a default-model spec digests identically whatever `hier` holds.
+  const SweepSpec a = TinySpec();
+  SweepSpec b = TinySpec();
+  b.hier.backbone = 99;
+  b.hier.metro_per_pop = 5;
+  EXPECT_EQ(SpecDigest(a), SpecDigest(b));
+
+  SweepSpec hier = TinySpec();
+  hier.topo_model = "hier";
+  EXPECT_NE(SpecDigest(a), SpecDigest(hier));
+  // ...and once selected, the knobs are load-bearing.
+  SweepSpec hier2 = hier;
+  hier2.hier.metro_per_pop += 1;
+  EXPECT_NE(SpecDigest(hier), SpecDigest(hier2));
+}
+
 // ---- journal recovery on synthetic files ---------------------------------
 
 // Builds a sink file from `lines` (newline appended to each) plus a

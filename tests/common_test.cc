@@ -227,6 +227,35 @@ TEST(FlagSet, RejectsValueAboveRange) {
   EXPECT_NE(err.find("out of range"), std::string::npos) << err;
 }
 
+TEST(FlagSet, RejectsHierTopologyRanges) {
+  // The ranges the drtpsim/drtpsweep hierarchical-generator flags declare:
+  // a backbone ring needs >= 3 routers; PoP/metro fan-outs may be 0.
+  FlagSet flags("prog");
+  flags.Int64("hier-backbone", 10, "backbone routers", 3, 1'000'000);
+  flags.Int64("hier-pops-per-backbone", 3, "pops", 0, 1'000'000);
+  flags.Int64("hier-metro-per-pop", 32, "metro", 0, 1'000'000);
+  {
+    const char* argv[] = {"prog", "--hier-backbone=2"};
+    const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+    EXPECT_NE(err.find("--hier-backbone"), std::string::npos) << err;
+    EXPECT_NE(err.find("out of range [3, 1000000]"), std::string::npos)
+        << err;
+  }
+  {
+    const char* argv[] = {"prog", "--hier-pops-per-backbone=-1"};
+    const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+    EXPECT_NE(err.find("--hier-pops-per-backbone"), std::string::npos) << err;
+    EXPECT_NE(err.find("out of range [0, 1000000]"), std::string::npos)
+        << err;
+  }
+  {
+    const char* argv[] = {"prog", "--hier-metro-per-pop=1000001"};
+    const std::string err = flags.TryParse(2, const_cast<char**>(argv));
+    EXPECT_NE(err.find("out of range [0, 1000000]"), std::string::npos)
+        << err;
+  }
+}
+
 TEST(FlagSet, RejectsGarbageIntegerSuffix) {
   FlagSet flags("prog");
   flags.Int64("n", 1, "count");

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/error.h"
+#include "common/rng.h"
 #include "net/generators.h"
 #include "net/graphio.h"
 #include "net/transit_stub.h"
@@ -99,6 +100,113 @@ TEST(Waxman, RejectsInfeasibleDegree) {
   EXPECT_THROW(
       MakeWaxman(WaxmanConfig{.nodes = 4, .avg_degree = 5.0, .seed = 1}),
       CheckError);
+}
+
+// ---- PoP/backbone/metro hierarchy ------------------------------------------
+
+TEST(Hierarchical, ThousandNodeRecipeShape) {
+  // The bench/CI recipe: 10 backbone + 30 PoPs + 30*32 metro = 1000 nodes.
+  const Topology t = MakeHierarchical(HierConfig{
+      .backbone = 10, .pops_per_backbone = 3, .metro_per_pop = 32,
+      .seed = 7});
+  EXPECT_EQ(t.num_nodes(), 1000);
+  EXPECT_TRUE(t.IsConnected());
+  // Survivability floor: every node has at least two duplex adjacencies,
+  // so no single link failure partitions the graph at the edge.
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_GE(t.Neighbors(n).size(), 2u) << "node " << n;
+  }
+}
+
+TEST(Hierarchical, TieredCapacities) {
+  const HierConfig cfg{.backbone = 6, .pops_per_backbone = 2,
+                       .metro_per_pop = 4, .seed = 3};
+  const Topology t = MakeHierarchical(cfg);
+  // Node ids are dense by tier: backbone 0..B-1, then PoPs, then metro.
+  const NodeId first_pop = 6;
+  const NodeId first_metro = 6 + 6 * 2;
+  const LinkId ring = t.FindLink(0, 1);
+  ASSERT_NE(ring, kInvalidLink);
+  EXPECT_EQ(t.link(ring).capacity, cfg.backbone_capacity);
+  // PoP p dual-homes to backbone p%B and (p%B + 1)%B.
+  const LinkId uplink = t.FindLink(first_pop, 0);
+  ASSERT_NE(uplink, kInvalidLink);
+  EXPECT_EQ(t.link(uplink).capacity, cfg.pop_capacity);
+  const LinkId uplink2 = t.FindLink(first_pop, 1);
+  ASSERT_NE(uplink2, kInvalidLink);
+  const LinkId metro = t.FindLink(first_pop, first_metro);
+  ASSERT_NE(metro, kInvalidLink);
+  EXPECT_EQ(t.link(metro).capacity, cfg.metro_capacity);
+}
+
+TEST(Hierarchical, DeterministicForSeed) {
+  const HierConfig cfg{.backbone = 8, .pops_per_backbone = 2,
+                       .metro_per_pop = 5, .seed = 12};
+  EXPECT_EQ(TopologyToString(MakeHierarchical(cfg)),
+            TopologyToString(MakeHierarchical(cfg)));
+}
+
+TEST(Hierarchical, SingleMetroNodeStaysBiconnected) {
+  // metro_per_pop == 1 cannot close a ring through the PoP alone; the
+  // lone metro node dual-homes to the PoP and its backbone instead.
+  const Topology t = MakeHierarchical(HierConfig{
+      .backbone = 4, .pops_per_backbone = 1, .metro_per_pop = 1, .seed = 2});
+  EXPECT_TRUE(t.IsConnected());
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_GE(t.Neighbors(n).size(), 2u) << "node " << n;
+  }
+}
+
+TEST(Hierarchical, RejectsDegenerateBackbone) {
+  EXPECT_THROW(MakeHierarchical(HierConfig{.backbone = 2}), CheckError);
+}
+
+TEST(Hierarchical, SrlgGroupsTagEveryLinkWithoutPerturbingGraph) {
+  const HierConfig base{.backbone = 5, .pops_per_backbone = 2,
+                        .metro_per_pop = 3, .seed = 8};
+  HierConfig tagged = base;
+  tagged.srlg_groups = 6;
+  const Topology t = MakeHierarchical(tagged);
+  ASSERT_TRUE(t.has_srlgs());
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    ASSERT_NE(t.srlg(l), kInvalidSrlg);
+    EXPECT_EQ(t.srlg(l), t.srlg(t.link(l).reverse));
+  }
+  const Topology plain = MakeHierarchical(base);
+  ASSERT_EQ(plain.num_links(), t.num_links());
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_EQ(plain.link(l).src, t.link(l).src);
+    EXPECT_EQ(plain.link(l).dst, t.link(l).dst);
+  }
+  // ...and tagged graphs round-trip through the v2 text format.
+  const Topology u = TopologyFromString(TopologyToString(t));
+  ASSERT_TRUE(u.has_srlgs());
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_EQ(u.srlg(l), t.srlg(l));
+  }
+}
+
+TEST(AssignGeoSrlgs, ConsumesExactlyTwoDrawsPerGroup) {
+  // The Waxman generator relies on this contract: hoisting the SRLG pass
+  // into a shared helper must not shift any later draw in the stream.
+  Topology t = MakeGrid(4, 4, Mbps(1));
+  Rng used(5);
+  Rng reference(5);
+  AssignGeoSrlgs(t, 4, used);
+  for (int i = 0; i < 8; ++i) reference.UniformReal(0.0, 1.0);
+  EXPECT_EQ(used.Next(), reference.Next());
+}
+
+TEST(AssignGeoSrlgs, DeterministicForSeed) {
+  Topology a = MakeGrid(4, 4, Mbps(1));
+  Topology b = MakeGrid(4, 4, Mbps(1));
+  Rng ra(11);
+  Rng rb(11);
+  AssignGeoSrlgs(a, 3, ra);
+  AssignGeoSrlgs(b, 3, rb);
+  for (LinkId l = 0; l < a.num_links(); ++l) {
+    EXPECT_EQ(a.srlg(l), b.srlg(l));
+  }
 }
 
 // ---- transit-stub hierarchy -------------------------------------------------

@@ -288,6 +288,115 @@ TEST(ConflictVector, AdvertBytesRoundsUp) {
 
 // ---- LinkStateDb ------------------------------------------------------------
 
+// ---- wide (> kWideLinkThreshold) representations ---------------------------
+//
+// Above kWideLinkThreshold links the APLV switches to sparse
+// key/count storage and the CV elides trailing all-zero words; both must
+// stay observationally identical to the dense forms.
+
+TEST(AplvWide, SparseMatchesDenseOracleAcrossThreshold) {
+  for (const int width :
+       {kWideLinkThreshold, kWideLinkThreshold + 1,
+        kWideLinkThreshold + 257}) {
+    Rng rng(static_cast<std::uint64_t>(width));
+    Aplv a(width);
+    std::vector<std::int32_t> counts(static_cast<std::size_t>(width), 0);
+    std::vector<LinkSet> registered;
+    for (int step = 0; step < 200; ++step) {
+      if (registered.empty() || rng.Bernoulli(0.6)) {
+        std::vector<LinkId> raw;
+        const int n = static_cast<int>(rng.UniformInt(1, 6));
+        for (int i = 0; i < n; ++i) {
+          raw.push_back(
+              static_cast<LinkId>(rng.Index(static_cast<std::size_t>(width))));
+        }
+        const LinkSet s = MakeLinkSet(std::move(raw));
+        a.AddPrimaryLset(s);
+        for (LinkId j : s) ++counts[static_cast<std::size_t>(j)];
+        registered.push_back(s);
+      } else {
+        const auto idx = rng.Index(registered.size());
+        a.RemovePrimaryLset(registered[idx]);
+        for (LinkId j : registered[idx]) --counts[static_cast<std::size_t>(j)];
+        registered.erase(registered.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+      }
+    }
+    std::int64_t l1 = 0;
+    std::int32_t mx = 0;
+    for (std::int32_t c : counts) {
+      l1 += c;
+      mx = std::max(mx, c);
+    }
+    ASSERT_EQ(a.L1(), l1) << "width " << width;
+    ASSERT_EQ(a.Max(), mx) << "width " << width;
+    // Per-link counts: every touched link plus a random sample of the
+    // (mostly untouched) tail.
+    const ConflictVector cv = a.ToConflictVector();
+    for (const LinkSet& s : registered) {
+      for (LinkId j : s) {
+        ASSERT_EQ(a.count(j), counts[static_cast<std::size_t>(j)]);
+      }
+    }
+    for (int i = 0; i < 200; ++i) {
+      const LinkId j =
+          static_cast<LinkId>(rng.Index(static_cast<std::size_t>(width)));
+      ASSERT_EQ(a.count(j), counts[static_cast<std::size_t>(j)]);
+      ASSERT_EQ(cv.Test(j), counts[static_cast<std::size_t>(j)] > 0);
+    }
+    // Draining everything must land exactly on the empty state.
+    for (const LinkSet& s : registered) a.RemovePrimaryLset(s);
+    EXPECT_EQ(a, Aplv(width));
+    EXPECT_EQ(a.ToConflictVector(), ConflictVector(width));
+  }
+}
+
+TEST(ConflictVectorWide, CountInAndMaskSweepAgree) {
+  const int width = kWideLinkThreshold + 512;
+  Rng rng(99);
+  ConflictVector cv(width);
+  for (int i = 0; i < 300; ++i) {
+    cv.Set(static_cast<LinkId>(rng.Index(static_cast<std::size_t>(width))),
+           true);
+  }
+  std::vector<LinkId> raw;
+  for (int i = 0; i < 40; ++i) {
+    raw.push_back(
+        static_cast<LinkId>(rng.Index(static_cast<std::size_t>(width))));
+  }
+  const LinkSet lset = MakeLinkSet(std::move(raw));
+  std::vector<std::uint64_t> mask(static_cast<std::size_t>((width + 63) / 64),
+                                  0);
+  int oracle = 0;
+  for (LinkId j : lset) {
+    mask[static_cast<std::size_t>(j) / 64] |= std::uint64_t{1}
+                                              << (static_cast<unsigned>(j) %
+                                                  64);
+    if (cv.Test(j)) ++oracle;
+  }
+  EXPECT_EQ(cv.CountIn(lset), oracle);
+  EXPECT_EQ(cv.AndPopCount(mask), oracle);
+}
+
+TEST(ConflictVectorWide, EqualityIgnoresElidedTrailingWords) {
+  const int width = kWideLinkThreshold + 1000;
+  ConflictVector lazy(width);
+  lazy.Set(5, true);
+  ConflictVector materialized(width);
+  materialized.Set(5, true);
+  // Touching and clearing a high bit leaves allocated-but-zero tail words
+  // behind; they must compare equal to the never-materialized tail.
+  materialized.Set(width - 1, true);
+  materialized.Set(width - 1, false);
+  EXPECT_GT(materialized.words().size(), lazy.words().size());
+  EXPECT_EQ(materialized, lazy);
+  EXPECT_EQ(lazy, materialized);
+  // Width is part of identity even when the bits agree.
+  ConflictVector narrower(width - 1);
+  narrower.Set(5, true);
+  EXPECT_FALSE(narrower == lazy);
+}
+
 TEST(LinkStateDb, RecordsAreIndependent) {
   LinkStateDb db(4, 4);
   db.record(2).aplv_l1 = 9;

@@ -22,6 +22,7 @@
 #include "drtp/failure.h"
 #include "drtp/network.h"
 #include "drtp/scheme.h"
+#include "lsdb/conflict_vector.h"
 #include "net/generators.h"
 
 namespace drtp::core {
@@ -85,8 +86,40 @@ void ExpectFailureEvalMatchesScan(const DrtpNetwork& net, Rng& rng) {
   }
 }
 
-void RunRandomizedSequence(bool duplex, std::uint64_t seed) {
-  const net::Topology topo = net::MakeGrid(5, 5, Mbps(6));
+/// links() is a span; materialize for gtest equality.
+std::vector<LinkId> LinksOf(const routing::Path& p) {
+  return {p.links().begin(), p.links().end()};
+}
+
+/// At an admit point, the rewritten kernels must pick exactly the routes
+/// their retained reference implementations pick against the same db:
+/// bucket-queue min-hop primary vs the binary-heap formulation, and the
+/// two Eq. 5 conflict-scoring strategies against each other.
+void ExpectRouteKernelsAgree(const net::Topology& topo,
+                             const lsdb::LinkStateDb& db, NodeId src,
+                             NodeId dst) {
+  const auto radix = SelectPrimaryMinHop(topo, db, src, dst, Mbps(1));
+  const auto binary =
+      detail::SelectPrimaryMinHopBinaryHeap(topo, db, src, dst, Mbps(1));
+  ASSERT_EQ(radix.has_value(), binary.has_value()) << src << "->" << dst;
+  if (radix.has_value()) {
+    ASSERT_EQ(LinksOf(*radix), LinksOf(*binary)) << src << "->" << dst;
+    const routing::LinkSet primary = radix->ToLinkSet();
+    const auto mask =
+        SelectBackupLsr(topo, db, primary, src, dst, Mbps(1),
+                        /*deterministic=*/true, {}, 0, CvScoring::kMask);
+    const auto sparse =
+        SelectBackupLsr(topo, db, primary, src, dst, Mbps(1),
+                        /*deterministic=*/true, {}, 0, CvScoring::kSparse);
+    ASSERT_EQ(mask.has_value(), sparse.has_value()) << src << "->" << dst;
+    if (mask.has_value()) {
+      ASSERT_EQ(LinksOf(*mask), LinksOf(*sparse)) << src << "->" << dst;
+    }
+  }
+}
+
+void RunRandomizedSequence(const net::Topology& topo, bool duplex,
+                           std::uint64_t seed, int ops, int check_every) {
   DrtpNetwork net(topo, NetworkConfig{.duplex_failures = duplex});
   // db is published incrementally after every mutation; db_lagged is
   // published every few ops and must be healed by the stamp fallback
@@ -101,7 +134,7 @@ void RunRandomizedSequence(bool duplex, std::uint64_t seed) {
   ConnId next_id = 1;
   Time t = 0.0;
 
-  for (int op = 0; op < 300; ++op) {
+  for (int op = 0; op < ops; ++op) {
     t += 1.0;
     const int kind = static_cast<int>(rng.Index(10));
     if (kind < 5) {  // admit
@@ -109,6 +142,7 @@ void RunRandomizedSequence(bool duplex, std::uint64_t seed) {
       const NodeId src = static_cast<NodeId>(rng.Index(nodes));
       NodeId dst = static_cast<NodeId>(rng.Index(nodes));
       if (dst == src) dst = (dst + 1) % topo.num_nodes();
+      ExpectRouteKernelsAgree(topo, db, src, dst);
       const RouteSelection sel = scheme.SelectRoutes(net, db, src, dst,
                                                      Mbps(1));
       if (sel.primary.has_value() &&
@@ -155,7 +189,7 @@ void RunRandomizedSequence(bool duplex, std::uint64_t seed) {
       net.PublishTo(db, t);
       ExpectDbMatches(net, db);
     }
-    if (op % 10 == 0) {
+    if (op % check_every == 0) {
       ExpectIndexesMatchBruteForce(net);
       ExpectFailureEvalMatchesScan(net, rng);
       net.CheckConsistency();
@@ -167,15 +201,51 @@ void RunRandomizedSequence(bool duplex, std::uint64_t seed) {
 }
 
 TEST(PerfEquivalence, RandomizedSequenceSimplex) {
-  RunRandomizedSequence(/*duplex=*/false, /*seed=*/11);
+  RunRandomizedSequence(net::MakeGrid(5, 5, Mbps(6)), /*duplex=*/false,
+                        /*seed=*/11, /*ops=*/300, /*check_every=*/10);
 }
 
 TEST(PerfEquivalence, RandomizedSequenceDuplex) {
-  RunRandomizedSequence(/*duplex=*/true, /*seed=*/23);
+  RunRandomizedSequence(net::MakeGrid(5, 5, Mbps(6)), /*duplex=*/true,
+                        /*seed=*/23, /*ops=*/300, /*check_every=*/10);
 }
 
 TEST(PerfEquivalence, SecondSeedSimplex) {
-  RunRandomizedSequence(/*duplex=*/false, /*seed=*/47);
+  RunRandomizedSequence(net::MakeGrid(5, 5, Mbps(6)), /*duplex=*/false,
+                        /*seed=*/47, /*ops=*/300, /*check_every=*/10);
+}
+
+TEST(PerfEquivalence, Waxman60Churn) {
+  // The paper's evaluation substrate: 60 nodes, E ~ 3.5.
+  RunRandomizedSequence(
+      net::MakeWaxman(net::WaxmanConfig{
+          .nodes = 60, .avg_degree = 3.5, .link_capacity = Mbps(12),
+          .seed = 31}),
+      /*duplex=*/true, /*seed=*/61, /*ops=*/200, /*check_every=*/10);
+}
+
+TEST(PerfEquivalence, Hierarchical1kChurn) {
+  // The 1k bench recipe. Fewer ops and sparser O(links * conns) audits:
+  // every publish is still re-derived record-by-record, and every admit
+  // still differentially checks the routing kernels.
+  RunRandomizedSequence(
+      net::MakeHierarchical(net::HierConfig{
+          .backbone = 10, .pops_per_backbone = 3, .metro_per_pop = 32,
+          .seed = 7}),
+      /*duplex=*/true, /*seed=*/71, /*ops=*/60, /*check_every=*/20);
+}
+
+TEST(PerfEquivalence, WideLinkStateChurn) {
+  // Enough links to push APLV/CV/DemandVector onto the sparse wide-state
+  // representations (> lsdb::kWideLinkThreshold), so ExpectDbMatches and
+  // CheckConsistency compare wide lazy conflict vectors semantically
+  // against freshly derived ones on every op.
+  const net::Topology topo = net::MakeHierarchical(net::HierConfig{
+      .backbone = 12, .pops_per_backbone = 6, .metro_per_pop = 30,
+      .seed = 9});
+  ASSERT_GT(topo.num_links(), lsdb::kWideLinkThreshold);
+  RunRandomizedSequence(topo, /*duplex=*/true, /*seed=*/83, /*ops=*/40,
+                        /*check_every=*/20);
 }
 
 TEST(PerfEquivalence, FreshDbGetsFullRepublish) {

@@ -2,10 +2,14 @@
 // against Bellman-Ford on random graphs), distance tables.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/check.h"
 #include "common/rng.h"
 #include "net/generators.h"
 #include "routing/bellman_ford.h"
+#include "routing/constrained.h"
 #include "routing/dijkstra.h"
 #include "routing/distance_table.h"
 #include "routing/path.h"
@@ -196,6 +200,157 @@ TEST(Dijkstra, TreePathCostsMatchDistances) {
     EXPECT_NEAR(sum, tree.dist[static_cast<std::size_t>(v)], 1e-9);
     EXPECT_EQ(p->src(), 0);
     EXPECT_EQ(p->dst(), v);
+  }
+}
+
+// ---- CSR / integer-kernel differentials -----------------------------------
+//
+// PR discipline for the hot-path rewrites: every new layout or kernel
+// keeps the old implementation as a reference, pinned bit-identical here.
+
+/// links() is a span; materialize for gtest equality.
+std::vector<LinkId> LinksOf(const Path& p) {
+  return {p.links().begin(), p.links().end()};
+}
+
+/// Random integer costs with zero-cost and forbidden links mixed in —
+/// the adversarial cases for the bucket queue (zero-cost edges re-enter
+/// the bucket currently being drained).
+std::vector<std::int64_t> RandomIntCosts(const Topology& t, Rng& rng) {
+  std::vector<std::int64_t> costs(static_cast<std::size_t>(t.num_links()));
+  for (auto& c : costs) {
+    if (rng.Bernoulli(0.08)) {
+      c = kInfiniteIntCost;
+    } else if (rng.Bernoulli(0.15)) {
+      c = 0;
+    } else {
+      c = static_cast<std::int64_t>(rng.Index(6)) + 1;
+    }
+  }
+  return costs;
+}
+
+void ExpectSameTree(const Topology& t, const DijkstraWorkspace& a,
+                    const DijkstraWorkspace& b, const char* what) {
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    ASSERT_EQ(a.Dist(v), b.Dist(v)) << what << ": dist diverged at " << v;
+    ASSERT_EQ(a.ParentLink(v), b.ParentLink(v))
+        << what << ": parent diverged at " << v;
+  }
+}
+
+TEST(DijkstraInt, BucketKernelMatchesBinaryHeapTree) {
+  for (std::uint64_t seed : {1u, 5u, 9u, 13u}) {
+    const Topology t = MakeWaxman(net::WaxmanConfig{
+        .nodes = 60, .avg_degree = 3.5, .seed = seed});
+    Rng rng(seed * 97 + 3);
+    const std::vector<std::int64_t> costs = RandomIntCosts(t, rng);
+    const auto icost = [&](LinkId l) {
+      return costs[static_cast<std::size_t>(l)];
+    };
+    const auto dcost = [&](LinkId l) -> double {
+      const std::int64_t c = costs[static_cast<std::size_t>(l)];
+      return c == kInfiniteIntCost ? kInfiniteCost
+                                   : static_cast<double>(c);
+    };
+    DijkstraWorkspace bucket;
+    DijkstraWorkspace heap;
+    for (NodeId src = 0; src < t.num_nodes(); src += 11) {
+      RunDijkstraInt(t, src, icost, bucket);
+      RunDijkstra(t, src, dcost, heap);
+      ExpectSameTree(t, bucket, heap, "int-vs-heap");
+    }
+  }
+}
+
+TEST(DijkstraInt, EarlyExitPathEqualsFullRunPath) {
+  const Topology t = MakeWaxman(net::WaxmanConfig{
+      .nodes = 60, .avg_degree = 4.0, .seed = 21});
+  Rng rng(77);
+  const std::vector<std::int64_t> costs = RandomIntCosts(t, rng);
+  const auto icost = [&](LinkId l) {
+    return costs[static_cast<std::size_t>(l)];
+  };
+  DijkstraWorkspace early;
+  DijkstraWorkspace full;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId src =
+        static_cast<NodeId>(rng.Index(static_cast<std::size_t>(t.num_nodes())));
+    NodeId dst =
+        static_cast<NodeId>(rng.Index(static_cast<std::size_t>(t.num_nodes())));
+    if (dst == src) dst = (dst + 1) % t.num_nodes();
+    const auto fast = CheapestPathInt(t, src, dst, icost, early);
+    RunDijkstraInt(t, src, icost, full);
+    const auto ref = full.PathTo(t, dst);
+    ASSERT_EQ(fast.has_value(), ref.has_value()) << src << "->" << dst;
+    if (fast.has_value()) {
+      EXPECT_EQ(LinksOf(*fast), LinksOf(*ref)) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(DijkstraInt, NegativeCostRejected) {
+  const Topology t = MakeGrid(2, 2, Mbps(1));
+  DijkstraWorkspace ws;
+  EXPECT_THROW(
+      RunDijkstraInt(t, 0, [](LinkId) { return std::int64_t{-1}; }, ws),
+      CheckError);
+}
+
+TEST(DijkstraInt, RefusesCostsBeyondBucketRange) {
+  const Topology t = MakeGrid(2, 2, Mbps(1));
+  DijkstraWorkspace ws;
+  EXPECT_THROW(
+      RunDijkstraInt(t, 0, [](LinkId) { return kMaxDijkstraBuckets; }, ws),
+      CheckError);
+}
+
+TEST(DijkstraCsr, MatchesAdjacencyListReference) {
+  for (std::uint64_t seed : {2u, 8u}) {
+    const Topology t = MakeWaxman(net::WaxmanConfig{
+        .nodes = 60, .avg_degree = 3.5, .seed = seed});
+    Rng rng(seed + 500);
+    std::vector<double> costs(static_cast<std::size_t>(t.num_links()));
+    for (auto& c : costs) {
+      c = rng.Bernoulli(0.1) ? kInfiniteCost : rng.UniformReal(0.1, 5.0);
+    }
+    const auto cost = [&](LinkId l) {
+      return costs[static_cast<std::size_t>(l)];
+    };
+    DijkstraWorkspace csr;
+    DijkstraWorkspace adj;
+    for (NodeId src = 0; src < t.num_nodes(); src += 13) {
+      RunDijkstra(t, src, cost, csr);
+      detail::RunDijkstraLoopAdjList(t, src, cost, adj);
+      ExpectSameTree(t, csr, adj, "csr-vs-adjlist");
+    }
+  }
+}
+
+TEST(MaxHopsDp, CsrMatchesAdjacencyListReference) {
+  const Topology t = MakeWaxman(net::WaxmanConfig{
+      .nodes = 40, .avg_degree = 3.5, .seed = 6});
+  Rng rng(601);
+  std::vector<double> costs(static_cast<std::size_t>(t.num_links()));
+  for (auto& c : costs) c = rng.UniformReal(0.1, 5.0);
+  const auto cost = [&](LinkId l) {
+    return costs[static_cast<std::size_t>(l)];
+  };
+  MaxHopsWorkspace csr;
+  MaxHopsWorkspace adj;
+  for (int i = 0; i < 30; ++i) {
+    const NodeId src =
+        static_cast<NodeId>(rng.Index(static_cast<std::size_t>(t.num_nodes())));
+    NodeId dst =
+        static_cast<NodeId>(rng.Index(static_cast<std::size_t>(t.num_nodes())));
+    if (dst == src) dst = (dst + 1) % t.num_nodes();
+    const int max_hops = 1 + static_cast<int>(rng.Index(8));
+    const auto a = CheapestPathMaxHops(t, src, dst, cost, max_hops, csr);
+    const auto b =
+        detail::CheapestPathMaxHopsAdjList(t, src, dst, cost, max_hops, adj);
+    ASSERT_EQ(a.has_value(), b.has_value())
+        << src << "->" << dst << " hops<=" << max_hops;
+    if (a.has_value()) EXPECT_EQ(LinksOf(*a), LinksOf(*b));
   }
 }
 

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "runner/json.h"
 #include "runner/sink.h"
 #include "runner/sweep.h"
@@ -317,6 +318,55 @@ TEST(SweepEngineTest, CellsExpandInSpecOrderWithDerivedSeeds) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     EXPECT_EQ(cells[i].index, i);
     EXPECT_EQ(cells[i].cell_seed, CellSeed(7, i));
+  }
+}
+
+TEST(SweepEngineTest, RejectsUnknownTopoModel) {
+  SweepSpec spec = TinySpec();
+  spec.topo_model = "torus";
+  EXPECT_THROW(SweepEngine{spec}, CheckError);
+}
+
+TEST(SweepEngineTest, HierModelTagsJsonlWaxmanStaysUntagged) {
+  // Selecting the hierarchical generator stamps every JSONL line with the
+  // model; the default waxman output stays byte-compatible with existing
+  // results files (no "model" key at all).
+  SweepSpec hier = TinySpec();
+  hier.lambdas = {0.4};
+  hier.schemes = {"D-LSR"};
+  hier.duration = 60.0;
+  hier.topo_model = "hier";
+  hier.hier.backbone = 4;
+  hier.hier.pops_per_backbone = 1;
+  hier.hier.metro_per_pop = 2;
+  std::ostringstream hs;
+  {
+    JsonlSink sink(hs);
+    SweepEngine engine(hier);
+    SweepEngine::RunOptions ro;
+    ro.sinks = {&sink};
+    engine.Run(ro);
+  }
+  std::istringstream hin(hs.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(hin, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"model\":\"hier\""), std::string::npos) << line;
+  }
+  EXPECT_GT(lines, 0u);
+
+  std::ostringstream ws;
+  {
+    JsonlSink sink(ws);
+    SweepEngine engine(TinySpec());
+    SweepEngine::RunOptions ro;
+    ro.sinks = {&sink};
+    engine.Run(ro);
+  }
+  std::istringstream win(ws.str());
+  while (std::getline(win, line)) {
+    EXPECT_EQ(line.find("\"model\""), std::string::npos) << line;
   }
 }
 

@@ -1,6 +1,7 @@
 // drtpsim — command-line front end to the DRTP library.
 //
-//   drtpsim topo      generate a topology (waxman|grid|ring|star) as text/DOT
+//   drtpsim topo      generate a topology (waxman|grid|ring|star|hier) as
+//                     text/DOT
 //   drtpsim scenario  generate a scenario file (UT/NT Poisson traffic,
 //                     optional injected link failures)
 //   drtpsim run       replay a scenario against a routing scheme and print
@@ -55,15 +56,39 @@ net::Topology LoadTopology(const std::string& path) {
 
 int CmdTopo(int argc, char** argv) {
   FlagSet flags("drtpsim topo");
-  auto& kind = flags.String("kind", "waxman", "waxman|grid|ring|star");
-  auto& nodes = flags.Int64("nodes", 60, "node count (waxman/ring/star)");
+  auto& kind = flags.String("kind", "waxman", "waxman|grid|ring|star|hier");
+  auto& model = flags.String(
+      "model", "", "alias for --kind (takes precedence when set)");
+  auto& nodes = flags.Int64("nodes", 60, "node count (waxman/ring/star)", 2,
+                            10'000'000);
   auto& degree = flags.Double("degree", 3.0, "average degree (waxman)");
-  auto& rows = flags.Int64("rows", 3, "grid rows");
-  auto& cols = flags.Int64("cols", 3, "grid cols");
-  auto& capacity = flags.Int64("capacity_mbps", 30, "link capacity, Mbps");
+  auto& rows = flags.Int64("rows", 3, "grid rows", 1, 100'000);
+  auto& cols = flags.Int64("cols", 3, "grid cols", 1, 100'000);
+  auto& capacity = flags.Int64("capacity_mbps", 30, "link capacity, Mbps", 1,
+                               100'000'000);
+  auto& hier_backbone = flags.Int64(
+      "hier-backbone", 10, "hier: backbone ring size", 3, 1'000'000);
+  auto& hier_ppb = flags.Int64(
+      "hier-pops-per-backbone", 3, "hier: PoPs per backbone router", 0,
+      1'000'000);
+  auto& hier_mpp = flags.Int64(
+      "hier-metro-per-pop", 32, "hier: metro nodes per PoP", 0, 1'000'000);
+  auto& hier_chord_frac = flags.Double(
+      "hier-chord-frac", 0.25,
+      "hier: extra backbone chords as a fraction of the ring size");
+  auto& hier_backbone_mbps = flags.Int64(
+      "hier-backbone-mbps", 120, "hier: backbone link capacity, Mbps", 1,
+      100'000'000);
+  auto& hier_pop_mbps = flags.Int64(
+      "hier-pop-mbps", 60, "hier: PoP uplink capacity, Mbps", 1,
+      100'000'000);
+  auto& hier_metro_mbps = flags.Int64(
+      "hier-metro-mbps", 30, "hier: metro ring capacity, Mbps", 1,
+      100'000'000);
   auto& srlg_groups = flags.Int64(
       "srlg_groups", 0,
-      "tag links with this many shared-risk groups (waxman; 0 = none)");
+      "tag links with this many shared-risk groups (waxman/hier; 0 = none)",
+      0, 1'000'000);
   auto& seed = flags.Int64("seed", 1, "generator seed");
   auto& out = flags.String("out", "-", "output file, '-' for stdout");
   auto& dot = flags.Bool("dot", false, "emit Graphviz DOT instead of text");
@@ -71,20 +96,33 @@ int CmdTopo(int argc, char** argv) {
 
   net::Topology topo;
   const Bandwidth cap = Mbps(capacity);
-  if (kind == "waxman") {
+  const std::string& shape = model.empty() ? kind : model;
+  if (shape == "waxman") {
     topo = net::MakeWaxman({.nodes = static_cast<int>(nodes),
                             .avg_degree = degree,
                             .link_capacity = cap,
                             .srlg_groups = static_cast<int>(srlg_groups),
                             .seed = static_cast<std::uint64_t>(seed)});
-  } else if (kind == "grid") {
+  } else if (shape == "hier") {
+    if (hier_chord_frac < 0.0) return Fail("--hier-chord-frac must be >= 0");
+    topo = net::MakeHierarchical(
+        {.backbone = static_cast<int>(hier_backbone),
+         .pops_per_backbone = static_cast<int>(hier_ppb),
+         .metro_per_pop = static_cast<int>(hier_mpp),
+         .chord_frac = hier_chord_frac,
+         .backbone_capacity = Mbps(hier_backbone_mbps),
+         .pop_capacity = Mbps(hier_pop_mbps),
+         .metro_capacity = Mbps(hier_metro_mbps),
+         .srlg_groups = static_cast<int>(srlg_groups),
+         .seed = static_cast<std::uint64_t>(seed)});
+  } else if (shape == "grid") {
     topo = net::MakeGrid(static_cast<int>(rows), static_cast<int>(cols), cap);
-  } else if (kind == "ring") {
+  } else if (shape == "ring") {
     topo = net::MakeRing(static_cast<int>(nodes), cap);
-  } else if (kind == "star") {
+  } else if (shape == "star") {
     topo = net::MakeStar(static_cast<int>(nodes) - 1, cap);
   } else {
-    return Fail("unknown --kind '" + kind + "'");
+    return Fail("unknown --kind '" + shape + "'");
   }
   const std::string text =
       dot ? net::TopologyToDot(topo) : net::TopologyToString(topo);

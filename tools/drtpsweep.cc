@@ -116,6 +116,20 @@ int main(int argc, char** argv) {
       "tag generated topologies with this many shared-risk groups", 0,
       1'000'000);
   auto& mttr = flags.Double("mttr", 300.0, "failure repair time, seconds");
+  auto& topo_model = flags.String(
+      "topo-model", "waxman",
+      "topology model: waxman (paper §6.1; --degrees selects density) or "
+      "hier (three-tier ISP hierarchy shaped by the --hier-* flags)");
+  auto& hier_backbone = flags.Int64(
+      "hier-backbone", 10, "hier: backbone ring size", 3, 1'000'000);
+  auto& hier_ppb = flags.Int64(
+      "hier-pops-per-backbone", 3, "hier: PoPs per backbone router", 0,
+      1'000'000);
+  auto& hier_mpp = flags.Int64(
+      "hier-metro-per-pop", 32, "hier: metro nodes per PoP", 0, 1'000'000);
+  auto& hier_chord_frac = flags.Double(
+      "hier-chord-frac", 0.25,
+      "hier: extra backbone chords as a fraction of the ring size");
   auto& audit = flags.Bool(
       "audit", false,
       "run the fault::Auditor in every cell; violations stream as "
@@ -197,6 +211,18 @@ int main(int argc, char** argv) {
     spec.srlg_groups = static_cast<int>(srlg_groups);
     spec.mttr = mttr;
     spec.audit = audit;
+    if (topo_model != "waxman" && topo_model != "hier") {
+      std::fprintf(stderr, "drtpsweep: unknown --topo-model '%s' "
+                           "(waxman|hier)\n", topo_model.c_str());
+      return 2;
+    }
+    DRTP_CHECK_MSG(hier_chord_frac >= 0.0,
+                   "--hier-chord-frac must be >= 0");
+    spec.topo_model = topo_model;
+    spec.hier.backbone = static_cast<int>(hier_backbone);
+    spec.hier.pops_per_backbone = static_cast<int>(hier_ppb);
+    spec.hier.metro_per_pop = static_cast<int>(hier_mpp);
+    spec.hier.chord_frac = hier_chord_frac;
 
     runner::ShardAssignment shard;
     if (!shard_flag.empty()) shard = runner::ParseShard(shard_flag);
