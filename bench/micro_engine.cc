@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "drtp/admission.h"
@@ -26,6 +27,7 @@
 #include "drtp/scheme.h"
 #include "lsdb/aplv.h"
 #include "net/generators.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "routing/dijkstra.h"
@@ -230,6 +232,44 @@ std::vector<KernelResult> RunSuite(LoadedNet& fx, double min_time_s,
       DRTP_OBS_SPAN("bench.obs.span");
       count.Add();
       DoNotOptimize(count);
+    }));
+  }
+
+  // --- drtpd telemetry unit costs ----------------------------------------
+  // flight_recorder_append: one event into the calling thread's ring (a
+  // seqlock'd slot write — the always-on post-mortem recorder's whole
+  // hot path). pipeline_span_stamp: the per-request price the svc
+  // pipeline pays at respond time — one clock read plus the
+  // end-to-end/per-stage/per-method histogram observes. Both compile to
+  // (nearly) nothing under -DDRTP_OBS_DISABLED.
+  {
+    obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+    std::int64_t seq = 0;
+    out.push_back(timer.Measure("flight_recorder_append", [&] {
+      fr.Record(obs::FlightKind::kRpcSpan, seq, 0, 1000, 2000, 3000, 4000);
+      ++seq;
+      DoNotOptimize(seq);
+    }));
+
+    const obs::Histogram total =
+        obs::GetTimingHistogram("bench.svc.request_ns");
+    const obs::Histogram stages[4] = {
+        obs::GetTimingHistogram("bench.svc.stage.decode_ns"),
+        obs::GetTimingHistogram("bench.svc.stage.reorder_ns"),
+        obs::GetTimingHistogram("bench.svc.stage.engine_ns"),
+        obs::GetTimingHistogram("bench.svc.stage.respond_ns"),
+    };
+    const obs::Histogram method =
+        obs::GetTimingHistogram("bench.svc.request_ns.admit.ok");
+    std::int64_t prev_ns = MonotonicClock::Instance().NowNs();
+    out.push_back(timer.Measure("pipeline_span_stamp", [&] {
+      const std::int64_t now_ns = MonotonicClock::Instance().NowNs();
+      const std::int64_t lat = now_ns - prev_ns;
+      prev_ns = now_ns;
+      total.Observe(lat);
+      for (const obs::Histogram& h : stages) h.Observe(lat / 4);
+      method.Observe(lat);
+      DoNotOptimize(prev_ns);
     }));
   }
 
@@ -476,6 +516,7 @@ int Validate(const std::vector<KernelResult>& results) {
       "dijkstra_workspace",  "backup_select_dlsr",  "backup_select_plsr",
       "failure_sweep_scan",  "failure_sweep_indexed", "aplv_update",
       "cv_count_in",         "cv_and_popcount",     "obs_span_overhead",
+      "flight_recorder_append", "pipeline_span_stamp",
       "request_cycle_dlsr",  "admit_one_by_one",    "admit_batch",
       "dijkstra_adjlist_1k", "dijkstra_csr_1k",     "dijkstra_radix_1k",
       "minhop_binary_1k",    "minhop_radix_1k",     "aplv_update_1k",

@@ -1,0 +1,241 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace drtp::obs {
+namespace {
+
+// Slot layout: [0] generation (seqlock word), [1] kind, [2] t_ns,
+// [3..8] args. All words are atomics accessed relaxed except the
+// generation, which the writer stores last with release (even = complete,
+// odd = being written, 0 = never written).
+inline constexpr std::size_t kSlotWords = 3 + kFlightArgs;
+
+struct alignas(64) Ring {
+  std::array<std::array<std::atomic<std::uint64_t>, kSlotWords>,
+             kFlightRingSlots>
+      slots{};
+  /// Total appends by this ring's owning threads (only the owner writes).
+  std::atomic<std::uint64_t> head{0};
+};
+
+struct GlobalState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  // every ring ever created
+  std::vector<Ring*> parked;                 // rings of exited threads
+};
+
+// Leaked for the same reason as the metrics GlobalState: threads park
+// their rings after main() returns.
+GlobalState& State() {
+  static GlobalState* state = new GlobalState;
+  return *state;
+}
+
+struct RingLease {
+  Ring* ring = nullptr;
+
+  ~RingLease() {
+    if (ring == nullptr) return;
+    GlobalState& g = State();
+    std::lock_guard<std::mutex> lk(g.mu);
+    g.parked.push_back(ring);
+  }
+};
+
+Ring& ThisThreadRing() {
+  thread_local RingLease lease;
+  if (lease.ring == nullptr) {
+    GlobalState& g = State();
+    std::lock_guard<std::mutex> lk(g.mu);
+    if (!g.parked.empty()) {
+      lease.ring = g.parked.back();
+      g.parked.pop_back();
+    } else {
+      g.rings.push_back(std::make_unique<Ring>());
+      lease.ring = g.rings.back().get();
+    }
+  }
+  return *lease.ring;
+}
+
+/// Reads one slot seqlock-style. False when the slot is empty or was
+/// caught mid-overwrite by a concurrent writer.
+bool ReadSlot(const std::array<std::atomic<std::uint64_t>, kSlotWords>& slot,
+              FlightEvent& out) {
+  const std::uint64_t g1 = slot[0].load(std::memory_order_acquire);
+  if (g1 == 0 || (g1 & 1) != 0) return false;
+  std::array<std::uint64_t, kSlotWords> words;
+  for (std::size_t w = 1; w < kSlotWords; ++w) {
+    words[w] = slot[w].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot[0].load(std::memory_order_relaxed) != g1) return false;
+  out.kind = static_cast<FlightKind>(words[1]);
+  out.t_ns = static_cast<std::int64_t>(words[2]);
+  for (int a = 0; a < kFlightArgs; ++a) {
+    out.args[a] = static_cast<std::int64_t>(words[3 + static_cast<std::size_t>(a)]);
+  }
+  return static_cast<int>(out.kind) < kNumFlightKinds;
+}
+
+/// Per-kind argument field names for the JSONL dump. Unnamed (nullptr)
+/// trailing args are omitted from the line.
+using ArgNames = std::array<const char*, kFlightArgs>;
+
+const ArgNames& ArgNamesFor(FlightKind kind) {
+  static const std::array<ArgNames, kNumFlightKinds> kNames = {{
+      {"conn", "hops", "protected"},                          // kAdmit
+      {"conn"},                                               // kBlock
+      {"conn", "active"},                                     // kRelease
+      {"id", "err"},                                          // kError
+      {"link", "recovered", "dropped", "backups_lost"},       // kLinkFail
+      {"link"},                                               // kLinkRepair
+      {"conn"},                                               // kDegrade
+      {"conn"},                                               // kReprotect
+      {"client", "torn"},                                     // kFrameError
+      {"checks", "violations"},                               // kAuditSample
+      {"seq", "method", "decode_ns", "reorder_ns",            // kRpcSpan
+       "engine_ns", "respond_ns"},
+  }};
+  return kNames[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+std::string_view FlightKindName(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kAdmit: return "admit";
+    case FlightKind::kBlock: return "block";
+    case FlightKind::kRelease: return "release";
+    case FlightKind::kError: return "error";
+    case FlightKind::kLinkFail: return "link_fail";
+    case FlightKind::kLinkRepair: return "link_repair";
+    case FlightKind::kDegrade: return "degrade";
+    case FlightKind::kReprotect: return "reprotect";
+    case FlightKind::kFrameError: return "frame_error";
+    case FlightKind::kAuditSample: return "audit_sample";
+    case FlightKind::kRpcSpan: return "rpc_span";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+#ifndef DRTP_OBS_DISABLED
+
+void FlightRecorder::Record(FlightKind kind, std::int64_t a0, std::int64_t a1,
+                            std::int64_t a2, std::int64_t a3, std::int64_t a4,
+                            std::int64_t a5) {
+  Ring& ring = ThisThreadRing();
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  auto& slot = ring.slots[h % kFlightRingSlots];
+  // Odd generation marks the slot in-flight so a concurrent dump skips it
+  // rather than reading a mix of the old and new event.
+  const std::uint64_t gen = slot[0].load(std::memory_order_relaxed);
+  slot[0].store(gen + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot[1].store(static_cast<std::uint64_t>(kind), std::memory_order_relaxed);
+  slot[2].store(static_cast<std::uint64_t>(MonotonicClock::Instance().NowNs()),
+                std::memory_order_relaxed);
+  const std::int64_t args[kFlightArgs] = {a0, a1, a2, a3, a4, a5};
+  for (int a = 0; a < kFlightArgs; ++a) {
+    slot[3 + static_cast<std::size_t>(a)].store(
+        static_cast<std::uint64_t>(args[a]), std::memory_order_relaxed);
+  }
+  slot[0].store(gen + 2, std::memory_order_release);
+  ring.head.store(h + 1, std::memory_order_relaxed);
+}
+
+#endif  // DRTP_OBS_DISABLED
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  GlobalState& g = State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  for (const auto& ring : g.rings) {
+    for (const auto& slot : ring->slots) {
+      FlightEvent ev;
+      if (ReadSlot(slot, ev)) events.push_back(ev);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.t_ns < b.t_ns;
+                   });
+  return events;
+}
+
+void FlightRecorder::Dump(std::ostream& os, std::string_view reason) const {
+  const std::vector<FlightEvent> events = Snapshot();
+  std::size_t rings = 0;
+  {
+    GlobalState& g = State();
+    std::lock_guard<std::mutex> lk(g.mu);
+    rings = g.rings.size();
+  }
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String(kTraceSchema);
+    w.Key("ev").String("flight_dump");
+    w.Key("reason").String(reason);
+    w.Key("events").Int(static_cast<std::int64_t>(events.size()));
+    w.Key("rings").Int(static_cast<std::int64_t>(rings));
+    w.Key("recorded").Int(total_recorded());
+    w.EndObject();
+    os << w.str() << '\n';
+  }
+  std::string ev_name;
+  for (const FlightEvent& ev : events) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String(kTraceSchema);
+    w.Key("t_ns").Int(ev.t_ns);
+    ev_name = "fr_";
+    ev_name += FlightKindName(ev.kind);
+    w.Key("ev").String(ev_name);
+    const ArgNames& names = ArgNamesFor(ev.kind);
+    for (int a = 0; a < kFlightArgs; ++a) {
+      if (names[static_cast<std::size_t>(a)] == nullptr) break;
+      w.Key(names[static_cast<std::size_t>(a)]).Int(ev.args[a]);
+    }
+    w.EndObject();
+    os << w.str() << '\n';
+  }
+  os.flush();
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path,
+                                std::string_view reason) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  Dump(os, reason);
+  return os.good();
+}
+
+std::int64_t FlightRecorder::total_recorded() const {
+  GlobalState& g = State();
+  std::lock_guard<std::mutex> lk(g.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : g.rings) {
+    total += ring->head.load(std::memory_order_relaxed);
+  }
+  return static_cast<std::int64_t>(total);
+}
+
+}  // namespace drtp::obs

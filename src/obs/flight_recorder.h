@@ -1,0 +1,108 @@
+// obs::FlightRecorder — always-on post-mortem event ring.
+//
+// A process-wide set of fixed-size per-thread ring buffers holding the
+// most recent structured events (admissions, rejections, link
+// failures/repairs, degrades, frame errors, audit samples, sampled
+// request spans). Recording is lock-free and wait-free for the writer:
+// each thread owns one ring (leased like a metrics shard and parked for
+// reuse on thread exit), so an append is a handful of relaxed atomic
+// stores plus one release store — cheap enough to leave on in
+// production, which is the point: a post-mortem of an audit violation or
+// a crash must not depend on having had `--trace` enabled beforehand.
+//
+// Concurrency model (TSan-clean by construction): every slot word is a
+// std::atomic<uint64> accessed relaxed, and each slot carries a
+// generation word written last (release) by the writer and read first /
+// re-read last (acquire) by the reader — a per-slot seqlock. A dump
+// taken while writers are appending (SIGUSR1 on a loaded daemon) skips
+// the rare slot it caught mid-overwrite instead of emitting torn bytes.
+//
+// Dumps are drtp.trace/1 JSONL: one `flight_dump` header line (reason,
+// ring/event totals), then one line per event, merged across rings and
+// sorted by timestamp. Under -DDRTP_OBS_DISABLED, Record() compiles to a
+// no-op and a dump holds only the header.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drtp::obs {
+
+/// Event vocabulary. Stable dump tokens are "fr_" + lowercase name
+/// (FlightKindName); argument meaning is per-kind (see flight_recorder.cc
+/// DumpEvent for the field names each kind serializes).
+enum class FlightKind : std::uint8_t {
+  kAdmit,        ///< conn, hops, protected(0/1)
+  kBlock,        ///< conn
+  kRelease,      ///< conn, active-after
+  kError,        ///< rpc error answered: request id, taxonomy index
+  kLinkFail,     ///< link, recovered, dropped, backups_lost
+  kLinkRepair,   ///< link
+  kDegrade,      ///< conn lost its backup and now runs unprotected
+  kReprotect,    ///< conn re-registered a backup
+  kFrameError,   ///< framing violation / torn frame: client id, torn(0/1)
+  kAuditSample,  ///< checks, violations (cumulative at sample time)
+  kRpcSpan,      ///< sampled request: seq, method, decode/reorder/engine/
+                 ///< respond stage latencies (ns)
+};
+
+inline constexpr int kNumFlightKinds =
+    static_cast<int>(FlightKind::kRpcSpan) + 1;
+
+/// Stable lowercase dump token ("fr_admit", "fr_rpc_span", ...).
+std::string_view FlightKindName(FlightKind kind);
+
+/// Slots per thread ring. 4096 events × 80 B ≈ 320 KiB per thread — a
+/// few seconds of a loaded daemon's recent history per pipeline thread,
+/// bounded regardless of uptime.
+inline constexpr std::size_t kFlightRingSlots = 4096;
+
+/// Number of per-event int64 arguments.
+inline constexpr int kFlightArgs = 6;
+
+/// One decoded event (Snapshot / dump order: ascending t_ns).
+struct FlightEvent {
+  FlightKind kind = FlightKind::kAdmit;
+  std::int64_t t_ns = 0;  ///< steady-clock stamp taken by Record()
+  std::int64_t args[kFlightArgs] = {};
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Appends one event to the calling thread's ring, overwriting the
+  /// oldest once full. Lock-free; safe from any thread.
+#ifdef DRTP_OBS_DISABLED
+  void Record(FlightKind, std::int64_t = 0, std::int64_t = 0,
+              std::int64_t = 0, std::int64_t = 0, std::int64_t = 0,
+              std::int64_t = 0) {}
+#else
+  void Record(FlightKind kind, std::int64_t a0 = 0, std::int64_t a1 = 0,
+              std::int64_t a2 = 0, std::int64_t a3 = 0, std::int64_t a4 = 0,
+              std::int64_t a5 = 0);
+#endif
+
+  /// Every retained event, merged across rings, sorted by t_ns. Safe
+  /// concurrently with writers: slots caught mid-overwrite are skipped.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// drtp.trace/1 JSONL dump: one `flight_dump` header line carrying
+  /// `reason`, then one line per Snapshot() event.
+  void Dump(std::ostream& os, std::string_view reason) const;
+
+  /// Dump to a file (truncating). False when the file cannot be written.
+  bool DumpToFile(const std::string& path, std::string_view reason) const;
+
+  /// Total events ever recorded (monotone; exceeds retained once rings
+  /// wrap).
+  std::int64_t total_recorded() const;
+
+ private:
+  FlightRecorder() = default;
+};
+
+}  // namespace drtp::obs

@@ -240,6 +240,34 @@ Histogram GetTimingHistogram(std::string_view name) {
   return Registry::Global().GetTimingHistogram(name);
 }
 
+double InterpolateQuantile(const std::int64_t* buckets, int num_buckets,
+                           double q) {
+  DRTP_CHECK(q > 0.0 && q <= 1.0);
+  std::int64_t count = 0;
+  for (int b = 0; b < num_buckets; ++b) count += buckets[b];
+  if (count == 0) return 0.0;
+  const double rank = q * static_cast<double>(count);
+  double acc = 0.0;
+  for (int b = 0; b < num_buckets; ++b) {
+    const std::int64_t n = buckets[b];
+    if (n == 0) continue;
+    const double next = acc + static_cast<double>(n);
+    if (rank <= next || b == num_buckets - 1) {
+      if (b == 0) return 0.0;
+      const double frac =
+          std::clamp((rank - acc) / static_cast<double>(n), 0.0, 1.0);
+      // Bucket b spans [2^(b-1), 2^b); log-uniform within the octave.
+      return std::ldexp(std::exp2(frac), b - 1);
+    }
+    acc = next;
+  }
+  return 0.0;
+}
+
+double MetricsSnapshot::HistogramData::InterpolatedQuantile(double q) const {
+  return InterpolateQuantile(buckets.data(), kHistogramBuckets, q);
+}
+
 std::int64_t MetricsSnapshot::HistogramData::ValueAtQuantile(double q) const {
   DRTP_CHECK(q > 0.0 && q <= 1.0);
   if (count == 0) return 0;

@@ -47,6 +47,16 @@ inline constexpr int kHistogramBuckets = 48;
 /// Value of histogram bucket `b`'s upper edge (inclusive range end).
 std::int64_t HistogramBucketUpperEdge(int b);
 
+/// Quantile estimate over a power-of-two bucket array (layout as above),
+/// interpolated in log space within the bucket holding the quantile rank:
+/// value = 2^(b-1) · 2^frac, i.e. samples are assumed log-uniform inside
+/// their octave. Bucket 0 (v <= 0) estimates 0 and the terminal bucket is
+/// treated as one octave wide. `num_buckets` may be smaller than
+/// kHistogramBuckets (drtpstat reconstructs sparse arrays from JSON).
+/// Returns 0 for an empty array; q must be in (0, 1].
+double InterpolateQuantile(const std::int64_t* buckets, int num_buckets,
+                           double q);
+
 namespace detail {
 
 struct alignas(64) HistogramCell {
@@ -127,7 +137,11 @@ struct MetricsSnapshot {
                        : 0.0;
     }
     /// Upper edge of the bucket containing quantile q (0 < q <= 1).
+    /// Coarse but integral — kept for the byte-stable JSON export.
     std::int64_t ValueAtQuantile(double q) const;
+    /// Log-interpolated estimate (see InterpolateQuantile); what human
+    /// readouts (drtpstat, drtpload reports) should use.
+    double InterpolatedQuantile(double q) const;
   };
 
   /// Sorted by name within each section.

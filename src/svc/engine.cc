@@ -1,5 +1,6 @@
 #include "svc/engine.h"
 
+#include <iterator>
 #include <utility>
 
 #include "common/check.h"
@@ -7,6 +8,7 @@
 #include "common/json.h"
 #include "drtp/admission.h"
 #include "drtp/failure.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "sim/paper.h"
 
@@ -28,6 +30,22 @@ struct SvcCounters {
 const SvcCounters& Counters() {
   static const SvcCounters counters;
   return counters;
+}
+
+obs::FlightRecorder& Flight() { return obs::FlightRecorder::Global(); }
+
+/// Stable small index for an error code, for flight-recorder args (the
+/// recorder stores only integers). Order mirrors the taxonomy listing in
+/// rpc.h / docs/DRTPD.md.
+std::int64_t ErrorCodeIndex(std::string_view code) {
+  constexpr std::string_view kCodes[] = {
+      kErrBadFrame,  kErrBadJson,  kErrBadRequest, kErrUnknownMethod,
+      kErrConnExists, kErrNotFound, kErrOutOfRange, kErrDraining,
+  };
+  for (std::size_t i = 0; i < std::size(kCodes); ++i) {
+    if (code == kCodes[i]) return static_cast<std::int64_t>(i);
+  }
+  return -1;
 }
 
 /// Byte-order-independent int fold (explicit little-endian byte walk).
@@ -102,6 +120,7 @@ std::vector<std::string> Engine::ExecuteBatch(
   std::vector<std::string> out;
   out.reserve(batch.size());
   if (batch.empty()) return out;
+  stats_.batch_last = static_cast<std::int64_t>(batch.size());
   // One snapshot per batch: every admission in the batch routes against
   // this advertisement. Failure/repair events inside the batch
   // re-publish immediately (see DoFailLink/DoRepairLink).
@@ -112,6 +131,8 @@ std::vector<std::string> Engine::ExecuteBatch(
     if (!d.ok) {
       ++stats_.errors;
       Counters().errors.Add();
+      Flight().Record(obs::FlightKind::kError, d.id,
+                      ErrorCodeIndex(d.error_code));
       out.push_back(
           RenderErrorResponse(d.id, d.error_code, d.error_detail));
       continue;
@@ -123,6 +144,7 @@ std::vector<std::string> Engine::ExecuteBatch(
   if (auditor_ != nullptr && options_.audit_interval > 0 &&
       stats_.batches % options_.audit_interval == 0) {
     auditor_->Check(net_, t_, "batch_commit", nullptr);
+    AfterAuditCheck();
   }
   return out;
 }
@@ -152,6 +174,7 @@ std::string CountedError(EngineStats& stats, std::int64_t id,
                          std::string_view code, const std::string& detail) {
   ++stats.errors;
   Counters().errors.Add();
+  Flight().Record(obs::FlightKind::kError, id, ErrorCodeIndex(code));
   return RenderErrorResponse(id, code, detail);
 }
 
@@ -186,6 +209,8 @@ std::string Engine::DoAdmit(const Request& req) {
   if (out.admitted) {
     ++stats_.admitted;
     Counters().admits.Add();
+    Flight().Record(obs::FlightKind::kAdmit, req.conn, out.primary->hops(),
+                    out.has_backup() ? 1 : 0);
     w.Key("primary_hops").Int(out.primary->hops());
     w.Key("protected").Bool(out.has_backup());
     w.Key("backup_hops").Int(out.backup.has_value() ? out.backup->hops() : 0);
@@ -194,6 +219,7 @@ std::string Engine::DoAdmit(const Request& req) {
   } else {
     ++stats_.blocked;
     Counters().blocks.Add();
+    Flight().Record(obs::FlightKind::kBlock, req.conn);
   }
   w.EndObject();
   return RenderOkResponse(req.id, w.str());
@@ -211,6 +237,7 @@ std::string Engine::DoRelease(const Request& req) {
   net_.ReleaseConnection(req.conn);
   ++stats_.released;
   Counters().releases.Add();
+  Flight().Record(obs::FlightKind::kRelease, req.conn, net_.ActiveCount());
   JsonWriter w;
   w.BeginObject();
   w.Key("released").Bool(true);
@@ -249,7 +276,31 @@ std::string Engine::DoFailLink(const Request& req) {
   net_.PublishTo(db_, now);
   ++stats_.link_fails;
   Counters().link_fails.Add();
-  if (auditor_ != nullptr) auditor_->Check(net_, now, "link_fail", &report);
+  Flight().Record(obs::FlightKind::kLinkFail, req.link,
+                  static_cast<std::int64_t>(report.recovered.size()),
+                  static_cast<std::int64_t>(report.dropped.size()),
+                  static_cast<std::int64_t>(report.backups_lost.size()));
+  // Per-connection protection transitions: step 4 re-protected some of
+  // the affected connections; the rest now run degraded.
+  for (const ConnId c : report.rerouted) {
+    Flight().Record(obs::FlightKind::kReprotect, c);
+  }
+  for (const ConnId c : report.recovered) {
+    const core::DrConnection* conn = net_.Find(c);
+    if (conn != nullptr && !conn->has_backup()) {
+      Flight().Record(obs::FlightKind::kDegrade, c);
+    }
+  }
+  for (const ConnId c : report.backups_lost) {
+    const core::DrConnection* conn = net_.Find(c);
+    if (conn != nullptr && !conn->has_backup()) {
+      Flight().Record(obs::FlightKind::kDegrade, c);
+    }
+  }
+  if (auditor_ != nullptr) {
+    auditor_->Check(net_, now, "link_fail", &report);
+    AfterAuditCheck();
+  }
   w.Key("changed").Bool(true);
   w.Key("recovered").Int(static_cast<std::int64_t>(report.recovered.size()));
   w.Key("dropped").Int(static_cast<std::int64_t>(report.dropped.size()));
@@ -284,6 +335,7 @@ std::string Engine::DoRepairLink(const Request& req) {
   net_.PublishTo(db_, now);
   ++stats_.link_repairs;
   Counters().link_repairs.Add();
+  Flight().Record(obs::FlightKind::kLinkRepair, req.link);
   w.Key("changed").Bool(true);
   w.EndObject();
   return RenderOkResponse(req.id, w.str());
@@ -314,12 +366,44 @@ std::string Engine::DoStats(const Request& req) {
   w.Key("digest").String(DigestHex(NetworkStateDigest(net_)));
   w.Key("audit_checks").Int(audit_checks());
   w.Key("audit_violations").Int(audit_violations());
+  // PR 8 additions — deterministic for a fixed request sequence, so the
+  // threads=1 vs threads=4 byte-equality contract still holds.
+  w.Key("degraded").Int(DegradedCount());
+  w.Key("batch_last").Int(stats_.batch_last);
+  w.Key("request_log_events").Int(static_cast<std::int64_t>(log_.size()));
+  if (req.metrics) {
+    // Opt-in only: the snapshot holds wall-clock timing histograms and
+    // process-global counters, which are NOT deterministic.
+    w.Key("metrics");
+    obs::Registry::Global().Snapshot().WriteJson(w, /*include_timings=*/true);
+  }
   w.EndObject();
   return RenderOkResponse(req.id, w.str());
 }
 
+std::int64_t Engine::DegradedCount() const {
+  std::int64_t n = 0;
+  for (const auto& [id, conn] : net_.connections()) {
+    if (!conn.has_backup()) ++n;
+  }
+  return n;
+}
+
+void Engine::AfterAuditCheck() {
+  Flight().Record(obs::FlightKind::kAuditSample, audit_checks(),
+                  audit_violations());
+  if (!flight_dumped_ && audit_violations() > 0 &&
+      !options_.flight_dump_path.empty()) {
+    flight_dumped_ = true;
+    Flight().DumpToFile(options_.flight_dump_path, "audit_violation");
+  }
+}
+
 std::int64_t Engine::FinalAudit() {
-  if (auditor_ != nullptr) auditor_->Check(net_, t_, "drain", nullptr);
+  if (auditor_ != nullptr) {
+    auditor_->Check(net_, t_, "drain", nullptr);
+    AfterAuditCheck();
+  }
   return audit_violations();
 }
 

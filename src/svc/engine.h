@@ -58,9 +58,12 @@ struct EngineOptions {
   std::ostream* audit_out = nullptr;
   /// Record a replayable request log (RequestLog()).
   bool keep_request_log = false;
+  /// Where to write an obs::FlightRecorder dump when the auditor reports
+  /// its first violation (post-mortem without --trace). Empty = no dump.
+  std::string flight_dump_path;
 };
 
-/// Cumulative request accounting (all-time, monotone).
+/// Cumulative request accounting (all-time, monotone except batch_last).
 struct EngineStats {
   std::int64_t frames = 0;       ///< decoded frames seen (incl. errors)
   std::int64_t errors = 0;       ///< frames answered with ok=false
@@ -70,6 +73,7 @@ struct EngineStats {
   std::int64_t link_fails = 0;   ///< enacted (link was up)
   std::int64_t link_repairs = 0; ///< enacted (link was down)
   std::int64_t batches = 0;
+  std::int64_t batch_last = 0;   ///< size of the batch being executed
 };
 
 /// Not thread-safe: the pipeline serializes every batch through one
@@ -104,6 +108,8 @@ class Engine {
   const core::DrtpNetwork& network() const { return net_; }
   std::int64_t audit_checks() const;
   std::int64_t audit_violations() const;
+  /// Active connections currently running without any backup.
+  std::int64_t DegradedCount() const;
 
  private:
   std::string Execute(const Request& req);
@@ -115,6 +121,9 @@ class Engine {
   /// Advances virtual time and appends a log event when logging is on.
   Time NextEventTime();
   void LogEvent(sim::ScenarioEvent event);
+  /// Flight-records an audit sample and, on the first violation, dumps
+  /// the recorder to options_.flight_dump_path.
+  void AfterAuditCheck();
 
   EngineOptions options_;
   core::DrtpNetwork net_;
@@ -126,6 +135,7 @@ class Engine {
   /// a well-formed scenario (strictly increasing times).
   Time t_ = 0.0;
   std::vector<sim::ScenarioEvent> log_;
+  bool flight_dumped_ = false;  ///< audit-violation dump fired already
 };
 
 }  // namespace drtp::svc

@@ -3,8 +3,12 @@
 #include <chrono>
 #include <utility>
 
+#include <array>
+#include <string>
+
 #include "common/check.h"
 #include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace drtp::svc {
@@ -16,6 +20,73 @@ obs::Histogram RequestLatency() {
   return h;
 }
 
+/// Per-stage pipeline latency histograms: where a request's time went
+/// between the server reading its frame and its response being written.
+struct StageHists {
+  obs::Histogram decode = obs::GetTimingHistogram("drtp.svc.stage.decode_ns");
+  obs::Histogram reorder =
+      obs::GetTimingHistogram("drtp.svc.stage.reorder_ns");
+  obs::Histogram engine = obs::GetTimingHistogram("drtp.svc.stage.engine_ns");
+  obs::Histogram respond =
+      obs::GetTimingHistogram("drtp.svc.stage.respond_ns");
+};
+
+const StageHists& Stages() {
+  static const StageHists h;
+  return h;
+}
+
+/// Live pipeline occupancy gauges. Zeroed at drain so the post-drain
+/// registry view is deterministic (the threads=1 vs threads=4 equality
+/// contract extends to gauges).
+struct PipelineGauges {
+  obs::Gauge in_depth = obs::GetGauge("drtp.svc.pipeline.in_depth");
+  obs::Gauge reorder_depth =
+      obs::GetGauge("drtp.svc.pipeline.reorder_depth");
+  obs::Gauge inflight = obs::GetGauge("drtp.svc.pipeline.inflight");
+  obs::Gauge batch_last = obs::GetGauge("drtp.svc.pipeline.batch_last");
+};
+
+const PipelineGauges& Gauges() {
+  static const PipelineGauges g;
+  return g;
+}
+
+/// Method slots for the per-method/outcome latency histograms: the five
+/// rpc methods plus one pseudo-method for frames that failed to decode.
+constexpr int kMethodSlots = 6;
+constexpr const char* kMethodNames[kMethodSlots] = {
+    "admit", "release", "fail_link", "repair_link", "stats", "error"};
+
+int MethodIndex(const DecodedRequest& d) {
+  return d.ok ? static_cast<int>(d.request.method) : kMethodSlots - 1;
+}
+
+/// End-to-end latency histogram for one (method, outcome) pair,
+/// e.g. drtp.svc.request_ns.admit.ok.
+obs::Histogram MethodHist(int method_idx, bool ok) {
+  static const auto table = [] {
+    std::array<std::array<obs::Histogram, 2>, kMethodSlots> t;
+    for (int m = 0; m < kMethodSlots; ++m) {
+      for (int o = 0; o < 2; ++o) {
+        t[static_cast<std::size_t>(m)][static_cast<std::size_t>(o)] =
+            obs::GetTimingHistogram(std::string("drtp.svc.request_ns.") +
+                                    kMethodNames[m] +
+                                    (o == 1 ? ".ok" : ".err"));
+      }
+    }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(method_idx)][ok ? 1 : 0];
+}
+
+/// A rendered response's outcome. The raw byte sequence `"ok":true` can
+/// only come from the envelope — inside error details every quote is
+/// JSON-escaped.
+bool ResponseOk(const std::string& response) {
+  return response.find("\"ok\":true") != std::string::npos;
+}
+
 }  // namespace
 
 Pipeline::Pipeline(Engine& engine, PipelineOptions options,
@@ -25,6 +96,7 @@ Pipeline::Pipeline(Engine& engine, PipelineOptions options,
       respond_(std::move(responder)) {
   DRTP_CHECK(options_.threads >= 1);
   DRTP_CHECK(options_.batch_max >= 1);
+  DRTP_CHECK(options_.rpc_sample_shift < 64);
   decoders_.reserve(static_cast<std::size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
     decoders_.emplace_back([this] { DecodeLoop(); });
@@ -44,6 +116,8 @@ std::uint64_t Pipeline::Submit(std::uint64_t client, std::string payload) {
                          .client = client,
                          .payload = std::move(payload),
                          .submit_ns = MonotonicClock::Instance().NowNs()});
+    Gauges().in_depth.Set(static_cast<double>(in_.size()));
+    Gauges().inflight.Set(static_cast<double>(next_seq_ - responded_));
   }
   decode_cv_.notify_one();
   return seq;
@@ -62,6 +136,12 @@ void Pipeline::Drain() {
   engine_thread_.join();
   std::lock_guard<std::mutex> l(mu_);
   drained_ = true;
+  // Occupancy is zero by construction once drained; write it so a
+  // post-drain registry snapshot is deterministic.
+  Gauges().in_depth.Set(0);
+  Gauges().reorder_depth.Set(0);
+  Gauges().inflight.Set(0);
+  Gauges().batch_last.Set(0);
 }
 
 std::uint64_t Pipeline::submitted() const {
@@ -85,11 +165,14 @@ void Pipeline::DecodeLoop() {
       in_.pop_front();
     }
     DecodedRequest decoded = DecodeRequest(item.payload);
+    const std::int64_t decode_done_ns = MonotonicClock::Instance().NowNs();
     {
       std::lock_guard<std::mutex> l(mu_);
-      decoded_.emplace(item.seq, Decoded{.client = item.client,
-                                         .submit_ns = item.submit_ns,
-                                         .request = std::move(decoded)});
+      decoded_.emplace(item.seq,
+                       Decoded{.client = item.client,
+                               .submit_ns = item.submit_ns,
+                               .decode_done_ns = decode_done_ns,
+                               .request = std::move(decoded)});
     }
     engine_cv_.notify_one();
   }
@@ -106,9 +189,14 @@ std::size_t Pipeline::ContiguousLocked() const {
 
 void Pipeline::EngineLoop() {
   const auto batch_max = static_cast<std::size_t>(options_.batch_max);
+  const std::uint64_t sample_mask =
+      options_.rpc_sample_shift >= 0
+          ? (std::uint64_t{1} << options_.rpc_sample_shift) - 1
+          : ~std::uint64_t{0};
   std::vector<DecodedRequest> requests;
   std::vector<std::uint64_t> clients;
-  std::vector<std::int64_t> stamps;
+  std::vector<std::int64_t> submit_stamps;
+  std::vector<std::int64_t> decode_stamps;
   std::unique_lock<std::mutex> l(mu_);
   for (;;) {
     const std::size_t avail = ContiguousLocked();
@@ -131,28 +219,52 @@ void Pipeline::EngineLoop() {
 
     requests.clear();
     clients.clear();
-    stamps.clear();
+    submit_stamps.clear();
+    decode_stamps.clear();
     for (std::size_t i = 0; i < take; ++i) {
       auto it = decoded_.find(engine_seq_);
       requests.push_back(std::move(it->second.request));
       clients.push_back(it->second.client);
-      stamps.push_back(it->second.submit_ns);
+      submit_stamps.push_back(it->second.submit_ns);
+      decode_stamps.push_back(it->second.decode_done_ns);
       decoded_.erase(it);
       ++engine_seq_;
     }
     const std::uint64_t first_seq = engine_seq_ - take;
+    Gauges().reorder_depth.Set(static_cast<double>(decoded_.size()));
+    Gauges().batch_last.Set(static_cast<double>(take));
     l.unlock();
 
+    const std::int64_t dequeue_ns = MonotonicClock::Instance().NowNs();
     std::vector<std::string> responses = engine_.ExecuteBatch(requests);
     DRTP_CHECK(responses.size() == take);
     const std::int64_t done_ns = MonotonicClock::Instance().NowNs();
     for (std::size_t i = 0; i < take; ++i) {
+      const bool ok = requests[i].ok && ResponseOk(responses[i]);
       respond_(first_seq + i, clients[i], std::move(responses[i]));
-      RequestLatency().Observe(done_ns - stamps[i]);
+      const std::int64_t respond_ns = MonotonicClock::Instance().NowNs();
+      const std::int64_t decode_lat = decode_stamps[i] - submit_stamps[i];
+      const std::int64_t reorder_lat = dequeue_ns - decode_stamps[i];
+      const std::int64_t engine_lat = done_ns - dequeue_ns;
+      const std::int64_t respond_lat = respond_ns - done_ns;
+      RequestLatency().Observe(respond_ns - submit_stamps[i]);
+      Stages().decode.Observe(decode_lat);
+      Stages().reorder.Observe(reorder_lat);
+      Stages().engine.Observe(engine_lat);
+      Stages().respond.Observe(respond_lat);
+      const int method = MethodIndex(requests[i]);
+      MethodHist(method, ok).Observe(respond_ns - submit_stamps[i]);
+      const std::uint64_t seq = first_seq + i;
+      if (options_.rpc_sample_shift >= 0 && (seq & sample_mask) == 0) {
+        obs::FlightRecorder::Global().Record(
+            obs::FlightKind::kRpcSpan, static_cast<std::int64_t>(seq),
+            method, decode_lat, reorder_lat, engine_lat, respond_lat);
+      }
     }
 
     l.lock();
     responded_ += take;
+    Gauges().inflight.Set(static_cast<double>(next_seq_ - responded_));
   }
 }
 

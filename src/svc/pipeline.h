@@ -47,6 +47,11 @@ struct PipelineOptions {
   /// batch, in microseconds. -1 = never: only full batches run, plus one
   /// final partial batch at drain (deterministic mode).
   long linger_us = 500;
+  /// Per-request trace sampling: requests with seq % 2^shift == 0 emit a
+  /// flight-recorder rpc_span event carrying their per-stage latencies
+  /// (0 = every request, -1 = never). Histograms see every request
+  /// regardless; sampling only bounds the flight-recorder volume.
+  int rpc_sample_shift = 6;
 };
 
 /// Owns the worker threads. Submit is single-producer (the server's poll
@@ -86,6 +91,7 @@ class Pipeline {
   struct Decoded {
     std::uint64_t client = 0;
     std::int64_t submit_ns = 0;
+    std::int64_t decode_done_ns = 0;
     DecodedRequest request;
   };
 

@@ -91,6 +91,8 @@ DecodedRequest DecodeRequest(std::string_view payload) {
       req.link = RequireId32(params, "link");
     } else if (name == "stats") {
       req.method = Method::kStats;
+      const JsonValue* metrics = params.Find("metrics");
+      if (metrics != nullptr) req.metrics = metrics->AsBool();
     } else {
       out.error_code = kErrUnknownMethod;
       out.error_detail = "unknown method '" + name + "'";

@@ -45,7 +45,7 @@ enum class Method {
 
 /// A validated request. Only the fields of the named method are
 /// meaningful (admit: conn/src/dst/bw; release: conn; fail/repair: link;
-/// stats: none).
+/// stats: optional `metrics` flag).
 struct Request {
   std::int64_t id = -1;
   Method method = Method::kStats;
@@ -54,6 +54,11 @@ struct Request {
   NodeId dst = kInvalidNode;
   Bandwidth bw = 0;
   LinkId link = kInvalidLink;
+  /// stats: also attach the obs metrics-registry snapshot (including
+  /// timing histograms) to the result. Off by default — the snapshot
+  /// holds wall-clock content, and the default stats response must stay
+  /// byte-deterministic for the replay/threads-equality contracts.
+  bool metrics = false;
 };
 
 /// Outcome of decoding one frame payload. Exactly one of `ok` /

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "svc/wire.h"
 
@@ -27,6 +28,10 @@ const ServerCounters& Counters() {
   static const ServerCounters counters;
   return counters;
 }
+
+// Self-pipe bytes: Run() multiplexes shutdown and user events on one fd.
+constexpr char kWakeShutdown = 1;
+constexpr char kWakeUserEvent = 2;
 
 }  // namespace
 
@@ -68,9 +73,16 @@ bool Server::Start(std::string* error) {
 
 void Server::Shutdown() {
   // One byte on the self-pipe; write() is async-signal-safe and extra
-  // bytes are harmless (Run only reads the pipe to terminate).
+  // bytes are harmless (a shutdown byte wins over any queued user event).
   if (wake_w_.valid()) {
-    const char b = 1;
+    const char b = kWakeShutdown;
+    [[maybe_unused]] const auto n = ::write(wake_w_.get(), &b, 1);
+  }
+}
+
+void Server::TriggerUserEvent() {
+  if (wake_w_.valid()) {
+    const char b = kWakeUserEvent;
     [[maybe_unused]] const auto n = ::write(wake_w_.get(), &b, 1);
   }
 }
@@ -110,6 +122,9 @@ void Server::HandleReadable(std::uint64_t id,
   if (r <= 0) {
     if (r == 0 && c->reader.pending_bytes() > 0) {
       Counters().torn_frames.Add();
+      obs::FlightRecorder::Global().Record(
+          obs::FlightKind::kFrameError, static_cast<std::int64_t>(id),
+          /*torn=*/1);
       DRTP_LOG_WARN << "client " << id << " closed mid-frame ("
                     << c->reader.pending_bytes() << " bytes pending)";
     }
@@ -125,6 +140,9 @@ void Server::HandleReadable(std::uint64_t id,
     // Framing violation: answer once (id -1 — no request id exists at
     // the framing layer), then drop the connection.
     Counters().bad_frames.Add();
+    obs::FlightRecorder::Global().Record(
+        obs::FlightKind::kFrameError, static_cast<std::int64_t>(id),
+        /*torn=*/0);
     DRTP_LOG_WARN << "client " << id
                   << " framing violation: " << c->reader.error();
     SendToClient(c, RenderErrorResponse(-1, kErrBadFrame,
@@ -160,8 +178,21 @@ void Server::Run() {
       break;
     }
     if ((pfds[0].revents & POLLIN) != 0) {
-      running = false;  // drain below; already-read frames still answer
-      continue;
+      // Drain the self-pipe and classify: any shutdown byte stops the
+      // server; user-event bytes coalesce into one callback per wake.
+      char wake[64];
+      const auto nread = ::read(wake_r_.get(), wake, sizeof wake);
+      bool stop = false;
+      bool user_event = false;
+      for (long i = 0; i < nread; ++i) {
+        if (wake[i] == kWakeShutdown) stop = true;
+        if (wake[i] == kWakeUserEvent) user_event = true;
+      }
+      if (stop || nread <= 0) {
+        running = false;  // drain below; already-read frames still answer
+        continue;
+      }
+      if (user_event && options_.on_user_signal) options_.on_user_signal();
     }
     if ((pfds[1].revents & POLLIN) != 0) {
       UniqueFd conn(::accept(listen_.get(), nullptr, nullptr));

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,9 @@ namespace drtp::svc {
 struct ServerOptions {
   std::string socket_path;
   PipelineOptions pipeline;
+  /// Invoked on the poll thread after TriggerUserEvent() (e.g. a SIGUSR1
+  /// handler requesting a flight-recorder dump). Serving continues.
+  std::function<void()> on_user_signal;
 };
 
 class Server {
@@ -53,6 +57,10 @@ class Server {
 
   /// Requests Run() to stop and drain. Async-signal-safe; idempotent.
   void Shutdown();
+
+  /// Requests one on_user_signal callback on the poll thread, without
+  /// stopping the server. Async-signal-safe.
+  void TriggerUserEvent();
 
   std::int64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);

@@ -7,14 +7,19 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/json.h"
+#include "common/json_value.h"
 #include "net/generators.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -134,6 +139,73 @@ TEST(Metrics, HistogramQuantiles) {
   EXPECT_EQ(it->ValueAtQuantile(0.5), 1);
   EXPECT_EQ(it->ValueAtQuantile(0.99), 1023);
   EXPECT_DOUBLE_EQ(it->Mean(), (90.0 * 1 + 10.0 * 1000) / 100.0);
+}
+
+TEST(Metrics, InterpolateQuantileEmptyAndZeroBuckets) {
+  std::array<std::int64_t, kHistogramBuckets> buckets{};
+  // Empty array -> 0 at every quantile.
+  EXPECT_EQ(InterpolateQuantile(buckets.data(), kHistogramBuckets, 0.5), 0.0);
+  // All mass in bucket 0 (v <= 0) estimates 0.
+  buckets[0] = 100;
+  EXPECT_EQ(InterpolateQuantile(buckets.data(), kHistogramBuckets, 0.99),
+            0.0);
+}
+
+TEST(Metrics, InterpolateQuantileStaysInsideItsOctave) {
+  // All mass in bucket 10 = [512, 1024): every quantile estimate must
+  // land inside that octave, rising monotonically with q up to the
+  // bucket's upper edge at q -> 1.
+  std::array<std::int64_t, kHistogramBuckets> buckets{};
+  buckets[10] = 1000;
+  double prev = 0.0;
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double v = InterpolateQuantile(buckets.data(), kHistogramBuckets, q);
+    EXPECT_GE(v, 512.0) << "q=" << q;
+    EXPECT_LE(v, 1024.0) << "q=" << q;
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(
+      InterpolateQuantile(buckets.data(), kHistogramBuckets, 1.0), 1024.0);
+  // Exact midpoint: frac = 0.5 -> 2^9 * 2^0.5.
+  EXPECT_NEAR(InterpolateQuantile(buckets.data(), kHistogramBuckets, 0.5),
+              512.0 * std::exp2(0.5), 1e-9);
+}
+
+TEST(Metrics, InterpolateQuantileBimodalSplit) {
+  // 90 samples of ~1 (bucket 1), 10 of ~1000 (bucket 10): p50 must read
+  // from the low octave [1,2], p99 from [512,1024] — the coarse
+  // ValueAtQuantile agreement the log interpolation refines.
+  std::array<std::int64_t, kHistogramBuckets> buckets{};
+  buckets[1] = 90;
+  buckets[10] = 10;
+  const double p50 =
+      InterpolateQuantile(buckets.data(), kHistogramBuckets, 0.50);
+  const double p99 =
+      InterpolateQuantile(buckets.data(), kHistogramBuckets, 0.99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(Metrics, InterpolatedQuantileMatchesFreeFunction) {
+  const Histogram h = GetHistogram("test.obs.hist_interp");
+  for (int i = 0; i < 50; ++i) h.Observe(100);
+  for (int i = 0; i < 50; ++i) h.Observe(100000);
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  const auto it = std::find_if(
+      snap.histograms.begin(), snap.histograms.end(),
+      [](const auto& hd) { return hd.name == "test.obs.hist_interp"; });
+  ASSERT_NE(it, snap.histograms.end());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(it->InterpolatedQuantile(q),
+                     InterpolateQuantile(it->buckets.data(),
+                                         kHistogramBuckets, q));
+  }
+  if (kObsOn) {
+    EXPECT_GT(it->InterpolatedQuantile(0.99), it->InterpolatedQuantile(0.5));
+  }
 }
 
 TEST(Metrics, GaugeLastWriteWins) {
@@ -342,6 +414,174 @@ std::string SweepTrace(const runner::SweepSpec& spec, int jobs) {
   ro.trace = &sink;
   engine.Run(ro);
   return os.str();
+}
+
+// ---- flight recorder --------------------------------------------------
+//
+// The recorder is process-global and other tests (and, in the daemon,
+// other subsystems) write into it; every assertion filters on a marker
+// argument value no other writer uses.
+
+/// Splits a dump into its lines and parses each as JSON (throws on any
+/// torn line — the seqlock must never emit one).
+std::vector<JsonValue> ParseDumpLines(const std::string& dump) {
+  std::vector<JsonValue> out;
+  std::istringstream is(dump);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) out.push_back(ParseJson(line));
+  }
+  return out;
+}
+
+TEST(FlightRecorderTest, DumpIsSchemaVersionedJsonl) {
+  constexpr std::int64_t kMarker = 0x5EED0001;
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Record(FlightKind::kAdmit, kMarker, 4, 1);
+  fr.Record(FlightKind::kLinkFail, kMarker, 2, 1, 1);
+  fr.Record(FlightKind::kRpcSpan, kMarker, 0, 1000, 2000, 3000, 4000);
+
+  std::ostringstream os;
+  fr.Dump(os, "unit_test");
+  const std::vector<JsonValue> lines = ParseDumpLines(os.str());
+  ASSERT_GE(lines.size(), 1u);
+
+  // Header first: schema + reason + totals consistent with the body.
+  const JsonValue& header = lines[0];
+  EXPECT_EQ(header.Find("schema")->AsString(), "drtp.trace/1");
+  EXPECT_EQ(header.Find("ev")->AsString(), "flight_dump");
+  EXPECT_EQ(header.Find("reason")->AsString(), "unit_test");
+  EXPECT_EQ(header.Find("events")->AsInt64(),
+            static_cast<std::int64_t>(lines.size()) - 1);
+
+  bool saw_admit = false, saw_fail = false, saw_span = false;
+  std::int64_t prev_t = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue& ev = lines[i];
+    EXPECT_EQ(ev.Find("schema")->AsString(), "drtp.trace/1");
+    const std::int64_t t = ev.Find("t_ns")->AsInt64();
+    EXPECT_GE(t, prev_t) << "dump not sorted by t_ns";
+    prev_t = t;
+    const std::string& name = ev.Find("ev")->AsString();
+    const JsonValue* conn = ev.Find("conn");
+    const JsonValue* link = ev.Find("link");
+    const JsonValue* seq = ev.Find("seq");
+    if (name == "fr_admit" && conn != nullptr &&
+        conn->AsInt64() == kMarker) {
+      saw_admit = true;
+      EXPECT_EQ(ev.Find("hops")->AsInt64(), 4);
+      EXPECT_EQ(ev.Find("protected")->AsInt64(), 1);
+    } else if (name == "fr_link_fail" && link != nullptr &&
+               link->AsInt64() == kMarker) {
+      saw_fail = true;
+      EXPECT_EQ(ev.Find("recovered")->AsInt64(), 2);
+      EXPECT_EQ(ev.Find("dropped")->AsInt64(), 1);
+      EXPECT_EQ(ev.Find("backups_lost")->AsInt64(), 1);
+    } else if (name == "fr_rpc_span" && seq != nullptr &&
+               seq->AsInt64() == kMarker) {
+      saw_span = true;
+      EXPECT_EQ(ev.Find("decode_ns")->AsInt64(), 1000);
+      EXPECT_EQ(ev.Find("reorder_ns")->AsInt64(), 2000);
+      EXPECT_EQ(ev.Find("engine_ns")->AsInt64(), 3000);
+      EXPECT_EQ(ev.Find("respond_ns")->AsInt64(), 4000);
+    }
+  }
+  EXPECT_EQ(saw_admit, kObsOn);
+  EXPECT_EQ(saw_fail, kObsOn);
+  EXPECT_EQ(saw_span, kObsOn);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingMostRecent) {
+  constexpr std::int64_t kMarker = 0x5EED0002;
+  constexpr std::int64_t kExtra = 100;
+  const auto total = static_cast<std::int64_t>(kFlightRingSlots) + kExtra;
+  FlightRecorder& fr = FlightRecorder::Global();
+  const std::int64_t recorded_before = fr.total_recorded();
+  for (std::int64_t i = 0; i < total; ++i) {
+    fr.Record(FlightKind::kRelease, i, kMarker);
+  }
+  std::vector<std::int64_t> mine;
+  for (const FlightEvent& ev : fr.Snapshot()) {
+    if (ev.kind == FlightKind::kRelease && ev.args[1] == kMarker) {
+      mine.push_back(ev.args[0]);
+    }
+  }
+  if (!kObsOn) {
+    EXPECT_TRUE(mine.empty());
+    EXPECT_EQ(fr.total_recorded(), recorded_before);
+    return;
+  }
+  // This thread's ring was fully overwritten by the marker events, so it
+  // retains exactly the last kFlightRingSlots of them: [kExtra, total).
+  ASSERT_EQ(mine.size(), kFlightRingSlots);
+  EXPECT_EQ(*std::min_element(mine.begin(), mine.end()), kExtra);
+  EXPECT_EQ(*std::max_element(mine.begin(), mine.end()), total - 1);
+  EXPECT_EQ(fr.total_recorded() - recorded_before, total);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearADump) {
+  // Writers wrap their rings while a reader dumps continuously; TSan (CI
+  // tsan job) checks the seqlock discipline, the assertions below check
+  // no torn event is ever emitted: every marker event must carry the
+  // writer's self-consistent argument tuple (a2 == a0 ^ a1).
+  constexpr std::int64_t kMarker = 0x5EED0003;
+  constexpr int kWriters = 4;
+  constexpr std::int64_t kPerWriter =
+      static_cast<std::int64_t>(kFlightRingSlots) * 2;
+  FlightRecorder& fr = FlightRecorder::Global();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> dumps{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      std::ostringstream os;
+      fr.Dump(os, "race");
+      for (const JsonValue& line : ParseDumpLines(os.str())) {
+        const JsonValue* seq = line.Find("seq");
+        if (line.Find("ev")->AsString() == "fr_rpc_span" && seq != nullptr &&
+            seq->AsInt64() == kMarker) {
+          EXPECT_EQ(line.Find("engine_ns")->AsInt64(),
+                    line.Find("decode_ns")->AsInt64() ^
+                        line.Find("reorder_ns")->AsInt64());
+        }
+      }
+      dumps.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&fr, t] {
+      for (std::int64_t i = 0; i < kPerWriter; ++i) {
+        fr.Record(FlightKind::kRpcSpan, kMarker, t, i, t * 1000000 + i,
+                  i ^ (t * 1000000 + i), 0);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_GE(dumps.load(), 1);
+
+  // Quiescent snapshot: each surviving marker event is self-consistent
+  // (a3 == a1*1e6 + a2, a4 == a2 ^ a3).
+  std::int64_t seen = 0;
+  for (const FlightEvent& ev : fr.Snapshot()) {
+    if (ev.kind != FlightKind::kRpcSpan || ev.args[0] != kMarker) continue;
+    ++seen;
+    ASSERT_EQ(ev.args[3], ev.args[1] * 1000000 + ev.args[2]);
+    ASSERT_EQ(ev.args[4], ev.args[2] ^ ev.args[3]);
+  }
+  if (kObsOn) {
+    // Each writer's ring retains its most recent kFlightRingSlots events
+    // (reused rings may briefly hold fewer of ours — a parked ring can be
+    // picked up by a later writer — but at least one full ring survives).
+    EXPECT_GE(seen, static_cast<std::int64_t>(kFlightRingSlots));
+    EXPECT_LE(seen,
+              static_cast<std::int64_t>(kFlightRingSlots) * kWriters);
+  } else {
+    EXPECT_EQ(seen, 0);
+  }
 }
 
 TEST(TraceGolden, SingleCellByteStableAcrossJobs) {

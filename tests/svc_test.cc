@@ -19,6 +19,7 @@
 #include "common/log.h"
 #include "common/socket.h"
 #include "net/generators.h"
+#include "obs/metrics.h"
 #include "sim/experiment.h"
 #include "sim/paper.h"
 #include "sim/scenario.h"
@@ -332,6 +333,70 @@ TEST_F(EngineTest, StatsReportStateAndDigest) {
       << "digest must reflect table/ledger changes";
 }
 
+TEST_F(EngineTest, StatsFieldOrderIsPinned) {
+  // The default stats result is part of the deterministic wire contract
+  // (threads=1 vs threads=4 byte-equality, drtpload's report): its field
+  // order is pinned. New fields append; nothing reorders.
+  Engine engine(topo_, EngineOptions{});
+  ASSERT_TRUE(Get(Run1(engine, AdmitPayload(1, 1, 0, 5, Mbps(1))), "ok")
+                  .AsBool());
+  const DecodedRequest d = DecodeRequest(StatsPayload(2));
+  const std::vector<std::string> out = engine.ExecuteBatch({&d, 1});
+  ASSERT_EQ(out.size(), 1u);
+  const std::string& raw = out[0];
+
+  const char* const kOrder[] = {
+      "nodes",        "links",      "active",           "frames",
+      "errors",       "admitted",   "blocked",          "released",
+      "link_fails",   "link_repairs", "batches",        "prime_kbps",
+      "spare_kbps",   "overbooked_links", "pbk_hits",   "pbk_trials",
+      "pbk",          "digest",     "audit_checks",     "audit_violations",
+      "degraded",     "batch_last", "request_log_events"};
+  std::size_t pos = 0;
+  for (const char* key : kOrder) {
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = raw.find(needle, pos);
+    ASSERT_NE(at, std::string::npos)
+        << "stats field '" << key << "' missing or out of order in " << raw;
+    pos = at + needle.size();
+  }
+  // The default response must NOT carry the wall-clock metrics snapshot.
+  EXPECT_EQ(raw.find("\"metrics\""), std::string::npos);
+}
+
+TEST_F(EngineTest, StatsMetricsOptInAttachesRegistrySnapshot) {
+  Engine engine(topo_, EngineOptions{});
+  const std::string payload = [] {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String(svc::kRpcSchema);
+    w.Key("id").Int(1);
+    w.Key("method").String("stats");
+    w.Key("params").BeginObject();
+    w.Key("metrics").Bool(true);
+    w.EndObject();
+    w.EndObject();
+    return w.str();
+  }();
+  const JsonValue resp = Run1(engine, payload);
+  ASSERT_TRUE(Get(resp, "ok").AsBool());
+  const JsonValue& metrics = Get(Get(resp, "result"), "metrics");
+  EXPECT_EQ(Get(metrics, "schema").AsString(), "drtp.metrics/1");
+  EXPECT_TRUE(Get(metrics, "counters").is_object());
+  EXPECT_TRUE(Get(metrics, "gauges").is_object());
+  EXPECT_TRUE(Get(metrics, "histograms").is_array());
+}
+
+TEST_F(EngineTest, DegradedCountTracksBackupLoss) {
+  Engine engine(topo_, EngineOptions{});
+  ASSERT_TRUE(Get(Run1(engine, AdmitPayload(1, 1, 0, 5, Mbps(1))), "ok")
+                  .AsBool());
+  EXPECT_EQ(engine.DegradedCount(), 0);
+  const JsonValue stats = Run1(engine, StatsPayload(2));
+  EXPECT_EQ(Get(Get(stats, "result"), "degraded").AsInt64(), 0);
+  EXPECT_EQ(Get(Get(stats, "result"), "batch_last").AsInt64(), 1);
+}
+
 TEST_F(EngineTest, BatchedAdmissionsShareOneSnapshot) {
   // A whole batch admits against the snapshot taken at batch start; the
   // responses must be ok and the table must hold every admission.
@@ -435,6 +500,47 @@ TEST(PipelineTest, ResponsesAreByteIdenticalAcrossThreadCounts) {
   for (std::size_t i = 0; i < single.size(); ++i) {
     EXPECT_EQ(single[i], pooled[i]) << "response " << i << " diverged";
   }
+}
+
+TEST(PipelineTest, StatsGaugesAndDigestIdenticalAcrossThreadCountsAfterDrain) {
+  // The acceptance contract: a drained daemon's stats response —
+  // including every engine gauge (active/degraded/batch_last/request-log
+  // size) and the state digest — must be byte-identical between a
+  // single-decoder and a 4-decoder pipeline, and the obs pipeline
+  // occupancy gauges must read the same (drain zeroes them) so even the
+  // opt-in metrics view of gauges converges.
+  const net::Topology topo = net::MakeWaxman(
+      net::WaxmanConfig{.nodes = 30, .avg_degree = 4.0, .seed = 9});
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 40; ++i) {
+    payloads.push_back(
+        AdmitPayload(i, i, (7 * i) % 30, (7 * i + 13) % 30, Mbps(1)));
+  }
+  payloads.push_back(LinkPayload(40, "fail-link", 3));
+  payloads.push_back(StatsPayload(41));  // the drained final view
+
+  const auto pipeline_gauges = [] {
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto& [name, value] : obs::Registry::Global().Snapshot().gauges) {
+      if (name.rfind("drtp.svc.pipeline.", 0) == 0) out.emplace_back(name, value);
+    }
+    return out;
+  };
+
+  const std::vector<std::string> single = RunPipeline(topo, payloads, 1);
+  const auto gauges_single = pipeline_gauges();
+  const std::vector<std::string> pooled = RunPipeline(topo, payloads, 4);
+  const auto gauges_pooled = pipeline_gauges();
+
+  ASSERT_EQ(single.size(), pooled.size());
+  EXPECT_EQ(single.back(), pooled.back()) << "final stats response diverged";
+  // The stats response really is the one carrying the digest + gauges.
+  const JsonValue stats = ParseJson(single.back());
+  const JsonValue& result = Get(stats, "result");
+  EXPECT_FALSE(Get(result, "digest").AsString().empty());
+  EXPECT_GE(Get(result, "degraded").AsInt64(), 0);
+  EXPECT_EQ(gauges_single, gauges_pooled)
+      << "post-drain pipeline occupancy gauges diverged across thread counts";
 }
 
 TEST(PipelineTest, DrainAnswersEverySubmittedFrame) {

@@ -1,9 +1,11 @@
 #!/bin/sh
 # End-to-end daemon smoke: start drtpd on a Waxman topology, drive it with
-# a seeded closed-loop drtpload run, assert nonzero admissions and a clean
-# audit, then SIGTERM and require a graceful drain (exit 0).
+# a seeded closed-loop drtpload run while polling the stats RPC with
+# drtpstat, SIGUSR1-trigger a flight-recorder dump and schema-validate it,
+# assert nonzero admissions and a clean audit, then SIGTERM and require a
+# graceful drain (exit 0).
 #
-#   daemon_smoke.sh <drtpsim> <drtpd> <drtpload> <workdir> [bench-out]
+#   daemon_smoke.sh <drtpsim> <drtpd> <drtpload> <workdir> [bench-out] [drtpstat]
 #
 # Used both as a ctest (tools/CMakeLists.txt) and by the CI daemon-smoke
 # job, which additionally uploads the drtpload report as an artifact.
@@ -14,17 +16,20 @@ DRTPD=$2
 DRTPLOAD=$3
 WORK=$4
 BENCH_OUT=${5:-"$WORK/bench_drtpd.json"}
+DRTPSTAT=${6:-}
 
 mkdir -p "$WORK"
 SOCK="$WORK/drtpd.sock"
 TOPO="$WORK/smoke60.topo"
-rm -f "$SOCK"
+FLIGHT="$WORK/flight.jsonl"
+rm -f "$SOCK" "$FLIGHT"
 
 "$DRTPSIM" topo --kind=waxman --nodes=60 --degree=4 --seed=11 --out="$TOPO"
 
 "$DRTPD" --socket="$SOCK" --topo="$TOPO" --scheme=D-LSR \
   --threads=2 --batch=64 --audit-interval=4 \
-  --audit-out="$WORK/drtpd.audit.jsonl" &
+  --audit-out="$WORK/drtpd.audit.jsonl" \
+  --flight-dump="$FLIGHT" &
 DPID=$!
 trap 'kill "$DPID" 2>/dev/null || true' EXIT
 
@@ -39,8 +44,26 @@ while [ ! -S "$SOCK" ]; do
   sleep 0.1
 done
 
+# Poll the stats RPC *while* the load below is running: the poller runs
+# in the background, taking snapshots until the load finishes.
+if [ -n "$DRTPSTAT" ]; then
+  "$DRTPSTAT" --socket="$SOCK" --count=20 --interval=0.25 \
+    > "$WORK/drtpstat.out" &
+  STATPID=$!
+fi
+
 "$DRTPLOAD" --socket="$SOCK" --mode=closed --workers=4 \
   --lambda=0.5 --duration=600 --seed=11 --out="$BENCH_OUT"
+
+if [ -n "$DRTPSTAT" ]; then
+  if ! wait "$STATPID"; then
+    echo "daemon_smoke: drtpstat poller failed" >&2
+    exit 1
+  fi
+  # The live table must have rendered the per-stage quantile columns.
+  grep -q "p99 us" "$WORK/drtpstat.out"
+  grep -q "^engine " "$WORK/drtpstat.out"
+fi
 
 # The report must show actual admissions and a violation-free audit.
 python3 - "$BENCH_OUT" <<'EOF'
@@ -57,6 +80,54 @@ print(f"daemon_smoke: {r['totals']['admitted']} admitted, "
       f"{r['throughput']['admissions_per_s']:.0f} admissions/s, "
       f"P_bk={r['daemon']['pbk']:.3f}")
 EOF
+
+# SIGUSR1 must produce a flight-recorder dump without disturbing serving.
+kill -USR1 "$DPID"
+i=0
+while [ ! -s "$FLIGHT" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "daemon_smoke: flight dump never appeared" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+sleep 0.3  # let the dump finish writing
+
+# Schema-validate the dump: drtp.trace/1 JSONL, flight_dump header first
+# (reason sigusr1), every event line an fr_* kind, body size matching the
+# header's event count, and at least one recorded admission.
+python3 - "$FLIGHT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert lines, "empty flight dump"
+head = lines[0]
+assert head["schema"] == "drtp.trace/1", head
+assert head["ev"] == "flight_dump", head
+assert head["reason"] == "sigusr1", head
+body = lines[1:]
+assert head["events"] == len(body), (head["events"], len(body))
+kinds = set()
+prev_t = None
+for ev in body:
+    assert ev["schema"] == "drtp.trace/1", ev
+    assert ev["ev"].startswith("fr_"), ev
+    if prev_t is not None:
+        assert ev["t_ns"] >= prev_t, "dump not sorted by t_ns"
+    prev_t = ev["t_ns"]
+    kinds.add(ev["ev"])
+assert "fr_admit" in kinds, f"no admissions recorded: {sorted(kinds)}"
+assert "fr_rpc_span" in kinds, f"no sampled spans: {sorted(kinds)}"
+print(f"daemon_smoke: flight dump OK ({len(body)} events, "
+      f"{len(kinds)} kinds)")
+EOF
+
+# The daemon must still be serving after the dump.
+if ! kill -0 "$DPID" 2>/dev/null; then
+  echo "daemon_smoke: daemon died after SIGUSR1 dump" >&2
+  exit 1
+fi
 
 # Graceful drain: SIGTERM must answer everything in flight and exit 0.
 kill -TERM "$DPID"

@@ -23,6 +23,7 @@
 #include "common/log.h"
 #include "drtp/manager.h"
 #include "net/graphio.h"
+#include "obs/flight_recorder.h"
 #include "svc/engine.h"
 #include "svc/server.h"
 
@@ -39,6 +40,10 @@ svc::Server* g_server = nullptr;
 
 void HandleSignal(int /*sig*/) {
   if (g_server != nullptr) g_server->Shutdown();
+}
+
+void HandleUserSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->TriggerUserEvent();
 }
 
 }  // namespace
@@ -73,6 +78,10 @@ int main(int argc, char** argv) {
   auto& request_log = flags.String(
       "request-log", "",
       "write the replayable request log (scenario file) here on drain");
+  auto& flight_dump = flags.String(
+      "flight-dump", "",
+      "write flight-recorder dumps (drtp.trace/1 JSONL) here on SIGUSR1, "
+      "first audit violation, or fatal error");
   auto& verbose = flags.Bool("verbose", false, "log at info level");
   flags.Parse(argc, argv);
 
@@ -107,6 +116,7 @@ int main(int argc, char** argv) {
       }
     }
     eo.keep_request_log = !request_log.empty();
+    eo.flight_dump_path = flight_dump;
     svc::Engine engine(topo, std::move(eo));
 
     svc::ServerOptions so;
@@ -114,6 +124,17 @@ int main(int argc, char** argv) {
     so.pipeline.threads = static_cast<int>(threads);
     so.pipeline.batch_max = static_cast<int>(batch);
     so.pipeline.linger_us = static_cast<long>(linger_us);
+    if (!flight_dump.empty()) {
+      // SIGUSR1 → self-pipe → this callback on the poll thread: a live,
+      // non-disruptive post-mortem snapshot of recent daemon events.
+      so.on_user_signal = [&flight_dump] {
+        if (obs::FlightRecorder::Global().DumpToFile(flight_dump, "sigusr1")) {
+          DRTP_LOG_INFO << "flight recorder dumped to " << flight_dump;
+        } else {
+          DRTP_LOG_WARN << "flight dump to " << flight_dump << " failed";
+        }
+      };
+    }
     svc::Server server(engine, so);
     std::string error;
     if (!server.Start(&error)) return Fail(error);
@@ -121,6 +142,7 @@ int main(int argc, char** argv) {
     g_server = &server;
     std::signal(SIGTERM, HandleSignal);
     std::signal(SIGINT, HandleSignal);
+    std::signal(SIGUSR1, HandleUserSignal);
     // A client that vanishes mid-response must not kill the daemon.
     std::signal(SIGPIPE, SIG_IGN);
 
@@ -152,6 +174,10 @@ int main(int argc, char** argv) {
                  violations > 0 ? " — INVARIANTS BROKEN" : "");
     return violations > 0 ? 3 : 0;
   } catch (const std::exception& e) {
+    // Fatal error: leave the recent-event trail next to the error message.
+    if (!flight_dump.empty()) {
+      obs::FlightRecorder::Global().DumpToFile(flight_dump, "fatal_error");
+    }
     return Fail(e.what());
   }
 }

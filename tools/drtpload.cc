@@ -15,6 +15,8 @@
 // daemon's own stats (P_bk of the admitted set, state digest) as one JSON
 // object — the format stored in results/BENCH_drtpd.json.
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/json.h"
@@ -181,12 +184,23 @@ void CountResponse(const std::string& payload, Tally& t) {
   }
 }
 
-std::int64_t Percentile(const std::vector<std::int64_t>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
+/// Latency quantiles through the shared obs log-bucket estimator — the
+/// same math drtpstat renders live, replacing the old nearest-rank
+/// picker over a sorted vector.
+struct LatencyQuantiles {
+  std::array<std::int64_t, obs::kHistogramBuckets> buckets{};
+
+  void Add(std::int64_t ns) {
+    int b = ns <= 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(ns));
+    if (b >= obs::kHistogramBuckets) b = obs::kHistogramBuckets - 1;
+    ++buckets[static_cast<std::size_t>(b)];
+  }
+
+  double AtNs(double q) const {
+    return obs::InterpolateQuantile(buckets.data(), obs::kHistogramBuckets,
+                                    q);
+  }
+};
 
 }  // namespace
 
@@ -382,13 +396,13 @@ int main(int argc, char** argv) {
     const JsonValue v1 = ParseJson(stats1);
     const JsonValue& r1 = Field(v1, "result");
 
-    std::sort(tally.latency_ns.begin(), tally.latency_ns.end());
-    const auto us = [](std::int64_t ns) {
-      return static_cast<double>(ns) / 1e3;
-    };
+    LatencyQuantiles quantiles;
     double mean_ns = 0.0;
+    std::int64_t max_ns = 0;
     for (const std::int64_t ns : tally.latency_ns) {
+      quantiles.Add(ns);
       mean_ns += static_cast<double>(ns);
+      max_ns = std::max(max_ns, ns);
     }
     if (!tally.latency_ns.empty()) {
       mean_ns /= static_cast<double>(tally.latency_ns.size());
@@ -428,13 +442,12 @@ int main(int argc, char** argv) {
     w.EndObject();
     w.Key("latency_us").BeginObject();
     w.Key("count").Int(static_cast<std::int64_t>(tally.latency_ns.size()));
-    w.Key("mean").Double(us(static_cast<std::int64_t>(mean_ns)));
-    w.Key("p50").Double(us(Percentile(tally.latency_ns, 0.50)));
-    w.Key("p90").Double(us(Percentile(tally.latency_ns, 0.90)));
-    w.Key("p99").Double(us(Percentile(tally.latency_ns, 0.99)));
-    w.Key("max").Double(us(tally.latency_ns.empty()
-                               ? 0
-                               : tally.latency_ns.back()));
+    w.Key("mean").Double(mean_ns / 1e3);
+    w.Key("p50").Double(quantiles.AtNs(0.50) / 1e3);
+    w.Key("p90").Double(quantiles.AtNs(0.90) / 1e3);
+    w.Key("p95").Double(quantiles.AtNs(0.95) / 1e3);
+    w.Key("p99").Double(quantiles.AtNs(0.99) / 1e3);
+    w.Key("max").Double(static_cast<double>(max_ns) / 1e3);
     w.EndObject();
     w.Key("daemon").BeginObject();
     w.Key("active").Int(Field(r1, "active").AsInt64());

@@ -1,14 +1,17 @@
 // drtptrace — summarize a drtp.trace/1 JSONL file.
 //
 // Reads one schema-versioned JSON object per line (the output of
-// `drtpsim run --trace-format=jsonl` or `drtpsweep --trace=...`) and
-// prints:
+// `drtpsim run --trace-format=jsonl`, `drtpsweep --trace=...`, or a
+// drtpd flight-recorder dump) and prints:
 //   - a per-scheme × event-kind count table,
 //   - failover-cost percentiles: the hop count of each promoted backup
 //     (the paper's proxy for switchover delay — the longer the activated
-//     backup, the longer the new primary), and
+//     backup, the longer the new primary),
 //   - reestablish gaps: sim-time from a connection's failover or
-//     backup-break to its next fresh backup registration.
+//     backup-break to its next fresh backup registration, and
+//   - for flight-recorder dumps (`flight_dump` header + `fr_*` events):
+//     the dump reason, per-kind event counts, and a per-pipeline-stage
+//     count/mean/p99 latency table over the sampled `fr_rpc_span` events.
 //
 // The parser is deliberately small: it extracts only the fields the
 // summary needs from the writer's known one-line layout; unknown keys
@@ -17,8 +20,10 @@
 // Usage:
 //   drtptrace --in=run.jsonl
 //   drtpsim run ... --trace=- --trace-format=jsonl | drtptrace
+//   kill -USR1 <drtpd pid>; drtptrace --in=flight.jsonl
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <iostream>
@@ -123,6 +128,23 @@ struct SchemeStats {
   std::map<std::int64_t, double> awaiting_backup;
 };
 
+/// The per-request pipeline stages a flight-recorder `fr_rpc_span` event
+/// carries, in pipeline order (keys as written by the dump).
+const char* const kSpanStages[] = {"decode_ns", "reorder_ns", "engine_ns",
+                                   "respond_ns"};
+constexpr int kNumSpanStages = static_cast<int>(std::size(kSpanStages));
+
+/// Accumulated flight-recorder dump content (`flight_dump` header plus
+/// `fr_*` event lines).
+struct FlightStats {
+  std::vector<std::string> reasons;            ///< one per dump header
+  std::map<std::string, std::int64_t> counts;  ///< by kind, "fr_" stripped
+  std::vector<double> stage_us[kNumSpanStages];
+  std::vector<double> total_us;  ///< per-span sum of all stages
+
+  bool any() const { return !reasons.empty() || !counts.empty(); }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +164,7 @@ int main(int argc, char** argv) {
   std::istream& in = in_path == "-" ? std::cin : file;
 
   std::map<std::string, SchemeStats> schemes;
+  FlightStats flight;
   std::int64_t lines = 0;
   std::int64_t skipped = 0;
   std::string line;
@@ -153,6 +176,24 @@ int main(int argc, char** argv) {
       continue;
     }
     const std::string ev = FindString(line, "ev");
+    if (ev == "flight_dump") {
+      std::string reason = FindString(line, "reason");
+      flight.reasons.push_back(reason.empty() ? "?" : std::move(reason));
+      continue;
+    }
+    if (ev.rfind("fr_", 0) == 0) {
+      ++flight.counts[ev.substr(3)];
+      if (ev == "fr_rpc_span") {
+        double total = 0.0;
+        for (int s = 0; s < kNumSpanStages; ++s) {
+          const double ns = FindNumber(line, kSpanStages[s], 0.0);
+          flight.stage_us[s].push_back(ns / 1e3);
+          total += ns;
+        }
+        flight.total_us.push_back(total / 1e3);
+      }
+      continue;
+    }
     const auto kind =
         std::find(std::begin(kKinds), std::end(kKinds), ev) -
         std::begin(kKinds);
@@ -189,19 +230,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  TextTable counts([] {
-    std::vector<std::string> headers{"scheme"};
-    for (const char* k : kKinds) headers.emplace_back(k);
-    return headers;
-  }());
-  for (auto& [name, s] : schemes) {
-    counts.BeginRow();
-    counts.Cell(name);
-    for (int k = 0; k < kNumKinds; ++k) counts.Cell(s.counts[k]);
+  if (!schemes.empty() || !flight.any()) {
+    TextTable counts([] {
+      std::vector<std::string> headers{"scheme"};
+      for (const char* k : kKinds) headers.emplace_back(k);
+      return headers;
+    }());
+    for (auto& [name, s] : schemes) {
+      counts.BeginRow();
+      counts.Cell(name);
+      for (int k = 0; k < kNumKinds; ++k) counts.Cell(s.counts[k]);
+    }
+    std::printf("Event counts (%lld lines, %lld skipped):\n",
+                static_cast<long long>(lines),
+                static_cast<long long>(skipped));
+    std::fputs(counts.Render().c_str(), stdout);
   }
-  std::printf("Event counts (%lld lines, %lld skipped):\n",
-              static_cast<long long>(lines), static_cast<long long>(skipped));
-  std::fputs(counts.Render().c_str(), stdout);
 
   TextTable fo({"scheme", "failovers", "promoted hops p50", "p90", "p99",
                 "reestablish gap p50", "p90"});
@@ -221,6 +265,51 @@ int main(int argc, char** argv) {
   if (any) {
     std::printf("\nFailover cost (promoted-backup hops, step-4 gaps):\n");
     std::fputs(fo.Render().c_str(), stdout);
+  }
+
+  if (flight.any()) {
+    std::string reasons;
+    for (const std::string& r : flight.reasons) {
+      if (!reasons.empty()) reasons += ", ";
+      reasons += r;
+    }
+    std::printf("%sFlight recorder (%zu dump%s: %s):\n",
+                schemes.empty() ? "" : "\n", flight.reasons.size(),
+                flight.reasons.size() == 1 ? "" : "s", reasons.c_str());
+    TextTable fr_counts({"event", "count"});
+    for (const auto& [kind, n] : flight.counts) {
+      fr_counts.BeginRow();
+      fr_counts.Cell(kind);
+      fr_counts.Cell(n);
+    }
+    std::fputs(fr_counts.Render().c_str(), stdout);
+
+    if (!flight.total_us.empty()) {
+      TextTable spans({"stage", "count", "mean us", "p50 us", "p99 us"});
+      const auto add_row = [&spans](const char* label,
+                                    std::vector<double>& us) {
+        double mean = 0.0;
+        for (const double v : us) mean += v;
+        mean /= static_cast<double>(us.size());
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%.1f", mean);
+        spans.BeginRow();
+        spans.Cell(label);
+        spans.Cell(static_cast<std::int64_t>(us.size()));
+        spans.Cell(std::string(buf));
+        spans.Cell(Quantile(us, 0.5, 1));
+        spans.Cell(Quantile(us, 0.99, 1));
+      };
+      for (int s = 0; s < kNumSpanStages; ++s) {
+        // Strip the "_ns" suffix; the table is rendered in microseconds.
+        const std::string label(kSpanStages[s],
+                                std::strlen(kSpanStages[s]) - 3);
+        add_row(label.c_str(), flight.stage_us[s]);
+      }
+      add_row("total", flight.total_us);
+      std::printf("\nSampled request spans (fr_rpc_span):\n");
+      std::fputs(spans.Render().c_str(), stdout);
+    }
   }
   return 0;
 }
