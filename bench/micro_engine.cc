@@ -11,9 +11,13 @@
 //   micro_engine                      # human-readable table on stdout
 //   micro_engine --out=BENCH_micro.json
 //   micro_engine --quick --validate   # CI perf-smoke: fast + schema check
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +37,9 @@
 #include "routing/dijkstra.h"
 #include "runner/json.h"
 #include "sim/paper.h"
+#include "sim/scenario.h"
+#include "svc/snapshot.h"
+#include "svc/wal.h"
 
 namespace drtp::bench {
 namespace {
@@ -330,6 +337,50 @@ std::vector<KernelResult> RunSuite(LoadedNet& fx, double min_time_s,
     fx.net.PublishTo(fx.db, 0.0);  // leave the fixture's LSDB clean
   }
 
+  // --- durability kernels -------------------------------------------------
+  // wal_append_fsync: one group commit — a 64-event batch record rendered,
+  // framed, written and fsynced — the price every drtpd batch pays before
+  // its responses are released. Dominated by the sync, so this number is a
+  // device characteristic as much as a code one. snapshot_serialize: the
+  // drtp.snap/1 body render over the ~300-connection fixture — the
+  // off-critical-path cost --snapshot-interval adds per snapshot.
+  {
+    const std::string wal_path =
+        "/tmp/drtp_micro_wal." +
+        std::to_string(static_cast<long long>(::getpid()));
+    std::remove(wal_path.c_str());
+    std::string error;
+    std::unique_ptr<svc::Wal> wal = svc::Wal::Open(wal_path, seed, &error);
+    if (wal == nullptr) {
+      std::fprintf(stderr, "micro_engine: wal open failed: %s\n",
+                   error.c_str());
+    } else {
+      std::vector<sim::ScenarioEvent> events;
+      Rng rng(seed + 6);
+      for (int i = 0; i < 64; ++i) {
+        sim::ScenarioEvent e;
+        e.type = sim::ScenarioEvent::Type::kRequest;
+        e.time = static_cast<Time>(i);
+        e.conn = static_cast<ConnId>(i);
+        e.src = static_cast<NodeId>(rng.Index(nodes));
+        e.dst = static_cast<NodeId>(rng.Index(nodes));
+        if (e.dst == e.src) e.dst = (e.dst + 1) % fx.topo.num_nodes();
+        e.bw = Mbps(1);
+        events.push_back(e);
+      }
+      out.push_back(timer.Measure("wal_append_fsync", [&] {
+        std::string err;
+        if (!wal->AppendBatch(events, &err)) std::abort();
+      }));
+      wal.reset();
+      std::remove(wal_path.c_str());
+    }
+  }
+  out.push_back(timer.Measure("snapshot_serialize", [&] {
+    DoNotOptimize(svc::RenderSnapshotBody(fx.net, svc::EngineStats{}, 0,
+                                          seed, 0, "D-LSR", ""));
+  }));
+
   return out;
 }
 
@@ -518,6 +569,7 @@ int Validate(const std::vector<KernelResult>& results) {
       "cv_count_in",         "cv_and_popcount",     "obs_span_overhead",
       "flight_recorder_append", "pipeline_span_stamp",
       "request_cycle_dlsr",  "admit_one_by_one",    "admit_batch",
+      "wal_append_fsync",    "snapshot_serialize",
       "dijkstra_adjlist_1k", "dijkstra_csr_1k",     "dijkstra_radix_1k",
       "minhop_binary_1k",    "minhop_radix_1k",     "aplv_update_1k",
       "cv_count_in_1k",      "cv_and_popcount_1k",

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -72,6 +74,23 @@ class Rng {
 
   /// Raw 64-bit draw.
   std::uint64_t Next() { return engine_(); }
+
+  /// Serializes the exact stream position (std::mt19937_64's portable
+  /// text format) so a daemon snapshot can restore a scheme's RNG
+  /// mid-stream and draw the identical continuation.
+  std::string SaveState() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+
+  /// Restores SaveState() output. Malformed text is a caller bug (the
+  /// snapshot loader validates file integrity before this runs).
+  void LoadState(const std::string& state) {
+    std::istringstream is(state);
+    is >> engine_;
+    DRTP_CHECK_MSG(!is.fail(), "malformed Rng state");
+  }
 
  private:
   std::mt19937_64 engine_;

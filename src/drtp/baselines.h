@@ -45,6 +45,11 @@ class RandomBackup : public RoutingScheme {
       const routing::Path& primary, Bandwidth bw,
       std::span<const routing::Path> avoid = {}) override;
 
+  /// The only stateful scheme: its random link costs advance the RNG on
+  /// every selection, so a recovered daemon must resume the exact stream.
+  std::string SaveState() const override { return rng_.SaveState(); }
+  void LoadState(const std::string& state) override { rng_.LoadState(state); }
+
  private:
   Rng rng_;
 };

@@ -13,6 +13,7 @@
 #include <span>
 #include <string>
 
+#include "common/error.h"
 #include "common/types.h"
 #include "drtp/network.h"
 #include "lsdb/link_state_db.h"
@@ -69,6 +70,24 @@ class RoutingScheme {
   /// topology-derived caches (BF's distance tables, §4.1) refresh them
   /// here; stateless schemes ignore it.
   virtual void OnTopologyChanged(const DrtpNetwork& net) { (void)net; }
+
+  /// Scheme-private *history* state for daemon snapshots (drtp.snap/1):
+  /// RNG stream positions and the like — anything a byte-identical
+  /// continuation needs that is not a pure function of the current
+  /// network. Topology-derived caches (BF's distance tables) are NOT
+  /// state; they are rebuilt via OnTopologyChanged. Stateless schemes
+  /// (the default) return "".
+  virtual std::string SaveState() const { return {}; }
+
+  /// Restores SaveState() output. The default accepts only the empty
+  /// string — feeding state to a stateless scheme means the snapshot was
+  /// written under a different scheme.
+  virtual void LoadState(const std::string& state) {
+    if (!state.empty()) {
+      throw ParseError("scheme '" + name() + "' carries no state, got " +
+                       std::to_string(state.size()) + " bytes");
+    }
+  }
 };
 
 /// How D-LSR's Eq. 5 conflict term is evaluated per candidate link.

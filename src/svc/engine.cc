@@ -1,16 +1,22 @@
 #include "svc/engine.h"
 
+#include <unistd.h>
+
+#include <cmath>
 #include <iterator>
 #include <utility>
 
 #include "common/check.h"
 #include "common/digest.h"
+#include "common/error.h"
 #include "common/json.h"
 #include "drtp/admission.h"
 #include "drtp/failure.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "sim/paper.h"
+#include "svc/snapshot.h"
+#include "svc/wal.h"
 
 namespace drtp::svc {
 namespace {
@@ -41,6 +47,7 @@ std::int64_t ErrorCodeIndex(std::string_view code) {
   constexpr std::string_view kCodes[] = {
       kErrBadFrame,  kErrBadJson,  kErrBadRequest, kErrUnknownMethod,
       kErrConnExists, kErrNotFound, kErrOutOfRange, kErrDraining,
+      kErrOverloaded,
   };
   for (std::size_t i = 0; i < std::size(kCodes); ++i) {
     if (code == kCodes[i]) return static_cast<std::int64_t>(i);
@@ -113,6 +120,9 @@ Time Engine::NextEventTime() {
 
 void Engine::LogEvent(sim::ScenarioEvent event) {
   if (options_.keep_request_log) log_.push_back(event);
+  // Group-commit buffer: ExecuteBatch appends these to the WAL (one
+  // record, one fsync) before the batch's responses are released.
+  batch_events_.push_back(event);
 }
 
 std::vector<std::string> Engine::ExecuteBatch(
@@ -139,6 +149,17 @@ std::vector<std::string> Engine::ExecuteBatch(
     }
     out.push_back(Execute(d.request));
   }
+  if (wal_ != nullptr && !replaying_ && !batch_events_.empty()) {
+    // Durability point: the batch's effective events reach stable
+    // storage before any of its responses leave this function. A failed
+    // append (disk full, dead device) is fatal by design — releasing
+    // un-durable responses would break the recovery contract.
+    std::string err;
+    DRTP_CHECK_MSG(wal_->AppendBatch(batch_events_, &err),
+                   "wal group commit failed: " << err);
+    ++stats_.wal_batches;
+  }
+  batch_events_.clear();
   ++stats_.batches;
   Counters().batches.Add();
   if (auditor_ != nullptr && options_.audit_interval > 0 &&
@@ -146,6 +167,7 @@ std::vector<std::string> Engine::ExecuteBatch(
     auditor_->Check(net_, t_, "batch_commit", nullptr);
     AfterAuditCheck();
   }
+  MaybeSnapshot();
   return out;
 }
 
@@ -371,6 +393,15 @@ std::string Engine::DoStats(const Request& req) {
   w.Key("degraded").Int(DegradedCount());
   w.Key("batch_last").Int(stats_.batch_last);
   w.Key("request_log_events").Int(static_cast<std::int64_t>(log_.size()));
+  // PR 9 additions — all deterministic for a fixed request sequence
+  // (shed is 0 unless the server actually hit its admission bound).
+  w.Key("wal_batches").Int(stats_.wal_batches);
+  w.Key("wal_bytes").Int(
+      wal_ != nullptr ? static_cast<std::int64_t>(wal_->bytes()) : 0);
+  w.Key("snapshots").Int(stats_.snapshots);
+  w.Key("shed").Int(shed_ != nullptr
+                        ? shed_->load(std::memory_order_relaxed)
+                        : 0);
   if (req.metrics) {
     // Opt-in only: the snapshot holds wall-clock timing histograms and
     // process-global counters, which are NOT deterministic.
@@ -414,6 +445,233 @@ sim::Scenario Engine::RequestLog() const {
   s.traffic.duration = t_ + 1.0;
   s.events = log_;
   return s;
+}
+
+std::uint64_t Engine::ConfigDigest() const {
+  std::uint64_t d = kFnv1aOffset;
+  d = Fnv1aExtend(d, options_.scheme);
+  d = FoldInt(d, static_cast<std::int64_t>(options_.seed));
+  d = FoldInt(d, options_.num_backups);
+  d = FoldInt(d,
+              options_.spare_mode == core::SpareMode::kMultiplexed ? 0 : 1);
+  const net::Topology& topo = net_.topology();
+  d = FoldInt(d, topo.num_nodes());
+  d = FoldInt(d, topo.num_links());
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const net::Link& link = topo.link(l);
+    d = FoldInt(d, link.src);
+    d = FoldInt(d, link.dst);
+    d = FoldInt(d, link.capacity);
+  }
+  return d;
+}
+
+bool Engine::WriteSnapshot(std::string* error) {
+  DRTP_CHECK_MSG(!options_.snapshot_path.empty(),
+                 "WriteSnapshot without snapshot_path");
+  // Counted before rendering so a recovered engine's `snapshots` stat
+  // includes the file it was restored from.
+  ++stats_.snapshots;
+  const std::uint64_t wal_offset = wal_ != nullptr ? wal_->bytes() : 0;
+  const std::string body =
+      RenderSnapshotBody(net_, stats_, static_cast<std::int64_t>(t_),
+                         ConfigDigest(), wal_offset, scheme_->name(),
+                         scheme_->SaveState());
+  if (!WriteSnapshotFile(options_.snapshot_path, body, error)) {
+    --stats_.snapshots;
+    return false;
+  }
+  return true;
+}
+
+void Engine::MaybeSnapshot() {
+  if (replaying_ || options_.snapshot_interval <= 0) return;
+  if (stats_.batches % options_.snapshot_interval != 0) return;
+  std::string err;
+  DRTP_CHECK_MSG(WriteSnapshot(&err), "snapshot failed: " << err);
+}
+
+void Engine::RestoreSnapshot(const Snapshot& snap) {
+  DRTP_CHECK_MSG(net_.ActiveCount() == 0 && t_ == 0.0,
+                 "RestoreSnapshot on a non-fresh engine");
+  if (snap.config_digest != ConfigDigest()) {
+    throw ParseError(
+        "snapshot config digest mismatch: the file was written under a "
+        "different scheme/seed/backups/spare-mode/topology");
+  }
+  if (snap.scheme != scheme_->name()) {
+    throw ParseError("snapshot scheme '" + snap.scheme +
+                     "' != engine scheme '" + scheme_->name() + "'");
+  }
+  const int links = net_.topology().num_links();
+  for (const LinkId l : snap.down_links) {
+    if (l < 0 || l >= links) {
+      throw ParseError("snapshot down link out of range");
+    }
+    net_.SetLinkDown(l);
+  }
+  // Pass 1: every primary, ascending by id. All primaries must land
+  // before any backup registers — RegisterBackup may overbook links, and
+  // an interleaved overbooked backup could consume the free bandwidth a
+  // later primary needs (EstablishConnection never draws from spare).
+  for (const SnapshotConn& c : snap.conns) {
+    const auto primary = routing::Path::FromLinks(net_.topology(), c.primary);
+    if (!primary.has_value()) {
+      throw ParseError("snapshot conn " + std::to_string(c.id) +
+                       " primary is not a path in this topology");
+    }
+    if (!net_.EstablishConnection(c.id, *primary, c.bw, /*now=*/0.0)) {
+      throw ParseError("snapshot conn " + std::to_string(c.id) +
+                       " does not fit the topology (down link or "
+                       "insufficient bandwidth)");
+    }
+  }
+  // Pass 2: backups, in the serialized order (RegisterBackup never
+  // rejects; overbooking is re-derived exactly as it originally was).
+  for (const SnapshotConn& c : snap.conns) {
+    for (const std::vector<LinkId>& b : c.backups) {
+      const auto backup = routing::Path::FromLinks(net_.topology(), b);
+      if (!backup.has_value()) {
+        throw ParseError("snapshot conn " + std::to_string(c.id) +
+                         " backup is not a path in this topology");
+      }
+      net_.RegisterBackup(c.id, *backup);
+    }
+  }
+  try {
+    scheme_->LoadState(snap.scheme_state);
+  } catch (const ParseError& e) {
+    throw ParseError(std::string("snapshot scheme state: ") + e.what());
+  }
+  scheme_->OnTopologyChanged(net_);
+  stats_ = snap.stats;
+  t_ = static_cast<Time>(snap.t);
+  const std::uint64_t got = NetworkStateDigest(net_);
+  if (got != snap.state_digest) {
+    throw ParseError("restored state digest " + DigestHex(got) +
+                     " != snapshot state_digest " +
+                     DigestHex(snap.state_digest));
+  }
+}
+
+namespace {
+
+/// Lifts a WAL event back into the request shape ExecuteBatch consumes.
+/// Replay responses are discarded, so the request id is immaterial.
+DecodedRequest RequestFromEvent(const sim::ScenarioEvent& e) {
+  Request r;
+  r.id = 0;
+  switch (e.type) {
+    case sim::ScenarioEvent::Type::kRequest:
+      r.method = Method::kAdmit;
+      r.conn = e.conn;
+      r.src = e.src;
+      r.dst = e.dst;
+      r.bw = e.bw;
+      break;
+    case sim::ScenarioEvent::Type::kRelease:
+      r.method = Method::kRelease;
+      r.conn = e.conn;
+      break;
+    case sim::ScenarioEvent::Type::kLinkFail:
+      r.method = Method::kFailLink;
+      r.link = e.link;
+      break;
+    case sim::ScenarioEvent::Type::kLinkRepair:
+      r.method = Method::kRepairLink;
+      r.link = e.link;
+      break;
+    default:
+      throw ParseError("wal event kind is not replayable");
+  }
+  DecodedRequest out;
+  out.ok = true;
+  out.request = r;
+  out.id = 0;
+  return out;
+}
+
+}  // namespace
+
+RecoverReport Engine::Recover(const std::string& wal_path,
+                              const std::string& snapshot_path) {
+  DRTP_CHECK_MSG(stats_.batches == 0 && net_.ActiveCount() == 0,
+                 "Recover on a non-fresh engine");
+  RecoverReport rep;
+  WalRecovery wal;
+  if (!wal_path.empty()) {
+    wal = RecoverWal(wal_path, ConfigDigest());
+    rep.wal_valid_bytes = wal.valid_bytes;
+    rep.wal_truncated_bytes = wal.truncated_bytes;
+  }
+  std::uint64_t replay_from = 0;
+  if (!snapshot_path.empty() &&
+      ::access(snapshot_path.c_str(), F_OK) == 0) {
+    const Snapshot snap = LoadSnapshotFile(snapshot_path);
+    // The snapshot must land exactly on a recovered record boundary: an
+    // offset past the verified prefix means the WAL lost committed
+    // records (mid-file corruption, the unrecoverable case), and an
+    // unaligned offset means the files do not belong together.
+    if (wal.existed) {
+      bool boundary = snap.wal_offset == wal.header_end;
+      for (const WalBatch& b : wal.batches) {
+        boundary = boundary || snap.wal_offset == b.end_offset;
+      }
+      if (snap.wal_offset > wal.valid_bytes || !boundary) {
+        throw ParseError(
+            "snapshot is bound to wal offset " +
+            std::to_string(snap.wal_offset) + " but the recovered wal has " +
+            std::to_string(wal.valid_bytes) +
+            " verified bytes with no matching record boundary");
+      }
+    } else if (snap.wal_offset != 0) {
+      throw ParseError("snapshot is bound to wal offset " +
+                       std::to_string(snap.wal_offset) +
+                       " but no wal was recovered");
+    }
+    RestoreSnapshot(snap);
+    rep.from_snapshot = true;
+    replay_from = snap.wal_offset;
+  }
+  // Replay the suffix through the identical batch path. The WAL handle
+  // (if any) is suppressed via replaying_ — these events are already
+  // durable — and so is the snapshot cadence.
+  replaying_ = true;
+  try {
+    for (const WalBatch& b : wal.batches) {
+      if (b.end_offset <= replay_from) continue;
+      std::vector<DecodedRequest> requests;
+      requests.reserve(b.events.size());
+      for (const sim::ScenarioEvent& e : b.events) {
+        requests.push_back(RequestFromEvent(e));
+      }
+      const std::vector<std::string> responses = ExecuteBatch(requests);
+      for (const std::string& r : responses) {
+        if (r.find("\"ok\":true") == std::string::npos) {
+          throw ParseError("wal replay diverged: a logged event failed "
+                           "against the recovered state: " + r);
+        }
+      }
+      // Every logged event advanced the virtual clock exactly once; a
+      // mismatch means the replayed batch enacted a different set of
+      // state changes than the original run.
+      if (!b.events.empty() &&
+          t_ != b.events.back().time) {
+        throw ParseError("wal replay time divergence at batch ending at "
+                         "offset " + std::to_string(b.end_offset));
+      }
+      ++rep.batches_replayed;
+      rep.events_replayed += static_cast<std::int64_t>(b.events.size());
+    }
+  } catch (...) {
+    replaying_ = false;
+    throw;
+  }
+  replaying_ = false;
+  // Replayed batches were WAL records too: the recovered counter must
+  // agree with what a continuation of the original process would show.
+  stats_.wal_batches += rep.batches_replayed;
+  return rep;
 }
 
 std::int64_t Engine::audit_checks() const {

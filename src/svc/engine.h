@@ -18,6 +18,7 @@
 // bit-for-bit (svc_test pins this via NetworkStateDigest).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -35,6 +36,9 @@
 #include "svc/rpc.h"
 
 namespace drtp::svc {
+
+class Wal;        // svc/wal.h
+struct Snapshot;  // svc/snapshot.h
 
 /// FNV-1a digest over the authoritative state a replay must reproduce:
 /// connection table (id, endpoints, bandwidth, primary and backup links),
@@ -61,6 +65,11 @@ struct EngineOptions {
   /// Where to write an obs::FlightRecorder dump when the auditor reports
   /// its first violation (post-mortem without --trace). Empty = no dump.
   std::string flight_dump_path;
+  /// Write a drtp.snap/1 snapshot every N committed batches (0 = never).
+  int snapshot_interval = 0;
+  /// Snapshot destination (tmp + fsync + rename). Required when
+  /// snapshot_interval > 0; also used by the explicit WriteSnapshot().
+  std::string snapshot_path;
 };
 
 /// Cumulative request accounting (all-time, monotone except batch_last).
@@ -74,6 +83,20 @@ struct EngineStats {
   std::int64_t link_repairs = 0; ///< enacted (link was down)
   std::int64_t batches = 0;
   std::int64_t batch_last = 0;   ///< size of the batch being executed
+  std::int64_t wal_batches = 0;  ///< records group-committed to the WAL
+  std::int64_t snapshots = 0;    ///< drtp.snap/1 files written
+};
+
+/// What Engine::Recover did, for the startup banner and the chaos
+/// harness. Recovered state-changing counters (admitted/blocked/...) are
+/// exact; frames/errors/batches are approximate after a replay because
+/// error-answered frames are state-neutral and never WAL-logged.
+struct RecoverReport {
+  bool from_snapshot = false;
+  std::uint64_t wal_valid_bytes = 0;
+  std::uint64_t wal_truncated_bytes = 0;
+  std::int64_t batches_replayed = 0;
+  std::int64_t events_replayed = 0;
 };
 
 /// Not thread-safe: the pipeline serializes every batch through one
@@ -96,6 +119,50 @@ class Engine {
 
   std::uint64_t StateDigest() const { return NetworkStateDigest(net_); }
 
+  /// FNV-1a over everything replay equivalence depends on besides the
+  /// request stream: scheme label, seed, backup count, spare mode, and
+  /// the topology shape (per-link endpoints + capacity). WAL headers and
+  /// snapshots bind to this; recovery refuses a mismatch.
+  std::uint64_t ConfigDigest() const;
+
+  /// Crash recovery: truncate-and-verify the WAL, load the snapshot when
+  /// present (restoring table/scheme state and verifying its recorded
+  /// NetworkStateDigest), then replay the WAL suffix through the normal
+  /// batch path. Requires a fresh engine (no requests executed). Throws
+  /// drtp::ParseError on any refusal: config mismatch, snapshot digest
+  /// mismatch, snapshot bound past the recovered WAL, or replay
+  /// divergence. Empty `wal_path` skips the WAL (snapshot only);
+  /// `snapshot_path` may name a nonexistent file (WAL-only replay).
+  RecoverReport Recover(const std::string& wal_path,
+                        const std::string& snapshot_path);
+
+  /// Restores a parsed snapshot into a fresh engine: down links first,
+  /// then every primary in id order (two passes — backups may overbook,
+  /// so interleaving could starve a later primary of free bandwidth),
+  /// then all backups, then scheme state, then a full digest check
+  /// against snap.state_digest (ParseError on mismatch).
+  void RestoreSnapshot(const Snapshot& snap);
+
+  /// Writes a snapshot to options_.snapshot_path now (drain hook; the
+  /// periodic cadence calls this internally). False + *error on I/O
+  /// failure.
+  bool WriteSnapshot(std::string* error);
+
+  /// Attaches the write-ahead log: from here on, ExecuteBatch appends
+  /// one record + fsync per committed batch *before* its responses are
+  /// released. Attached after construction because in --recover mode the
+  /// log may only be opened for append once Recover() has truncated its
+  /// torn tail. Not owned; must outlive the engine. An append failure is
+  /// fatal by design — responses must never be released without their
+  /// durability record.
+  void AttachWal(Wal* wal) { wal_ = wal; }
+
+  /// Points the stats RPC's `shed` gauge at the pipeline's shed counter
+  /// (the engine never sheds; the server does, before decode).
+  void BindShedCounter(const std::atomic<std::int64_t>* counter) {
+    shed_ = counter;
+  }
+
   /// The replayable request log (requires keep_request_log). Contains
   /// only events sim::RunScenario would enact identically: admits
   /// (including blocked ones), releases of live connections, and enacted
@@ -104,6 +171,9 @@ class Engine {
   sim::Scenario RequestLog() const;
 
   const EngineStats& stats() const { return stats_; }
+  /// Current virtual time (1 tick per state-changing event) — the
+  /// timestamp recovery hands the post-recovery audit.
+  Time virtual_now() const { return t_; }
   const net::Topology& topology() const { return net_.topology(); }
   const core::DrtpNetwork& network() const { return net_; }
   std::int64_t audit_checks() const;
@@ -121,6 +191,8 @@ class Engine {
   /// Advances virtual time and appends a log event when logging is on.
   Time NextEventTime();
   void LogEvent(sim::ScenarioEvent event);
+  /// Periodic snapshot cadence (every snapshot_interval batches).
+  void MaybeSnapshot();
   /// Flight-records an audit sample and, on the first violation, dumps
   /// the recorder to options_.flight_dump_path.
   void AfterAuditCheck();
@@ -135,6 +207,15 @@ class Engine {
   /// a well-formed scenario (strictly increasing times).
   Time t_ = 0.0;
   std::vector<sim::ScenarioEvent> log_;
+  /// The current batch's effective events — the WAL group-commit buffer.
+  std::vector<sim::ScenarioEvent> batch_events_;
+  /// Attached log (AttachWal); null = no durability.
+  Wal* wal_ = nullptr;
+  /// True while Recover replays the WAL: suppresses WAL appends (the
+  /// events being replayed are already durable) and snapshot cadence.
+  bool replaying_ = false;
+  /// Pipeline shed counter for the stats RPC (null until bound).
+  const std::atomic<std::int64_t>* shed_ = nullptr;
   bool flight_dumped_ = false;  ///< audit-violation dump fired already
 };
 

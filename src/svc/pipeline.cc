@@ -1,5 +1,6 @@
 #include "svc/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -121,6 +122,38 @@ std::uint64_t Pipeline::Submit(std::uint64_t client, std::string payload) {
   }
   decode_cv_.notify_one();
   return seq;
+}
+
+std::optional<std::uint64_t> Pipeline::TrySubmit(std::uint64_t client,
+                                                 std::string& payload) {
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    DRTP_CHECK_MSG(!draining_, "TrySubmit after Drain");
+    if (options_.max_inflight > 0 &&
+        static_cast<std::int64_t>(next_seq_ - responded_) >=
+            options_.max_inflight) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    seq = next_seq_++;
+    in_.push_back(InItem{.seq = seq,
+                         .client = client,
+                         .payload = std::move(payload),
+                         .submit_ns = MonotonicClock::Instance().NowNs()});
+    Gauges().in_depth.Set(static_cast<double>(in_.size()));
+    Gauges().inflight.Set(static_cast<double>(next_seq_ - responded_));
+  }
+  decode_cv_.notify_one();
+  return seq;
+}
+
+int Pipeline::RetryAfterMs() const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (options_.max_inflight <= 0) return 1;
+  const auto inflight = static_cast<std::int64_t>(next_seq_ - responded_);
+  const std::int64_t excess = (inflight * 4) / options_.max_inflight;
+  return static_cast<int>(1 + std::min<std::int64_t>(excess, 4));
 }
 
 void Pipeline::Drain() {

@@ -22,8 +22,10 @@
 // latency, but batch boundaries then depend on arrival timing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include <condition_variable>
@@ -52,6 +54,12 @@ struct PipelineOptions {
   /// (0 = every request, -1 = never). Histograms see every request
   /// regardless; sampling only bounds the flight-recorder volume.
   int rpc_sample_shift = 6;
+  /// Admission bound: TrySubmit sheds when the inflight count (submitted
+  /// minus responded) has reached this (0 = unbounded). Shedding happens
+  /// before decode — the overload reject costs no JSON parse and no
+  /// engine time — and the server answers the frame with `overloaded` +
+  /// retry_after_ms instead of queueing it.
+  std::int64_t max_inflight = 0;
 };
 
 /// Owns the worker threads. Submit is single-producer (the server's poll
@@ -71,8 +79,28 @@ class Pipeline {
   Pipeline& operator=(const Pipeline&) = delete;
 
   /// Enqueues one frame payload for decoding; returns its seq. Must not
-  /// be called after Drain.
+  /// be called after Drain. Ignores max_inflight (tests and trusted
+  /// callers); the server's intake path is TrySubmit.
   std::uint64_t Submit(std::uint64_t client, std::string payload);
+
+  /// Bounded intake: moves from `payload` and returns the seq on
+  /// success; leaves `payload` intact, bumps shed(), and returns nullopt
+  /// when the pipeline is at max_inflight. Single-producer like Submit.
+  std::optional<std::uint64_t> TrySubmit(std::uint64_t client,
+                                         std::string& payload);
+
+  /// Frames shed by TrySubmit since construction.
+  std::int64_t shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  /// For Engine::BindShedCounter (the stats RPC's `shed` key).
+  const std::atomic<std::int64_t>* shed_counter() const { return &shed_; }
+
+  /// Backoff hint for overloaded responses: scales with how far past the
+  /// bound the queue is, 1..5 ms. A hint, not a guarantee — clients add
+  /// their own jittered exponential on top (drtpload does).
+  int RetryAfterMs() const;
 
   /// Stops intake, answers everything submitted, joins all threads.
   /// Idempotent.
@@ -114,6 +142,7 @@ class Pipeline {
   std::uint64_t responded_ = 0;
   bool draining_ = false;
   bool drained_ = false;
+  std::atomic<std::int64_t> shed_{0};
 
   std::vector<std::thread> decoders_;
   std::thread engine_thread_;

@@ -123,6 +123,50 @@ std::string RenderErrorResponse(std::int64_t id, std::string_view code,
   return w.str();
 }
 
+std::string RenderOverloadedResponse(std::int64_t id, int retry_after_ms) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kRpcSchema);
+  w.Key("id").Int(id);
+  w.Key("ok").Bool(false);
+  w.Key("error").BeginObject();
+  w.Key("code").String(kErrOverloaded);
+  w.Key("detail").String("pipeline at capacity; retry after backoff");
+  w.Key("retry_after_ms").Int(retry_after_ms);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::int64_t ExtractRequestId(std::string_view payload) {
+  const std::size_t key = payload.find("\"id\"");
+  if (key == std::string_view::npos) return -1;
+  std::size_t i = key + 4;
+  while (i < payload.size() &&
+         (payload[i] == ' ' || payload[i] == '\t' || payload[i] == '\n' ||
+          payload[i] == '\r')) {
+    ++i;
+  }
+  if (i >= payload.size() || payload[i] != ':') return -1;
+  ++i;
+  while (i < payload.size() &&
+         (payload[i] == ' ' || payload[i] == '\t' || payload[i] == '\n' ||
+          payload[i] == '\r')) {
+    ++i;
+  }
+  std::int64_t value = 0;
+  bool any = false;
+  while (i < payload.size() && payload[i] >= '0' && payload[i] <= '9') {
+    if (value > (std::numeric_limits<std::int64_t>::max() - 9) / 10) {
+      return -1;  // overflow: not a plausible request id
+    }
+    value = value * 10 + (payload[i] - '0');
+    any = true;
+    ++i;
+  }
+  return any ? value : -1;
+}
+
 std::string RenderOkResponse(std::int64_t id, std::string_view result_object) {
   std::string out;
   out.reserve(64 + result_object.size());

@@ -34,6 +34,7 @@ inline constexpr char kErrConnExists[] = "conn_exists";
 inline constexpr char kErrNotFound[] = "not_found";
 inline constexpr char kErrOutOfRange[] = "out_of_range";
 inline constexpr char kErrDraining[] = "draining";
+inline constexpr char kErrOverloaded[] = "overloaded";
 
 enum class Method {
   kAdmit,
@@ -85,5 +86,18 @@ std::string RenderErrorResponse(std::int64_t id, std::string_view code,
 /// Wraps an already-rendered result object (`{...}`) in the ok envelope
 /// (fixed field order).
 std::string RenderOkResponse(std::int64_t id, std::string_view result_object);
+
+/// The shed response: an `overloaded` error whose error object carries a
+/// `retry_after_ms` backoff hint after code/detail. Rendered on the
+/// server poll thread *before* decode — overload rejection must stay
+/// cheap — so `id` comes from ExtractRequestId, not a full parse.
+std::string RenderOverloadedResponse(std::int64_t id, int retry_after_ms);
+
+/// Best-effort request-id recovery without parsing: scans for the first
+/// `"id"` key and reads the following integer. Wrong only when a string
+/// value containing `"id"` precedes the real key — acceptable for a
+/// correlation hint on a response the client will retry anyway. Returns
+/// -1 when nothing parseable is found.
+std::int64_t ExtractRequestId(std::string_view payload);
 
 }  // namespace drtp::svc

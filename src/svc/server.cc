@@ -22,6 +22,7 @@ struct ServerCounters {
   obs::Counter tx_bytes = obs::GetCounter("drtp.svc.tx_bytes");
   obs::Counter bad_frames = obs::GetCounter("drtp.svc.bad_frames");
   obs::Counter torn_frames = obs::GetCounter("drtp.svc.torn_frames");
+  obs::Counter shed_frames = obs::GetCounter("drtp.svc.shed_frames");
 };
 
 const ServerCounters& Counters() {
@@ -50,6 +51,7 @@ Server::Server(Engine& engine, ServerOptions options)
                   // Client already gone: the response dies with it.
                   if (c != nullptr) SendToClient(c, response);
                 }) {
+  engine_.BindShedCounter(pipeline_.shed_counter());
   int fds[2] = {-1, -1};
   if (::pipe(fds) == 0) {
     wake_r_ = UniqueFd(fds[0]);
@@ -89,15 +91,20 @@ void Server::TriggerUserEvent() {
 
 void Server::SendToClient(const std::shared_ptr<ClientConn>& c,
                           std::string_view payload) {
-  const std::string frame = EncodeFrame(payload);
   std::lock_guard<std::mutex> l(c->write_mu);
   if (!c->fd.valid()) return;
-  if (!SendAll(c->fd.get(), frame.data(), frame.size())) {
-    // Peer vanished between request and response; reads on this fd will
-    // hit EOF and reap the client shortly.
+  FrameWriter writer(c->fd.get());
+  const WriteResult res = writer.WriteFrame(payload);
+  if (!res.ok()) {
+    // A vanished peer is routine (reads on this fd will hit EOF and reap
+    // the client shortly); anything else deserves a log line with the
+    // explicit taxonomy instead of a silently truncated frame.
+    if (res.status != WriteStatus::kPeerGone) {
+      DRTP_LOG_WARN << "response write failed: " << res.message();
+    }
     return;
   }
-  Counters().tx_bytes.Add(static_cast<std::int64_t>(frame.size()));
+  Counters().tx_bytes.Add(static_cast<std::int64_t>(payload.size() + 4));
 }
 
 void Server::RemoveClient(std::uint64_t id) {
@@ -134,7 +141,14 @@ void Server::HandleReadable(std::uint64_t id,
   Counters().rx_bytes.Add(r);
   c->reader.Feed(std::string_view(buf, static_cast<std::size_t>(r)));
   while (auto payload = c->reader.Next()) {
-    pipeline_.Submit(id, std::move(*payload));
+    if (!pipeline_.TrySubmit(id, *payload).has_value()) {
+      // Overload shed, before decode: the frame is answered — never
+      // silently dropped — with a cheap reject carrying a backoff hint.
+      // The id comes from a token scan, not a parse; that is the point.
+      Counters().shed_frames.Add();
+      SendToClient(c, RenderOverloadedResponse(ExtractRequestId(*payload),
+                                               pipeline_.RetryAfterMs()));
+    }
   }
   if (!c->reader.error().empty()) {
     // Framing violation: answer once (id -1 — no request id exists at

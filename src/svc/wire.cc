@@ -1,8 +1,105 @@
 #include "svc/wire.h"
 
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+#include <cstring>
+
 #include "common/check.h"
 
 namespace drtp::svc {
+
+const char* WriteStatusName(WriteStatus status) {
+  switch (status) {
+    case WriteStatus::kOk:
+      return "ok";
+    case WriteStatus::kPeerGone:
+      return "peer_gone";
+    case WriteStatus::kNoSpace:
+      return "no_space";
+    case WriteStatus::kIoError:
+      return "io_error";
+  }
+  return "io_error";
+}
+
+WriteStatus ClassifyWriteErrno(int err) {
+  switch (err) {
+    case EPIPE:
+    case ECONNRESET:
+      return WriteStatus::kPeerGone;
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return WriteStatus::kNoSpace;
+    default:
+      return WriteStatus::kIoError;
+  }
+}
+
+std::string WriteResult::message() const {
+  std::string out = WriteStatusName(status);
+  if (error_errno != 0) {
+    out += ": ";
+    out += std::strerror(error_errno);
+  }
+  return out;
+}
+
+long FrameWriter::DoWritev(const iovec* iov, int iovcnt) {
+  if (use_sendmsg_) {
+    msghdr msg{};
+    msg.msg_iov = const_cast<iovec*>(iov);
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+    const long n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n >= 0 || errno != ENOTSOCK) return n;
+    use_sendmsg_ = false;  // regular file: writev from here on
+  }
+  return ::writev(fd_, iov, iovcnt);
+}
+
+WriteResult FrameWriter::WriteVec(iovec* iov, int iovcnt) {
+  int i = 0;
+  while (i < iovcnt && iov[i].iov_len == 0) ++i;
+  while (i < iovcnt) {
+    const long n = DoWritev(iov + i, iovcnt - i);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return WriteResult{ClassifyWriteErrno(errno), errno};
+    }
+    if (n == 0) {
+      // A zero-length writev "success" with bytes pending would spin
+      // forever; report it instead of retrying.
+      return WriteResult{WriteStatus::kIoError, 0};
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    while (i < iovcnt && left >= iov[i].iov_len) {
+      left -= iov[i].iov_len;
+      ++i;
+    }
+    if (i < iovcnt) {
+      // Short write: resume mid-entry.
+      iov[i].iov_base = static_cast<char*>(iov[i].iov_base) + left;
+      iov[i].iov_len -= left;
+    }
+  }
+  return WriteResult{};
+}
+
+WriteResult FrameWriter::WriteFrame(std::string_view payload) {
+  DRTP_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                 "frame payload " << payload.size() << " exceeds cap");
+  char header[4];
+  EncodeFrameHeader(payload.size(), header);
+  iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof header;
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  return WriteVec(iov, 2);
+}
 
 void EncodeFrameHeader(std::size_t n, char out[4]) {
   out[0] = static_cast<char>((n >> 24) & 0xFF);

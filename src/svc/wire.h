@@ -14,6 +14,8 @@
 #include <string>
 #include <string_view>
 
+struct iovec;  // <sys/uio.h>
+
 namespace drtp::svc {
 
 /// Largest accepted payload. Requests are small (one JSON object); the
@@ -23,6 +25,62 @@ inline constexpr std::size_t kMaxFrameBytes = 1 << 20;  // 1 MiB
 
 /// Renders the 4-byte big-endian header for a payload of `n` bytes.
 void EncodeFrameHeader(std::size_t n, char out[4]);
+
+/// Why a frame (or WAL record) write failed. The taxonomy is explicit so
+/// callers can distinguish a vanished peer (expected, quiet) from a full
+/// disk (fatal for a write-ahead log) from everything else.
+enum class WriteStatus {
+  kOk,
+  kPeerGone,  ///< EPIPE / ECONNRESET: the peer closed first
+  kNoSpace,   ///< ENOSPC / EDQUOT: the filesystem is full
+  kIoError,   ///< any other errno (EIO, EBADF, ...)
+};
+
+/// Stable lowercase name for logs and error strings.
+const char* WriteStatusName(WriteStatus status);
+
+/// Maps an errno from write/writev/sendmsg to the taxonomy above.
+WriteStatus ClassifyWriteErrno(int err);
+
+struct WriteResult {
+  WriteStatus status = WriteStatus::kOk;
+  int error_errno = 0;  ///< errno captured when status != kOk
+  bool ok() const { return status == WriteStatus::kOk; }
+  /// "<status name>: <strerror>" for error strings.
+  std::string message() const;
+};
+
+/// Writes frames (and raw scatter/gather buffers) with an explicit
+/// EINTR/short-write retry loop — a single write() that returns short
+/// would otherwise silently truncate a frame mid-stream and desync the
+/// peer's FrameReader. Socket fds are written with sendmsg(MSG_NOSIGNAL)
+/// so a vanished peer surfaces as kPeerGone instead of SIGPIPE; regular
+/// files (the WAL) fall back to writev transparently.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+  virtual ~FrameWriter() = default;
+
+  FrameWriter(const FrameWriter&) = delete;
+  FrameWriter& operator=(const FrameWriter&) = delete;
+
+  /// Header + payload, atomically from the peer's perspective (the retry
+  /// loop completes the frame or reports why it could not).
+  WriteResult WriteFrame(std::string_view payload);
+
+  /// Writes every byte of `iov[0..iovcnt)`. Consumed entries are mutated
+  /// in place as partial writes land — callers pass scratch iovecs.
+  WriteResult WriteVec(iovec* iov, int iovcnt);
+
+ protected:
+  /// Test seam: failure-injecting subclasses override this to simulate
+  /// short writes, EINTR, ENOSPC, and dead peers (svc_test).
+  virtual long DoWritev(const iovec* iov, int iovcnt);
+
+ private:
+  int fd_;
+  bool use_sendmsg_ = true;  ///< cleared on ENOTSOCK (regular file)
+};
 
 /// Header + payload in one buffer (DRTP_CHECKs the size cap — callers
 /// frame only payloads they rendered themselves).

@@ -4,9 +4,13 @@
 // replay-equivalence contract that pins a live daemon's final state to an
 // offline sim::RunScenario replay of its request log.
 #include <gtest/gtest.h>
+#include <sys/uio.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -184,6 +188,115 @@ TEST(WireTest, OversizedHeaderPoisonsReader) {
   EXPECT_FALSE(reader.Next().has_value());
 }
 
+// ---- frame writer (failure injection) ---------------------------------
+
+/// FrameWriter with a scripted DoWritev: each step either consumes up to
+/// `accept` bytes or fails with `fail_errno`. Steps repeat the last entry
+/// once exhausted.
+class FakeWriter : public svc::FrameWriter {
+ public:
+  struct Step {
+    long accept = 0;   ///< bytes to consume (0 with errno = failure)
+    int fail_errno = 0;
+  };
+
+  explicit FakeWriter(std::vector<Step> steps)
+      : svc::FrameWriter(-1), steps_(std::move(steps)) {}
+
+  const std::string& written() const { return written_; }
+  int calls() const { return calls_; }
+
+ protected:
+  long DoWritev(const iovec* iov, int iovcnt) override {
+    const Step& step =
+        steps_[std::min<std::size_t>(static_cast<std::size_t>(calls_),
+                                     steps_.size() - 1)];
+    ++calls_;
+    if (step.fail_errno != 0) {
+      errno = step.fail_errno;
+      return -1;
+    }
+    long left = step.accept;
+    long taken = 0;
+    for (int i = 0; i < iovcnt && left > 0; ++i) {
+      const long n = std::min<long>(left, static_cast<long>(iov[i].iov_len));
+      written_.append(static_cast<const char*>(iov[i].iov_base),
+                      static_cast<std::size_t>(n));
+      taken += n;
+      left -= n;
+    }
+    return taken;
+  }
+
+ private:
+  std::vector<Step> steps_;
+  std::string written_;
+  int calls_ = 0;
+};
+
+TEST(FrameWriterTest, ShortWritesAreCompletedByteForByte) {
+  // 3 bytes per call: the header/payload iovec boundary is crossed
+  // mid-write and every byte must still land exactly once, in order.
+  FakeWriter writer(std::vector<FakeWriter::Step>{{.accept = 3}});
+  const svc::WriteResult res = writer.WriteFrame("hello, short writes");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(writer.written(), svc::EncodeFrame("hello, short writes"));
+  EXPECT_GT(writer.calls(), 1);
+}
+
+TEST(FrameWriterTest, EintrIsRetriedNotReported) {
+  FakeWriter writer({{.fail_errno = EINTR},
+                     {.fail_errno = EINTR},
+                     {.accept = 1 << 20}});
+  const svc::WriteResult res = writer.WriteFrame("interrupted");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(writer.written(), svc::EncodeFrame("interrupted"));
+  EXPECT_EQ(writer.calls(), 3);
+}
+
+TEST(FrameWriterTest, ErrnoTaxonomyIsExplicit) {
+  struct Case {
+    int err;
+    svc::WriteStatus want;
+    const char* name;
+  };
+  const Case cases[] = {
+      {EPIPE, svc::WriteStatus::kPeerGone, "peer_gone"},
+      {ECONNRESET, svc::WriteStatus::kPeerGone, "peer_gone"},
+      {ENOSPC, svc::WriteStatus::kNoSpace, "no_space"},
+      {EDQUOT, svc::WriteStatus::kNoSpace, "no_space"},
+      {EIO, svc::WriteStatus::kIoError, "io_error"},
+      {EBADF, svc::WriteStatus::kIoError, "io_error"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(svc::ClassifyWriteErrno(c.err), c.want) << c.err;
+    FakeWriter writer(std::vector<FakeWriter::Step>{{.fail_errno = c.err}});
+    const svc::WriteResult res = writer.WriteFrame("doomed");
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.status, c.want);
+    EXPECT_EQ(res.error_errno, c.err);
+    EXPECT_NE(res.message().find(c.name), std::string::npos)
+        << res.message();
+  }
+}
+
+TEST(FrameWriterTest, FailureAfterPartialWriteReportsNotOk) {
+  // A frame that dies halfway: the caller must see the failure (the
+  // server drops the client; the WAL treats it as fatal) — a half-frame
+  // reported as success would desync the peer's reader forever.
+  FakeWriter writer({{.accept = 2}, {.fail_errno = EPIPE}});
+  const svc::WriteResult res = writer.WriteFrame("half");
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status, svc::WriteStatus::kPeerGone);
+}
+
+TEST(FrameWriterTest, ZeroReturnIsIoErrorNotInfiniteLoop) {
+  FakeWriter writer({{.accept = 0, .fail_errno = 0}});
+  const svc::WriteResult res = writer.WriteFrame("stuck");
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status, svc::WriteStatus::kIoError);
+}
+
 // ---- drtp.rpc/1 decoding ----------------------------------------------
 
 TEST(RpcTest, MalformedJsonIsBadJson) {
@@ -239,6 +352,153 @@ TEST(RpcTest, GoodAdmitDecodes) {
   EXPECT_EQ(d.request.src, 1);
   EXPECT_EQ(d.request.dst, 9);
   EXPECT_EQ(d.request.bw, Mbps(2));
+}
+
+// ---- malformed-input corpus -------------------------------------------
+
+/// Reads the checked-in corpus manifest: `<file> <expected error code>`
+/// per line (tests/testdata/rpc_corpus/MANIFEST).
+std::vector<std::pair<std::string, std::string>> ReadCorpusManifest() {
+  const std::string dir = std::string(DRTP_TESTDATA_DIR) + "/rpc_corpus/";
+  std::ifstream in(dir + "MANIFEST");
+  EXPECT_TRUE(in.good()) << "missing " << dir << "MANIFEST";
+  std::vector<std::pair<std::string, std::string>> out;
+  std::string file, code;
+  while (in >> file >> code) out.emplace_back(dir + file, code);
+  return out;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(RpcCorpusTest, EveryMalformedFrameGetsItsPinnedErrorCode) {
+  // Truncated, oversized, deep-nested, non-UTF-8, overflowing, duplicate
+  // -keyed, control-character frames: each decodes to the exact error
+  // code pinned in the manifest — stable taxonomy, never a crash (the
+  // ASan/UBSan CI job runs this test under sanitizers).
+  const auto corpus = ReadCorpusManifest();
+  ASSERT_GE(corpus.size(), 20u);
+  for (const auto& [path, want] : corpus) {
+    const std::string payload = ReadFileBytes(path);
+    const DecodedRequest d = DecodeRequest(payload);
+    EXPECT_FALSE(d.ok) << path;
+    EXPECT_EQ(d.error_code, want) << path;
+    // The pre-decode id scan must also survive every corpus entry.
+    (void)svc::ExtractRequestId(payload);
+  }
+}
+
+TEST(RpcCorpusTest, EngineAnswersEveryMalformedFrame) {
+  // End to end through the batch path: every corpus frame produces
+  // exactly one well-formed ok=false response — never a dropped frame,
+  // never a throw out of ExecuteBatch.
+  const net::Topology topo = net::MakeWaxman(
+      net::WaxmanConfig{.nodes = 20, .avg_degree = 4.0, .seed = 3});
+  Engine engine(topo, EngineOptions{});
+  const std::uint64_t fresh = engine.StateDigest();
+  for (const auto& [path, want] : ReadCorpusManifest()) {
+    const DecodedRequest d = DecodeRequest(ReadFileBytes(path));
+    const std::vector<std::string> out = engine.ExecuteBatch({&d, 1});
+    ASSERT_EQ(out.size(), 1u) << path;
+    const JsonValue resp = ParseJson(out[0]);
+    EXPECT_FALSE(Get(resp, "ok").AsBool()) << path;
+    EXPECT_EQ(Get(Get(resp, "error"), "code").AsString(), want) << path;
+  }
+  // Malformed input is state-neutral: no admission, no clock advance.
+  EXPECT_EQ(engine.StateDigest(), fresh);
+  EXPECT_EQ(engine.virtual_now(), 0.0);
+}
+
+// ---- overload ----------------------------------------------------------
+
+TEST(OverloadTest, OverloadedResponseCarriesRetryHint) {
+  const std::string resp = svc::RenderOverloadedResponse(42, 3);
+  const JsonValue v = ParseJson(resp);
+  EXPECT_EQ(Get(v, "id").AsInt64(), 42);
+  EXPECT_FALSE(Get(v, "ok").AsBool());
+  const JsonValue& err = Get(v, "error");
+  EXPECT_EQ(Get(err, "code").AsString(), svc::kErrOverloaded);
+  EXPECT_EQ(Get(err, "retry_after_ms").AsInt64(), 3);
+}
+
+TEST(OverloadTest, ExtractRequestIdScansWithoutParsing) {
+  EXPECT_EQ(svc::ExtractRequestId(R"({"id":123,"method":"x"})"), 123);
+  EXPECT_EQ(svc::ExtractRequestId(R"({ "id" : 7 })"), 7);
+  EXPECT_EQ(svc::ExtractRequestId("no id here"), -1);
+  EXPECT_EQ(svc::ExtractRequestId(R"({"id":"nan"})"), -1);
+  EXPECT_EQ(svc::ExtractRequestId(""), -1);
+}
+
+TEST(OverloadTest, PipelineShedsAboveMaxInflightAndRecovers) {
+  const net::Topology topo = net::MakeWaxman(
+      net::WaxmanConfig{.nodes = 12, .avg_degree = 3.0, .seed = 2});
+  Engine engine(topo, EngineOptions{});
+  std::mutex mu;
+  int responses = 0;
+  svc::PipelineOptions po;
+  po.threads = 1;
+  po.batch_max = 64;
+  po.linger_us = -1;  // nothing executes until drain: submissions pile up
+  po.max_inflight = 4;
+  svc::Pipeline pipeline(engine, po,
+                         [&](std::uint64_t, std::uint64_t, std::string) {
+                           std::lock_guard<std::mutex> l(mu);
+                           ++responses;
+                         });
+  int accepted = 0;
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::string payload = AdmitPayload(i, i, 0, 5, Mbps(1));
+    if (pipeline.TrySubmit(1, payload).has_value()) {
+      ++accepted;
+    } else {
+      ++shed;
+      EXPECT_FALSE(payload.empty())
+          << "shed must not consume the payload (the server still "
+             "answers it)";
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(shed, 6);
+  EXPECT_EQ(pipeline.shed(), 6);
+  EXPECT_GE(pipeline.RetryAfterMs(), 1);
+  pipeline.Drain();
+  EXPECT_EQ(responses, 4) << "every accepted frame must be answered";
+}
+
+TEST(OverloadTest, CapacityFreesAsResponsesFlow) {
+  // With a live engine thread (linger 0) the window drains continuously:
+  // a closed-loop submitter far past max_inflight still gets every
+  // accepted frame answered, and accepted + shed accounts for all.
+  const net::Topology topo = net::MakeWaxman(
+      net::WaxmanConfig{.nodes = 12, .avg_degree = 3.0, .seed = 2});
+  Engine engine(topo, EngineOptions{});
+  std::mutex mu;
+  int responses = 0;
+  svc::PipelineOptions po;
+  po.threads = 2;
+  po.batch_max = 8;
+  po.linger_us = 0;
+  po.max_inflight = 4;
+  svc::Pipeline pipeline(engine, po,
+                         [&](std::uint64_t, std::uint64_t, std::string) {
+                           std::lock_guard<std::mutex> l(mu);
+                           ++responses;
+                         });
+  int accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string payload = AdmitPayload(i, i, i % 12, (i + 5) % 12, Mbps(1));
+    if (pipeline.TrySubmit(1, payload).has_value()) ++accepted;
+  }
+  pipeline.Drain();
+  EXPECT_EQ(responses, accepted);
+  EXPECT_EQ(pipeline.shed(), 200 - accepted);
+  EXPECT_GE(accepted, 4) << "the first max_inflight frames always fit";
 }
 
 // ---- engine -----------------------------------------------------------
@@ -351,7 +611,8 @@ TEST_F(EngineTest, StatsFieldOrderIsPinned) {
       "link_fails",   "link_repairs", "batches",        "prime_kbps",
       "spare_kbps",   "overbooked_links", "pbk_hits",   "pbk_trials",
       "pbk",          "digest",     "audit_checks",     "audit_violations",
-      "degraded",     "batch_last", "request_log_events"};
+      "degraded",     "batch_last", "request_log_events",
+      "wal_batches",  "wal_bytes",  "snapshots",          "shed"};
   std::size_t pos = 0;
   for (const char* key : kOrder) {
     const std::string needle = std::string("\"") + key + "\":";

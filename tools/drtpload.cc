@@ -11,6 +11,14 @@
 // Events are partitioned across workers by connection id, so a release is
 // only ever sent by the worker that already saw its admit answered.
 //
+// Closed-loop workers are fault-tolerant clients: `overloaded` responses
+// are retried after a jittered exponential backoff seeded from the hint
+// the daemon returns, transport failures trigger reconnect-with-backoff
+// (surviving a daemon crash + `--recover` restart), and a request resent
+// after a transport failure treats `conn_exists` (admit) / `not_found`
+// (release) as a duplicate ack — the original execution committed before
+// the crash. `--deadline_ms` bounds each request across all its retries.
+//
 // Reports admissions/sec, client-observed latency percentiles, and the
 // daemon's own stats (P_bk of the admitted set, state digest) as one JSON
 // object — the format stored in results/BENCH_drtpd.json.
@@ -33,6 +41,7 @@
 #include "common/flags.h"
 #include "common/json.h"
 #include "common/json_value.h"
+#include "common/rng.h"
 #include "common/socket.h"
 #include "net/topology.h"
 #include "sim/traffic.h"
@@ -155,19 +164,55 @@ struct Tally {
   std::int64_t blocked = 0;
   std::int64_t released = 0;
   std::int64_t transport_failures = 0;
+  std::int64_t aborted = 0;            ///< workers that gave up for good
+  std::int64_t overloaded = 0;         ///< shed responses received
+  std::int64_t retries = 0;            ///< resends after overloaded
+  std::int64_t reconnects = 0;         ///< successful re-Connects
+  std::int64_t dup_acks = 0;           ///< conn_exists/not_found-as-success
+  std::int64_t deadline_exceeded = 0;  ///< requests abandoned at deadline
   std::vector<std::int64_t> latency_ns;
 };
 
-/// Counts one response payload into the tally (mu held by caller).
-void CountResponse(const std::string& payload, Tally& t) {
+/// What a response payload means before counting it: success, a
+/// retryable overload shed, or a terminal error with its taxonomy code.
+struct Verdict {
+  bool ok = false;
+  bool overloaded = false;
+  int retry_after_ms = 1;
+  std::string code;  ///< error code when !ok (empty if unparseable)
+};
+
+Verdict ClassifyResponse(const std::string& payload) {
+  Verdict out;
   try {
     const JsonValue v = ParseJson(payload);
     const JsonValue* ok = v.Find("ok");
-    if (ok == nullptr || !ok->AsBool()) {
-      ++t.errors;
-      return;
+    if (ok != nullptr && ok->AsBool()) {
+      out.ok = true;
+      return out;
     }
-    ++t.ok;
+    if (const JsonValue* err = v.Find("error")) {
+      if (const JsonValue* code = err->Find("code")) {
+        out.code = code->AsString();
+      }
+      if (out.code == svc::kErrOverloaded) {
+        out.overloaded = true;
+        if (const JsonValue* ra = err->Find("retry_after_ms")) {
+          out.retry_after_ms =
+              std::max<int>(1, static_cast<int>(ra->AsInt64()));
+        }
+      }
+    }
+  } catch (const ParseError&) {
+  }
+  return out;
+}
+
+/// Counts one ok response payload into the tally (mu held by caller).
+void CountOkResponse(const std::string& payload, Tally& t) {
+  ++t.ok;
+  try {
+    const JsonValue v = ParseJson(payload);
     const JsonValue* result = v.Find("result");
     if (result == nullptr) return;
     if (const JsonValue* admitted = result->Find("admitted")) {
@@ -180,8 +225,14 @@ void CountResponse(const std::string& payload, Tally& t) {
       if (released->AsBool()) ++t.released;
     }
   } catch (const ParseError&) {
-    ++t.errors;
   }
+}
+
+/// Jittered sleep: base × U[0.5, 1.5), the decorrelation that keeps a
+/// fleet of backed-off clients from re-stampeding in phase.
+void SleepJitteredMs(Rng& rng, double base_ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      base_ms * rng.UniformReal(0.5, 1.5)));
 }
 
 /// Latency quantiles through the shared obs log-bucket estimator — the
@@ -220,6 +271,16 @@ int main(int argc, char** argv) {
   auto& rate = flags.Int64(
       "rate", 0, "open-loop send pacing, requests/s (0 = unpaced)", 0,
       1000000);
+  auto& deadline_ms = flags.Int64(
+      "deadline_ms", 0,
+      "per-request deadline across retries/reconnects, milliseconds "
+      "(closed loop; 0 = none)",
+      0, 600000);
+  auto& reconnect_s = flags.Int64(
+      "reconnect_s", 30,
+      "closed loop: keep retrying a dead socket this long before giving "
+      "up (rides out a daemon crash + --recover restart)",
+      0, 3600);
   auto& out = flags.String("out", "-", "JSON report file, '-' for stdout");
   flags.Parse(argc, argv);
 
@@ -297,13 +358,13 @@ int main(int argc, char** argv) {
       threads.reserve(static_cast<std::size_t>(w));
       for (int i = 0; i < w; ++i) {
         threads.emplace_back([&, i] {
+          // Per-worker backoff jitter stream: seeded, so a re-run sleeps
+          // (and therefore interleaves) the same way.
+          Rng rng(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL +
+                  static_cast<std::uint64_t>(i) + 1);
           RpcClient client;
           std::string err;
-          if (!client.Connect(socket_path, &err)) {
-            std::lock_guard<std::mutex> l(tally.mu);
-            ++tally.transport_failures;
-            return;
-          }
+          bool connected = client.Connect(socket_path, &err);
           std::int64_t next_id = 1;
           std::string response;
           for (const LoadEvent& e : shards[static_cast<std::size_t>(i)]) {
@@ -311,16 +372,95 @@ int main(int argc, char** argv) {
                                             ? AdmitPayload(next_id, e)
                                             : ReleasePayload(next_id, e.conn);
             ++next_id;
-            const std::int64_t t0 = MonotonicClock::Instance().NowNs();
-            if (!client.Call(payload, &response)) {
-              std::lock_guard<std::mutex> l(tally.mu);
-              ++tally.transport_failures;
-              return;
+            const std::int64_t deadline_ns =
+                deadline_ms > 0 ? MonotonicClock::Instance().NowNs() +
+                                      deadline_ms * 1000000
+                                : 0;
+            // One request, many attempts: reconnects after transport
+            // failure, resends after overload, until answered or the
+            // deadline passes. `resent` marks a send the daemon may have
+            // already executed — only then do conn_exists / not_found
+            // read as duplicate acks rather than errors.
+            bool resent = false;
+            int overload_attempt = 0;
+            int reconnect_attempt = 0;
+            std::int64_t down_since_ns = 0;
+            for (;;) {
+              if (deadline_ns > 0 &&
+                  MonotonicClock::Instance().NowNs() > deadline_ns) {
+                std::lock_guard<std::mutex> l(tally.mu);
+                ++tally.deadline_exceeded;
+                break;
+              }
+              if (!connected) {
+                const std::int64_t now = MonotonicClock::Instance().NowNs();
+                if (down_since_ns == 0) down_since_ns = now;
+                if (now - down_since_ns > reconnect_s * 1000000000LL) {
+                  // The daemon never came back: record the permanent
+                  // failure and abandon this worker's remaining shard
+                  // (its releases would all dead-end anyway).
+                  std::lock_guard<std::mutex> l(tally.mu);
+                  ++tally.transport_failures;
+                  ++tally.aborted;
+                  return;
+                }
+                SleepJitteredMs(
+                    rng, 5.0 * static_cast<double>(
+                                   1 << std::min(reconnect_attempt, 6)));
+                ++reconnect_attempt;
+                client = RpcClient();
+                if (!client.Connect(socket_path, &err)) continue;
+                connected = true;
+                down_since_ns = 0;
+                resent = true;
+                std::lock_guard<std::mutex> l(tally.mu);
+                ++tally.reconnects;
+              }
+              const std::int64_t t0 = MonotonicClock::Instance().NowNs();
+              if (!client.Call(payload, &response)) {
+                connected = false;
+                std::lock_guard<std::mutex> l(tally.mu);
+                ++tally.transport_failures;
+                continue;
+              }
+              const std::int64_t t1 = MonotonicClock::Instance().NowNs();
+              const Verdict verdict = ClassifyResponse(response);
+              {
+                std::lock_guard<std::mutex> l(tally.mu);
+                tally.latency_ns.push_back(t1 - t0);
+                if (verdict.ok) {
+                  CountOkResponse(response, tally);
+                  break;
+                }
+                if (verdict.overloaded) {
+                  ++tally.overloaded;
+                  ++tally.retries;
+                } else if (resent && e.admit &&
+                           verdict.code == svc::kErrConnExists) {
+                  // Our pre-crash admit committed; the retry is a dup.
+                  ++tally.ok;
+                  ++tally.admitted;
+                  ++tally.dup_acks;
+                  break;
+                } else if (resent && !e.admit &&
+                           verdict.code == svc::kErrNotFound) {
+                  ++tally.ok;
+                  ++tally.released;
+                  ++tally.dup_acks;
+                  break;
+                } else {
+                  ++tally.errors;
+                  break;
+                }
+              }
+              // Overloaded: honor the daemon's hint, escalating
+              // exponentially (capped) with jitter, then resend.
+              SleepJitteredMs(
+                  rng, static_cast<double>(verdict.retry_after_ms) *
+                           static_cast<double>(
+                               1 << std::min(overload_attempt, 6)));
+              ++overload_attempt;
             }
-            const std::int64_t t1 = MonotonicClock::Instance().NowNs();
-            std::lock_guard<std::mutex> l(tally.mu);
-            tally.latency_ns.push_back(t1 - t0);
-            CountResponse(response, tally);
           }
         });
       }
@@ -351,9 +491,18 @@ int main(int argc, char** argv) {
             }
           } catch (const std::exception&) {
           }
+          const Verdict verdict = ClassifyResponse(response);
           std::lock_guard<std::mutex> l(tally.mu);
           if (sent_ns > 0) tally.latency_ns.push_back(t1 - sent_ns);
-          CountResponse(response, tally);
+          if (verdict.ok) {
+            CountOkResponse(response, tally);
+          } else if (verdict.overloaded) {
+            // Open loop never retries — a shed is the measurement, not
+            // an error: it is exactly what overload pressure looks like.
+            ++tally.overloaded;
+          } else {
+            ++tally.errors;
+          }
         }
       });
       const double gap_ns = rate > 0 ? 1e9 / static_cast<double>(rate) : 0.0;
@@ -389,9 +538,24 @@ int main(int argc, char** argv) {
     const double wall_s = static_cast<double>(wall_ns) / 1e9;
 
     // Final daemon-side view: P_bk of the admitted set + state digest.
+    // The control connection may have died with a crashed daemon while
+    // the workers rode it out — reconnect with the same patience.
     std::string stats1;
-    if (!control.Call(StatsPayload(1), &stats1)) {
-      return Fail("final stats request failed");
+    {
+      Rng rng(static_cast<std::uint64_t>(seed) ^ 0xc0117201ULL);
+      const std::int64_t give_up_ns = MonotonicClock::Instance().NowNs() +
+                                      reconnect_s * 1000000000LL;
+      int attempt = 0;
+      while (!control.Call(StatsPayload(1), &stats1)) {
+        if (MonotonicClock::Instance().NowNs() > give_up_ns) {
+          return Fail("final stats request failed");
+        }
+        SleepJitteredMs(
+            rng, 5.0 * static_cast<double>(1 << std::min(attempt, 6)));
+        ++attempt;
+        control = RpcClient();
+        control.Connect(socket_path, &error);
+      }
     }
     const JsonValue v1 = ParseJson(stats1);
     const JsonValue& r1 = Field(v1, "result");
@@ -429,6 +593,12 @@ int main(int argc, char** argv) {
     w.Key("blocked").Int(tally.blocked);
     w.Key("released").Int(tally.released);
     w.Key("transport_failures").Int(tally.transport_failures);
+    w.Key("aborted").Int(tally.aborted);
+    w.Key("overloaded").Int(tally.overloaded);
+    w.Key("retries").Int(tally.retries);
+    w.Key("reconnects").Int(tally.reconnects);
+    w.Key("dup_acks").Int(tally.dup_acks);
+    w.Key("deadline_exceeded").Int(tally.deadline_exceeded);
     w.EndObject();
     w.Key("throughput").BeginObject();
     w.Key("wall_s").Double(wall_s);
@@ -472,7 +642,12 @@ int main(int argc, char** argv) {
                    static_cast<long long>(tally.admitted), wall_s,
                    out.c_str());
     }
-    return tally.transport_failures > 0 ? 1 : 0;
+    // Closed loop tolerates transient transport failures (they were
+    // retried through reconnect); only a worker that gave up for good —
+    // or any open-loop break, which has no retry path — fails the run.
+    const bool failed = tally.aborted > 0 ||
+                        (mode == "open" && tally.transport_failures > 0);
+    return failed ? 1 : 0;
   } catch (const std::exception& e) {
     return Fail(e.what());
   }
