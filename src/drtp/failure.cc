@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/error.h"
 #include "obs/span.h"
 
 namespace drtp::core {
@@ -417,8 +418,51 @@ SwitchoverReport ApplyNodeFailure(DrtpNetwork& net, NodeId node, Time now,
 SwitchoverReport ApplySrlgFailure(DrtpNetwork& net, SrlgId srlg, Time now,
                                   RoutingScheme* reroute,
                                   lsdb::LinkStateDb* db) {
+  // The group id typically comes straight from a scenario file or an RPC,
+  // so an out-of-range value is bad *input*, not a broken invariant —
+  // reject it as ParseError here rather than letting LinksInSrlg's
+  // DRTP_CHECK fire.
+  if (srlg < 0 || srlg >= net.topology().num_srlgs()) {
+    throw ParseError("fail-srlg: group " + std::to_string(srlg) +
+                     " out of range [0, " +
+                     std::to_string(net.topology().num_srlgs()) + ")");
+  }
   return ApplyLinkSetFailure(net, net.topology().LinksInSrlg(srlg), now,
                              reroute, db);
+}
+
+Ratio EvaluateSrlgSurvival(const DrtpNetwork& net) {
+  Ratio r;
+  const net::Topology& topo = net.topology();
+  if (!topo.has_srlgs()) return r;
+  std::vector<SrlgId> primary_groups;
+  std::vector<SrlgId> backup_groups;
+  for (const auto& [id, conn] : net.connections()) {
+    if (!conn.has_backup()) continue;
+    primary_groups.clear();
+    for (const LinkId l : conn.primary.links()) {
+      const SrlgId g = topo.srlg(l);
+      if (g != kInvalidSrlg) primary_groups.push_back(g);
+    }
+    std::sort(primary_groups.begin(), primary_groups.end());
+    primary_groups.erase(
+        std::unique(primary_groups.begin(), primary_groups.end()),
+        primary_groups.end());
+    if (primary_groups.empty()) continue;
+    backup_groups.clear();
+    for (const routing::Path& b : conn.backups) {
+      for (const LinkId l : b.links()) {
+        const SrlgId g = topo.srlg(l);
+        if (g != kInvalidSrlg) backup_groups.push_back(g);
+      }
+    }
+    std::sort(backup_groups.begin(), backup_groups.end());
+    for (const SrlgId g : primary_groups) {
+      r.Add(!std::binary_search(backup_groups.begin(), backup_groups.end(),
+                                g));
+    }
+  }
+  return r;
 }
 
 }  // namespace drtp::core

@@ -106,4 +106,13 @@ SwitchoverReport ApplySrlgFailure(DrtpNetwork& net, SrlgId srlg, Time now,
 /// All directed links incident to `node` (out + in), ascending.
 std::vector<LinkId> IncidentLinks(const net::Topology& topo, NodeId node);
 
+/// What-if SRLG fate-sharing: over every protected connection and every
+/// risk group its primary crosses, the fraction of cases where the backup
+/// touches *no* link of that group — i.e. the probability the backup
+/// structurally survives the correlated failure that disabled the
+/// primary. 1 − value() is the primary+backup co-failure rate; hard-mode
+/// SRLG-disjoint schemes score exactly 1. Zero trials on untagged
+/// topologies.
+Ratio EvaluateSrlgSurvival(const DrtpNetwork& net);
+
 }  // namespace drtp::core

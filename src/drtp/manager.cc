@@ -73,11 +73,18 @@ DrConnectionManager::DrConnectionManager(NodeId node,
                                          const net::Topology& topo,
                                          net::BandwidthLedger& ledger,
                                          SpareMode mode)
-    : node_(node), ledger_(ledger), mode_(mode) {
+    : node_(node), topo_(&topo), ledger_(ledger), mode_(mode) {
   DRTP_CHECK(node >= 0 && node < topo.num_nodes());
   for (LinkId l : topo.out_links(node)) {
-    links_.emplace(l, ManagedLink{lsdb::Aplv(topo.num_links()),
-                                  DemandVector(topo.num_links()), 0, {}});
+    links_.emplace(
+        l, ManagedLink{lsdb::Aplv(topo.num_links()),
+                       DemandVector(topo.num_links()),
+                       topo.has_srlgs()
+                           ? lsdb::SrlgVector(topo.num_srlgs(),
+                                              topo.num_links())
+                           : lsdb::SrlgVector(),
+                       0,
+                       {}});
   }
 }
 
@@ -116,6 +123,10 @@ bool DrConnectionManager::RegisterBackupHop(LinkId link,
                                << link);
   ml.backups.emplace(p.conn_id, std::make_pair(p.primary_lset, p.bw));
   ml.aplv.AddPrimaryLset(p.primary_lset);
+  if (ml.srlg_aplv.num_srlgs() > 0) {
+    ml.srlg_aplv.AddLset(p.primary_lset,
+                         [&](LinkId j) { return topo_->srlg(j); });
+  }
   ml.demand.Add(p.primary_lset, p.bw);
   ml.total_backup_bw += p.bw;
   return ReconcileSpare(link);
@@ -133,6 +144,10 @@ void DrConnectionManager::ReleaseBackupHop(LinkId link,
   DRTP_CHECK_MSG(it->second.second == p.bw,
                  "release bandwidth mismatch for connection " << p.conn_id);
   ml.aplv.RemovePrimaryLset(p.primary_lset);
+  if (ml.srlg_aplv.num_srlgs() > 0) {
+    ml.srlg_aplv.RemoveLset(p.primary_lset,
+                            [&](LinkId j) { return topo_->srlg(j); });
+  }
   ml.demand.Remove(p.primary_lset, p.bw);
   ml.total_backup_bw -= p.bw;
   ml.backups.erase(it);

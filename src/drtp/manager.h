@@ -23,6 +23,7 @@
 #include "common/types.h"
 #include "drtp/messages.h"
 #include "lsdb/aplv.h"
+#include "lsdb/srlg_vector.h"
 #include "net/bandwidth_ledger.h"
 #include "net/topology.h"
 
@@ -74,6 +75,10 @@ class DemandVector {
 struct ManagedLink {
   lsdb::Aplv aplv;
   DemandVector demand;
+  /// Per-SRLG aggregate of the APLV (element g = Σ_{j ∈ SRLG g} aplv[j]),
+  /// maintained alongside it and advertised for the SRLG-aware schemes.
+  /// Default (zero groups) on untagged topologies — no extra work there.
+  lsdb::SrlgVector srlg_aplv;
   /// Sum of the bandwidths of all backups on the link (dedicated-spare
   /// mode's target).
   Bandwidth total_backup_bw = 0;
@@ -127,6 +132,10 @@ class DrConnectionManager {
   ManagedLink& Owned(LinkId link);
 
   NodeId node_;
+  /// For SrlgVector maintenance (LinkId -> SrlgId lookups). SRLGs must be
+  /// assigned before the manager is built; later AssignSrlg calls would
+  /// desynchronize the aggregates.
+  const net::Topology* topo_;
   net::BandwidthLedger& ledger_;
   SpareMode mode_;
   /// Keyed by LinkId; only this router's outgoing links are present.

@@ -287,9 +287,13 @@ std::vector<LinkId> DrtpNetwork::OverbookedLinks() const {
 }
 
 void DrtpNetwork::WriteRecordTo(lsdb::LinkRecord& rec, LinkId l) const {
-  const lsdb::Aplv& vec = aplv(l);
-  rec.aplv_l1 = vec.L1();
-  rec.cv = vec.conflict_vector();
+  const core::ManagedLink& ml = manager(topo_.link(l).src).managed(l);
+  rec.aplv_l1 = ml.aplv.L1();
+  rec.cv = ml.aplv.conflict_vector();
+  // Unconditional (even on untagged topologies, where it is an empty
+  // copy): the incremental-publish debug compare relies on every field
+  // being written.
+  rec.srlg_aplv = ml.srlg_aplv;
   const bool up = IsLinkUp(l);
   rec.up = up;
   if (up) {
@@ -372,6 +376,12 @@ void DrtpNetwork::CheckConsistency() const {
   std::vector<DemandVector> expected_demand(
       static_cast<std::size_t>(topo_.num_links()),
       DemandVector(topo_.num_links()));
+  std::vector<lsdb::SrlgVector> expected_srlg(
+      static_cast<std::size_t>(topo_.num_links()),
+      topo_.has_srlgs()
+          ? lsdb::SrlgVector(topo_.num_srlgs(), topo_.num_links())
+          : lsdb::SrlgVector());
+  const auto srlg_of = [&](LinkId j) { return topo_.srlg(j); };
   for (const auto& [id, conn] : conns_) {
     for (const routing::Path& backup : conn.backups) {
       for (LinkId l : backup.links()) {
@@ -379,12 +389,20 @@ void DrtpNetwork::CheckConsistency() const {
             conn.primary_lset);
         expected_demand[static_cast<std::size_t>(l)].Add(conn.primary_lset,
                                                          conn.bw);
+        if (topo_.has_srlgs()) {
+          expected_srlg[static_cast<std::size_t>(l)].AddLset(
+              conn.primary_lset, srlg_of);
+        }
       }
     }
   }
   for (LinkId l = 0; l < topo_.num_links(); ++l) {
     DRTP_CHECK_MSG(expected[static_cast<std::size_t>(l)] == aplv(l),
                    "APLV mismatch on link " << l);
+    DRTP_CHECK_MSG(
+        expected_srlg[static_cast<std::size_t>(l)] ==
+            manager(topo_.link(l).src).managed(l).srlg_aplv,
+        "per-SRLG aggregate mismatch on link " << l);
     const DemandVector& demand = manager(topo_.link(l).src).managed(l).demand;
     for (LinkId j = 0; j < topo_.num_links(); ++j) {
       DRTP_CHECK_MSG(

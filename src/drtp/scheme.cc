@@ -1,5 +1,6 @@
 #include "drtp/scheme.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,9 @@ namespace {
 /// on a pool.
 struct LsrScratch {
   std::vector<std::uint64_t> primary_mask;
+  /// Sorted-unique risk groups of the current primary (SRLG-aware modes
+  /// only; empty otherwise).
+  std::vector<SrlgId> primary_srlgs;
   std::vector<std::uint64_t> shun_stamp;
   std::uint64_t shun_epoch = 0;
   routing::DijkstraWorkspace dijkstra;
@@ -88,7 +92,7 @@ std::optional<routing::Path> SelectBackupLsr(
     const net::Topology& topo, const lsdb::LinkStateDb& db,
     const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
     bool deterministic, std::span<const routing::Path> avoid, int max_hops,
-    CvScoring scoring) {
+    CvScoring scoring, SrlgMode srlg_mode) {
   // Sampled 1-in-4: runs once per admission at a few µs per call, where a
   // full span's clock reads are a measurable fraction of the kernel (the
   // CI obs-overhead gate budget; see docs/OBSERVABILITY.md).
@@ -110,10 +114,35 @@ std::optional<routing::Path> SelectBackupLsr(
   for (const routing::Path& path : avoid) {
     for (LinkId l : path.links()) scratch.Shun(l);
   }
+  // Risk groups the primary traverses. Empty (untagged topology, untagged
+  // primary, or srlg_mode off) disables every SRLG term below, so those
+  // runs execute the base schemes' exact arithmetic.
+  scratch.primary_srlgs.clear();
+  if (srlg_mode != SrlgMode::kOff && topo.has_srlgs()) {
+    for (LinkId l : primary) {
+      const SrlgId g = topo.srlg(l);
+      if (g != kInvalidSrlg) scratch.primary_srlgs.push_back(g);
+    }
+    std::sort(scratch.primary_srlgs.begin(), scratch.primary_srlgs.end());
+    scratch.primary_srlgs.erase(std::unique(scratch.primary_srlgs.begin(),
+                                            scratch.primary_srlgs.end()),
+                                scratch.primary_srlgs.end());
+  }
+  const bool srlg_aware = !scratch.primary_srlgs.empty();
 
   const auto cost = [&](LinkId l) {
     const lsdb::LinkRecord& rec = db.record(l);
     if (!rec.up) return routing::kInfiniteCost;
+    if (srlg_aware) {
+      const SrlgId g = topo.srlg(l);
+      if (g != kInvalidSrlg &&
+          std::binary_search(scratch.primary_srlgs.begin(),
+                             scratch.primary_srlgs.end(), g)) {
+        // This link fails together with the primary.
+        if (srlg_mode == SrlgMode::kHard) return routing::kInfiniteCost;
+        // kSoft: usable, but only when nothing group-disjoint exists.
+      }
+    }
     // Eq. 5's conflict count, by whichever access pattern fits the width:
     // one AND+popcount sweep over the mask (~64 links per instruction) or
     // |LSET| bit probes — the same exact integer either way.
@@ -122,6 +151,17 @@ std::optional<routing::Path> SelectBackupLsr(
                          use_mask ? rec.cv.AndPopCount(scratch.primary_mask)
                                   : rec.cv.CountIn(primary))
                    : static_cast<double>(rec.aplv_l1);
+    if (srlg_aware) {
+      const SrlgId g = topo.srlg(l);
+      if (g != kInvalidSrlg &&
+          std::binary_search(scratch.primary_srlgs.begin(),
+                             scratch.primary_srlgs.end(), g)) {
+        c += kSrlgPenalty;
+      }
+      // Advertised exposure of the primary's groups on this link: prefer
+      // links whose risk groups protect fewer of the same primaries.
+      c += static_cast<double>(rec.srlg_aplv.SumOver(scratch.primary_srlgs));
+    }
     c += kEpsilon;
     if (scratch.Shunned(l) || rec.available_for_backup < bw) {
       c += kPenaltyQ;

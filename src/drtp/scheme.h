@@ -88,6 +88,24 @@ class RoutingScheme {
                        std::to_string(state.size()) + " bytes");
     }
   }
+
+  /// True when the scheme *promises* SRLG-disjoint backups (hard-mode
+  /// SRLG variants). Auditors use this to arm the backup_shares_srlg
+  /// invariant; soft-mode variants only bias away from shared groups and
+  /// must not arm it.
+  virtual bool requires_srlg_disjoint_backup() const { return false; }
+};
+
+/// How backup selection treats links sharing a risk group with the
+/// primary (§"SRLG-disjoint routing"): kOff ignores SRLGs entirely (the
+/// paper's original schemes), kSoft penalizes shared-group links like a
+/// second Q term so they are used only as a last resort, kHard forbids
+/// them outright — a backup then either avoids every primary SRLG or does
+/// not exist.
+enum class SrlgMode {
+  kOff,
+  kSoft,
+  kHard,
 };
 
 /// How D-LSR's Eq. 5 conflict term is evaluated per candidate link.
@@ -120,11 +138,18 @@ inline constexpr int kCvMaskMaxWords = 16;
 /// max_hops > 0 restricts the search to QoS-feasible (delay-bounded)
 /// backups (§2: a backup longer than the QoS allows protects nothing);
 /// 0 means unbounded.
+/// `srlg_mode` layers the SRLG discipline on top: links sharing a group
+/// with the primary are priced out (kHard) or penalized by kSrlgPenalty
+/// (kSoft), and both modes add the advertised per-SRLG exposure of the
+/// primary's groups so ties break toward links whose groups carry fewer
+/// of the same primaries. On an untagged topology (or an untagged
+/// primary) every mode degenerates to the exact base arithmetic.
 std::optional<routing::Path> SelectBackupLsr(
     const net::Topology& topo, const lsdb::LinkStateDb& db,
     const routing::LinkSet& primary, NodeId src, NodeId dst, Bandwidth bw,
     bool deterministic, std::span<const routing::Path> avoid = {},
-    int max_hops = 0, CvScoring scoring = CvScoring::kAuto);
+    int max_hops = 0, CvScoring scoring = CvScoring::kAuto,
+    SrlgMode srlg_mode = SrlgMode::kOff);
 
 /// Registers up to `count` pairwise-disjoint backups for the connection's
 /// primary using scheme.SelectBackupFor, stopping early when no further
@@ -156,5 +181,11 @@ inline constexpr double kPenaltyQ = 1e7;
 
 /// Tie-break toward shorter routes (Eq. 4/5's epsilon, < 1).
 inline constexpr double kEpsilon = 1e-3;
+
+/// Soft-mode SRLG penalty: dominates any realistic conflict count (so a
+/// group-sharing link loses to every clean alternative) while staying
+/// below kPenaltyQ (so sharing a risk group is still preferred over
+/// reusing a primary link or an out-of-bandwidth one).
+inline constexpr double kSrlgPenalty = 1e6;
 
 }  // namespace drtp::core

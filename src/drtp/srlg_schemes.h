@@ -1,0 +1,76 @@
+// SRLG-aware routing schemes.
+//
+// Two families layered on the paper's link-state schemes:
+//
+//  - SrlgLsr: P-LSR / D-LSR with SRLG-disciplined backup selection. The
+//    primary is the usual min-hop route; the backup Dijkstra additionally
+//    prices links sharing a risk group with the primary out of the search
+//    (hard mode) or penalizes them by kSrlgPenalty (soft mode), and in
+//    both modes biases toward links whose advertised per-SRLG exposure to
+//    the primary's groups is low. On an untagged topology every variant
+//    is bit-identical to its base scheme.
+//
+//  - SrlgPairScheme: the quality baseline. Routes primary and backup
+//    *jointly* via the pruned active/protection pair search
+//    (routing::FindSrlgDisjointPair), falling back to min-hop primary
+//    plus a hard-constrained backup Dijkstra when no pair exists within
+//    the candidate budget.
+#pragma once
+
+#include "drtp/scheme.h"
+
+namespace drtp::core {
+
+/// SRLG-aware P-LSR (deterministic == false) or D-LSR (== true); `mode`
+/// must be kSoft or kHard. Covers the four registry labels
+/// {P,D}-LSR-SRLG-{SOFT,HARD}.
+class SrlgLsr : public RoutingScheme {
+ public:
+  SrlgLsr(bool deterministic, SrlgMode mode, int backup_hop_slack = 0);
+
+  std::string name() const override;
+
+  RouteSelection SelectRoutes(const DrtpNetwork& net,
+                              const lsdb::LinkStateDb& db, NodeId src,
+                              NodeId dst, Bandwidth bw) override;
+
+  std::optional<routing::Path> SelectBackupFor(
+      const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+      const routing::Path& primary, Bandwidth bw,
+      std::span<const routing::Path> avoid = {}) override;
+
+  bool requires_srlg_disjoint_backup() const override {
+    return mode_ == SrlgMode::kHard;
+  }
+
+ private:
+  int MaxHops(const routing::Path& primary) const {
+    return slack_ > 0 ? primary.hops() + slack_ : 0;
+  }
+
+  bool deterministic_;
+  SrlgMode mode_;
+  int slack_;
+};
+
+/// Joint primary+backup selection through the pruned SRLG-disjoint pair
+/// search (registry label "SRLG-PAIR"). Active candidates are min-hop
+/// over primary-feasible links; protections are scored like P-LSR's
+/// Eq. 4 ingredient (||APLV||_1 + ε) over backup-feasible links.
+class SrlgPairScheme : public RoutingScheme {
+ public:
+  std::string name() const override { return "SRLG-PAIR"; }
+
+  RouteSelection SelectRoutes(const DrtpNetwork& net,
+                              const lsdb::LinkStateDb& db, NodeId src,
+                              NodeId dst, Bandwidth bw) override;
+
+  std::optional<routing::Path> SelectBackupFor(
+      const DrtpNetwork& net, const lsdb::LinkStateDb& db,
+      const routing::Path& primary, Bandwidth bw,
+      std::span<const routing::Path> avoid = {}) override;
+
+  bool requires_srlg_disjoint_backup() const override { return true; }
+};
+
+}  // namespace drtp::core

@@ -87,10 +87,16 @@ void Auditor::Audit(const core::DrtpNetwork& net, Time t,
   std::vector<lsdb::Aplv> aplv(idx(num_links), lsdb::Aplv(num_links));
   std::vector<core::DemandVector> demand(idx(num_links),
                                          core::DemandVector(num_links));
+  const bool tagged = topo.has_srlgs();
+  std::vector<lsdb::SrlgVector> srlg_aplv(
+      idx(num_links), tagged ? lsdb::SrlgVector(topo.num_srlgs(), num_links)
+                             : lsdb::SrlgVector());
+  const auto srlg_of = [&](LinkId l) { return topo.srlg(l); };
   std::vector<Bandwidth> backup_bw(idx(num_links), 0);
   std::vector<std::vector<ConnId>> prim_on(idx(num_links));
   std::vector<std::vector<ConnId>> back_on(idx(num_links));
 
+  std::vector<SrlgId> primary_groups;
   for (const auto& [id, conn] : net.connections()) {
     if (conn.primary_lset != conn.primary.ToLinkSet()) {
       fail("conn.lset_cache", "cached primary LSET diverges from route",
@@ -120,9 +126,39 @@ void Auditor::Audit(const core::DrtpNetwork& net, Time t,
       for (const LinkId l : conn.backups[i].links()) {
         aplv[idx(l)].AddPrimaryLset(conn.primary_lset);
         demand[idx(l)].Add(conn.primary_lset, conn.bw);
+        if (tagged) srlg_aplv[idx(l)].AddLset(conn.primary_lset, srlg_of);
         backup_bw[idx(l)] += conn.bw;
         auto& v = back_on[idx(l)];
         if (v.empty() || v.back() != id) v.push_back(id);
+      }
+    }
+    // SRLG disjointness, when the scheme promises it: a backup touching a
+    // link that fails together with the primary protects nothing against
+    // that group's failure.
+    if (options_.require_srlg_disjoint && tagged) {
+      primary_groups.clear();
+      for (const LinkId l : conn.primary.links()) {
+        const SrlgId g = topo.srlg(l);
+        if (g != kInvalidSrlg) primary_groups.push_back(g);
+      }
+      std::sort(primary_groups.begin(), primary_groups.end());
+      primary_groups.erase(
+          std::unique(primary_groups.begin(), primary_groups.end()),
+          primary_groups.end());
+      if (!primary_groups.empty()) {
+        for (std::size_t i = 0; i < conn.backups.size(); ++i) {
+          for (const LinkId l : conn.backups[i].links()) {
+            const SrlgId g = topo.srlg(l);
+            if (g != kInvalidSrlg &&
+                std::binary_search(primary_groups.begin(),
+                                   primary_groups.end(), g)) {
+              std::ostringstream os;
+              os << "backup " << i << " link " << l
+                 << " shares risk group " << g << " with the primary";
+              fail("conn.backup_shares_srlg", os.str(), l, id);
+            }
+          }
+        }
       }
     }
   }
@@ -153,6 +189,12 @@ void Auditor::Audit(const core::DrtpNetwork& net, Time t,
     // APLV bit-equality against the from-scratch rebuild.
     if (!(net.aplv(l) == aplv[idx(l)])) {
       fail("aplv.mismatch", "incremental APLV != rebuilt APLV", l);
+    }
+    if (tagged &&
+        !(net.manager(topo.link(l).src).managed(l).srlg_aplv ==
+          srlg_aplv[idx(l)])) {
+      fail("srlg.aggregate_mismatch",
+           "incremental per-SRLG aggregate != rebuilt aggregate", l);
     }
 
     // Spare-pool sufficiency: the manager's target must equal the §5 rule

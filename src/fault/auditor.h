@@ -11,7 +11,10 @@
 //   - reverse-index ↔ connection-table agreement,
 //   - down-link mirror integrity (and the duplex pairing when enabled),
 //   - switchover-report sanity (no connection both recovered and dropped,
-//     dropped connections gone, recovered ones present).
+//     dropped connections gone, recovered ones present),
+//   - per-SRLG APLV aggregate bit-equality on tagged topologies, and
+//     (opt-in, for schemes that promise it) backup/primary SRLG
+//     disjointness.
 //
 // Unlike DrtpNetwork::CheckConsistency (which throws CheckError at the
 // first mismatch) the auditor records *every* violation, optionally
@@ -58,6 +61,12 @@ struct AuditorOptions {
   /// Recording cap: further violations are still *counted* but not stored
   /// or emitted (a corrupt network trips thousands of identical lines).
   std::size_t max_recorded = 256;
+  /// Arm conn.backup_shares_srlg: flag any backup using a link that
+  /// shares a risk group with its primary. Only meaningful for schemes
+  /// promising SRLG-disjoint backups (RoutingScheme::
+  /// requires_srlg_disjoint_backup) — soft-mode and base schemes merely
+  /// bias away from shared groups and would trip it legitimately.
+  bool require_srlg_disjoint = false;
 };
 
 /// Re-derives network ground truth and accumulates violations. Not

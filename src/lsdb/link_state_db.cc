@@ -2,11 +2,13 @@
 
 namespace drtp::lsdb {
 
-std::int64_t LinkStateDb::AdvertBytesPerCycle(bool with_cv) const {
+std::int64_t LinkStateDb::AdvertBytesPerCycle(bool with_cv,
+                                              bool with_srlg) const {
   std::int64_t total = 0;
   for (const auto& r : records_) {
     total += 4 + 4 + 4;  // link id + two bandwidth fields
     total += with_cv ? r.cv.AdvertBytes() : 8;
+    if (with_srlg) total += r.srlg_aplv.AdvertBytes();
   }
   return total;
 }

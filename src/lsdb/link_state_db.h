@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "lsdb/conflict_vector.h"
+#include "lsdb/srlg_vector.h"
 
 namespace drtp::lsdb {
 
@@ -32,6 +33,10 @@ struct LinkRecord {
   Bandwidth available_for_backup = 0;
   /// Bandwidth a *primary* may still reserve: the free pool only.
   Bandwidth free_for_primary = 0;
+  /// Per-SRLG APLV aggregate (SRLG-aware schemes' cost ingredient).
+  /// Empty (zero groups) on untagged topologies, so SRLG-free runs carry
+  /// and compare nothing extra.
+  SrlgVector srlg_aplv;
 
   friend bool operator==(const LinkRecord&, const LinkRecord&) = default;
 };
@@ -75,8 +80,11 @@ class LinkStateDb {
 
   /// Wire size of one full advertisement cycle (all links), in bytes.
   /// Per link: 4B link id + 4B bandwidth fields x2 + payload
-  /// (8B L1 for P-LSR, N/8 B conflict vector for D-LSR).
-  std::int64_t AdvertBytesPerCycle(bool with_cv) const;
+  /// (8B L1 for P-LSR, N/8 B conflict vector for D-LSR); `with_srlg`
+  /// additionally counts the per-SRLG aggregate the SRLG-aware variants
+  /// read.
+  std::int64_t AdvertBytesPerCycle(bool with_cv,
+                                   bool with_srlg = false) const;
 
  private:
   std::vector<LinkRecord> records_;

@@ -131,8 +131,11 @@ bool Topology::IsConnected() const {
 void Topology::AssignSrlg(LinkId l, SrlgId g) {
   DRTP_CHECK(l >= 0 && l < num_links());
   DRTP_CHECK_MSG(g >= 0, "srlg group must be non-negative, got " << g);
-  if (srlg_of_.empty()) {
-    srlg_of_.assign(static_cast<std::size_t>(num_links()), kInvalidSrlg);
+  // Covers both the lazy first allocation and any drift: links added
+  // after the first AssignSrlg must occupy (untagged) slots so srlg(l)
+  // never indexes past the end.
+  if (srlg_of_.size() < static_cast<std::size_t>(num_links())) {
+    srlg_of_.resize(static_cast<std::size_t>(num_links()), kInvalidSrlg);
   }
   SrlgId& slot = srlg_of_[static_cast<std::size_t>(l)];
   if (slot == g) return;

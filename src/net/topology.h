@@ -182,11 +182,15 @@ class Topology {
   /// link between groups.
   void AssignSrlg(LinkId l, SrlgId g);
 
-  /// Group of `l`, or kInvalidSrlg when untagged.
+  /// Group of `l`, or kInvalidSrlg when untagged. Links added after the
+  /// first AssignSrlg are untagged until assigned; the size comparison
+  /// (not just an emptiness check) keeps the read in bounds even if
+  /// srlg_of_ ever lags behind the link count.
   SrlgId srlg(LinkId l) const {
     DRTP_DCHECK(l >= 0 && l < num_links());
-    return srlg_of_.empty() ? kInvalidSrlg
-                            : srlg_of_[static_cast<std::size_t>(l)];
+    return static_cast<std::size_t>(l) < srlg_of_.size()
+               ? srlg_of_[static_cast<std::size_t>(l)]
+               : kInvalidSrlg;
   }
 
   /// 1 + highest assigned group id (0 when no link is tagged).

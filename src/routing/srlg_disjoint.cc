@@ -1,0 +1,210 @@
+#include "routing/srlg_disjoint.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace drtp::routing {
+namespace {
+
+double CostOf(std::span<const LinkId> links, LinkCostFn cost) {
+  double total = 0;
+  for (LinkId l : links) total += cost(l);
+  return total;
+}
+
+/// Yen's k-shortest simple paths, yielded one at a time in nondecreasing
+/// cost (ties broken by link-sequence lexicographic order, making the
+/// enumeration deterministic on equal-cost meshes).
+class YenEnumerator {
+ public:
+  YenEnumerator(const net::Topology& topo, NodeId src, NodeId dst,
+                LinkCostFn cost)
+      : topo_(topo), src_(src), dst_(dst), cost_(cost),
+        banned_link_(static_cast<std::size_t>(topo.num_links()), 0),
+        banned_node_(static_cast<std::size_t>(topo.num_nodes()), 0) {}
+
+  std::optional<Path> Next() {
+    if (!started_) {
+      started_ = true;
+      auto first = CheapestPath(topo_, src_, dst_, cost_);
+      if (!first.has_value()) return std::nullopt;
+      return Emit(*std::move(first));
+    }
+    ExpandSpursOfLastEmitted();
+    if (pool_.empty()) return std::nullopt;
+    auto entry = pool_.extract(pool_.begin());
+    auto path = Path::FromLinks(topo_, std::move(entry.value().links));
+    DRTP_CHECK(path.has_value());  // pool holds only validated chains
+    return Emit(*std::move(path));
+  }
+
+ private:
+  struct PoolEntry {
+    double cost;
+    std::vector<LinkId> links;
+    friend bool operator<(const PoolEntry& a, const PoolEntry& b) {
+      if (a.cost != b.cost) return a.cost < b.cost;
+      return a.links < b.links;
+    }
+  };
+
+  Path Emit(Path path) {
+    emitted_.emplace_back(path.links().begin(), path.links().end());
+    last_ = path;
+    return path;
+  }
+
+  void ExpandSpursOfLastEmitted() {
+    DRTP_CHECK(last_.has_value());
+    const std::vector<LinkId> prev(last_->links().begin(),
+                                   last_->links().end());
+    const std::vector<NodeId>& nodes = last_->nodes();
+    double root_cost = 0;
+    for (int i = 0; i < last_->hops(); ++i) {
+      const NodeId spur_node = nodes[static_cast<std::size_t>(i)];
+      // Deviate at the spur node: links any emitted path with this exact
+      // root prefix takes next are banned, and the root's earlier nodes
+      // are banned so the spur cannot loop back through them.
+      std::vector<LinkId> banned_links;
+      for (const std::vector<LinkId>& e : emitted_) {
+        if (static_cast<int>(e.size()) > i &&
+            std::equal(e.begin(), e.begin() + i, prev.begin())) {
+          const LinkId b = e[static_cast<std::size_t>(i)];
+          if (!banned_link_[static_cast<std::size_t>(b)]) {
+            banned_link_[static_cast<std::size_t>(b)] = 1;
+            banned_links.push_back(b);
+          }
+        }
+      }
+      for (int j = 0; j < i; ++j) {
+        banned_node_[static_cast<std::size_t>(
+            nodes[static_cast<std::size_t>(j)])] = 1;
+      }
+      auto spur = CheapestPath(
+          topo_, spur_node, dst_,
+          [&](LinkId l) {
+            if (banned_link_[static_cast<std::size_t>(l)]) {
+              return kInfiniteCost;
+            }
+            if (banned_node_[static_cast<std::size_t>(topo_.link(l).dst)]) {
+              return kInfiniteCost;
+            }
+            return cost_(l);
+          });
+      if (spur.has_value()) {
+        std::vector<LinkId> links(prev.begin(), prev.begin() + i);
+        links.insert(links.end(), spur->links().begin(), spur->links().end());
+        bool known = pool_seen_.contains(links);
+        for (const std::vector<LinkId>& e : emitted_) {
+          if (known) break;
+          known = e == links;
+        }
+        if (!known) {
+          const double c = root_cost + CostOf(spur->links(), cost_);
+          pool_seen_.insert(links);
+          pool_.insert(PoolEntry{c, std::move(links)});
+        }
+      }
+      for (LinkId b : banned_links) {
+        banned_link_[static_cast<std::size_t>(b)] = 0;
+      }
+      for (int j = 0; j < i; ++j) {
+        banned_node_[static_cast<std::size_t>(
+            nodes[static_cast<std::size_t>(j)])] = 0;
+      }
+      root_cost += cost_(prev[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  const net::Topology& topo_;
+  NodeId src_;
+  NodeId dst_;
+  LinkCostFn cost_;
+  bool started_ = false;
+  std::optional<Path> last_;
+  std::vector<std::vector<LinkId>> emitted_;
+  std::set<PoolEntry> pool_;
+  std::set<std::vector<LinkId>> pool_seen_;
+  std::vector<char> banned_link_;
+  std::vector<char> banned_node_;
+};
+
+}  // namespace
+
+SrlgDisjointResult FindSrlgDisjointPair(const net::Topology& topo, NodeId src,
+                                        NodeId dst, LinkCostFn active_cost,
+                                        LinkCostFn protection_cost,
+                                        const SrlgDisjointOptions& opts) {
+  DRTP_CHECK(src >= 0 && src < topo.num_nodes());
+  DRTP_CHECK(dst >= 0 && dst < topo.num_nodes());
+  DRTP_CHECK(opts.max_active_candidates > 0);
+
+  SrlgDisjointResult result;
+  // Lower bound on any constrained protection path. No unconstrained
+  // protection => no pair at all.
+  DijkstraWorkspace ws;
+  auto free_prot = CheapestPath(topo, src, dst, protection_cost, ws);
+  if (!free_prot.has_value()) {
+    result.proven_optimal = true;
+    return result;
+  }
+  const double prot_lb = CostOf(free_prot->links(), protection_cost);
+
+  YenEnumerator actives(topo, src, dst, active_cost);
+  std::vector<SrlgId> groups;
+  for (int k = 0; k < opts.max_active_candidates; ++k) {
+    auto active = actives.Next();
+    if (!active.has_value()) {
+      // Candidate space exhausted: the incumbent (or "none") is exact.
+      result.proven_optimal = true;
+      return result;
+    }
+    const double active_cost_k = CostOf(active->links(), active_cost);
+    if (result.found() && active_cost_k + prot_lb >= result.total_cost) {
+      // Candidates arrive in nondecreasing cost, so no later one can
+      // beat the incumbent either.
+      result.proven_optimal = true;
+      return result;
+    }
+    ++result.candidates_tried;
+
+    const LinkSet active_lset = active->ToLinkSet();
+    groups.clear();
+    for (LinkId l : active_lset) {
+      const SrlgId g = topo.srlg(l);
+      if (g != kInvalidSrlg) groups.push_back(g);
+    }
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+
+    auto protection = CheapestPath(
+        topo, src, dst,
+        [&](LinkId l) {
+          if (SetContains(active_lset, l)) return kInfiniteCost;
+          const SrlgId g = topo.srlg(l);
+          if (g != kInvalidSrlg &&
+              std::binary_search(groups.begin(), groups.end(), g)) {
+            return kInfiniteCost;
+          }
+          return protection_cost(l);
+        },
+        ws);
+    if (!protection.has_value()) continue;
+    const double total =
+        active_cost_k + CostOf(protection->links(), protection_cost);
+    if (total < result.total_cost) {
+      result.total_cost = total;
+      result.active = *std::move(active);
+      result.protection = *std::move(protection);
+    }
+  }
+  // Candidate cap hit before the bound closed; the pair (if any) is the
+  // best among those examined but not provably optimal.
+  return result;
+}
+
+}  // namespace drtp::routing

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 
 #include "common/check.h"
 #include "common/digest.h"
@@ -43,6 +44,15 @@ void WriteRunMetrics(JsonWriter& w, const sim::RunMetrics& m) {
   w.Key("trials").Int(m.pbk.trials);
   w.Key("value").Double(m.pbk.value());
   w.EndObject();
+  if (m.pbk_srlg.trials > 0) {
+    // Only sampled on SRLG-tagged topologies; omitting the key keeps
+    // SRLG-free runs byte-identical to pre-SRLG output.
+    w.Key("pbk_srlg").BeginObject();
+    w.Key("hits").Int(m.pbk_srlg.hits);
+    w.Key("trials").Int(m.pbk_srlg.trials);
+    w.Key("value").Double(m.pbk_srlg.value());
+    w.EndObject();
+  }
   w.Key("avg_active").Double(m.avg_active);
   w.Key("prime_bw_kbps");
   WriteStat(w, m.prime_bw);
@@ -166,8 +176,8 @@ void TableSink::Finish() {
               return a.cell.index < b.cell.index;
             });
   TextTable t({"seed", "E", "pattern", "lambda", "scheme", "req", "admit",
-               "accept", "P_bk", "avg_act", "prime_Mbps", "spare_Mbps",
-               "wall_s"});
+               "accept", "P_bk", "P_bk_slg", "recov", "avg_act",
+               "prime_Mbps", "spare_Mbps", "wall_s"});
   for (const CellResult& r : results_) {
     t.BeginRow();
     t.Cell(static_cast<std::int64_t>(r.cell.base_seed));
@@ -179,6 +189,12 @@ void TableSink::Finish() {
     t.Cell(r.metrics.admitted);
     t.Cell(r.metrics.AcceptanceRatio(), 3);
     t.Cell(r.metrics.pbk.value(), 4);
+    // "--" on SRLG-free topologies / when no failure hit a primary.
+    t.Cell(r.metrics.pbk_srlg.trials == 0
+               ? std::numeric_limits<double>::quiet_NaN()
+               : r.metrics.pbk_srlg.value(),
+           4);
+    t.Cell(r.metrics.EnactedRecoveryRatio(), 4);
     t.Cell(r.metrics.avg_active, 1);
     t.Cell(r.metrics.prime_bw.mean() / 1000.0, 1);
     t.Cell(r.metrics.spare_bw.mean() / 1000.0, 1);

@@ -183,6 +183,7 @@ CellResult SweepEngine::RunCell(const Cell& cell, obs::TraceSink* trace) {
     ao.stride = 1 + static_cast<int>(scenario.events.size() / 256);
     ao.cell = static_cast<std::int64_t>(cell.index);
     ao.out = &audit_os;
+    ao.require_srlg_disjoint = scheme->requires_srlg_disjoint_backup();
     auditor = std::make_unique<fault::Auditor>(ao);
     ec.after_event = [&auditor](const core::DrtpNetwork& net, Time t,
                                 std::string_view event,

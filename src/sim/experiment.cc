@@ -78,6 +78,10 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
   DRTP_CHECK_MSG(config.warmup < duration,
                  "warmup " << config.warmup << " >= duration " << duration);
   DRTP_CHECK(config.sample_interval > 0.0);
+  // Reject scenario/topology mismatches (a trace generated for a bigger
+  // graph, an SRLG id past this topology's groups) as ParseError up front
+  // — bad input, not a mid-replay invariant trip.
+  scenario.Validate(topo);
 
   core::DrtpNetwork net(topo, core::NetworkConfig{
                                   .spare_mode = config.spare_mode,
@@ -110,6 +114,7 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
   Time next_sample = config.warmup;
   const auto sample = [&](Time t) {
     m.pbk.Merge(core::EvaluateAllSingleLinkFailures(net));
+    if (topo.has_srlgs()) m.pbk_srlg.Merge(core::EvaluateSrlgSurvival(net));
     m.prime_bw.Add(static_cast<double>(net.ledger().TotalPrime()));
     m.spare_bw.Add(static_cast<double>(net.ledger().TotalSpare()));
     if (config.check_consistency) net.CheckConsistency();
@@ -414,8 +419,7 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
         if (instant) net.PublishTo(db, e.time);
       }
     } else if (e.type == ScenarioEvent::Type::kNodeFail) {
-      DRTP_CHECK_MSG(e.node >= 0 && e.node < topo.num_nodes(),
-                     "fail-node: node " << e.node << " out of range");
+      // Range-checked by scenario.Validate above.
       std::vector<LinkId> taking_down;
       for (const LinkId l : core::IncidentLinks(topo, e.node)) {
         if (net.IsLinkUp(l)) taking_down.push_back(l);
@@ -450,8 +454,7 @@ RunMetrics RunScenario(const net::Topology& topo, const Scenario& scenario,
         }
       }
     } else if (e.type == ScenarioEvent::Type::kSrlgFail) {
-      DRTP_CHECK_MSG(e.srlg >= 0 && e.srlg < topo.num_srlgs(),
-                     "fail-srlg: group " << e.srlg << " out of range");
+      // Range-checked by scenario.Validate above.
       std::vector<LinkId> taking_down;
       for (const LinkId l : topo.LinksInSrlg(e.srlg)) {
         if (net.IsLinkUp(l)) taking_down.push_back(l);

@@ -57,6 +57,11 @@ struct RunMetrics {
   /// disables the primary; aggregated over all sampled instants and all
   /// single-link failure cases.
   Ratio pbk;
+  /// SRLG counterpart: probability the backup shares no risk group with
+  /// the correlated failure that disabled the primary (structural
+  /// survival; 1 − value() is the primary+backup co-failure rate). Only
+  /// sampled on SRLG-tagged topologies; zero trials otherwise.
+  Ratio pbk_srlg;
 
   // --- carried load (measurement window) -----------------------------------
   /// Time-weighted average number of active DR-connections; Fig. 5's

@@ -5,6 +5,7 @@
 #include "drtp/bounded_flood.h"
 #include "drtp/dlsr.h"
 #include "drtp/plsr.h"
+#include "drtp/srlg_schemes.h"
 
 namespace drtp::sim {
 
@@ -54,6 +55,19 @@ std::unique_ptr<core::RoutingScheme> MakeScheme(const std::string& label,
     return std::make_unique<core::RandomBackup>(seed);
   if (label == "SD-Backup")
     return std::make_unique<core::ShortestDisjointBackup>();
+  if (label == "P-LSR-SRLG-SOFT")
+    return std::make_unique<core::SrlgLsr>(/*deterministic=*/false,
+                                           core::SrlgMode::kSoft);
+  if (label == "P-LSR-SRLG-HARD")
+    return std::make_unique<core::SrlgLsr>(/*deterministic=*/false,
+                                           core::SrlgMode::kHard);
+  if (label == "D-LSR-SRLG-SOFT")
+    return std::make_unique<core::SrlgLsr>(/*deterministic=*/true,
+                                           core::SrlgMode::kSoft);
+  if (label == "D-LSR-SRLG-HARD")
+    return std::make_unique<core::SrlgLsr>(/*deterministic=*/true,
+                                           core::SrlgMode::kHard);
+  if (label == "SRLG-PAIR") return std::make_unique<core::SrlgPairScheme>();
   DRTP_CHECK_MSG(false, "unknown scheme '" << label << "'");
   return nullptr;
 }

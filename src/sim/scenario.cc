@@ -56,6 +56,50 @@ std::int64_t Scenario::NumFailures() const {
       }));
 }
 
+void Scenario::Validate(const net::Topology& topo) const {
+  const auto bad = [](std::int64_t i, const std::string& what) {
+    throw ParseError("event " + std::to_string(i) + ": " + what);
+  };
+  const auto range = [](const char* kind, auto id, int limit) {
+    return std::string(kind) + " " + std::to_string(id) +
+           " out of range [0, " + std::to_string(limit) + ")";
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ScenarioEvent& e = events[i];
+    const auto idx = static_cast<std::int64_t>(i);
+    switch (e.type) {
+      case ScenarioEvent::Type::kRequest:
+        if (e.src < 0 || e.src >= topo.num_nodes()) {
+          bad(idx, range("request src node", e.src, topo.num_nodes()));
+        }
+        if (e.dst < 0 || e.dst >= topo.num_nodes()) {
+          bad(idx, range("request dst node", e.dst, topo.num_nodes()));
+        }
+        break;
+      case ScenarioEvent::Type::kRelease:
+        break;
+      case ScenarioEvent::Type::kLinkFail:
+      case ScenarioEvent::Type::kLinkRepair:
+        if (e.link < 0 || e.link >= topo.num_links()) {
+          bad(idx, range("fail/repair link", e.link, topo.num_links()));
+        }
+        break;
+      case ScenarioEvent::Type::kNodeFail:
+      case ScenarioEvent::Type::kNodeRepair:
+        if (e.node < 0 || e.node >= topo.num_nodes()) {
+          bad(idx, range("fail/repair node", e.node, topo.num_nodes()));
+        }
+        break;
+      case ScenarioEvent::Type::kSrlgFail:
+      case ScenarioEvent::Type::kSrlgRepair:
+        if (e.srlg < 0 || e.srlg >= topo.num_srlgs()) {
+          bad(idx, range("fail/repair srlg group", e.srlg, topo.num_srlgs()));
+        }
+        break;
+    }
+  }
+}
+
 void InjectLinkFailures(Scenario& scenario, const net::Topology& topo,
                         int count, Time t_begin, Time t_end, Time mttr,
                         std::uint64_t seed) {

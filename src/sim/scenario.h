@@ -77,6 +77,14 @@ struct Scenario {
   std::int64_t NumRequests() const;
   /// All enacted fault events (link, node, and SRLG failures).
   std::int64_t NumFailures() const;
+
+  /// Checks every event's entity ids against the topology (nodes, links,
+  /// risk groups) and throws drtp::ParseError naming the first offender.
+  /// Load can only range-check against the file itself; a scenario written
+  /// for one topology but replayed against a smaller one (or one with
+  /// fewer SRLGs) is caught here, at the replay boundary, instead of
+  /// tripping internal invariant checks mid-run.
+  void Validate(const net::Topology& topo) const;
 };
 
 /// Injects `count` single-link failure events at uniform-random instants

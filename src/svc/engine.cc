@@ -106,8 +106,9 @@ Engine::Engine(const net::Topology& topo, EngineOptions options)
                               options_.seed)) {
   DRTP_CHECK(options_.num_backups >= 0);
   if (options_.audit_interval > 0) {
-    auditor_ = std::make_unique<fault::Auditor>(
-        fault::AuditorOptions{.out = options_.audit_out});
+    auditor_ = std::make_unique<fault::Auditor>(fault::AuditorOptions{
+        .out = options_.audit_out,
+        .require_srlg_disjoint = scheme_->requires_srlg_disjoint_backup()});
   }
 }
 

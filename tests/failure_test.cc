@@ -2,7 +2,10 @@
 // the Fig. 1 multiplexing stories) and the mutating switchover engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "drtp/dlsr.h"
 #include "drtp/failure.h"
@@ -421,6 +424,89 @@ TEST(EvaluateApplyCrossCheck, ScanAgreesUnderContention) {
   EXPECT_EQ(indexed.attempts, scanned.attempts);
   EXPECT_EQ(indexed.activated, scanned.activated);
   EXPECT_EQ(indexed.activated, 1);
+}
+
+// Out-of-range risk-group ids reaching ApplySrlgFailure come from external
+// input (scenario files replayed against the wrong topology), so they must
+// surface as ParseError at the boundary, not as an internal CheckError.
+TEST(SrlgFailure, OutOfRangeGroupIsParseError) {
+  net::Topology tagged = net::MakeGrid(3, 3, Mbps(2));
+  tagged.AssignSrlg(tagged.FindLink(0, 1), 0);  // num_srlgs() == 1
+  DrtpNetwork net(tagged);
+  EXPECT_THROW(ApplySrlgFailure(net, 1, 0.0, nullptr, nullptr), ParseError);
+  EXPECT_THROW(ApplySrlgFailure(net, -1, 0.0, nullptr, nullptr), ParseError);
+  EXPECT_NO_THROW(ApplySrlgFailure(net, 0, 0.0, nullptr, nullptr));
+  net.CheckConsistency();
+
+  DrtpNetwork untagged(net::MakeGrid(3, 3, Mbps(2)));
+  EXPECT_THROW(ApplySrlgFailure(untagged, 0, 0.0, nullptr, nullptr),
+               ParseError);
+}
+
+// Failing an already-down group again must be a deterministic no-op: every
+// member link is already down, so no connection is touched.
+TEST(SrlgFailure, DuplicateApplicationIsIdempotentNoOp) {
+  net::Topology topo = net::MakeGrid(3, 3, Mbps(2));
+  topo.AssignSrlg(topo.FindLink(0, 1), 0);
+  topo.AssignSrlg(topo.FindLink(3, 4), 0);
+  DrtpNetwork net(topo);
+  ASSERT_TRUE(net.EstablishConnection(1, NodePath(net.topology(), {0, 1, 2}),
+                                      Mbps(1), 0.0));
+  net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 4, 5, 2}));
+
+  const SwitchoverReport first =
+      ApplySrlgFailure(net, 0, 1.0, nullptr, nullptr);
+  // Primary and backup both crossed group 0: the connection is dropped
+  // (the co-failed backup cannot activate).
+  EXPECT_EQ(first.dropped, std::vector<ConnId>{1});
+
+  const SwitchoverReport second =
+      ApplySrlgFailure(net, 0, 2.0, nullptr, nullptr);
+  EXPECT_TRUE(second.recovered.empty());
+  EXPECT_TRUE(second.dropped.empty());
+  EXPECT_TRUE(second.backups_lost.empty());
+  EXPECT_TRUE(second.rerouted.empty());
+  net.CheckConsistency();
+}
+
+// An SRLG failure is by definition the correlated failure of its member
+// links; under a scarce spare pool (where order of switchover matters for
+// who gets the spare) the report must match ApplyLinkSetFailure on the
+// same member set exactly.
+TEST(SrlgFailure, MatchesLinkSetFailureUnderScarceSpare) {
+  net::Topology topo = net::MakeGrid(3, 3, Mbps(2));
+  const LinkId l14 = topo.FindLink(1, 4);
+  const LinkId l25 = topo.FindLink(2, 5);
+  topo.AssignSrlg(l14, 0);
+  topo.AssignSrlg(l25, 0);
+
+  const auto build = [&](DrtpNetwork& net) {
+    // Conn 9 saturates 2->5 so conn 1's backup through it cannot hide
+    // there; conn 1's primary crosses the group via 1->4.
+    ASSERT_TRUE(net.EstablishConnection(
+        9, NodePath(net.topology(), {2, 5}), Mbps(2), 0.0));
+    ASSERT_TRUE(net.EstablishConnection(
+        1, NodePath(net.topology(), {0, 1, 4, 7}), Mbps(1), 0.0));
+    net.RegisterBackup(1, NodePath(net.topology(), {0, 3, 6, 7}));
+  };
+
+  DrtpNetwork via_srlg(topo);
+  build(via_srlg);
+  const SwitchoverReport a = ApplySrlgFailure(via_srlg, 0, 1.0, nullptr,
+                                              nullptr);
+
+  DrtpNetwork via_set(topo);
+  build(via_set);
+  const std::vector<LinkId> members{std::min(l14, l25), std::max(l14, l25)};
+  const SwitchoverReport b =
+      ApplyLinkSetFailure(via_set, members, 1.0, nullptr, nullptr);
+
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.backups_lost, b.backups_lost);
+  EXPECT_EQ(a.rerouted, b.rerouted);
+  via_srlg.CheckConsistency();
+  via_set.CheckConsistency();
 }
 
 }  // namespace

@@ -199,5 +199,37 @@ TEST(LedgerProperty, RandomWalkPreservesInvariants) {
   }
 }
 
+// Regression: AddLink after the first AssignSrlg must keep srlg_of_ sized
+// with the link table, so reading the tag of a late-added link is an
+// in-bounds kInvalidSrlg, not an out-of-bounds read (caught under ASan).
+TEST(TopologySrlg, LinksAddedAfterFirstAssignStayUntagged) {
+  Topology topo;
+  const NodeId a = topo.AddNode();
+  const NodeId b = topo.AddNode();
+  const NodeId c = topo.AddNode();
+  const LinkId ab = topo.AddLink(a, b, Mbps(10));
+  topo.AssignSrlg(ab, 0);
+
+  const LinkId bc = topo.AddLink(b, c, Mbps(10));
+  const auto [ca, ac] = topo.AddDuplexLink(c, a, Mbps(10));
+  EXPECT_EQ(topo.srlg(bc), kInvalidSrlg);
+  EXPECT_EQ(topo.srlg(ca), kInvalidSrlg);
+  EXPECT_EQ(topo.srlg(ac), kInvalidSrlg);
+  EXPECT_EQ(topo.srlg(ab), 0);
+  EXPECT_EQ(topo.num_srlgs(), 1);
+
+  // Late-added links remain taggable.
+  topo.AssignSrlg(bc, 1);
+  EXPECT_EQ(topo.srlg(bc), 1);
+  EXPECT_EQ(topo.num_srlgs(), 2);
+  ASSERT_EQ(topo.LinksInSrlg(1).size(), 1u);
+  EXPECT_EQ(topo.LinksInSrlg(1)[0], bc);
+
+  // Copies carry the tags (and the invariant) along.
+  const Topology copy = topo;
+  EXPECT_EQ(copy.srlg(ac), kInvalidSrlg);
+  EXPECT_EQ(copy.srlg(bc), 1);
+}
+
 }  // namespace
 }  // namespace drtp::net

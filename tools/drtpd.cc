@@ -69,7 +69,9 @@ int main(int argc, char** argv) {
       flags.String("socket", "", "unix socket path to serve on (required)");
   auto& topo_path = flags.String("topo", "", "topology file (required)");
   auto& scheme = flags.String(
-      "scheme", "D-LSR", "routing scheme (D-LSR|P-LSR|BF|NoBackup|...)");
+      "scheme", "D-LSR",
+      "routing scheme (D-LSR|P-LSR|BF|NoBackup|{D,P}-LSR-SRLG-{SOFT,HARD}|"
+      "SRLG-PAIR|...)");
   auto& seed = flags.Int64("seed", 1, "scheme seed (RandomBackup)");
   auto& backups = flags.Int64("backups", 1, "backups per connection", 0, 8);
   auto& dedicated =

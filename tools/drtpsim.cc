@@ -208,7 +208,8 @@ int CmdRun(int argc, char** argv) {
       flags.String("scenario", "", "scenario file (required)");
   auto& scheme_name =
       flags.String("scheme", "D-LSR",
-                   "D-LSR|P-LSR|BF|NoBackup|RandomBackup|SD-Backup");
+                   "D-LSR|P-LSR|BF|NoBackup|RandomBackup|SD-Backup|"
+                   "{D,P}-LSR-SRLG-{SOFT,HARD}|SRLG-PAIR");
   auto& warmup_frac =
       flags.Double("warmup_frac", 0.4, "warmup as fraction of the horizon");
   auto& num_backups = flags.Int64("backups", 1, "backups per connection");
@@ -286,6 +287,8 @@ int CmdRun(int argc, char** argv) {
       ec.trace = bridge.get();
     }
   }
+  auto scheme = sim::MakeScheme(scheme_name, topo,
+                                static_cast<std::uint64_t>(seed));
   std::ofstream audit_file;
   std::unique_ptr<fault::Auditor> auditor;
   if (audit) {
@@ -297,6 +300,7 @@ int CmdRun(int argc, char** argv) {
     } else {
       ao.out = &std::cerr;
     }
+    ao.require_srlg_disjoint = scheme->requires_srlg_disjoint_backup();
     auditor = std::make_unique<fault::Auditor>(ao);
     ec.after_event = [&auditor](const core::DrtpNetwork& net, Time t,
                                 std::string_view event,
@@ -304,8 +308,6 @@ int CmdRun(int argc, char** argv) {
       auditor->Check(net, t, event, report);
     };
   }
-  auto scheme = sim::MakeScheme(scheme_name, topo,
-                                static_cast<std::uint64_t>(seed));
   const sim::RunMetrics m = sim::RunScenario(topo, sc, *scheme, ec);
   if (obs_trace != nullptr) obs_trace->Finish();
   int exit_code = 0;
@@ -373,6 +375,10 @@ int CmdRun(int argc, char** argv) {
   row("blocked", std::to_string(m.blocked));
   row("protected", std::to_string(m.with_backup));
   row("P_bk (what-if)", num(m.pbk.value(), 4));
+  if (m.pbk_srlg.trials > 0) {
+    row("P_bk^srlg (backup survives group failure)",
+        num(m.pbk_srlg.value(), 4));
+  }
   row("avg active connections", num(m.avg_active, 1));
   row("avg primary hops", num(m.primary_hops.mean(), 2));
   row("avg backup hops", num(m.backup_hops.mean(), 2));

@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
       "arrival rates: comma list, or 'paper' (9-point grid) / 'fast'");
   auto& schemes = flags.String(
       "schemes", "D-LSR,P-LSR,BF",
-      "comma list of D-LSR|P-LSR|BF|NoBackup|RandomBackup|SD-Backup");
+      "comma list of D-LSR|P-LSR|BF|NoBackup|RandomBackup|SD-Backup|"
+      "{D,P}-LSR-SRLG-{SOFT,HARD}|SRLG-PAIR");
   auto& duration = flags.Double("duration", sim::kPaperDuration,
                                 "scenario horizon in seconds");
   auto& fast = flags.Bool("fast", false,
